@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure through its experiment
+driver, saves the rows under ``results/`` and times a representative kernel
+with pytest-benchmark.  Model-backed benchmarks reuse the trained zoo cache
+(``.cache/models``); the first run therefore trains the zoo, subsequent runs
+are fast.  Set ``REPRO_FAST=1`` to run on the reduced model set.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult, save_result
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+def emit(result: ExperimentResult) -> ExperimentResult:
+    """Persist an experiment result and echo it to stdout (visible with ``-s``)."""
+    save_result(result, RESULTS_DIR)
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_FAST", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    from repro.llm.zoo import default_corpus
+
+    return default_corpus()
+
+
+@pytest.fixture(scope="session")
+def llama7b_model(corpus):
+    from repro.llm.zoo import load_inference_model
+
+    return load_inference_model("Llama-7B", corpus=corpus)

@@ -1,0 +1,39 @@
+"""Benchmarks for the DESIGN.md ablations (carry chain, block size, LUT address width)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.bbfp import BBFPConfig
+from repro.experiments import ablations
+from repro.hardware.adders import sparse_partial_sum_adder
+from repro.nonlinear.lut import LUTNonlinear
+
+
+def test_ablation_carry_chain(benchmark):
+    benchmark(lambda: sparse_partial_sum_adder(17, 4).gate_equivalents())
+    result = emit(ablations.carry_chain_ablation())
+    for row in result.rows:
+        assert 0.05 < row["savings"] < 0.30
+    savings = {row["format"]: row["savings"] for row in result.rows}
+    assert savings["BBFP(8,4)"] > savings["BBFP(4,2)"]
+
+
+def test_ablation_block_size(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(4096)
+    benchmark(lambda: ablations.block_size_ablation(block_sizes=(32,)))
+    result = emit(ablations.block_size_ablation())
+    errors = [row["bbfp_relative_mse"] for row in result.rows]
+    assert errors == sorted(errors)  # error grows with block size
+    for row in result.rows:
+        assert row["bbfp_relative_mse"] <= row["bfp_relative_mse"]
+
+
+def test_ablation_lut_address_width(benchmark):
+    rng = np.random.default_rng(0)
+    scores = rng.normal(0, 4, size=(32, 64))
+    lut = LUTNonlinear(BBFPConfig(10, 5), address_bits=7)
+    benchmark(lambda: lut.softmax(scores, axis=-1))
+    result = emit(ablations.lut_address_ablation())
+    kls = [row["mean_kl_divergence"] for row in result.rows]
+    assert kls == sorted(kls, reverse=True)  # fidelity improves with address width

@@ -1,0 +1,158 @@
+"""Benchmarks for the extension experiments (beyond the paper's own artefacts).
+
+Each test regenerates one extension study through its driver in
+:mod:`repro.experiments.extensions`, saves the rows under ``results/`` and
+times a representative kernel.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.generation import GenerationLatencyModel
+from repro.accelerator.roofline import analyze_workload
+from repro.accelerator.workloads import decoder_workload
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.core.bie import BiEConfig, bie_quantize_dequantize
+from repro.core.microscaling import MXFP8, mx_quantize_dequantize
+from repro.core.rounding import RoundingMode
+from repro.experiments import extensions
+from repro.experiments.fig1_runtime import LLAMA_7B_DIMENSIONS
+from repro.hardware.multiplier_arch import booth_radix4_multiplier
+
+
+def test_ext_rounding_modes(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(4096)
+    config = BBFPConfig(4, 2, rounding=RoundingMode.STOCHASTIC)
+    benchmark(lambda: bbfp_quantize_dequantize(x, config, rng=np.random.default_rng(1)))
+
+    result = emit(extensions.rounding_mode_ablation())
+    for row in result.rows:
+        # Nearest rounding (the Eq. 8 assumption) never loses to truncation.
+        assert row["nearest_relative_mse"] <= row["truncate_relative_mse"]
+        assert row["nearest_relative_mse"] <= row["stochastic_relative_mse"] * 1.01
+
+
+def test_ext_multiplier_architectures(benchmark):
+    benchmark(lambda: booth_radix4_multiplier(6, 6).gate_equivalents())
+
+    result = emit(extensions.multiplier_architecture_ablation())
+    by_key = {(row["bits"], row["architecture"]): row for row in result.rows}
+    # The paper's array multiplier is the cheapest choice at BBFP mantissa widths.
+    assert by_key[(4, "array")]["area_um2"] <= by_key[(4, "booth-r4")]["area_um2"]
+    # Booth wins area at FP16-class widths, Wallace wins depth everywhere wide.
+    assert by_key[(16, "booth-r4")]["area_um2"] <= by_key[(16, "array")]["area_um2"]
+    assert by_key[(16, "wallace")]["logic_depth_fa"] < by_key[(16, "array")]["logic_depth_fa"]
+
+
+def test_ext_format_family(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(4096)
+    benchmark(lambda: (mx_quantize_dequantize(x, MXFP8), bie_quantize_dequantize(x, BiEConfig(4))))
+
+    result = emit(extensions.format_family_ablation())
+    by_format = {row["format"]: row for row in result.rows}
+    # The paper's headline ordering holds inside the wider landscape too.
+    assert by_format["BBFP(4,2)"]["relative_mse"] <= by_format["BFP4"]["relative_mse"]
+    assert by_format["BBFP(6,3)"]["relative_mse"] <= by_format["BFP6"]["relative_mse"]
+    assert by_format["BiE4(k=2)"]["relative_mse"] <= by_format["BFP4"]["relative_mse"]
+    # INT4 suffers most from the outliers (the Fig. 1(a) motivation).
+    assert by_format["INT4"]["relative_mse"] >= by_format["BBFP(4,2)"]["relative_mse"]
+
+
+def test_ext_format_ppl(benchmark, fast_mode):
+    result = emit(extensions.extended_format_ppl(fast=fast_mode or None))
+    for row in result.rows:
+        # Weight-only GPTQ stays close to FP16; every scheme stays finite and
+        # within a sane factor of the reference on the miniature models.
+        assert row["GPTQ-W4"] <= row["FP16"] * 1.10
+        for name, value in row.items():
+            if name == "model":
+                continue
+            assert np.isfinite(value)
+            assert value <= row["FP16"] * 3.0
+        # BiE tracks BBFP at equal mantissa width (both protect the block bulk).
+        assert row["BiE6(k=2)"] <= row["BBFP(6,3)"] * 1.05
+
+    # Time one scheme evaluation on the cached model.
+    from repro.experiments.common import eval_config
+    from repro.llm.inference import QuantizationScheme
+    from repro.llm.perplexity import evaluate_perplexity
+    from repro.llm.zoo import default_corpus, load_inference_model
+    from repro.core.microscaling import MXFP8 as _MXFP8
+
+    corpus = default_corpus(fast=fast_mode or None)
+    model = load_inference_model("Llama-1B", corpus=corpus)
+    model.set_scheme(QuantizationScheme.from_format(_MXFP8))
+    benchmark(lambda: evaluate_perplexity(model, corpus, eval_config(True)))
+    model.set_scheme(QuantizationScheme.fp_reference())
+
+
+def test_ext_roofline(benchmark):
+    config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=32, pe_cols=32)
+    workload = decoder_workload(LLAMA_7B_DIMENSIONS, 512, phase="prefill")
+    benchmark(lambda: analyze_workload(config, workload))
+
+    result = emit(extensions.roofline_extension())
+    prefill = [row for row in result.rows if row["phase"] == "prefill"]
+    decode = [row for row in result.rows if row["phase"] == "decode"]
+    # Weight-stationary GEMMs: compute bound in prefill, memory bound in decode.
+    assert all(row["bound"] == "compute" for row in prefill if row["op"] in ("query", "down"))
+    assert all(row["bound"] == "memory" for row in decode if row["op"] in ("query", "down"))
+
+
+def test_ext_dataflow(benchmark):
+    from repro.accelerator.dataflow import compare_dataflows
+    from repro.accelerator.workloads import MatmulOp
+
+    op = MatmulOp("fc1", 512, 4096, 11008)
+    benchmark(lambda: compare_dataflows(op, rows=32, cols=32, bits_per_element=6.156))
+
+    result = emit(extensions.dataflow_extension())
+    by_key = {(row["gemm"], row["dataflow"]): row for row in result.rows}
+    # The BBAL choice reads the quantised weights exactly once on every GEMM ...
+    for gemm in ("prefill-fc1", "prefill-qkv", "decode-fc1"):
+        ws = by_key[(gemm, "weight_stationary")]
+        out_st = by_key[(gemm, "output_stationary")]
+        assert ws["operand_bytes"] <= out_st["operand_bytes"] * 1.6
+    # ... while output stationary never spills partial sums.
+    for gemm in ("prefill-fc1", "prefill-qkv"):
+        assert by_key[(gemm, "output_stationary")]["output_bytes"] <= \
+            by_key[(gemm, "weight_stationary")]["output_bytes"]
+
+
+def test_ext_generation_latency(benchmark):
+    config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=32, pe_cols=32)
+    model = GenerationLatencyModel(config, LLAMA_7B_DIMENSIONS, decode_step_stride=32)
+    benchmark(lambda: model.estimate(prompt_tokens=128, generated_tokens=32))
+
+    result = emit(extensions.generation_latency_extension())
+    by_strategy = {row["strategy"]: row for row in result.rows}
+    # Denser formats generate faster and cheaper than BFP6 on the same array.
+    assert by_strategy["BBFP(3,1)"]["tokens_per_second"] >= by_strategy["BFP6"]["tokens_per_second"]
+    assert by_strategy["BBFP(3,1)"]["energy_per_token_mj"] <= by_strategy["BFP6"]["energy_per_token_mj"]
+    for row in result.rows:
+        assert row["time_to_first_token_ms"] > 0
+
+
+def test_ext_mixed_precision(benchmark, fast_mode):
+    result = emit(extensions.mixed_precision_extension(fast=fast_mode or None))
+    assignment_rows = [row for row in result.rows if row["kind"] != "(total)"]
+    assert len(assignment_rows) >= 6
+    for row in assignment_rows:
+        assert row["format"].startswith("BBFP")
+
+    # Time the underlying sensitivity kernel on the cached model.
+    from repro.experiments.common import eval_config
+    from repro.llm.zoo import default_corpus, load_inference_model
+    from repro.search.mixed_precision import sensitivity_profile
+
+    corpus = default_corpus(fast=fast_mode or None)
+    model = load_inference_model("Llama-1B", corpus=corpus)
+    benchmark(
+        lambda: sensitivity_profile(
+            model, corpus, [BBFPConfig(4, 2)], kinds=["q_proj"],
+            eval_config=eval_config(True),
+        )
+    )

@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Fig. 1(a) (weight/activation distributions)."""
+
+from conftest import emit
+
+from repro.analysis.distributions import model_tensor_stats
+from repro.experiments import fig1_distribution
+
+
+def test_fig1a_distribution(benchmark, corpus):
+    """Times the statistics collection and regenerates the Fig. 1(a) summary."""
+    from repro.llm.zoo import load_inference_model
+
+    model = load_inference_model("OPT-6.7B", corpus=corpus)
+    benchmark(lambda: model_tensor_stats(model, corpus))
+    result = emit(fig1_distribution.run())
+    stats = {row["name"]: row for row in result.rows}
+    # Paper shape: activations are far heavier-tailed than weights.
+    assert stats["activation"]["outlier_magnitude"] > stats["weight"]["outlier_magnitude"] * 0.8
+    assert stats["activation"]["kurtosis"] > 3.0
+    assert stats["activation"]["max_abs"] > stats["weight"]["max_abs"]

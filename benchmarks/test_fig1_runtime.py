@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of Fig. 1(b) (linear vs nonlinear runtime breakdown)."""
+
+from conftest import emit
+
+from repro.accelerator import AcceleratorConfig, AcceleratorSimulator, decoder_workload
+from repro.core.bbfp import BBFPConfig
+from repro.experiments import fig1_runtime
+
+
+def test_fig1b_runtime_breakdown(benchmark):
+    """Times one simulator run and regenerates the sequence-length sweep."""
+    config = AcceleratorConfig(strategy=BBFPConfig(4, 2))
+    simulator = AcceleratorSimulator(config, nonlinear_style="fp32")
+    workload = decoder_workload(fig1_runtime.LLAMA_7B_DIMENSIONS, 512, phase="prefill")
+    benchmark(lambda: simulator.run(workload))
+
+    result = emit(fig1_runtime.run())
+    shares = [row["nonlinear_share_fp32"] for row in result.rows]
+    # Paper shape: the nonlinear share grows monotonically with sequence length
+    # under an FP32-style unit and stays small under the BBFP unit.
+    assert shares == sorted(shares)
+    assert shares[-1] > 3 * shares[0]
+    assert all(row["nonlinear_share_bbal"] < row["nonlinear_share_fp32"] for row in result.rows)

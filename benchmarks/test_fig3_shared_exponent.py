@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of Fig. 3 (shared-exponent selection vs activation MSE)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.experiments import fig3_shared_exponent
+
+
+def test_fig3_shared_exponent_sweep(benchmark, rng=np.random.default_rng(0)):
+    """Times one activation quantisation pass and regenerates the per-layer MSE table."""
+    activation = rng.standard_normal((512, 64))
+    activation[:, ::16] *= 20.0
+    benchmark(lambda: bbfp_quantize_dequantize(activation, BBFPConfig(4, 2), axis=-1))
+
+    result = emit(fig3_shared_exponent.run())
+    average = next(row for row in result.rows if row["layer"] == "Avg.")
+    # Paper shape: Max-2 (Eq. 9) < Max-1 < BFP4, and Max-3 is the worst BBFP alignment.
+    assert average["Max-2"] < average["Max-1"]
+    assert average["Max-2"] < average["BFP4"]
+    assert average["Max-3"] > average["Max-1"]

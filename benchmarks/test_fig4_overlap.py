@@ -1,0 +1,31 @@
+"""Benchmark + regeneration of Fig. 4 (overlap-width selection via Algorithm 1)."""
+
+from conftest import emit
+
+from repro.core.bbfp import BBFPConfig
+from repro.experiments import fig4_overlap
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+
+
+def test_fig4_overlap_width_selection(benchmark, llama7b_model, corpus, fast_mode):
+    """Times one candidate evaluation and runs the full Algorithm 1 sweep."""
+    scheme = QuantizationScheme.from_format(BBFPConfig(6, 2))
+    evaluation = EvalConfig(max_batches=1)
+
+    def evaluate_candidate():
+        llama7b_model.set_scheme(scheme)
+        return evaluate_perplexity(llama7b_model, corpus, evaluation)
+
+    benchmark(evaluate_candidate)
+    llama7b_model.set_scheme(QuantizationScheme.fp_reference())
+
+    result = emit(fig4_overlap.run(fast=fast_mode))
+    overheads = [row["overhead"] for row in result.rows]
+    ppls = [row["ppl"] for row in result.rows]
+    # Paper shape: overhead falls monotonically with wider overlap while the
+    # best PPL sits at an intermediate overlap width; Algorithm 1 picks one
+    # candidate as selected.
+    assert overheads == sorted(overheads, reverse=True)
+    assert min(ppls) <= ppls[0]
+    assert sum(row["selected"] for row in result.rows) == 1

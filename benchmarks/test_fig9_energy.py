@@ -1,0 +1,28 @@
+"""Benchmark + regeneration of Fig. 9 (normalised energy breakdown)."""
+
+from conftest import emit
+
+from repro.accelerator import AcceleratorConfig, AcceleratorSimulator, decoder_workload
+from repro.core.bbfp import BBFPConfig
+from repro.experiments import fig9_energy
+from repro.experiments.fig1_runtime import LLAMA_7B_DIMENSIONS
+
+
+def test_fig9_energy_breakdown(benchmark, fast_mode):
+    """Times one workload simulation and regenerates the per-strategy energy breakdown."""
+    workload = decoder_workload(LLAMA_7B_DIMENSIONS, 256, phase="prefill")
+    simulator = AcceleratorSimulator(AcceleratorConfig(strategy=BBFPConfig(4, 2)))
+    benchmark(lambda: simulator.run(workload))
+
+    result = emit(fig9_energy.run(fast=fast_mode))
+    rows = {row["strategy"]: row for row in result.rows}
+
+    # Paper shape: BBFP with a 3-bit mantissa undercuts BFP4; BBFP costs only a
+    # few percent more than BFP at equal mantissa width; the widest format
+    # (BBFP(6,3)) is the normalisation reference.
+    assert rows["BBFP(3,1)"]["total"] < rows["BFP4"]["total"]
+    assert rows["BBFP(4,2)"]["total"] <= rows["BFP6"]["total"]
+    assert rows["BBFP(6,3)"]["total"] == max(r["total"] for r in rows.values())
+    for row in result.rows:
+        components = row["static"] + row["dram"] + row["buffer"] + row["core"]
+        assert abs(components - row["total"]) < 1e-9

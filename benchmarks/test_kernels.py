@@ -1,0 +1,41 @@
+"""Micro-benchmarks of the core kernels (quantisation, block matmul, LUT softmax).
+
+These are not tied to a specific paper table; they document the throughput of
+the Python implementation so users can size their own experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize, quantize_bbfp
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.dotproduct import bbfp_matmul
+from repro.nonlinear.lut import LUTNonlinear
+
+_RNG = np.random.default_rng(0)
+_ACTIVATION = _RNG.standard_normal((256, 512))
+_WEIGHT = _RNG.standard_normal((512, 256))
+
+
+@pytest.mark.parametrize("config", [BBFPConfig(3, 1), BBFPConfig(4, 2), BBFPConfig(6, 3)],
+                         ids=lambda c: c.name)
+def test_bbfp_quantisation_throughput(benchmark, config):
+    benchmark(lambda: bbfp_quantize_dequantize(_ACTIVATION, config, axis=-1))
+
+
+def test_bfp_quantisation_throughput(benchmark):
+    benchmark(lambda: bfp_quantize_dequantize(_ACTIVATION, BFPConfig(4), axis=-1))
+
+
+def test_bbfp_encode_only_throughput(benchmark):
+    benchmark(lambda: quantize_bbfp(_ACTIVATION, BBFPConfig(4, 2), axis=-1))
+
+
+def test_bbfp_matmul_throughput(benchmark):
+    benchmark(lambda: bbfp_matmul(_ACTIVATION, _WEIGHT, BBFPConfig(4, 2)))
+
+
+def test_lut_softmax_throughput(benchmark):
+    lut = LUTNonlinear(BBFPConfig(10, 5), address_bits=7)
+    scores = _RNG.normal(0, 4, size=(64, 256))
+    benchmark(lambda: lut.softmax(scores, axis=-1))

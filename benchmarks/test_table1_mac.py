@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Table I (MAC area / memory efficiency)."""
+
+from conftest import emit
+
+from repro.core.bbfp import BBFPConfig
+from repro.experiments import table1_mac
+from repro.hardware.mac import bbfp_mac
+
+
+def test_table1_mac_costing(benchmark):
+    """Times the gate-level MAC costing and regenerates the Table I rows."""
+    benchmark(lambda: bbfp_mac(BBFPConfig(6, 3)).gate_equivalents())
+    result = emit(table1_mac.run())
+    rows = {row["datatype"]: row for row in result.rows}
+    # Paper shape: FP16 >> block formats; BBFP slightly above BFP at equal width.
+    assert rows["FP16"]["area_um2"] > 3 * rows["INT8"]["area_um2"]
+    assert rows["BBFP(6,3)"]["area_um2"] < rows["BFP8"]["area_um2"] * 1.05
+    assert abs(rows["BBFP(6,3)"]["memory_efficiency"] - 1.96) < 0.01

@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Table III (PE area per quantisation strategy)."""
+
+from conftest import emit
+
+from repro.core.bbfp import BBFPConfig
+from repro.experiments import table3_pe_area
+from repro.hardware.pe import pe_for_strategy
+
+
+def test_table3_pe_area(benchmark):
+    """Times PE costing and regenerates the normalised Table III comparison."""
+    benchmark(lambda: pe_for_strategy(BBFPConfig(6, 3)).area_um2())
+    result = emit(table3_pe_area.run())
+    norm = {row["strategy"]: row["normalised_area"] for row in result.rows}
+    assert norm["BBFP(6,3)"] == 1.0
+    assert norm["Oltron"] < norm["BFP4"] < norm["BFP6"]
+    assert norm["BBFP(3,1)"] < norm["BBFP(4,2)"] < norm["BBFP(6,3)"]
+    # Every BBFP/BFP entry lands within 0.1 of the paper's normalised value.
+    for row in result.rows:
+        assert abs(row["normalised_area"] - row["paper_normalised"]) < 0.11

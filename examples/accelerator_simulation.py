@@ -1,0 +1,66 @@
+"""Simulate the BBAL accelerator on Llama-7B decoder layers — the Fig. 1(b)/8/9 workflow.
+
+Run with::
+
+    python examples/accelerator_simulation.py
+
+The script uses the cycle-level simulator to:
+
+1. sweep the sequence length and show the linear vs nonlinear runtime split
+   with an FP32-style nonlinear unit and with the BBFP unit (Fig. 1(b));
+2. compare quantisation strategies under an equal PE-area budget (the
+   hardware half of Fig. 8);
+3. report the static / DRAM / buffer / core energy breakdown per strategy
+   (Fig. 9).
+"""
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    AcceleratorSimulator,
+    decoder_workload,
+    iso_area_design_points,
+)
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.experiments.fig1_runtime import LLAMA_7B_DIMENSIONS
+
+
+def main() -> None:
+    strategies = ["Oltron", "Olive", BFPConfig(4), BFPConfig(6),
+                  BBFPConfig(3, 1), BBFPConfig(4, 2), BBFPConfig(6, 3)]
+
+    print("== 1. Runtime breakdown of one Llama-7B prefill pass (Fig. 1(b)) ==")
+    config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=32, pe_cols=32)
+    fp32_sim = AcceleratorSimulator(config, nonlinear_style="fp32")
+    bbal_sim = AcceleratorSimulator(config, nonlinear_style="bbal")
+    for seq_len in (128, 512, 2048, 4096):
+        workload = decoder_workload(LLAMA_7B_DIMENSIONS, seq_len, phase="prefill")
+        fp32 = fp32_sim.run(workload)
+        bbal = bbal_sim.run(workload)
+        print(
+            f"  seq={seq_len:5d}  linear={fp32.linear_runtime_s * 1e3:9.1f} ms  "
+            f"nonlinear(FP32 unit)={fp32.nonlinear_runtime_s * 1e3:8.1f} ms "
+            f"({100 * fp32.nonlinear_runtime_s / fp32.runtime_s:4.1f}%)   "
+            f"nonlinear(BBFP unit)={bbal.nonlinear_runtime_s * 1e3:7.1f} ms "
+            f"({100 * bbal.nonlinear_runtime_s / bbal.runtime_s:4.1f}%)"
+        )
+
+    print("\n== 2. Iso-area design points (hardware half of Fig. 8) ==")
+    for point in iso_area_design_points(strategies):
+        print(f"  {point.strategy_name:10s} PE area = {point.pe_area_um2:7.1f} um^2  "
+              f"PEs in budget = {point.num_pes:5d}  relative throughput = "
+              f"{point.relative_throughput:.2f}")
+
+    print("\n== 3. Energy breakdown at equal PE count (Fig. 9) ==")
+    workload = decoder_workload(LLAMA_7B_DIMENSIONS, 512, phase="prefill")
+    reports = [AcceleratorSimulator(AcceleratorConfig(strategy=s)).run(workload)
+               for s in strategies]
+    reference = max(reports, key=lambda r: r.energy.total_j)
+    for report in reports:
+        norm = report.energy.normalised_to(reference.energy)
+        print(f"  {report.config_name:10s} static={norm['static']:.3f}  dram={norm['dram']:.3f}  "
+              f"buffer={norm['buffer']:.3f}  core={norm['core']:.3f}  total={norm['total']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

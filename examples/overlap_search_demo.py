@@ -1,0 +1,61 @@
+"""Run Algorithm 1 (overlap-bit-width selection) on a zoo model — the Fig. 4 workflow.
+
+Run with::
+
+    python examples/overlap_search_demo.py [--mantissa-bits 6] [--overhead-weight 0.5]
+
+Algorithm 1 sweeps every overlap width ``o`` for a fixed mantissa width ``m``,
+evaluates model perplexity and hardware overhead for each candidate BBFP(m, o),
+normalises both and picks the width with the best weighted score.  The demo
+wires the search to the real perplexity evaluator and the gate-level PE cost
+model, and prints the full sweep so the accuracy/efficiency trade-off of
+Fig. 4 is visible.
+"""
+
+import argparse
+
+from repro.core.overlap_search import select_overlap_width
+from repro.hardware.pe import pe_for_strategy
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+from repro.llm.zoo import default_corpus, load_inference_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="Llama-7B")
+    parser.add_argument("--mantissa-bits", type=int, default=6)
+    parser.add_argument("--overhead-weight", type=float, default=0.5,
+                        help="w in Algorithm 1: 0 = accuracy only, 1 = hardware only")
+    args = parser.parse_args()
+
+    corpus = default_corpus()
+    model = load_inference_model(args.model, corpus=corpus)
+    evaluation = EvalConfig(max_batches=3)
+
+    def ppl_fn(config):
+        model.set_scheme(QuantizationScheme.from_format(config))
+        return evaluate_perplexity(model, corpus, evaluation)
+
+    def overhead_fn(config):
+        return pe_for_strategy(config).area_um2()
+
+    result = select_overlap_width(
+        mantissa_bits=args.mantissa_bits,
+        ppl_fn=ppl_fn,
+        overhead_fn=overhead_fn,
+        overhead_weight=args.overhead_weight,
+    )
+
+    print(f"Algorithm 1 sweep for BBFP({args.mantissa_bits}, o) on {args.model} "
+          f"(overhead weight w = {args.overhead_weight}):")
+    print(f"  {'o':>2s}  {'PPL':>9s}  {'PE area':>9s}  {'score':>7s}")
+    for candidate in result.candidates:
+        marker = "  <== selected" if candidate.overlap_bits == result.best_overlap else ""
+        print(f"  {candidate.overlap_bits:2d}  {candidate.ppl:9.3f}  {candidate.overhead:9.1f}"
+              f"  {candidate.score:7.3f}{marker}")
+    print(f"\nSelected configuration: {result.best_config.name}")
+
+
+if __name__ == "__main__":
+    main()

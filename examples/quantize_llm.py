@@ -1,0 +1,62 @@
+"""Quantise a (simulated) LLM end to end and measure perplexity — the Table II workflow.
+
+Run with::
+
+    python examples/quantize_llm.py [--model Llama-7B] [--fast]
+
+The script trains (or loads from cache) one model of the simulated Llama/OPT
+zoo, then evaluates held-out perplexity under several weight–activation
+quantisation schemes: FP16, vanilla BFP, BBFP at several configurations, and
+the outlier-aware Oltron baseline.  The orderings mirror the paper's Table II.
+"""
+
+import argparse
+
+from repro.baselines import build_oltron_scheme
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+from repro.llm.zoo import default_corpus, load_inference_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="Llama-7B",
+                        help="zoo model name (Llama-1B...65B, OPT-1.3B...66B)")
+    parser.add_argument("--fast", action="store_true", help="smaller corpus and evaluation")
+    args = parser.parse_args()
+
+    corpus = default_corpus(fast=args.fast)
+    print(f"Loading {args.model} (training on first use, cached afterwards)...")
+    model = load_inference_model(args.model, corpus=corpus)
+    evaluation = EvalConfig(max_batches=2 if args.fast else 4)
+
+    schemes = [
+        QuantizationScheme.fp16(),
+        build_oltron_scheme(),
+        QuantizationScheme.from_format(BFPConfig(6)),
+        QuantizationScheme.from_format(BFPConfig(4)),
+        QuantizationScheme.from_format(BBFPConfig(3, 1)),
+        QuantizationScheme.from_format(BBFPConfig(4, 2)),
+        QuantizationScheme.from_format(BBFPConfig(6, 3)),
+    ]
+
+    print(f"\nPerplexity of {args.model} on the held-out synthetic corpus (lower is better):")
+    baseline = None
+    for scheme in schemes:
+        model.set_scheme(scheme)
+        ppl = evaluate_perplexity(model, corpus, evaluation)
+        if baseline is None:
+            baseline = ppl
+        print(f"  {scheme.name:12s} ppl = {ppl:8.3f}   (+{100 * (ppl / baseline - 1):5.1f}% vs FP16)")
+
+    print(
+        "\nExpected shape (Table II): BBFP(6,3) ~ FP16, BBFP(4,2) ~ BFP6, "
+        "BBFP(3,1) well below BFP4's degradation, and Oltron hurt by the "
+        "Llama-style outlier profile."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Roofline analysis of a Llama-7B decoder layer on the BBAL accelerator.
+
+Run with::
+
+    python examples/roofline_analysis.py [--seq-len 1024] [--bandwidth 25.6]
+
+The script classifies every GEMM of one decoder layer as compute or memory
+bound, once for the prefill phase and once for the decode (KV-cache) phase,
+and shows how the answer changes with the number format: the cheaper the PE
+(Table III) the higher the compute roof under an iso-area budget, and the
+fewer the bits per element (Table I) the higher the memory roof — the two
+mechanisms behind the paper's Fig. 8 comparison.
+"""
+
+import argparse
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.roofline import analyze_workload, roofline_for_config
+from repro.accelerator.workloads import decoder_workload
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.experiments.fig1_runtime import LLAMA_7B_DIMENSIONS
+
+
+def describe(config: AcceleratorConfig, seq_len: int, phase: str, bandwidth: float) -> None:
+    roofline = roofline_for_config(config, dram_bandwidth_gbytes_per_s=bandwidth)
+    workload = decoder_workload(LLAMA_7B_DIMENSIONS, seq_len, phase=phase)
+    print(f"\n== {config.strategy_name}, {phase}, seq_len={seq_len} ==")
+    print(f"  peak {roofline.peak_macs_per_s / 1e12:.2f} TMAC/s, "
+          f"DRAM {roofline.dram_bandwidth_bytes_per_s / 1e9:.1f} GB/s, "
+          f"ridge at {roofline.ridge_intensity:.1f} MAC/byte")
+    for analysis in analyze_workload(config, workload, dram_bandwidth_gbytes_per_s=bandwidth):
+        print(f"  {analysis.name:12s} intensity={analysis.arithmetic_intensity:8.1f} MAC/B  "
+              f"attainable={analysis.attainable_macs_per_s / 1e9:9.1f} GMAC/s  "
+              f"[{analysis.bound} bound]")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seq-len", type=int, default=1024)
+    parser.add_argument("--bandwidth", type=float, default=25.6,
+                        help="DRAM bandwidth in GB/s shared by every design")
+    args = parser.parse_args()
+
+    for strategy in (BBFPConfig(4, 2), BFPConfig(8)):
+        config = AcceleratorConfig(strategy=strategy, pe_rows=32, pe_cols=32)
+        describe(config, args.seq_len, "prefill", args.bandwidth)
+        describe(config, args.seq_len, "decode", args.bandwidth)
+
+    print(
+        "\nReading: prefill GEMMs sit right of the ridge (compute bound), so the cheaper "
+        "BBFP PEs translate into throughput; decode matrix-vector products sit far left "
+        "(memory bound), so the lower bits-per-element of BBFP translates into tokens/s."
+    )
+
+
+if __name__ == "__main__":
+    main()

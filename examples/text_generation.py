@@ -1,0 +1,74 @@
+"""Generate text from a quantised (simulated) LLM — the qualitative check.
+
+Run with::
+
+    python examples/text_generation.py [--model Llama-1B] [--tokens 120]
+
+Perplexity (Table II) quantifies quantisation damage; this script shows it.
+It loads one zoo model, takes a prompt from the held-out corpus and generates
+a continuation under several schemes: the FP reference, BBFP(6,3) and
+BBFP(3,1), vanilla BFP4 and INT4.  Coarse formats that destroy small and
+moderate values (the paper's argument against max-exponent alignment) produce
+visibly degenerate text long before the perplexity table makes the damage
+obvious.
+"""
+
+import argparse
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.integer import IntQuantConfig
+from repro.llm.generation import GenerationConfig, generate_text, sequence_log_likelihood
+from repro.llm.inference import QuantizationScheme
+from repro.llm.zoo import default_corpus, load_inference_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="Llama-1B",
+                        help="zoo model name (Llama-1B...65B, OPT-1.3B...66B)")
+    parser.add_argument("--tokens", type=int, default=120, help="characters to generate")
+    parser.add_argument("--temperature", type=float, default=0.8)
+    parser.add_argument("--fast", action="store_true", help="smaller corpus")
+    args = parser.parse_args()
+
+    corpus = default_corpus(fast=args.fast)
+    print(f"Loading {args.model} (training on first use, cached afterwards)...")
+    model = load_inference_model(args.model, corpus=corpus)
+
+    prompt = corpus.tokenizer.decode(corpus.valid_tokens[:48])
+    config = GenerationConfig(max_new_tokens=args.tokens, temperature=args.temperature,
+                              top_k=12, seed=7)
+    schemes = [
+        QuantizationScheme.fp_reference(),
+        QuantizationScheme.from_format(BBFPConfig(6, 3)),
+        QuantizationScheme.from_format(BBFPConfig(3, 1)),
+        QuantizationScheme.from_format(BFPConfig(4)),
+        QuantizationScheme.from_format(IntQuantConfig(4)),
+    ]
+
+    print(f'\nPrompt: "{prompt}"\n')
+    reference_tokens = None
+    for scheme in schemes:
+        model.set_scheme(scheme)
+        text = generate_text(model, corpus, prompt, config)
+        continuation = text[len(prompt):]
+        print(f"--- {scheme.name} ---")
+        print(f'  "{continuation}"')
+        if reference_tokens is None:
+            reference_tokens = corpus.tokenizer.encode(text)
+        else:
+            score = sequence_log_likelihood(model, reference_tokens)
+            print(f"  (log-likelihood this scheme assigns to the FP continuation: {score:.1f})")
+        print()
+    model.set_scheme(QuantizationScheme.fp_reference())
+
+    print(
+        "Reading: BBFP(6,3) continues essentially like the FP reference, BBFP(3,1) stays "
+        "coherent, while BFP4 and INT4 drift because the max-exponent alignment (or the "
+        "integer clipping) erases the moderate values that carry most of the signal."
+    )
+
+
+if __name__ == "__main__":
+    main()

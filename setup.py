@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "BBAL: Bidirectional Block Floating Point quantisation accelerator for LLMs "
+        "(DAC 2025) - full Python reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,60 @@
+"""BBAL reproduction: Bidirectional Block Floating Point quantisation for LLMs.
+
+This package is a full-stack, pure-Python reproduction of the DAC 2025 paper
+*"BBAL: A Bidirectional Block Floating Point-Based Quantisation Accelerator for
+Large Language Models"*.  It contains:
+
+``repro.core``
+    The BBFP / BFP / INT / minifloat quantisers, shared-exponent selection
+    strategies, the analytic quantisation-error model and the overlap-width
+    search (the paper's primary algorithmic contribution).
+
+``repro.llm``
+    A from-scratch numpy transformer substrate (autodiff, training, synthetic
+    corpus, model zoo) plus a quantisation-aware inference path used for all
+    perplexity experiments.
+
+``repro.baselines``
+    Simplified but faithful re-implementations of the comparator quantisation
+    schemes: SmoothQuant, OmniQuant, Olive and Oltron.
+
+``repro.nonlinear``
+    The exponent-segmented LUT nonlinear computation unit (Softmax, SiLU,
+    GELU, sigmoid) and its pipelined hardware model.
+
+``repro.hardware``
+    Gate-level analytic area/energy models: adders, carry chains, multipliers,
+    MAC units, PEs, SRAM/DRAM.
+
+``repro.accelerator``
+    The BBAL accelerator: weight-stationary PE-array cycle-level simulator,
+    buffers, scheduler and efficiency metrics.
+
+``repro.analysis`` / ``repro.experiments``
+    Drivers that regenerate every table and figure of the paper's evaluation.
+"""
+
+from repro.core.bbfp import BBFPConfig, BBFPTensor, quantize_bbfp, bbfp_quantize_dequantize
+from repro.core.blockfp import BFPConfig, BFPTensor, quantize_bfp, bfp_quantize_dequantize
+from repro.core.integer import IntQuantConfig, int_quantize_dequantize
+from repro.core.fp_formats import FP4_E2M1, FP8_E4M3, FP8_E5M2, minifloat_quantize_dequantize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBFPConfig",
+    "BBFPTensor",
+    "quantize_bbfp",
+    "bbfp_quantize_dequantize",
+    "BFPConfig",
+    "BFPTensor",
+    "quantize_bfp",
+    "bfp_quantize_dequantize",
+    "IntQuantConfig",
+    "int_quantize_dequantize",
+    "FP4_E2M1",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "minifloat_quantize_dequantize",
+    "__version__",
+]

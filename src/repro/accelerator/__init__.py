@@ -1,0 +1,56 @@
+"""BBAL accelerator: weight-stationary PE array + nonlinear unit, cycle-level model.
+
+The paper evaluates BBAL with a DnnWeaver-derived cycle-level simulator on top
+of the synthesised PE/buffer costs.  This package provides the equivalent:
+
+* :mod:`repro.accelerator.workloads` turns a transformer configuration into
+  the GEMM and nonlinear operator list of one decoder layer (prefill or
+  decode);
+* :mod:`repro.accelerator.pe_array` models the weight-stationary systolic
+  array timing (tiling, fill/drain, weight reload);
+* :mod:`repro.accelerator.simulator` runs a workload through the array, the
+  buffers, DRAM and the nonlinear unit and returns cycles plus the
+  static/DRAM/buffer/core energy breakdown of Fig. 9;
+* :mod:`repro.accelerator.metrics` produces the iso-area throughput/accuracy
+  comparison of Fig. 8 and the derived efficiency metrics;
+* :mod:`repro.accelerator.roofline` classifies every operator as compute or
+  memory bound under the configuration's compute/bandwidth ceilings;
+* :mod:`repro.accelerator.scheduling` tiles GEMMs onto the on-chip buffers
+  with minimal DRAM traffic;
+* :mod:`repro.accelerator.generation` composes prefill + decode into an
+  end-to-end generation latency/energy estimate.
+"""
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.workloads import LayerWorkload, MatmulOp, NonlinearOp, decoder_workload
+from repro.accelerator.pe_array import PEArray, matmul_cycles
+from repro.accelerator.simulator import AcceleratorSimulator, PerformanceReport
+from repro.accelerator.metrics import iso_area_design_points, IsoAreaPoint
+from repro.accelerator.roofline import RooflineModel, analyze_workload, roofline_for_config
+from repro.accelerator.scheduling import TilingChoice, best_tiling
+from repro.accelerator.generation import GenerationLatencyModel, GenerationReport
+from repro.accelerator.dataflow import DataflowStats, compare_dataflows, dataflow_stats
+
+__all__ = [
+    "AcceleratorConfig",
+    "LayerWorkload",
+    "MatmulOp",
+    "NonlinearOp",
+    "decoder_workload",
+    "PEArray",
+    "matmul_cycles",
+    "AcceleratorSimulator",
+    "PerformanceReport",
+    "iso_area_design_points",
+    "IsoAreaPoint",
+    "RooflineModel",
+    "analyze_workload",
+    "roofline_for_config",
+    "TilingChoice",
+    "best_tiling",
+    "GenerationLatencyModel",
+    "GenerationReport",
+    "DataflowStats",
+    "compare_dataflows",
+    "dataflow_stats",
+]

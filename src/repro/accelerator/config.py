@@ -1,0 +1,110 @@
+"""Accelerator configuration (PE array geometry, buffers, number format)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.hardware.memory import DRAMModel, SRAMBuffer
+from repro.hardware.pe import PEDesign, pe_for_strategy
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+from repro.nonlinear.unit import NonlinearUnitConfig
+
+__all__ = ["AcceleratorConfig", "bits_per_element"]
+
+
+def bits_per_element(strategy) -> float:
+    """Average storage bits per tensor element for a quantisation strategy.
+
+    Used to convert tensor shapes into DRAM/buffer traffic.  Named baselines
+    use their published storage formats (4-bit codes plus outlier metadata).
+    """
+    if isinstance(strategy, (BBFPConfig, BFPConfig)):
+        return strategy.equivalent_bit_width()
+    if isinstance(strategy, str):
+        key = strategy.strip().lower()
+        if key == "oltron":
+            return 4.25
+        if key in ("olive", "oliver"):
+            return 4.5
+        if key == "fp16":
+            return 16.0
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if hasattr(strategy, "equivalent_bit_width"):
+        return float(strategy.equivalent_bit_width())
+    raise TypeError(f"unsupported strategy type {type(strategy)!r}")
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One BBAL (or baseline) accelerator instance.
+
+    Parameters
+    ----------
+    strategy:
+        Number format / quantisation strategy of the PE array: a
+        :class:`BBFPConfig`, :class:`BFPConfig` or one of the named baselines
+        (``"Oltron"``, ``"Olive"``).
+    pe_rows, pe_cols:
+        Systolic array geometry (the paper streams 4x4 BBFP-encoded tiles, but
+        the evaluation arrays are larger; 32x32 is the default here).
+    input_buffer_bytes, weight_buffer_bytes, output_buffer_bytes:
+        On-chip SRAM capacities.
+    nonlinear:
+        Configuration of the attached nonlinear computation unit.
+    technology:
+        Process constants shared by every cost model.
+    """
+
+    strategy: object
+    pe_rows: int = 32
+    pe_cols: int = 32
+    input_buffer_bytes: int = 64 * 1024
+    weight_buffer_bytes: int = 128 * 1024
+    output_buffer_bytes: int = 64 * 1024
+    nonlinear: NonlinearUnitConfig = field(default_factory=NonlinearUnitConfig)
+    technology: TechnologyModel = TSMC28_LIKE
+
+    def __post_init__(self):
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError("PE array dimensions must be positive")
+        bits_per_element(self.strategy)  # validates the strategy
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def strategy_name(self) -> str:
+        if isinstance(self.strategy, str):
+            return self.strategy
+        return getattr(self.strategy, "name", str(self.strategy))
+
+    def pe_design(self) -> PEDesign:
+        return pe_for_strategy(self.strategy)
+
+    def element_bits(self) -> float:
+        return bits_per_element(self.strategy)
+
+    def buffers(self) -> dict:
+        return {
+            "input": SRAMBuffer("input", self.input_buffer_bytes, self.technology),
+            "weight": SRAMBuffer("weight", self.weight_buffer_bytes, self.technology),
+            "output": SRAMBuffer("output", self.output_buffer_bytes, self.technology),
+        }
+
+    def dram(self) -> DRAMModel:
+        return DRAMModel(self.technology)
+
+    def pe_array_area_um2(self, include_registers: bool = True) -> float:
+        return self.num_pes * self.pe_design().area_um2(self.technology, include_registers=include_registers)
+
+    def buffer_area_um2(self) -> float:
+        return sum(buf.area_um2() for buf in self.buffers().values())
+
+    def total_area_um2(self) -> float:
+        from repro.nonlinear.unit import NonlinearUnit
+
+        nonlinear_area = NonlinearUnit(self.nonlinear).cost().area_um2()
+        return self.pe_array_area_um2() + self.buffer_area_um2() + nonlinear_area

@@ -1,0 +1,150 @@
+"""Dataflow comparison: weight-stationary (the BBAL choice) vs alternatives.
+
+Fig. 7 fixes BBAL's PE array to a *weight-stationary* dataflow: a tile of
+weights is preloaded and held in the PEs while input activations stream
+through, which is the natural choice when the same weights are reused across
+many tokens (prefill) and when weights are the quantised, density-critical
+operand.  This module models the two classic alternatives at the same
+abstraction level as :mod:`repro.accelerator.pe_array` so the choice can be
+ablated instead of assumed:
+
+* **output stationary** — each PE accumulates one output element in place
+  while both operands stream by; partial sums never move, but both operands
+  are re-fetched per output tile;
+* **input stationary** — the activation tile is pinned and weights stream;
+  symmetric to weight stationary with the roles of the operands swapped.
+
+For every dataflow the model reports cycles (preload + streaming + drain per
+tile), PE utilisation and the on-chip traffic of each operand class, which is
+what actually differs between the dataflows — the MAC count obviously does
+not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.pe_array import matmul_cycles
+from repro.accelerator.workloads import MatmulOp
+
+__all__ = ["DataflowStats", "dataflow_stats", "compare_dataflows", "DATAFLOWS"]
+
+DATAFLOWS = ("weight_stationary", "output_stationary", "input_stationary")
+
+
+@dataclass(frozen=True)
+class DataflowStats:
+    """Cycle and operand-traffic summary of one GEMM under one dataflow."""
+
+    dataflow: str
+    cycles: int
+    macs: int
+    utilisation: float
+    input_reads: int
+    weight_reads: int
+    partial_sum_transfers: int
+
+    def as_dict(self) -> dict:
+        return {
+            "dataflow": self.dataflow,
+            "cycles": self.cycles,
+            "utilisation": self.utilisation,
+            "input_reads": self.input_reads,
+            "weight_reads": self.weight_reads,
+            "partial_sum_transfers": self.partial_sum_transfers,
+        }
+
+
+def _utilisation(op: MatmulOp, cycles: int, rows: int, cols: int) -> float:
+    if cycles <= 0:
+        return 0.0
+    return min(1.0, op.macs / (cycles * rows * cols))
+
+
+def _weight_stationary(op: MatmulOp, rows: int, cols: int) -> DataflowStats:
+    stats = matmul_cycles(op, rows, cols)
+    k_tiles = math.ceil(op.k / rows)
+    n_tiles = math.ceil(op.n / cols)
+    return DataflowStats(
+        dataflow="weight_stationary",
+        cycles=stats.cycles,
+        macs=op.macs,
+        utilisation=stats.utilisation,
+        # The input tile is re-streamed once per column tile of weights.
+        input_reads=op.input_elements * n_tiles,
+        weight_reads=op.weight_elements,
+        # Partial sums leave the array once per K tile (they are reduced
+        # across K tiles outside the array, by the FP adder of Fig. 7).
+        partial_sum_transfers=op.output_elements * k_tiles,
+    )
+
+
+def _output_stationary(op: MatmulOp, rows: int, cols: int) -> DataflowStats:
+    m_tiles = math.ceil(op.m / rows)
+    n_tiles = math.ceil(op.n / cols)
+    # Each output tile accumulates over the full K dimension in place; both
+    # operand tiles stream through during those K cycles, plus fill/drain.
+    per_tile = op.k + rows + cols
+    cycles = m_tiles * n_tiles * per_tile
+    return DataflowStats(
+        dataflow="output_stationary",
+        cycles=cycles,
+        macs=op.macs,
+        utilisation=_utilisation(op, cycles, rows, cols),
+        input_reads=op.input_elements * n_tiles,
+        weight_reads=op.weight_elements * m_tiles,
+        # Outputs are written exactly once; no partial sums ever move.
+        partial_sum_transfers=op.output_elements,
+    )
+
+
+def _input_stationary(op: MatmulOp, rows: int, cols: int) -> DataflowStats:
+    # Symmetric to weight stationary with the operand roles swapped: the
+    # activation tile is pinned, the weight matrix streams through.
+    k_tiles = math.ceil(op.k / rows)
+    m_tiles = math.ceil(op.m / cols)
+    per_tile = rows + op.n + rows + cols
+    cycles = k_tiles * m_tiles * per_tile
+    return DataflowStats(
+        dataflow="input_stationary",
+        cycles=cycles,
+        macs=op.macs,
+        utilisation=_utilisation(op, cycles, rows, cols),
+        input_reads=op.input_elements,
+        weight_reads=op.weight_elements * m_tiles,
+        partial_sum_transfers=op.output_elements * k_tiles,
+    )
+
+
+_BUILDERS = {
+    "weight_stationary": _weight_stationary,
+    "output_stationary": _output_stationary,
+    "input_stationary": _input_stationary,
+}
+
+
+def dataflow_stats(op: MatmulOp, rows: int, cols: int, dataflow: str) -> DataflowStats:
+    """Evaluate one GEMM under one dataflow on a ``rows x cols`` array."""
+    if rows < 1 or cols < 1:
+        raise ValueError("array dimensions must be positive")
+    if dataflow not in _BUILDERS:
+        raise ValueError(f"unknown dataflow {dataflow!r}; known: {DATAFLOWS}")
+    return _BUILDERS[dataflow](op, rows, cols)
+
+
+def compare_dataflows(op: MatmulOp, rows: int = 32, cols: int = 32,
+                      bits_per_element: float = 8.0) -> list:
+    """Evaluate one GEMM under every dataflow; returns one dict row per dataflow.
+
+    ``bits_per_element`` converts the operand reads into on-chip bytes so the
+    traffic columns are comparable with the buffer-energy model of Fig. 9.
+    """
+    rows_out = []
+    for dataflow in DATAFLOWS:
+        stats = dataflow_stats(op, rows, cols, dataflow)
+        row = stats.as_dict()
+        row["operand_bytes"] = (stats.input_reads + stats.weight_reads) * bits_per_element / 8.0
+        row["output_bytes"] = stats.partial_sum_transfers * 2.0  # FP16 partial sums
+        rows_out.append(row)
+    return rows_out

@@ -1,0 +1,224 @@
+"""End-to-end generation latency model (prefill + auto-regressive decode).
+
+Fig. 1(b) of the paper sweeps the decoder-stage sequence length; real serving
+workloads consist of a *prefill* pass over the prompt followed by one decode
+step per generated token against a growing KV cache.  This module composes
+the per-layer workloads of :mod:`repro.accelerator.workloads` into that
+two-phase trace and runs both phases through the cycle-level simulator,
+producing the metrics a deployment decision actually uses:
+
+* time-to-first-token (the prefill latency),
+* per-token decode latency and tokens/s,
+* total energy split by phase,
+* the share of nonlinear cycles in each phase (the Fig. 1(b) observation,
+  extended to decode).
+
+Because the decode phase is dominated by memory traffic (matrix–vector
+products), this is where the bits-per-element difference between BBFP and the
+FP16/BFP baselines shows up most strongly — the extension experiment the
+benches record alongside the paper's own figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import AcceleratorSimulator, PerformanceReport
+from repro.accelerator.workloads import decoder_workload
+from repro.llm.config import ModelConfig
+
+__all__ = ["GenerationPhase", "GenerationReport", "GenerationLatencyModel"]
+
+
+@dataclass(frozen=True)
+class GenerationPhase:
+    """Aggregate of one phase (prefill, or all decode steps together)."""
+
+    name: str
+    cycles: int
+    linear_cycles: int
+    nonlinear_cycles: int
+    macs: int
+    dram_bytes: float
+    energy_j: float
+
+    @property
+    def nonlinear_share(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.nonlinear_cycles / self.cycles
+
+    def as_dict(self) -> dict:
+        return {
+            "phase": self.name,
+            "cycles": self.cycles,
+            "nonlinear_share": self.nonlinear_share,
+            "macs": self.macs,
+            "dram_bytes": self.dram_bytes,
+            "energy_j": self.energy_j,
+        }
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """Latency/energy summary of one prompt + generation run."""
+
+    config_name: str
+    prompt_tokens: int
+    generated_tokens: int
+    clock_hz: float
+    prefill: GenerationPhase
+    decode: GenerationPhase
+
+    @property
+    def time_to_first_token_s(self) -> float:
+        return self.prefill.cycles / self.clock_hz
+
+    @property
+    def decode_latency_per_token_s(self) -> float:
+        if self.generated_tokens == 0:
+            return 0.0
+        return self.decode.cycles / self.clock_hz / self.generated_tokens
+
+    @property
+    def tokens_per_second(self) -> float:
+        latency = self.decode_latency_per_token_s
+        return 1.0 / latency if latency > 0 else float("inf")
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.prefill.energy_j + self.decode.energy_j
+
+    @property
+    def energy_per_token_j(self) -> float:
+        if self.generated_tokens == 0:
+            return 0.0
+        return self.decode.energy_j / self.generated_tokens
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config_name,
+            "prompt_tokens": self.prompt_tokens,
+            "generated_tokens": self.generated_tokens,
+            "time_to_first_token_s": self.time_to_first_token_s,
+            "decode_latency_per_token_s": self.decode_latency_per_token_s,
+            "tokens_per_second": self.tokens_per_second,
+            "total_energy_j": self.total_energy_j,
+            "energy_per_token_j": self.energy_per_token_j,
+            "prefill": self.prefill.as_dict(),
+            "decode": self.decode.as_dict(),
+        }
+
+
+def _phase_from_report(name: str, report: PerformanceReport,
+                       dram_bytes_per_cycle: float) -> GenerationPhase:
+    # The PE-array simulator counts compute cycles only; a phase cannot finish
+    # faster than its DRAM traffic can be delivered, so the slower of the two
+    # limits the phase (the roofline argument applied per phase).
+    memory_cycles = int(report.dram_bytes / dram_bytes_per_cycle) if dram_bytes_per_cycle > 0 else 0
+    return GenerationPhase(
+        name=name,
+        cycles=max(report.total_cycles, memory_cycles),
+        linear_cycles=report.linear_cycles,
+        nonlinear_cycles=report.nonlinear_cycles,
+        macs=report.total_macs,
+        dram_bytes=report.dram_bytes,
+        energy_j=report.energy.total_j if report.energy else 0.0,
+    )
+
+
+def _merge_phases(name: str, phases) -> GenerationPhase:
+    return GenerationPhase(
+        name=name,
+        cycles=sum(p.cycles for p in phases),
+        linear_cycles=sum(p.linear_cycles for p in phases),
+        nonlinear_cycles=sum(p.nonlinear_cycles for p in phases),
+        macs=sum(p.macs for p in phases),
+        dram_bytes=sum(p.dram_bytes for p in phases),
+        energy_j=sum(p.energy_j for p in phases),
+    )
+
+
+class GenerationLatencyModel:
+    """Estimate prompt-to-completion latency on a BBAL (or baseline) accelerator.
+
+    Parameters
+    ----------
+    config:
+        Accelerator instance (number format, array geometry, buffers).
+    model_config:
+        Transformer architecture whose decoder layers are simulated.
+    nonlinear_style:
+        ``"bbal"`` for the paper's segmented-LUT unit, ``"fp32"`` for the
+        conventional vector unit of the Fig. 1(b) baseline.
+    decode_step_stride:
+        Decode steps are simulated at this stride and interpolated in between
+        (the per-step workload changes slowly with KV length); 1 simulates
+        every step exactly.
+    dram_bandwidth_gbytes_per_s:
+        External memory bandwidth used as the per-phase memory-time floor; the
+        decode phase is normally bound by it, which is where the format's
+        bits-per-element shows up as tokens/s.
+    """
+
+    def __init__(self, config: AcceleratorConfig, model_config: ModelConfig,
+                 nonlinear_style: str = "bbal", decode_step_stride: int = 16,
+                 dram_bandwidth_gbytes_per_s: float = 25.6):
+        if decode_step_stride < 1:
+            raise ValueError("decode_step_stride must be >= 1")
+        if dram_bandwidth_gbytes_per_s <= 0:
+            raise ValueError("dram_bandwidth_gbytes_per_s must be positive")
+        self.config = config
+        self.model_config = model_config
+        self.simulator = AcceleratorSimulator(config, nonlinear_style=nonlinear_style)
+        self.decode_step_stride = decode_step_stride
+        self.dram_bytes_per_cycle = (
+            dram_bandwidth_gbytes_per_s * 1e9 / config.technology.clock_frequency_hz
+        )
+
+    def estimate(self, prompt_tokens: int, generated_tokens: int) -> GenerationReport:
+        """Simulate a prefill of ``prompt_tokens`` plus ``generated_tokens`` decode steps."""
+        if prompt_tokens < 1:
+            raise ValueError("prompt_tokens must be >= 1")
+        if generated_tokens < 0:
+            raise ValueError("generated_tokens must be >= 0")
+
+        prefill_workload = decoder_workload(self.model_config, prompt_tokens, phase="prefill")
+        prefill = _phase_from_report(
+            "prefill", self.simulator.run(prefill_workload), self.dram_bytes_per_cycle
+        )
+
+        decode_phases = []
+        step = 0
+        while step < generated_tokens:
+            kv_len = prompt_tokens + step
+            stride = min(self.decode_step_stride, generated_tokens - step)
+            workload = decoder_workload(self.model_config, kv_len, phase="decode")
+            report = self.simulator.run(workload)
+            phase = _phase_from_report(f"decode@{kv_len}", report, self.dram_bytes_per_cycle)
+            # The stride steps around this KV length are charged the same cost.
+            decode_phases.append(
+                GenerationPhase(
+                    name=phase.name,
+                    cycles=phase.cycles * stride,
+                    linear_cycles=phase.linear_cycles * stride,
+                    nonlinear_cycles=phase.nonlinear_cycles * stride,
+                    macs=phase.macs * stride,
+                    dram_bytes=phase.dram_bytes * stride,
+                    energy_j=phase.energy_j * stride,
+                )
+            )
+            step += stride
+
+        decode = _merge_phases("decode", decode_phases) if decode_phases else GenerationPhase(
+            "decode", 0, 0, 0, 0, 0.0, 0.0
+        )
+        return GenerationReport(
+            config_name=self.config.strategy_name,
+            prompt_tokens=prompt_tokens,
+            generated_tokens=generated_tokens,
+            clock_hz=self.config.technology.clock_frequency_hz,
+            prefill=prefill,
+            decode=decode,
+        )

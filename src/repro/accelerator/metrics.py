@@ -1,0 +1,93 @@
+"""Derived accelerator metrics: iso-area design points (Fig. 8) and efficiency.
+
+Fig. 8 compares quantisation strategies at *equal total PE area*: a strategy
+with a smaller PE fits more PEs into the budget and therefore achieves higher
+peak throughput, while its accuracy (average Llama / OPT perplexity) comes
+from the linear-quantisation experiments.  This module computes the hardware
+half of that comparison; the experiment driver joins it with the perplexity
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.pe import pe_for_strategy
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+
+__all__ = ["IsoAreaPoint", "iso_area_design_points", "efficiency_metric"]
+
+
+@dataclass(frozen=True)
+class IsoAreaPoint:
+    """One strategy evaluated under the shared PE-area budget."""
+
+    strategy_name: str
+    pe_area_um2: float
+    num_pes: int
+    peak_macs_per_cycle: int
+    relative_throughput: float
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy_name,
+            "pe_area_um2": self.pe_area_um2,
+            "num_pes": self.num_pes,
+            "peak_macs_per_cycle": self.peak_macs_per_cycle,
+            "relative_throughput": self.relative_throughput,
+        }
+
+
+def iso_area_design_points(strategies, area_budget_um2: float = None,
+                           technology: TechnologyModel = TSMC28_LIKE,
+                           reference_pes: int = 1024) -> list:
+    """Compute PE count and relative peak throughput per strategy at equal area.
+
+    ``area_budget_um2`` defaults to the area of ``reference_pes`` PEs of the
+    *largest* strategy in the list (the paper sizes the budget so the biggest
+    design, BBFP(6,3), still fits a full array).
+    """
+    designs = {}
+    for strategy in strategies:
+        design = pe_for_strategy(strategy)
+        designs[design.name] = design
+    if not designs:
+        raise ValueError("need at least one strategy")
+
+    if area_budget_um2 is None:
+        largest = max(d.area_um2(technology) for d in designs.values())
+        area_budget_um2 = largest * reference_pes
+    if area_budget_um2 <= 0:
+        raise ValueError("area budget must be positive")
+
+    points = []
+    for name, design in designs.items():
+        area = design.area_um2(technology)
+        num_pes = int(area_budget_um2 // area)
+        points.append(
+            IsoAreaPoint(
+                strategy_name=name,
+                pe_area_um2=area,
+                num_pes=num_pes,
+                peak_macs_per_cycle=num_pes,
+                relative_throughput=0.0,
+            )
+        )
+    max_macs = max(p.peak_macs_per_cycle for p in points) or 1
+    return [
+        IsoAreaPoint(
+            strategy_name=p.strategy_name,
+            pe_area_um2=p.pe_area_um2,
+            num_pes=p.num_pes,
+            peak_macs_per_cycle=p.peak_macs_per_cycle,
+            relative_throughput=p.peak_macs_per_cycle / max_macs,
+        )
+        for p in points
+    ]
+
+
+def efficiency_metric(throughput_gmacs: float, area_mm2: float, power_w: float) -> float:
+    """The paper's efficiency metric: throughput / (area x power)."""
+    if area_mm2 <= 0 or power_w <= 0:
+        raise ValueError("area and power must be positive")
+    return throughput_gmacs / (area_mm2 * power_w)

@@ -1,0 +1,73 @@
+"""Weight-stationary PE array timing model.
+
+The BBAL array (Fig. 7) keeps a tile of quantised weights resident in the PEs
+while input activations stream through and partial sums flow out to the FP
+encoder/adder.  A GEMM of shape ``(M x K) @ (K x N)`` is tiled into
+``ceil(K / rows) * ceil(N / cols)`` weight tiles; each tile costs:
+
+* ``rows`` cycles to preload the weight column (overlappable with the previous
+  tile's drain, but charged explicitly — the paper's simulator does the same);
+* ``M`` cycles of streaming, one input row per cycle, plus the systolic
+  fill/drain latency ``rows + cols``.
+
+Activation-activation products (attention scores/context) reload their
+"weight" operand every tile as well, so they are charged identical preload
+costs — which is why the attention portion of the runtime grows with sequence
+length in Fig. 1(b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.workloads import MatmulOp
+
+__all__ = ["PEArray", "matmul_cycles", "TileStats"]
+
+
+@dataclass(frozen=True)
+class TileStats:
+    """Cycle and traffic summary of one GEMM mapped onto the array."""
+
+    cycles: int
+    weight_tiles: int
+    macs: int
+    utilisation: float
+
+
+def matmul_cycles(op: MatmulOp, rows: int, cols: int) -> TileStats:
+    """Cycles to execute ``op`` on a ``rows x cols`` weight-stationary array."""
+    if rows < 1 or cols < 1:
+        raise ValueError("array dimensions must be positive")
+    k_tiles = math.ceil(op.k / rows)
+    n_tiles = math.ceil(op.n / cols)
+    weight_tiles = k_tiles * n_tiles
+    per_tile = rows + op.m + rows + cols  # preload + stream + fill/drain
+    cycles = weight_tiles * per_tile
+    ideal = op.macs / (rows * cols)
+    utilisation = min(1.0, ideal / cycles) if cycles else 0.0
+    return TileStats(cycles=cycles, weight_tiles=weight_tiles, macs=op.macs,
+                     utilisation=utilisation)
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """A ``rows x cols`` array of identical PEs."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def gemm(self, op: MatmulOp) -> TileStats:
+        return matmul_cycles(op, self.rows, self.cols)
+
+    def peak_macs_per_cycle(self) -> int:
+        return self.num_pes

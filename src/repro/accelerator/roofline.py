@@ -1,0 +1,155 @@
+"""Roofline analysis of the BBAL accelerator on transformer workloads.
+
+Fig. 1(b) of the paper argues from *measured* runtime that nonlinear operators
+become the bottleneck at long sequence lengths; Fig. 8 compares formats under
+an iso-area budget.  A roofline model makes the mechanism behind both figures
+explicit: every operator is either
+
+* **compute bound** — limited by the PE array's peak MAC rate, which scales
+  with the number of PEs the area budget affords (and therefore with the PE
+  area of the chosen number format, Table III), or
+* **memory bound** — limited by DRAM bandwidth divided by the bytes moved per
+  MAC, which scales with the format's bits per element (Table I).
+
+A cheaper, denser format therefore lifts *both* roofs at once, which is why
+the BBFP(3,x) points of Fig. 8 move up and to the right simultaneously.  The
+decode phase (matrix–vector products against the KV cache) sits far to the
+left of the ridge and is memory bound for every format — exactly the regime
+where the bits-per-element advantage matters most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.workloads import LayerWorkload, MatmulOp
+
+__all__ = ["RooflineModel", "OperatorAnalysis", "roofline_for_config", "analyze_workload"]
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A classic two-ceiling roofline.
+
+    Parameters
+    ----------
+    peak_macs_per_s:
+        Compute ceiling (MAC/s): PEs x MACs-per-cycle-per-PE x clock.
+    dram_bandwidth_bytes_per_s:
+        Memory ceiling (bytes/s) of the external memory interface.
+    name:
+        Label used in reports.
+    """
+
+    peak_macs_per_s: float
+    dram_bandwidth_bytes_per_s: float
+    name: str = "accelerator"
+
+    def __post_init__(self):
+        if self.peak_macs_per_s <= 0:
+            raise ValueError("peak_macs_per_s must be positive")
+        if self.dram_bandwidth_bytes_per_s <= 0:
+            raise ValueError("dram_bandwidth_bytes_per_s must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (MAC/byte) at which the two ceilings meet."""
+        return self.peak_macs_per_s / self.dram_bandwidth_bytes_per_s
+
+    def attainable_macs_per_s(self, arithmetic_intensity: float) -> float:
+        """Attainable MAC rate at the given arithmetic intensity (MAC/byte)."""
+        if arithmetic_intensity <= 0:
+            return 0.0
+        return min(self.peak_macs_per_s, self.dram_bandwidth_bytes_per_s * arithmetic_intensity)
+
+    def is_compute_bound(self, arithmetic_intensity: float) -> bool:
+        return arithmetic_intensity >= self.ridge_intensity
+
+
+@dataclass(frozen=True)
+class OperatorAnalysis:
+    """Roofline verdict for one GEMM of a workload."""
+
+    name: str
+    macs: int
+    dram_bytes: float
+    arithmetic_intensity: float
+    attainable_macs_per_s: float
+    bound: str
+    runtime_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "op": self.name,
+            "macs": self.macs,
+            "dram_bytes": self.dram_bytes,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "attainable_gmacs": self.attainable_macs_per_s / 1e9,
+            "bound": self.bound,
+            "runtime_s": self.runtime_s,
+        }
+
+
+def matmul_arithmetic_intensity(op: MatmulOp, bits_per_element: float) -> float:
+    """MACs per DRAM byte of one GEMM, assuming each operand is streamed once.
+
+    The three tensors (input, weight, output) are each moved once at the
+    format's storage width; outputs are counted at the same width, matching
+    the traffic model of :class:`repro.accelerator.simulator.AcceleratorSimulator`.
+    """
+    bytes_moved = (op.input_elements + op.weight_elements + op.output_elements) * (
+        bits_per_element / 8.0
+    )
+    if bytes_moved == 0:
+        return float("inf")
+    return op.macs / bytes_moved
+
+
+def roofline_for_config(config: AcceleratorConfig,
+                        dram_bandwidth_gbytes_per_s: float = 25.6) -> RooflineModel:
+    """Build the roofline implied by an accelerator configuration.
+
+    The compute ceiling comes from the PE count and clock; the memory ceiling
+    is an explicit parameter because the paper's evaluation (like most
+    accelerator papers) assumes a fixed LPDDR-class external interface shared
+    by every compared design.
+    """
+    peak = config.num_pes * config.technology.clock_frequency_hz
+    return RooflineModel(
+        peak_macs_per_s=peak,
+        dram_bandwidth_bytes_per_s=dram_bandwidth_gbytes_per_s * 1e9,
+        name=config.strategy_name,
+    )
+
+
+def analyze_workload(config: AcceleratorConfig, workload: LayerWorkload,
+                     dram_bandwidth_gbytes_per_s: float = 25.6) -> list:
+    """Classify every GEMM of ``workload`` as compute or memory bound.
+
+    Returns one :class:`OperatorAnalysis` per matmul (repeats folded in); the
+    nonlinear operators are not MAC-shaped and are handled by the cycle-level
+    simulator instead.
+    """
+    roofline = roofline_for_config(config, dram_bandwidth_gbytes_per_s)
+    bits = config.element_bits()
+    results = []
+    for op in workload.matmuls:
+        intensity = matmul_arithmetic_intensity(op, bits)
+        attainable = roofline.attainable_macs_per_s(intensity)
+        macs = op.macs * workload.repeat
+        dram_bytes = workload.repeat * (
+            (op.input_elements + op.weight_elements + op.output_elements) * bits / 8.0
+        )
+        results.append(
+            OperatorAnalysis(
+                name=op.name,
+                macs=macs,
+                dram_bytes=dram_bytes,
+                arithmetic_intensity=intensity,
+                attainable_macs_per_s=attainable,
+                bound="compute" if roofline.is_compute_bound(intensity) else "memory",
+                runtime_s=macs / attainable if attainable > 0 else float("inf"),
+            )
+        )
+    return results

@@ -1,0 +1,210 @@
+"""Cycle-level accelerator simulator (DnnWeaver-style performance/energy model).
+
+For a given :class:`~repro.accelerator.config.AcceleratorConfig` and a
+:class:`~repro.accelerator.workloads.LayerWorkload`, the simulator produces:
+
+* cycle counts split into linear (PE array) and nonlinear (LUT unit) work —
+  the Fig. 1(b) runtime breakdown;
+* data traffic (DRAM and on-chip buffers) at the format's bits-per-element;
+* the static / DRAM / buffer / core energy breakdown of Fig. 9;
+* effective throughput, used together with the PE-area model for the
+  iso-area comparison of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.pe_array import PEArray
+from repro.accelerator.workloads import LayerWorkload, MatmulOp, NonlinearOp
+from repro.hardware.energy import EnergyBreakdown
+from repro.nonlinear.unit import NonlinearUnit, NonlinearUnitCost
+
+__all__ = ["NonlinearEngine", "PerformanceReport", "AcceleratorSimulator"]
+
+
+@dataclass(frozen=True)
+class NonlinearEngine:
+    """Timing/energy wrapper around a nonlinear unit cost model.
+
+    ``style="bbal"`` uses the paper's BBFP segmented-LUT unit;
+    ``style="fp32"`` models a conventional full-precision vector unit (the
+    baseline implied by Fig. 1(b)): each transcendental evaluation takes
+    several cycles on a narrow vector datapath, which is why the nonlinear
+    share of the runtime grows with sequence length.
+    """
+
+    cost: NonlinearUnitCost
+    style: str = "bbal"
+    fp32_elements_per_cycle: float = 2.0
+    fp32_cycles_per_vector_overhead: int = 12
+
+    def op_cycles(self, op: NonlinearOp) -> int:
+        if self.style == "fp32":
+            per_vector = math.ceil(op.vector_length / self.fp32_elements_per_cycle)
+            return op.num_vectors * (per_vector + self.fp32_cycles_per_vector_overhead)
+        beats = math.ceil(op.vector_length / self.cost.sustained_elements_per_cycle)
+        pipeline = self.cost.pipeline_stages + self.cost.subtable_load_cycles
+        return op.num_vectors * beats + pipeline
+
+    def op_energy_j(self, op: NonlinearOp) -> float:
+        cycles = self.op_cycles(op)
+        per_cycle = self.cost.gates.dynamic_energy_j(self.cost.technology, activity=0.35)
+        scale = 2.5 if self.style == "fp32" else 1.0  # FP transcendentals toggle far more logic
+        return cycles * per_cycle * scale
+
+    def static_power_w(self) -> float:
+        return self.cost.static_power_w()
+
+    def area_um2(self) -> float:
+        return self.cost.area_um2()
+
+
+@dataclass
+class PerformanceReport:
+    """Outcome of simulating one workload on one accelerator configuration."""
+
+    config_name: str
+    linear_cycles: int = 0
+    nonlinear_cycles: int = 0
+    total_macs: int = 0
+    nonlinear_elements: int = 0
+    dram_bytes: float = 0.0
+    buffer_read_bytes: float = 0.0
+    buffer_write_bytes: float = 0.0
+    clock_hz: float = 1.0e9
+    energy: EnergyBreakdown = field(default=None)
+    per_op: list = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.linear_cycles + self.nonlinear_cycles
+
+    @property
+    def runtime_s(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def linear_runtime_s(self) -> float:
+        return self.linear_cycles / self.clock_hz
+
+    @property
+    def nonlinear_runtime_s(self) -> float:
+        return self.nonlinear_cycles / self.clock_hz
+
+    @property
+    def throughput_gmacs(self) -> float:
+        if self.runtime_s == 0:
+            return 0.0
+        return self.total_macs / self.runtime_s / 1e9
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config_name,
+            "linear_cycles": self.linear_cycles,
+            "nonlinear_cycles": self.nonlinear_cycles,
+            "total_cycles": self.total_cycles,
+            "runtime_s": self.runtime_s,
+            "throughput_gmacs": self.throughput_gmacs,
+            "dram_bytes": self.dram_bytes,
+            "energy": self.energy.as_dict() if self.energy else None,
+        }
+
+
+class AcceleratorSimulator:
+    """Run transformer-layer workloads through the BBAL cost model."""
+
+    def __init__(self, config: AcceleratorConfig, nonlinear_style: str = "bbal"):
+        if nonlinear_style not in ("bbal", "fp32"):
+            raise ValueError("nonlinear_style must be 'bbal' or 'fp32'")
+        self.config = config
+        self.array = PEArray(config.pe_rows, config.pe_cols)
+        self.pe = config.pe_design()
+        self.buffers = config.buffers()
+        self.dram = config.dram()
+        self.nonlinear = NonlinearEngine(
+            cost=NonlinearUnit(config.nonlinear).cost(), style=nonlinear_style
+        )
+
+    # ------------------------------------------------------------ traffic
+    def _matmul_traffic_bytes(self, op: MatmulOp) -> dict:
+        bits = self.config.element_bits()
+        to_bytes = bits / 8.0
+        stats = self.array.gemm(op)
+        input_reads = op.input_elements * math.ceil(op.n / self.config.pe_cols)
+        weight_reads = op.weight_elements
+        output_writes = op.output_elements
+        return {
+            "dram": (op.input_elements + op.weight_elements + op.output_elements) * to_bytes,
+            "buffer_read": (input_reads + weight_reads) * to_bytes,
+            "buffer_write": output_writes * to_bytes,
+            "cycles": stats.cycles,
+        }
+
+    # ------------------------------------------------------------ execution
+    def run(self, workload: LayerWorkload) -> PerformanceReport:
+        """Simulate ``workload`` (all repeats) and return the performance/energy report."""
+        report = PerformanceReport(
+            config_name=self.config.strategy_name,
+            clock_hz=self.config.technology.clock_frequency_hz,
+        )
+        core_energy = 0.0
+        buffer_energy = 0.0
+        dram_energy = 0.0
+
+        input_buf = self.buffers["input"]
+        weight_buf = self.buffers["weight"]
+        output_buf = self.buffers["output"]
+
+        for op in workload.matmuls:
+            traffic = self._matmul_traffic_bytes(op)
+            cycles = traffic["cycles"] * workload.repeat
+            report.linear_cycles += cycles
+            report.total_macs += op.macs * workload.repeat
+            report.dram_bytes += traffic["dram"] * workload.repeat
+            report.buffer_read_bytes += traffic["buffer_read"] * workload.repeat
+            report.buffer_write_bytes += traffic["buffer_write"] * workload.repeat
+
+            core_energy += op.macs * workload.repeat * self.pe.energy_per_mac_j(
+                self.config.technology
+            )
+            buffer_energy += workload.repeat * (
+                input_buf.read_energy_j(traffic["buffer_read"] * 0.5)
+                + weight_buf.read_energy_j(traffic["buffer_read"] * 0.5)
+                + output_buf.write_energy_j(traffic["buffer_write"])
+            )
+            dram_energy += workload.repeat * self.dram.access_energy_j(traffic["dram"])
+            report.per_op.append(
+                {"op": op.name, "kind": "matmul", "cycles": cycles, "macs": op.macs * workload.repeat}
+            )
+
+        for op in workload.nonlinears:
+            cycles = self.nonlinear.op_cycles(op) * workload.repeat
+            report.nonlinear_cycles += cycles
+            report.nonlinear_elements += op.elements * workload.repeat
+            core_energy += self.nonlinear.op_energy_j(op) * workload.repeat
+            # Nonlinear operands stream through the output buffer.
+            element_bytes = op.elements * 2.0  # FP16 staging of nonlinear operands
+            buffer_energy += workload.repeat * (
+                output_buf.read_energy_j(element_bytes) + output_buf.write_energy_j(element_bytes)
+            )
+            report.per_op.append(
+                {"op": op.name, "kind": "nonlinear", "cycles": cycles,
+                 "elements": op.elements * workload.repeat}
+            )
+
+        runtime_s = (report.linear_cycles + report.nonlinear_cycles) / report.clock_hz
+        static_power = (
+            self.config.num_pes * self.pe.static_power_w(self.config.technology)
+            + sum(buf.leakage_power_w() for buf in self.buffers.values())
+            + self.nonlinear.static_power_w()
+        )
+        report.energy = EnergyBreakdown(
+            static_j=static_power * runtime_s,
+            dram_j=dram_energy,
+            buffer_j=buffer_energy,
+            core_j=core_energy,
+        )
+        return report

@@ -1,0 +1,161 @@
+"""Transformer layer workloads: the GEMMs and nonlinear operators the accelerator runs.
+
+Fig. 1(b) breaks the decoder-stage runtime into the linear operators
+("QKV + Matmul + Up + Down + Gate") and the nonlinear ones
+("Softmax + SiLU"); the same operator list drives the energy breakdown of
+Fig. 9 and the throughput comparisons of Fig. 8.  This module builds that
+operator list from a model configuration, for both the prefill phase
+(sequence-length-sized GEMMs) and the auto-regressive decode phase
+(matrix-vector products against a KV cache of the given length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.config import ModelConfig
+
+__all__ = ["MatmulOp", "NonlinearOp", "LayerWorkload", "decoder_workload", "LINEAR_OP_NAMES"]
+
+LINEAR_OP_NAMES = ("query", "key", "value", "attn_scores", "attn_context", "out_proj",
+                   "gate", "up", "down", "fc1", "fc2")
+
+
+@dataclass(frozen=True)
+class MatmulOp:
+    """One GEMM: ``(M x K) @ (K x N)``; ``weight_resident`` marks weight (vs activation) operands."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    weight_resident: bool = True
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"matmul dimensions must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def input_elements(self) -> int:
+        return self.m * self.k
+
+    @property
+    def weight_elements(self) -> int:
+        return self.k * self.n
+
+    @property
+    def output_elements(self) -> int:
+        return self.m * self.n
+
+
+@dataclass(frozen=True)
+class NonlinearOp:
+    """One nonlinear operator application: ``num_vectors`` vectors of ``vector_length`` elements."""
+
+    name: str
+    kind: str  # "softmax", "silu", "gelu"
+    num_vectors: int
+    vector_length: int
+
+    def __post_init__(self):
+        if self.kind not in ("softmax", "silu", "gelu", "sigmoid", "relu"):
+            raise ValueError(f"unknown nonlinear kind {self.kind!r}")
+        if self.num_vectors < 1 or self.vector_length < 1:
+            raise ValueError("nonlinear op sizes must be positive")
+
+    @property
+    def elements(self) -> int:
+        return self.num_vectors * self.vector_length
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """All operators of one decoder layer (plus how many identical layers run)."""
+
+    name: str
+    matmuls: tuple
+    nonlinears: tuple
+    repeat: int = 1
+
+    @property
+    def total_macs(self) -> int:
+        return self.repeat * sum(op.macs for op in self.matmuls)
+
+    @property
+    def total_nonlinear_elements(self) -> int:
+        return self.repeat * sum(op.elements for op in self.nonlinears)
+
+    def scaled(self, repeat: int) -> "LayerWorkload":
+        return LayerWorkload(self.name, self.matmuls, self.nonlinears, repeat=repeat)
+
+
+def decoder_workload(config: ModelConfig, seq_len: int, phase: str = "decode",
+                     kv_len: int = None) -> LayerWorkload:
+    """Build the operator list of one decoder layer.
+
+    Parameters
+    ----------
+    config:
+        Model architecture (provides d_model, d_ff, heads and the MLP style).
+    seq_len:
+        Prefill: number of tokens processed at once.  Decode: the KV-cache
+        length the single new token attends to (matching Fig. 1(b), which
+        sweeps the sequence length of the decoder stage).
+    phase:
+        ``"prefill"`` (seq_len queries) or ``"decode"`` (1 query, ``seq_len``
+        keys/values).
+    kv_len:
+        Optional explicit KV length; defaults to ``seq_len``.
+    """
+    if phase not in ("prefill", "decode"):
+        raise ValueError(f"phase must be 'prefill' or 'decode', got {phase!r}")
+    if seq_len < 1:
+        raise ValueError("seq_len must be >= 1")
+    kv_len = kv_len or seq_len
+    d = config.d_model
+    heads = config.n_heads
+    head_dim = config.head_dim
+    queries = seq_len if phase == "prefill" else 1
+
+    matmuls = [
+        MatmulOp("query", queries, d, d),
+        MatmulOp("key", queries, d, d),
+        MatmulOp("value", queries, d, d),
+        # Attention score and context GEMMs are activation-activation products,
+        # batched over heads (expressed by folding heads into M).
+        MatmulOp("attn_scores", queries * heads, head_dim, kv_len, weight_resident=False),
+        MatmulOp("attn_context", queries * heads, kv_len, head_dim, weight_resident=False),
+        MatmulOp("out_proj", queries, d, d),
+    ]
+    nonlinears = [NonlinearOp("softmax", kind="softmax", num_vectors=queries * heads,
+                              vector_length=kv_len)]
+
+    if config.uses_gated_mlp:
+        matmuls += [
+            MatmulOp("gate", queries, d, config.d_ff),
+            MatmulOp("up", queries, d, config.d_ff),
+            MatmulOp("down", queries, config.d_ff, d),
+        ]
+        nonlinears.append(
+            NonlinearOp("silu", kind="silu", num_vectors=queries, vector_length=config.d_ff)
+        )
+    else:
+        matmuls += [
+            MatmulOp("fc1", queries, d, config.d_ff),
+            MatmulOp("fc2", queries, config.d_ff, d),
+        ]
+        nonlinears.append(
+            NonlinearOp(config.activation, kind=config.activation, num_vectors=queries,
+                        vector_length=config.d_ff)
+        )
+
+    return LayerWorkload(
+        name=f"{config.name}-{phase}-seq{seq_len}",
+        matmuls=tuple(matmuls),
+        nonlinears=tuple(nonlinears),
+        repeat=config.n_layers,
+    )

@@ -1,0 +1,15 @@
+"""Analysis helpers: tensor distribution studies, per-layer MSE sweeps, reporting."""
+
+from repro.analysis.reporting import ExperimentResult, format_table, save_result
+from repro.analysis.distributions import model_tensor_stats, distribution_histograms
+from repro.analysis.mse_sweep import layer_activation_mse, LAYER_KINDS_FIG3
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "save_result",
+    "model_tensor_stats",
+    "distribution_histograms",
+    "layer_activation_mse",
+    "LAYER_KINDS_FIG3",
+]

@@ -1,0 +1,88 @@
+"""Per-layer activation quantisation MSE sweeps (Fig. 3).
+
+Fig. 3 compares the activation quantisation error of BBFP(4,2) under
+different shared-exponent selections (Max, Max-1, Max-2, Max-3) against BFP4,
+broken down by layer kind (Query / Key / Value / Proj / FC1 / FC2).  The same
+sweep here runs on activations recorded from a zoo model; the Llama-style
+architecture maps FC1/FC2 to the gate/down projections of its SwiGLU MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import model_activation_samples
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.exponent_selection import ExponentStrategy
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.inference import InferenceModel
+
+__all__ = ["LAYER_KINDS_FIG3", "FIG3_STRATEGIES", "layer_activation_mse"]
+
+#: Paper layer labels mapped to the linear-layer name suffixes of the inference path.
+LAYER_KINDS_FIG3 = {
+    "Query": ("q_proj",),
+    "Key": ("k_proj",),
+    "Value": ("v_proj",),
+    "Proj": ("out_proj",),
+    "FC1": ("gate_proj", "up_proj", "fc1"),
+    "FC2": ("down_proj", "fc2"),
+}
+
+#: The Fig. 3 candidates: three BBFP(4,2) alignments plus BFP4.
+FIG3_STRATEGIES = {
+    "Max-2": ExponentStrategy.BBFP_DEFAULT,
+    "Max-1": ExponentStrategy.BBFP_PLUS_ONE,
+    "Max-3": ExponentStrategy.BBFP_MINUS_ONE,
+    "BFP4": None,
+}
+
+
+def _mse(x: np.ndarray, x_hat: np.ndarray) -> float:
+    return float(np.mean((x - x_hat) ** 2))
+
+
+def layer_activation_mse(model: InferenceModel, corpus: SyntheticCorpus,
+                         mantissa_bits: int = 4, overlap_bits: int = 2,
+                         num_batches: int = 2) -> list:
+    """Compute the Fig. 3 rows: one row per layer kind plus the average row.
+
+    Each row maps every strategy label to the activation quantisation MSE of
+    that layer kind, normalised per layer kind by the tensor's mean square so
+    different layers are comparable.
+    """
+    samples = model_activation_samples(model, corpus, num_batches=num_batches)
+    grouped = {label: [] for label in LAYER_KINDS_FIG3}
+    for name, activation in samples.items():
+        kind = name.rsplit(".", 1)[-1]
+        for label, suffixes in LAYER_KINDS_FIG3.items():
+            if kind in suffixes:
+                grouped[label].append(activation)
+
+    rows = []
+    sums = {label: 0.0 for label in FIG3_STRATEGIES}
+    counted = 0
+    for label, tensors in grouped.items():
+        if not tensors:
+            continue
+        activation = np.concatenate(tensors, axis=0)
+        denom = float(np.mean(activation**2)) or 1.0
+        row = {"layer": label}
+        for strategy_label, strategy in FIG3_STRATEGIES.items():
+            if strategy is None:
+                x_hat = bfp_quantize_dequantize(activation, BFPConfig(mantissa_bits), axis=-1)
+            else:
+                config = BBFPConfig(mantissa_bits, overlap_bits, exponent_strategy=strategy)
+                x_hat = bbfp_quantize_dequantize(activation, config, axis=-1)
+            row[strategy_label] = _mse(activation, x_hat) / denom
+            sums[strategy_label] += row[strategy_label]
+        rows.append(row)
+        counted += 1
+
+    if counted:
+        average = {"layer": "Avg."}
+        for strategy_label in FIG3_STRATEGIES:
+            average[strategy_label] = sums[strategy_label] / counted
+        rows.append(average)
+    return rows

@@ -1,0 +1,82 @@
+"""Result containers and plain-text table formatting for the experiment drivers.
+
+Every experiment driver returns an :class:`ExperimentResult`, which carries
+the regenerated table rows (or figure series) together with the paper artefact
+it corresponds to and free-form notes about how to read the comparison.  The
+benchmarks print these tables so the paper's rows can be compared directly
+against the console output, and :func:`save_result` dumps them under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentResult", "format_table", "save_result"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows, columns=None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(str(col)), *(len(r[i]) for r in table)) for i, col in enumerate(columns)]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in table)
+    return f"{header}\n{separator}\n{body}"
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerated for one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: list
+    columns: list = None
+    notes: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        table = format_table(self.rows, self.columns)
+        parts = [header, table]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "notes": self.notes,
+            "metadata": self.metadata,
+        }
+
+
+def save_result(result: ExperimentResult, directory) -> Path:
+    """Write an experiment result as JSON + text under ``directory``; returns the JSON path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = result.experiment_id.lower().replace(" ", "_")
+    json_path = directory / f"{stem}.json"
+    json_path.write_text(json.dumps(result.to_dict(), indent=2, default=float))
+    (directory / f"{stem}.txt").write_text(result.to_text() + "\n")
+    return json_path

@@ -1,0 +1,45 @@
+"""Comparator quantisation schemes (Table II / Fig. 8 baselines).
+
+The paper compares BBFP against four published weight–activation quantisation
+methods.  Their released implementations target GPU kernels and Hugging Face
+checkpoints, so this package re-implements the *quantisation semantics* each
+method applies to a linear layer, plugged into the same
+:class:`repro.llm.inference.QuantizationScheme` interface as the block
+formats:
+
+* :mod:`repro.baselines.smoothquant` — per-channel difficulty migration from
+  activations to weights, then INT8 quantisation;
+* :mod:`repro.baselines.omniquant` — learnable (here: grid-searched) weight
+  clipping plus smoothing, for low-bit weight–activation quantisation;
+* :mod:`repro.baselines.olive` — outlier-victim pair encoding: outliers gain
+  range by sacrificing their neighbour;
+* :mod:`repro.baselines.oltron` — outlier-aware quantisation with a fixed
+  outlier budget adapted across/within layers;
+* :mod:`repro.baselines.gptq` — Hessian-aware sequential weight quantisation
+  with error compensation (weight-only PTQ).
+"""
+
+from repro.baselines.smoothquant import SmoothQuantConfig, build_smoothquant_scheme
+from repro.baselines.omniquant import OmniQuantConfig, build_omniquant_scheme
+from repro.baselines.olive import OliveConfig, olive_quantize_dequantize, build_olive_scheme
+from repro.baselines.oltron import OltronConfig, oltron_quantize_dequantize, build_oltron_scheme
+from repro.baselines.gptq import GPTQConfig, gptq_quantize_weight, build_gptq_scheme
+from repro.baselines.calibration import collect_linear_input_hessians, collect_linear_input_stats
+
+__all__ = [
+    "SmoothQuantConfig",
+    "build_smoothquant_scheme",
+    "OmniQuantConfig",
+    "build_omniquant_scheme",
+    "OliveConfig",
+    "olive_quantize_dequantize",
+    "build_olive_scheme",
+    "OltronConfig",
+    "oltron_quantize_dequantize",
+    "build_oltron_scheme",
+    "GPTQConfig",
+    "gptq_quantize_weight",
+    "build_gptq_scheme",
+    "collect_linear_input_stats",
+    "collect_linear_input_hessians",
+]

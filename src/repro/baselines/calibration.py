@@ -1,0 +1,62 @@
+"""Calibration utilities shared by the baseline quantisation schemes.
+
+SmoothQuant and OmniQuant are calibration-based: they observe the per-channel
+activation statistics of every linear layer on a small calibration set before
+deciding their scaling/clipping parameters.  (BBFP itself needs no
+calibration — one of the paper's selling points.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.inference import InferenceModel
+
+__all__ = ["collect_linear_input_stats", "collect_linear_input_hessians"]
+
+
+def collect_linear_input_stats(model: InferenceModel, corpus: SyntheticCorpus,
+                               num_batches: int = 2, batch_size: int = 4,
+                               seq_len: int = 48, split: str = "train") -> dict:
+    """Run calibration batches and return per-layer input-channel absolute maxima.
+
+    Returns ``{linear_layer_name: per_channel_abs_max}`` where the vector
+    length equals the layer's input features.  The model's current scheme is
+    used as-is (callers normally calibrate on the FP reference scheme).
+    """
+    seq_len = min(seq_len, model.config.max_seq_len - 1)
+    stats = {}
+    with model.record_activations() as records:
+        for batch in corpus.sequential_batches(split, batch_size, seq_len, max_batches=num_batches):
+            model.forward(batch[:, :-1])
+    for name, tensors in records.items():
+        stacked = np.concatenate([t.reshape(-1, t.shape[-1]) for t in tensors], axis=0)
+        stats[name] = np.abs(stacked).max(axis=0)
+    if not stats:
+        raise RuntimeError("calibration produced no activation records")
+    return stats
+
+
+def collect_linear_input_hessians(model: InferenceModel, corpus: SyntheticCorpus,
+                                  num_batches: int = 2, batch_size: int = 4,
+                                  seq_len: int = 48, split: str = "train") -> dict:
+    """Run calibration batches and return the per-layer input Hessians ``X^T X``.
+
+    Returns ``{linear_layer_name: hessian}`` where each Hessian is a square
+    ``(in_features, in_features)`` matrix accumulated over every token the
+    layer saw during calibration.  This is the statistic GPTQ's error
+    compensation needs; the ``collect_linear_input_stats`` maxima are not
+    sufficient for it.
+    """
+    seq_len = min(seq_len, model.config.max_seq_len - 1)
+    with model.record_activations() as records:
+        for batch in corpus.sequential_batches(split, batch_size, seq_len, max_batches=num_batches):
+            model.forward(batch[:, :-1])
+    hessians = {}
+    for name, tensors in records.items():
+        stacked = np.concatenate([t.reshape(-1, t.shape[-1]) for t in tensors], axis=0)
+        hessians[name] = stacked.T @ stacked
+    if not hessians:
+        raise RuntimeError("calibration produced no activation records")
+    return hessians

@@ -1,0 +1,80 @@
+"""Oltron (Xue et al., DAC 2024): outlier-aware quantisation with a fixed outlier budget.
+
+Oltron keeps a small, architecturally-fixed fraction of values (the outliers)
+in a high-precision side path while the dense bulk is quantised to a very low
+bit width processed by 3-bit multipliers.  The budget is adapted between and
+within layers, but it remains a *fixed proportion* of the tensor — which is
+exactly why the paper observes it doing well on OPT-like models (few outliers,
+budget suffices) and poorly on Llama-like models (more outliers than the
+budget can absorb).
+
+The re-implementation keeps values above the per-tensor magnitude threshold
+(chosen so that exactly ``outlier_ratio`` of the values are outliers) in FP16
+and quantises the rest with symmetric low-bit integers whose scale is set by
+the *inlier* maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fp_formats import fp16_round
+from repro.llm.inference import QuantizationScheme
+
+__all__ = ["OltronConfig", "oltron_quantize_dequantize", "build_oltron_scheme"]
+
+
+@dataclass(frozen=True)
+class OltronConfig:
+    """Parameters of the fixed-budget outlier-aware quantiser."""
+
+    inlier_bits: int = 4
+    outlier_ratio: float = 0.01
+    multiplier_bits: int = 3
+
+    def __post_init__(self):
+        if self.inlier_bits < 2:
+            raise ValueError("inlier_bits must be >= 2")
+        if not 0.0 <= self.outlier_ratio < 0.5:
+            raise ValueError("outlier_ratio must lie in [0, 0.5)")
+
+    @property
+    def name(self) -> str:
+        return f"Oltron(W{self.inlier_bits}A{self.inlier_bits}, {self.outlier_ratio:.1%} outliers)"
+
+    @property
+    def max_code(self) -> int:
+        return (1 << (self.inlier_bits - 1)) - 1
+
+
+def oltron_quantize_dequantize(x: np.ndarray, config: OltronConfig = OltronConfig()) -> np.ndarray:
+    """Fixed-proportion outlier-aware fake quantisation of ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return x.copy()
+    absx = np.abs(x)
+    if config.outlier_ratio > 0:
+        threshold = np.quantile(absx, 1.0 - config.outlier_ratio)
+    else:
+        threshold = np.inf
+    is_outlier = absx > threshold
+
+    inliers = np.where(is_outlier, 0.0, x)
+    inlier_max = np.abs(inliers).max()
+    scale = inlier_max / config.max_code if inlier_max > 0 else 1.0
+    codes = np.clip(np.rint(x / scale), -config.max_code, config.max_code)
+    dense = codes * scale
+
+    outlier_values = fp16_round(x)
+    return np.where(is_outlier, outlier_values, dense)
+
+
+def build_oltron_scheme(config: OltronConfig = OltronConfig(), name: str = "Oltron") -> QuantizationScheme:
+    """Oltron applied to both weights and activations (no calibration needed)."""
+    return QuantizationScheme(
+        name=name,
+        weight_fn=lambda _, w: oltron_quantize_dequantize(w, config),
+        activation_fn=lambda _, x: oltron_quantize_dequantize(x, config),
+    )

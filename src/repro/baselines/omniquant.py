@@ -1,0 +1,96 @@
+"""OmniQuant (Shao et al., 2023), simplified re-implementation.
+
+OmniQuant learns two things per linear layer: a *learnable weight clipping*
+(how much of the weight range to keep before quantising) and a *learnable
+equivalent transformation* (a per-channel scale migrating activation
+difficulty into the weights, like SmoothQuant but trained).  The original
+optimises both with gradient descent per transformer block; this
+re-implementation keeps the same search space but optimises by grid search
+against the layer-wise reconstruction MSE on calibration data, which is
+sufficient for the low-bit weight–activation setting compared in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.calibration import collect_linear_input_stats
+from repro.baselines.smoothquant import compute_smoothing_scales
+from repro.core.integer import Granularity, IntQuantConfig, int_quantize_dequantize
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.inference import InferenceModel, QuantizationScheme
+
+__all__ = ["OmniQuantConfig", "search_clip_ratio", "build_omniquant_scheme"]
+
+
+@dataclass(frozen=True)
+class OmniQuantConfig:
+    """Hyper-parameters of the simplified OmniQuant scheme (W4A4 by default)."""
+
+    weight_bits: int = 4
+    activation_bits: int = 4
+    smoothing_alpha: float = 0.5
+    clip_candidates: tuple = (1.0, 0.95, 0.9, 0.85, 0.8, 0.7, 0.6)
+    calibration_batches: int = 2
+
+    def __post_init__(self):
+        if self.weight_bits < 2 or self.activation_bits < 2:
+            raise ValueError("bit widths must be >= 2")
+        if not self.clip_candidates:
+            raise ValueError("need at least one clip candidate")
+
+
+def search_clip_ratio(weight: np.ndarray, bits: int, candidates) -> float:
+    """Pick the clipping ratio minimising the weight reconstruction MSE."""
+    best_ratio, best_mse = 1.0, np.inf
+    for ratio in candidates:
+        config = IntQuantConfig(bits, Granularity.PER_CHANNEL, clip_ratio=float(ratio))
+        w_hat = int_quantize_dequantize(weight, config)
+        mse = float(np.mean((weight - w_hat) ** 2))
+        if mse < best_mse:
+            best_ratio, best_mse = float(ratio), mse
+    return best_ratio
+
+
+def build_omniquant_scheme(model: InferenceModel, corpus: SyntheticCorpus,
+                           config: OmniQuantConfig = OmniQuantConfig(),
+                           name: str = "OmniQuant") -> QuantizationScheme:
+    """Calibrate OmniQuant (clipping + equivalent transformation) on ``model``."""
+    original_scheme = model.scheme
+    model.set_scheme(QuantizationScheme.fp_reference())
+    try:
+        stats = collect_linear_input_stats(model, corpus, num_batches=config.calibration_batches)
+    finally:
+        model.set_scheme(original_scheme)
+
+    scales = {}
+    clip_ratios = {}
+    for layer_name, act_max in stats.items():
+        weight = model.state[f"{layer_name}.weight"]
+        scale = compute_smoothing_scales(act_max, weight, config.smoothing_alpha)
+        scales[layer_name] = scale
+        clip_ratios[layer_name] = search_clip_ratio(
+            weight * scale[:, None], config.weight_bits, config.clip_candidates
+        )
+
+    act_quant = IntQuantConfig(config.activation_bits, Granularity.PER_TENSOR)
+
+    def weight_fn(layer_name: str, w: np.ndarray) -> np.ndarray:
+        scale = scales.get(layer_name)
+        ratio = clip_ratios.get(layer_name, 1.0)
+        weight_quant = IntQuantConfig(config.weight_bits, Granularity.PER_CHANNEL, clip_ratio=ratio)
+        if scale is None:
+            return int_quantize_dequantize(w, weight_quant)
+        smoothed = w * scale[:, None]
+        return int_quantize_dequantize(smoothed, weight_quant) / scale[:, None]
+
+    def activation_fn(layer_name: str, x: np.ndarray) -> np.ndarray:
+        scale = scales.get(layer_name)
+        if scale is None:
+            return int_quantize_dequantize(x, act_quant)
+        smoothed = x / scale
+        return int_quantize_dequantize(smoothed, act_quant) * scale
+
+    return QuantizationScheme(name=name, weight_fn=weight_fn, activation_fn=activation_fn)

@@ -1,0 +1,93 @@
+"""SmoothQuant (Xiao et al., ICML 2023), simplified re-implementation.
+
+SmoothQuant migrates quantisation difficulty from activations to weights: for
+every linear layer with input activations ``X`` and weight ``W`` it picks a
+per-input-channel scale
+
+    ``s_j = max|X_j|^alpha / max|W_j|^(1-alpha)``
+
+and rewrites the layer as ``(X / s) @ (diag(s) W)``.  The activation outlier
+channels shrink by ``s_j`` while the corresponding weight rows grow, after
+which both operands are quantised with plain symmetric INT8.
+
+This is the inverse of the outlier-injection transformation used by
+:mod:`repro.llm.outliers`, so on the synthetic zoo SmoothQuant behaves exactly
+as it does on real LLMs: it repairs most of the activation-outlier damage at
+8-bit, but cannot rescue very low-bit settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.calibration import collect_linear_input_stats
+from repro.core.integer import Granularity, IntQuantConfig, int_quantize_dequantize
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.inference import InferenceModel, QuantizationScheme
+
+__all__ = ["SmoothQuantConfig", "compute_smoothing_scales", "build_smoothquant_scheme"]
+
+
+@dataclass(frozen=True)
+class SmoothQuantConfig:
+    """Hyper-parameters of the simplified SmoothQuant scheme."""
+
+    alpha: float = 0.5
+    weight_bits: int = 8
+    activation_bits: int = 8
+    calibration_batches: int = 2
+
+    def __post_init__(self):
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if self.weight_bits < 2 or self.activation_bits < 2:
+            raise ValueError("bit widths must be >= 2")
+
+
+def compute_smoothing_scales(activation_max: np.ndarray, weight: np.ndarray,
+                             alpha: float) -> np.ndarray:
+    """Per-input-channel smoothing scales ``s_j`` (clamped away from zero)."""
+    activation_max = np.asarray(activation_max, dtype=np.float64)
+    weight_max = np.abs(np.asarray(weight, dtype=np.float64)).max(axis=1)
+    act = np.maximum(activation_max, 1e-5)
+    wgt = np.maximum(weight_max, 1e-5)
+    scales = act**alpha / wgt ** (1.0 - alpha)
+    return np.clip(scales, 1e-4, 1e4)
+
+
+def build_smoothquant_scheme(model: InferenceModel, corpus: SyntheticCorpus,
+                             config: SmoothQuantConfig = SmoothQuantConfig(),
+                             name: str = "SmoothQuant") -> QuantizationScheme:
+    """Calibrate SmoothQuant on ``model`` and return the resulting inference scheme."""
+    original_scheme = model.scheme
+    model.set_scheme(QuantizationScheme.fp_reference())
+    try:
+        stats = collect_linear_input_stats(model, corpus, num_batches=config.calibration_batches)
+    finally:
+        model.set_scheme(original_scheme)
+
+    scales = {}
+    for layer_name, act_max in stats.items():
+        weight = model.state[f"{layer_name}.weight"]
+        scales[layer_name] = compute_smoothing_scales(act_max, weight, config.alpha)
+
+    weight_quant = IntQuantConfig(config.weight_bits, Granularity.PER_CHANNEL)
+    act_quant = IntQuantConfig(config.activation_bits, Granularity.PER_TENSOR)
+
+    def weight_fn(layer_name: str, w: np.ndarray) -> np.ndarray:
+        scale = scales.get(layer_name)
+        if scale is None:
+            return int_quantize_dequantize(w, weight_quant)
+        smoothed = w * scale[:, None]
+        return int_quantize_dequantize(smoothed, weight_quant) / scale[:, None]
+
+    def activation_fn(layer_name: str, x: np.ndarray) -> np.ndarray:
+        scale = scales.get(layer_name)
+        if scale is None:
+            return int_quantize_dequantize(x, act_quant)
+        smoothed = x / scale
+        return int_quantize_dequantize(smoothed, act_quant) * scale
+
+    return QuantizationScheme(name=name, weight_fn=weight_fn, activation_fn=activation_fn)

@@ -1,0 +1,209 @@
+"""Command-line interface of the BBAL reproduction.
+
+The CLI wraps the pieces a user touches most often so nothing requires writing
+Python for a first look at the library::
+
+    python -m repro list                       # available experiments
+    python -m repro run table1 fig3 --fast     # regenerate selected artefacts
+    python -m repro formats                    # format comparison table
+    python -m repro formats --formats "BBFP(4,2)" BFP6 INT8
+    python -m repro quantize --format "BBFP(4,2)" --size 4096
+    python -m repro simulate --strategy "BBFP(4,2)" --seq-len 1024
+
+``run`` delegates to :mod:`repro.experiments.runner`; the other subcommands
+are thin, dependency-free views over :mod:`repro.core`, :mod:`repro.hardware`
+and :mod:`repro.accelerator`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+
+__all__ = ["main", "build_parser", "parse_format"]
+
+
+def parse_format(name: str):
+    """Resolve a format name used on the command line into a format config.
+
+    Accepted spellings: ``BBFP(m,o)``, ``BFP<m>``, ``INT<b>``, ``BiE<m>``,
+    ``MXFP4`` / ``MXFP6`` / ``MXFP8``, ``FP16`` / ``FP8`` / ``FP4``.
+    """
+    from repro.core.bbfp import parse_bbfp_name
+    from repro.core.bie import BiEConfig
+    from repro.core.blockfp import BFPConfig
+    from repro.core.floatspec import FP4_E2M1, FP8_E4M3, FP16
+    from repro.core.integer import IntQuantConfig
+    from repro.core.microscaling import MXFP4, MXFP6_E3M2, MXFP8
+
+    text = name.strip().upper().replace(" ", "")
+    if text.startswith("BBFP"):
+        return parse_bbfp_name(text)
+    if text.startswith("BFP"):
+        return BFPConfig(int(text[len("BFP"):]))
+    if text.startswith("BIE"):
+        return BiEConfig(int(text[len("BIE"):]))
+    if text.startswith("INT"):
+        return IntQuantConfig(int(text[len("INT"):]))
+    named = {"MXFP4": MXFP4, "MXFP6": MXFP6_E3M2, "MXFP8": MXFP8,
+             "FP16": FP16, "FP8": FP8_E4M3, "FP4": FP4_E2M1}
+    if text in named:
+        return named[text]
+    raise argparse.ArgumentTypeError(f"unknown format {name!r}")
+
+
+_DEFAULT_FORMATS = ("FP16", "INT8", "BFP8", "BFP6", "BFP4", "BBFP(6,3)", "BBFP(4,2)",
+                    "BBFP(3,1)", "MXFP4", "MXFP8", "BiE4")
+
+
+def _cmd_list(args) -> int:
+    from repro.experiments.runner import EXPERIMENTS
+
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(args.experiments or None, fast=args.fast or None, output_dir=args.output_dir)
+    return 0
+
+
+def _cmd_formats(args) -> int:
+    from repro.hardware.mac import mac_unit_for_format
+    from repro.hardware.pe import pe_for_strategy
+
+    rows = []
+    for name in args.formats:
+        config = parse_format(name)
+        row = {"format": getattr(config, "name", name)}
+        row["equivalent_bits"] = float(config.equivalent_bit_width()) \
+            if hasattr(config, "equivalent_bit_width") else float(config.total_bits)
+        row["memory_efficiency"] = 16.0 / row["equivalent_bits"]
+        try:
+            row["mac_area_um2"] = mac_unit_for_format(config).area_um2()
+        except (TypeError, ValueError):
+            row["mac_area_um2"] = float("nan")
+        try:
+            row["pe_area_um2"] = pe_for_strategy(config).area_um2()
+        except (TypeError, ValueError):
+            row["pe_area_um2"] = float("nan")
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_quantize(args) -> int:
+    config = parse_format(args.format)
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(args.size)
+    if args.outlier_stride > 0:
+        x[:: args.outlier_stride] *= args.outlier_scale
+
+    from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+    from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+    from repro.core.floatspec import FloatSpec
+    from repro.core.fp_formats import minifloat_quantize_dequantize
+    from repro.core.integer import IntQuantConfig, int_quantize_dequantize
+
+    if isinstance(config, BBFPConfig):
+        x_hat = bbfp_quantize_dequantize(x, config)
+    elif isinstance(config, BFPConfig):
+        x_hat = bfp_quantize_dequantize(x, config)
+    elif isinstance(config, IntQuantConfig):
+        x_hat = int_quantize_dequantize(x, config)
+    elif isinstance(config, FloatSpec):
+        x_hat = minifloat_quantize_dequantize(x, config)
+    else:
+        x_hat = config.quantize_dequantize(x)
+
+    mse = float(np.mean((x - x_hat) ** 2))
+    sqnr = 10.0 * np.log10(float(np.mean(x**2)) / mse) if mse > 0 else float("inf")
+    rows = [{
+        "format": getattr(config, "name", args.format),
+        "elements": args.size,
+        "mse": mse,
+        "sqnr_db": sqnr,
+        "max_abs_error": float(np.max(np.abs(x - x_hat))),
+    }]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.accelerator.simulator import AcceleratorSimulator
+    from repro.accelerator.workloads import decoder_workload
+    from repro.experiments.fig1_runtime import LLAMA_7B_DIMENSIONS
+
+    strategy = args.strategy if args.strategy in ("Oltron", "Olive") else parse_format(args.strategy)
+    config = AcceleratorConfig(strategy=strategy, pe_rows=args.pe_rows, pe_cols=args.pe_cols)
+    simulator = AcceleratorSimulator(config, nonlinear_style=args.nonlinear)
+    workload = decoder_workload(LLAMA_7B_DIMENSIONS, args.seq_len, phase=args.phase)
+    report = simulator.run(workload)
+    rows = [{
+        "strategy": config.strategy_name,
+        "phase": args.phase,
+        "seq_len": args.seq_len,
+        "total_cycles": report.total_cycles,
+        "runtime_ms": report.runtime_s * 1e3,
+        "throughput_gmacs": report.throughput_gmacs,
+        "nonlinear_share": report.nonlinear_cycles / max(1, report.total_cycles),
+        "energy_mj": report.energy.total_j * 1e3,
+    }]
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate paper tables/figures")
+    p_run.add_argument("experiments", nargs="*", help="experiment names (default: all)")
+    p_run.add_argument("--fast", action="store_true", help="reduced model set / fewer batches")
+    p_run.add_argument("--output-dir", default="results")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_formats = sub.add_parser("formats", help="compare number formats (bits, memory, MAC/PE area)")
+    p_formats.add_argument("--formats", nargs="+", default=list(_DEFAULT_FORMATS))
+    p_formats.set_defaults(func=_cmd_formats)
+
+    p_quant = sub.add_parser("quantize", help="quantise a synthetic tensor and report the error")
+    p_quant.add_argument("--format", required=True, help='e.g. "BBFP(4,2)", BFP6, INT8, MXFP8')
+    p_quant.add_argument("--size", type=int, default=4096)
+    p_quant.add_argument("--outlier-stride", type=int, default=128)
+    p_quant.add_argument("--outlier-scale", type=float, default=30.0)
+    p_quant.add_argument("--seed", type=int, default=0)
+    p_quant.set_defaults(func=_cmd_quantize)
+
+    p_sim = sub.add_parser("simulate", help="simulate one Llama-7B decoder layer stack")
+    p_sim.add_argument("--strategy", default="BBFP(4,2)",
+                       help='number format or named baseline ("Oltron", "Olive")')
+    p_sim.add_argument("--seq-len", type=int, default=1024)
+    p_sim.add_argument("--phase", choices=("prefill", "decode"), default="prefill")
+    p_sim.add_argument("--pe-rows", type=int, default=32)
+    p_sim.add_argument("--pe-cols", type=int, default=32)
+    p_sim.add_argument("--nonlinear", choices=("bbal", "fp32"), default="bbal")
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

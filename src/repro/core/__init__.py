@@ -1,0 +1,67 @@
+"""Core numeric formats and quantisation algorithms.
+
+The modules in this package implement the paper's primary contribution: the
+Bidirectional Block Floating Point (BBFP) data format, together with the
+classic Block Floating Point (BFP), integer, minifloat, microscaling (MX) and
+bi-exponent (BiE) formats it is compared against, the shared-exponent
+selection strategies, the mantissa rounding modes, the analytic
+quantisation-error model and the overlap-bit-width search algorithm.
+"""
+
+from repro.core.floatspec import FloatSpec, decompose_float, exponent_of
+from repro.core.blockfp import BFPConfig, BFPTensor, quantize_bfp, bfp_quantize_dequantize
+from repro.core.bbfp import BBFPConfig, BBFPTensor, quantize_bbfp, bbfp_quantize_dequantize
+from repro.core.bie import BiEConfig, BiETensor, quantize_bie, bie_quantize_dequantize
+from repro.core.integer import IntQuantConfig, int_quantize_dequantize
+from repro.core.fp_formats import minifloat_quantize_dequantize
+from repro.core.microscaling import (
+    MXConfig,
+    MXTensor,
+    MXFP4,
+    MXFP6_E2M3,
+    MXFP6_E3M2,
+    MXFP8,
+    quantize_mx,
+    mx_quantize_dequantize,
+)
+from repro.core.rounding import RoundingMode, round_magnitudes, rounding_from_name
+from repro.core.exponent_selection import (
+    ExponentStrategy,
+    select_shared_exponent,
+    strategy_from_name,
+)
+
+__all__ = [
+    "FloatSpec",
+    "decompose_float",
+    "exponent_of",
+    "BFPConfig",
+    "BFPTensor",
+    "quantize_bfp",
+    "bfp_quantize_dequantize",
+    "BBFPConfig",
+    "BBFPTensor",
+    "quantize_bbfp",
+    "bbfp_quantize_dequantize",
+    "BiEConfig",
+    "BiETensor",
+    "quantize_bie",
+    "bie_quantize_dequantize",
+    "IntQuantConfig",
+    "int_quantize_dequantize",
+    "minifloat_quantize_dequantize",
+    "MXConfig",
+    "MXTensor",
+    "MXFP4",
+    "MXFP6_E2M3",
+    "MXFP6_E3M2",
+    "MXFP8",
+    "quantize_mx",
+    "mx_quantize_dequantize",
+    "RoundingMode",
+    "round_magnitudes",
+    "rounding_from_name",
+    "ExponentStrategy",
+    "select_shared_exponent",
+    "strategy_from_name",
+]

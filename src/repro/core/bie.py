@@ -1,0 +1,228 @@
+"""Bi-Exponent block floating point (BiE) — the format of the paper's reference [18].
+
+BiE ("Bi-Exponent Block Floating-Point for Large Language Models Quantization",
+ICML 2024) attacks the same weakness of vanilla BFP that BBFP does — aligning
+everything to the block maximum destroys small and moderate values — but with a
+different mechanism: instead of a per-element flag with one shared exponent,
+each block stores *two* shared exponents.  The few largest elements of the
+block (the "outlier sub-group") align to the larger exponent; everything else
+aligns to a smaller exponent chosen from the remaining elements, so the bulk of
+the block keeps its resolution.  A 1-bit per-element group-select records which
+exponent applies.
+
+Storage per element is therefore identical to BBFP (sign + select bit +
+``m``-bit mantissa, two 5-bit exponents amortised over the block versus one),
+which makes BiE the natural "same budget, different mechanism" comparator for
+the accuracy ablations: the reproduction's extended format study quantifies how
+much of BBFP's gain comes from the bidirectional-shift idea specifically rather
+than from merely having a second alignment level.
+
+The implementation mirrors :mod:`repro.core.blockfp`: ``BiEConfig``,
+``BiETensor``, ``quantize_bie`` and ``bie_quantize_dequantize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocking import BlockLayout, from_blocks, to_blocks
+from repro.core.floatspec import exponent_of
+from repro.core.rounding import RoundingMode, round_magnitudes
+
+__all__ = ["BiEConfig", "BiETensor", "quantize_bie", "bie_quantize_dequantize"]
+
+
+@dataclass(frozen=True)
+class BiEConfig:
+    """Configuration of a BiE (bi-exponent BFP) format.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        Magnitude bits stored per element (the sign is stored separately).
+    outlier_count:
+        How many of the largest-magnitude elements per block join the
+        high-exponent sub-group (the ICML paper uses a small fixed budget;
+        2 out of 32 by default here).
+    block_size:
+        Elements sharing the pair of exponents (32, matching BFP/BBFP).
+    exponent_bits:
+        Width of *each* of the two shared exponent fields (5, matching the
+        paper's BFP/BBFP configurations).
+    rounding:
+        Mantissa rounding mode (round-to-nearest by default).
+    """
+
+    mantissa_bits: int
+    outlier_count: int = 2
+    block_size: int = 32
+    exponent_bits: int = 5
+    rounding: RoundingMode = RoundingMode.NEAREST
+
+    def __post_init__(self):
+        if self.mantissa_bits < 1:
+            raise ValueError(f"mantissa_bits must be >= 1, got {self.mantissa_bits}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if not 0 <= self.outlier_count < self.block_size:
+            raise ValueError(
+                f"outlier_count must satisfy 0 <= count < block_size, "
+                f"got count={self.outlier_count} block_size={self.block_size}"
+            )
+        if self.exponent_bits < 2:
+            raise ValueError(f"exponent_bits must be >= 2, got {self.exponent_bits}")
+
+    @property
+    def name(self) -> str:
+        return f"BiE{self.mantissa_bits}(k={self.outlier_count})"
+
+    @property
+    def max_mantissa_level(self) -> int:
+        """Largest stored magnitude code, ``2**m - 1``."""
+        return (1 << self.mantissa_bits) - 1
+
+    @property
+    def exponent_min(self) -> int:
+        return -(1 << (self.exponent_bits - 1)) + 1
+
+    @property
+    def exponent_max(self) -> int:
+        return 1 << (self.exponent_bits - 1)
+
+    def equivalent_bit_width(self) -> float:
+        """Average storage bits per element: ``m`` + sign + select + two amortised exponents."""
+        return self.mantissa_bits + 2 + 2 * self.exponent_bits / self.block_size
+
+    def memory_efficiency(self, reference_bits: float = 16.0) -> float:
+        """Memory density improvement relative to FP16 (Table I "Mem Eff.")."""
+        return reference_bits / self.equivalent_bit_width()
+
+    def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Fake-quantise ``x`` (hook used by :class:`repro.llm.inference.QuantizationScheme`)."""
+        return bie_quantize_dequantize(x, self, axis=axis)
+
+
+@dataclass
+class BiETensor:
+    """A tensor quantised to BiE, stored with hardware-faithful fields.
+
+    Attributes
+    ----------
+    config:
+        The :class:`BiEConfig` used for quantisation.
+    signs:
+        ``+/-1`` per element, blocked shape ``(..., num_blocks, block_size)``.
+    selects:
+        Per-element group select (0 = bulk / low exponent, 1 = outlier / high
+        exponent).
+    mantissas:
+        Integer magnitude codes in ``[0, 2**m - 1]``.
+    high_exponents, low_exponents:
+        The two shared exponents per block, shape ``(..., num_blocks)``.
+    layout:
+        Blocking metadata used to restore the original tensor shape.
+    """
+
+    config: BiEConfig
+    signs: np.ndarray
+    selects: np.ndarray
+    mantissas: np.ndarray
+    high_exponents: np.ndarray
+    low_exponents: np.ndarray
+    layout: BlockLayout = field(repr=False)
+
+    @property
+    def block_values(self) -> np.ndarray:
+        """Real values of each block element (still in blocked layout)."""
+        m = self.config.mantissa_bits
+        high_step = np.exp2(self.high_exponents[..., None].astype(np.float64) - (m - 1))
+        low_step = np.exp2(self.low_exponents[..., None].astype(np.float64) - (m - 1))
+        step = np.where(self.selects == 1, high_step, low_step)
+        return self.signs * self.mantissas.astype(np.float64) * step
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct a dense float tensor in the original shape."""
+        return from_blocks(self.block_values, self.layout)
+
+    def memory_bits(self) -> int:
+        """Total storage footprint (mantissas + signs + selects + both exponents)."""
+        elements = int(np.prod(self.mantissas.shape))
+        blocks = int(np.prod(self.high_exponents.shape))
+        return elements * (self.config.mantissa_bits + 2) + blocks * 2 * self.config.exponent_bits
+
+    def outlier_fraction(self) -> float:
+        """Fraction of elements in the high-exponent sub-group."""
+        return float(np.mean(self.selects))
+
+
+def quantize_bie(x: np.ndarray, config: BiEConfig, axis: int = -1,
+                 rng: np.random.Generator = None) -> BiETensor:
+    """Quantise ``x`` to BiE along ``axis``.
+
+    Per block:
+
+    1. the ``outlier_count`` largest-magnitude elements are *candidates* for
+       the high group, whose shared exponent is the block maximum (vanilla
+       BFP alignment);
+    2. the remaining elements form the low group, whose shared exponent is the
+       maximum exponent *within that group* — so the bulk of the block keeps
+       full mantissa resolution;
+    3. candidates that the low group could represent without clipping are
+       demoted back to it (they gain nothing from the coarse grid and would
+       only lose precision there);
+    4. both groups round their mantissas to ``m`` bits relative to their own
+       group's step.
+    """
+    blocks, layout = to_blocks(x, config.block_size, axis=axis)
+    exponents = exponent_of(blocks)
+    magnitudes = np.abs(blocks)
+    m = config.mantissa_bits
+
+    if config.outlier_count > 0:
+        # Rank-based candidate selection: the outlier_count largest per block.
+        order = np.argsort(-magnitudes, axis=-1, kind="stable")
+        rank = np.empty_like(order)
+        np.put_along_axis(rank, order, np.broadcast_to(np.arange(config.block_size),
+                                                       magnitudes.shape).copy(), axis=-1)
+        selects = ((rank < config.outlier_count) & (magnitudes > 0)).astype(np.int8)
+    else:
+        selects = np.zeros_like(magnitudes, dtype=np.int8)
+
+    high_exp = exponents.max(axis=-1)
+    low_candidates = np.where(selects == 1, np.iinfo(np.int64).min, exponents)
+    low_exp = low_candidates.max(axis=-1)
+    # Blocks whose every element is an outlier (tiny blocks) fall back to the max.
+    low_exp = np.where(low_exp == np.iinfo(np.int64).min, high_exp, low_exp)
+
+    high_exp = np.clip(high_exp, config.exponent_min, config.exponent_max)
+    low_exp = np.clip(low_exp, config.exponent_min, config.exponent_max)
+
+    # Demote candidates the low grid can hold without clipping: the coarse grid
+    # would only cost them precision, and demotion keeps the low-group exponent
+    # unchanged (a representable magnitude is below 2**(low_exp + 1)).
+    low_reach = config.max_mantissa_level * np.exp2(low_exp[..., None].astype(np.float64) - (m - 1))
+    selects = np.where((selects == 1) & (magnitudes <= low_reach), 0, selects).astype(np.int8)
+    high_step = np.exp2(high_exp[..., None].astype(np.float64) - (m - 1))
+    low_step = np.exp2(low_exp[..., None].astype(np.float64) - (m - 1))
+    step = np.where(selects == 1, high_step, low_step)
+
+    signs = np.where(blocks < 0, -1.0, 1.0)
+    codes = round_magnitudes(magnitudes / step, config.rounding, rng=rng)
+    codes = np.clip(codes, 0, config.max_mantissa_level).astype(np.int64)
+    return BiETensor(
+        config=config,
+        signs=signs,
+        selects=selects,
+        mantissas=codes,
+        high_exponents=high_exp,
+        low_exponents=low_exp,
+        layout=layout,
+    )
+
+
+def bie_quantize_dequantize(x: np.ndarray, config: BiEConfig, axis: int = -1,
+                            rng: np.random.Generator = None) -> np.ndarray:
+    """Quantise then immediately dequantise (fake quantisation for accuracy studies)."""
+    return quantize_bie(x, config, axis=axis, rng=rng).dequantize()

@@ -1,0 +1,157 @@
+"""Shared-exponent selection strategies for block floating point formats.
+
+Section III-C of the paper studies how the choice of the *shared* exponent of
+a block trades the error of large values (clipped or truncated when the shared
+exponent is too small) against the error of small/moderate values (right
+shifted out of the mantissa when the shared exponent is too large).
+
+The strategies implemented here are exactly the ones compared in Fig. 3:
+
+``MAX``
+    Vanilla BFP alignment: ``E_shared = max(E)``.
+``BBFP_DEFAULT``
+    The paper's proposal (Eq. 9): ``E_shared = max(E) - (m - o)``.
+``BBFP_PLUS_ONE`` (a.k.a. *max-1* in Fig. 3 for BBFP(4,2))
+    ``E_shared = max(E) - (m - o) + 1`` — biased towards larger shared
+    exponents, hurting small values.
+``BBFP_MINUS_ONE`` (a.k.a. *max-3* in Fig. 3 for BBFP(4,2))
+    ``E_shared = max(E) - (m - o) - 1`` — the most significant bit of the
+    largest element falls outside the truncation window, causing large error.
+``MAX_MINUS_K``
+    Generic ``E_shared = max(E) - k`` used for ablations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ExponentStrategy",
+    "SharedExponentRule",
+    "select_shared_exponent",
+    "strategy_from_name",
+    "shift_for_strategy",
+]
+
+
+class ExponentStrategy(enum.Enum):
+    """Enumeration of shared-exponent selection strategies."""
+
+    MAX = "max"
+    BBFP_DEFAULT = "bbfp_default"
+    BBFP_PLUS_ONE = "bbfp_plus_one"
+    BBFP_MINUS_ONE = "bbfp_minus_one"
+    MAX_MINUS_K = "max_minus_k"
+
+
+_ALIASES = {
+    "max": ExponentStrategy.MAX,
+    "bfp": ExponentStrategy.MAX,
+    "bbfp_default": ExponentStrategy.BBFP_DEFAULT,
+    "default": ExponentStrategy.BBFP_DEFAULT,
+    "max-2": ExponentStrategy.BBFP_DEFAULT,
+    "bbfp_plus_one": ExponentStrategy.BBFP_PLUS_ONE,
+    "max-1": ExponentStrategy.BBFP_PLUS_ONE,
+    "bbfp_minus_one": ExponentStrategy.BBFP_MINUS_ONE,
+    "max-3": ExponentStrategy.BBFP_MINUS_ONE,
+    "max_minus_k": ExponentStrategy.MAX_MINUS_K,
+}
+
+
+def strategy_from_name(name) -> ExponentStrategy:
+    """Resolve a strategy from an :class:`ExponentStrategy` or a string alias.
+
+    The Fig. 3 aliases ``"max-1"``, ``"max-2"``, ``"max-3"`` (which the paper
+    uses for BBFP(4,2), where ``m - o == 2``) are accepted as well.
+    """
+    if isinstance(name, ExponentStrategy):
+        return name
+    key = str(name).strip().lower()
+    if key not in _ALIASES:
+        raise ValueError(
+            f"unknown shared-exponent strategy {name!r}; "
+            f"known: {sorted(set(_ALIASES))}"
+        )
+    return _ALIASES[key]
+
+
+def shift_for_strategy(
+    strategy: ExponentStrategy, mantissa_bits: int, overlap_bits: int, k: int = 0
+) -> int:
+    """Return the offset subtracted from ``max(E)`` for ``strategy``.
+
+    ``E_shared = max(E) - shift``.
+    """
+    strategy = strategy_from_name(strategy)
+    if strategy is ExponentStrategy.MAX:
+        return 0
+    if strategy is ExponentStrategy.BBFP_DEFAULT:
+        return mantissa_bits - overlap_bits
+    if strategy is ExponentStrategy.BBFP_PLUS_ONE:
+        return mantissa_bits - overlap_bits - 1
+    if strategy is ExponentStrategy.BBFP_MINUS_ONE:
+        return mantissa_bits - overlap_bits + 1
+    if strategy is ExponentStrategy.MAX_MINUS_K:
+        return k
+    raise ValueError(f"unhandled strategy {strategy}")
+
+
+@dataclass(frozen=True)
+class SharedExponentRule:
+    """A fully-resolved shared-exponent rule (strategy + format parameters)."""
+
+    strategy: ExponentStrategy
+    mantissa_bits: int
+    overlap_bits: int = 0
+    k: int = 0
+
+    @property
+    def shift(self) -> int:
+        return shift_for_strategy(self.strategy, self.mantissa_bits, self.overlap_bits, self.k)
+
+    def apply(self, max_exponents: np.ndarray) -> np.ndarray:
+        """Compute shared exponents from per-block maximum exponents."""
+        return np.asarray(max_exponents, dtype=np.int64) - self.shift
+
+
+def select_shared_exponent(
+    block_exponents: np.ndarray,
+    strategy,
+    mantissa_bits: int,
+    overlap_bits: int = 0,
+    k: int = 0,
+    exponent_min: int = -14,
+    exponent_max: int = 16,
+) -> np.ndarray:
+    """Select a shared exponent per block.
+
+    Parameters
+    ----------
+    block_exponents:
+        Array of per-element exponents with shape ``(..., block_size)``; the
+        reduction happens over the last axis.
+    strategy:
+        Strategy name or :class:`ExponentStrategy`.
+    mantissa_bits, overlap_bits:
+        Format parameters used by the BBFP strategies.
+    k:
+        Offset used by ``MAX_MINUS_K``.
+    exponent_min, exponent_max:
+        Clamping range for the stored shared exponent; by default a 5-bit
+        biased exponent field (the paper fixes the shared exponent width at
+        5 bits for all configurations).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer shared exponents with shape ``block_exponents.shape[:-1]``.
+    """
+    strategy = strategy_from_name(strategy)
+    exps = np.asarray(block_exponents, dtype=np.int64)
+    max_exp = exps.max(axis=-1)
+    rule = SharedExponentRule(strategy, mantissa_bits, overlap_bits, k)
+    shared = rule.apply(max_exp)
+    return np.clip(shared, exponent_min, exponent_max)

@@ -1,0 +1,61 @@
+"""Minifloat (FP16 / FP8 / FP4) rounding used as baselines and conversion sources.
+
+The paper's conversion pipeline starts from FP16 tensors (11-bit mantissa with
+the implicit leading one) and quantises them to BFP or BBFP.  It also cites
+FP8/FP4 as alternative wide-dynamic-range formats.  This module rounds a
+float64 numpy array to the nearest value representable in a narrow
+:class:`~repro.core.floatspec.FloatSpec`, including subnormal handling and
+saturation to the largest finite value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.floatspec import (
+    BF16,
+    FP4_E2M1,
+    FP8_E4M3,
+    FP8_E5M2,
+    FP16,
+    FP32,
+    FloatSpec,
+    exponent_of,
+)
+
+__all__ = [
+    "minifloat_quantize_dequantize",
+    "FP16",
+    "FP32",
+    "BF16",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "FP4_E2M1",
+    "fp16_round",
+]
+
+
+def minifloat_quantize_dequantize(x: np.ndarray, spec: FloatSpec) -> np.ndarray:
+    """Round ``x`` to the nearest value representable in ``spec``.
+
+    Values larger than the format maximum saturate (no infinities are
+    produced), values below the smallest subnormal flush to zero, and the
+    subnormal range uses the fixed step ``2**(min_exponent - mantissa_bits)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.where(np.signbit(x), -1.0, 1.0)
+    mag = np.abs(x)
+
+    exp = exponent_of(mag, zero_exponent=spec.min_exponent)
+    exp = np.clip(exp, spec.min_exponent, spec.max_exponent)
+    # Quantisation step in the binade of each value; the subnormal range of a
+    # minifloat keeps the step of the smallest normal binade.
+    step = np.exp2(exp.astype(np.float64) - spec.mantissa_bits)
+    rounded = np.rint(mag / step) * step
+    rounded = np.minimum(rounded, spec.max_value)
+    return sign * rounded
+
+
+def fp16_round(x: np.ndarray) -> np.ndarray:
+    """Round to FP16 via numpy's native half type (exact IEEE behaviour)."""
+    return np.asarray(x, dtype=np.float64).astype(np.float16).astype(np.float64)

@@ -1,0 +1,184 @@
+"""Microscaling (MX) block formats — OCP-style BFP with minifloat elements.
+
+The paper compares BBFP against vanilla BFP and against outlier-aware integer
+schemes.  A third family that has become the de-facto industry block format is
+*Microscaling* (MXFP4 / MXFP6 / MXFP8): a block of (usually 32) elements shares
+one power-of-two scale, and each element is stored as a tiny *floating point*
+number (E2M1, E2M3/E3M2, E4M3) instead of a fixed point mantissa.  Because
+every element keeps a private micro-exponent, MX degrades more gracefully than
+fixed point BFP for moderate values — the same weakness of BFP that BBFP
+attacks with its flag bit — which makes MX the natural extra comparator for
+the accuracy/efficiency ablations in this reproduction.
+
+The scale is chosen the OCP way: the largest power of two such that the block
+maximum maps onto the element format's largest binade,
+
+    ``S = 2**(floor(log2(max|x|)) - e_max(element))``
+
+Elements are then rounded to the nearest representable element value and the
+block is stored as ``S * [element_0, ..., element_{N-1}]``.
+
+This module mirrors the :mod:`repro.core.blockfp` API so MX formats can be
+dropped into every experiment driver: ``MXConfig``, ``MXTensor``,
+``quantize_mx`` and ``mx_quantize_dequantize``, plus the canonical
+``MXFP4 / MXFP6_E2M3 / MXFP6_E3M2 / MXFP8`` configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocking import BlockLayout, from_blocks, to_blocks
+from repro.core.floatspec import FP8_E4M3, FloatSpec
+from repro.core.fp_formats import minifloat_quantize_dequantize
+
+__all__ = [
+    "MXConfig",
+    "MXTensor",
+    "quantize_mx",
+    "mx_quantize_dequantize",
+    "MXFP4",
+    "MXFP6_E2M3",
+    "MXFP6_E3M2",
+    "MXFP8",
+]
+
+#: Element formats referenced by the OCP Microscaling specification that are
+#: not already defined in :mod:`repro.core.floatspec`.
+FP6_E2M3 = FloatSpec("FP6_E2M3", exponent_bits=2, mantissa_bits=3)
+FP6_E3M2 = FloatSpec("FP6_E3M2", exponent_bits=3, mantissa_bits=2)
+
+
+@dataclass(frozen=True)
+class MXConfig:
+    """Configuration of a microscaling block format.
+
+    Parameters
+    ----------
+    element:
+        The per-element minifloat :class:`~repro.core.floatspec.FloatSpec`
+        (E2M1 for MXFP4, E2M3/E3M2 for MXFP6, E4M3 for MXFP8).
+    block_size:
+        Elements per shared scale (32 in the OCP specification and in this
+        repository's BFP/BBFP configurations, so comparisons are like-for-like).
+    scale_bits:
+        Width of the shared power-of-two scale (8 in the OCP specification —
+        an E8M0 exponent).
+    name:
+        Display name; derived from the element format when omitted.
+    """
+
+    element: FloatSpec
+    block_size: int = 32
+    scale_bits: int = 8
+    name: str = ""
+
+    def __post_init__(self):
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.scale_bits < 2:
+            raise ValueError(f"scale_bits must be >= 2, got {self.scale_bits}")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"MXFP{self.element.total_bits}({self.element.name})"
+            )
+
+    @property
+    def element_bits(self) -> int:
+        """Stored bits per element (sign + exponent + mantissa of the element format)."""
+        return self.element.total_bits
+
+    @property
+    def scale_min(self) -> int:
+        return -(1 << (self.scale_bits - 1)) + 1
+
+    @property
+    def scale_max(self) -> int:
+        return (1 << (self.scale_bits - 1)) - 1
+
+    def equivalent_bit_width(self) -> float:
+        """Average storage bits per element (directly comparable with Table I)."""
+        return self.element_bits + self.scale_bits / self.block_size
+
+    def memory_efficiency(self, reference_bits: float = 16.0) -> float:
+        """Memory density improvement relative to FP16 (Table I "Mem Eff.")."""
+        return reference_bits / self.equivalent_bit_width()
+
+    def quantize_dequantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Fake-quantise ``x`` (hook used by :class:`repro.llm.inference.QuantizationScheme`)."""
+        return mx_quantize_dequantize(x, self, axis=axis)
+
+
+@dataclass
+class MXTensor:
+    """A tensor quantised to an MX format.
+
+    Attributes
+    ----------
+    config:
+        The :class:`MXConfig` used for quantisation.
+    elements:
+        Dequantised element values *before* applying the shared scale, blocked
+        shape ``(..., num_blocks, block_size)``; every entry is exactly
+        representable in ``config.element``.
+    scale_exponents:
+        Integer power-of-two scale per block, shape ``(..., num_blocks)``.
+    layout:
+        Blocking metadata used to restore the original tensor shape.
+    """
+
+    config: MXConfig
+    elements: np.ndarray
+    scale_exponents: np.ndarray
+    layout: BlockLayout = field(repr=False)
+
+    @property
+    def block_values(self) -> np.ndarray:
+        """Real values of each block element (still in blocked layout)."""
+        scale = np.exp2(self.scale_exponents[..., None].astype(np.float64))
+        return self.elements * scale
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct a dense float tensor in the original shape."""
+        return from_blocks(self.block_values, self.layout)
+
+    def memory_bits(self) -> int:
+        """Total storage footprint in bits (elements + shared scales)."""
+        num_elements = int(np.prod(self.elements.shape))
+        num_blocks = int(np.prod(self.scale_exponents.shape))
+        return num_elements * self.config.element_bits + num_blocks * self.config.scale_bits
+
+
+def quantize_mx(x: np.ndarray, config: MXConfig, axis: int = -1) -> MXTensor:
+    """Quantise ``x`` to the MX format ``config`` along ``axis``.
+
+    The shared scale of each block maps the block maximum onto the largest
+    binade of the element format; elements are divided by the scale and
+    rounded to the nearest representable element value (saturating at the
+    element maximum, flushing below the smallest subnormal to zero).
+    """
+    blocks, layout = to_blocks(x, config.block_size, axis=axis)
+    absmax = np.max(np.abs(blocks), axis=-1)
+    # floor(log2(absmax)); all-zero blocks get the smallest scale.
+    max_exp = np.floor(np.log2(np.where(absmax > 0, absmax, 1.0)))
+    scale_exp = max_exp.astype(np.int64) - config.element.max_exponent
+    scale_exp = np.where(absmax > 0, scale_exp, config.scale_min)
+    scale_exp = np.clip(scale_exp, config.scale_min, config.scale_max)
+
+    scale = np.exp2(scale_exp[..., None].astype(np.float64))
+    elements = minifloat_quantize_dequantize(blocks / scale, config.element)
+    return MXTensor(config=config, elements=elements, scale_exponents=scale_exp, layout=layout)
+
+
+def mx_quantize_dequantize(x: np.ndarray, config: MXConfig, axis: int = -1) -> np.ndarray:
+    """Quantise then immediately dequantise (fake quantisation for accuracy studies)."""
+    return quantize_mx(x, config, axis=axis).dequantize()
+
+
+#: The canonical OCP Microscaling configurations (block size 32, E8M0 scale).
+MXFP4 = MXConfig(FloatSpec("FP4_E2M1", 2, 1), name="MXFP4")
+MXFP6_E2M3 = MXConfig(FP6_E2M3, name="MXFP6(E2M3)")
+MXFP6_E3M2 = MXConfig(FP6_E3M2, name="MXFP6(E3M2)")
+MXFP8 = MXConfig(FP8_E4M3, name="MXFP8")

@@ -1,0 +1,156 @@
+"""Overlap-bit-width selection (Algorithm 1 of the paper).
+
+For a fixed total mantissa width ``m``, the overlap width ``o`` trades
+accuracy against hardware cost: wider overlap reduces truncation error of the
+high (flag = 1) group but raises the shared exponent, hurting small values,
+and it also changes the MAC datapath cost (the flag-controlled shifter width
+is ``m - o``).  Because different LLMs have different data distributions, the
+paper searches ``o`` per model with a normalised weighted score
+
+    ``score[o] = w * Overhead_norm[o] + (1 - w) * PPL_norm[o]``
+
+and picks the minimum.  The search here is generic: the PPL and overhead
+evaluators are injected as callables, so the same algorithm runs with the
+real LLM perplexity evaluator (`repro.llm`), with a fast MSE proxy, or with a
+mocked evaluator in the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bbfp import BBFPConfig
+
+__all__ = ["OverlapCandidate", "OverlapSearchResult", "select_overlap_width", "mse_ppl_proxy"]
+
+
+@dataclass(frozen=True)
+class OverlapCandidate:
+    """Evaluation record for one candidate overlap width."""
+
+    overlap_bits: int
+    ppl: float
+    overhead: float
+    ppl_norm: float
+    overhead_norm: float
+    score: float
+
+    def as_dict(self) -> dict:
+        return {
+            "overlap_bits": self.overlap_bits,
+            "ppl": self.ppl,
+            "overhead": self.overhead,
+            "ppl_norm": self.ppl_norm,
+            "overhead_norm": self.overhead_norm,
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True)
+class OverlapSearchResult:
+    """Outcome of Algorithm 1: the chosen overlap width plus the full sweep."""
+
+    mantissa_bits: int
+    overhead_weight: float
+    best_overlap: int
+    candidates: tuple
+
+    @property
+    def best_config(self) -> BBFPConfig:
+        return BBFPConfig(mantissa_bits=self.mantissa_bits, overlap_bits=self.best_overlap)
+
+    def as_rows(self) -> list:
+        return [candidate.as_dict() for candidate in self.candidates]
+
+
+def select_overlap_width(
+    mantissa_bits: int,
+    ppl_fn,
+    overhead_fn,
+    overhead_weight: float = 0.5,
+    block_size: int = 32,
+) -> OverlapSearchResult:
+    """Run Algorithm 1: sweep ``o`` in ``[0, m)``, normalise, score and pick the minimum.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        The fixed mantissa width ``m``.
+    ppl_fn:
+        Callable ``BBFPConfig -> float`` returning the model perplexity (or any
+        accuracy proxy where lower is better) under that configuration.
+    overhead_fn:
+        Callable ``BBFPConfig -> float`` returning the hardware overhead (area,
+        energy or a combined metric; lower is better).
+    overhead_weight:
+        The ``w`` of Algorithm 1; ``w = 1`` optimises purely for hardware,
+        ``w = 0`` purely for accuracy.
+    block_size:
+        Block size of the candidate configurations.
+    """
+    if not 0.0 <= overhead_weight <= 1.0:
+        raise ValueError(f"overhead_weight must lie in [0, 1], got {overhead_weight}")
+    if mantissa_bits < 2:
+        raise ValueError("Algorithm 1 needs at least 2 mantissa bits to have a choice of overlap")
+
+    overlaps = list(range(mantissa_bits))
+    ppls = []
+    overheads = []
+    for o in overlaps:
+        config = BBFPConfig(mantissa_bits=mantissa_bits, overlap_bits=o, block_size=block_size)
+        ppls.append(float(ppl_fn(config)))
+        overheads.append(float(overhead_fn(config)))
+
+    ppls = np.asarray(ppls, dtype=np.float64)
+    overheads = np.asarray(overheads, dtype=np.float64)
+    ppl_max = ppls.max() if ppls.max() > 0 else 1.0
+    overhead_max = overheads.max() if overheads.max() > 0 else 1.0
+    ppl_norm = ppls / ppl_max
+    overhead_norm = overheads / overhead_max
+    scores = overhead_weight * overhead_norm + (1.0 - overhead_weight) * ppl_norm
+
+    candidates = tuple(
+        OverlapCandidate(
+            overlap_bits=o,
+            ppl=float(ppls[i]),
+            overhead=float(overheads[i]),
+            ppl_norm=float(ppl_norm[i]),
+            overhead_norm=float(overhead_norm[i]),
+            score=float(scores[i]),
+        )
+        for i, o in enumerate(overlaps)
+    )
+    best_overlap = int(overlaps[int(np.argmin(scores))])
+    return OverlapSearchResult(
+        mantissa_bits=mantissa_bits,
+        overhead_weight=overhead_weight,
+        best_overlap=best_overlap,
+        candidates=candidates,
+    )
+
+
+def mse_ppl_proxy(calibration_tensors):
+    """Build a fast PPL proxy from calibration tensors.
+
+    Returns a callable ``BBFPConfig -> float`` equal to the summed relative
+    quantisation MSE over the calibration tensors.  Useful when running
+    Algorithm 1 without a full perplexity evaluation (the ordering of
+    candidates is what matters for the search).
+    """
+    from repro.core.bbfp import bbfp_quantize_dequantize
+
+    tensors = [np.asarray(t, dtype=np.float64) for t in calibration_tensors]
+    if not tensors:
+        raise ValueError("need at least one calibration tensor")
+
+    def proxy(config: BBFPConfig) -> float:
+        total = 0.0
+        for t in tensors:
+            t_hat = bbfp_quantize_dequantize(t, config)
+            denom = float(np.mean(t**2)) or 1.0
+            total += float(np.mean((t - t_hat) ** 2)) / denom
+        return total
+
+    return proxy

@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver exposes ``run(...) -> ExperimentResult``; the benchmark suite
+calls these functions and prints the regenerated rows, and
+``python -m repro.experiments.runner`` regenerates everything at once into
+``results/``.
+
+| Driver                          | Paper artefact                                   |
+|---------------------------------|--------------------------------------------------|
+| ``fig1_distribution``           | Fig. 1(a) weight/activation distribution         |
+| ``fig1_runtime``                | Fig. 1(b) linear vs nonlinear runtime            |
+| ``fig3_shared_exponent``        | Fig. 3 shared-exponent selection MSE             |
+| ``fig4_overlap``                | Fig. 4 overlap-width sweep (Algorithm 1)         |
+| ``table1_mac``                  | Table I MAC area / memory efficiency             |
+| ``table2_linear_ppl``           | Table II linear-layer quantisation perplexity    |
+| ``table3_pe_area``              | Table III PE area                                |
+| ``table4_nonlinear_ppl``        | Table IV nonlinear-unit perplexity               |
+| ``table5_nonlinear_eff``        | Table V nonlinear-unit ADP/EDP/efficiency        |
+| ``fig8_accuracy_throughput``    | Fig. 8 iso-area accuracy vs throughput           |
+| ``fig9_energy``                 | Fig. 9 energy breakdown                          |
+| ``ablations``                   | extra ablations called out in DESIGN.md          |
+"""
+
+__all__ = [
+    "fig1_distribution",
+    "fig1_runtime",
+    "fig3_shared_exponent",
+    "fig4_overlap",
+    "table1_mac",
+    "table2_linear_ppl",
+    "table3_pe_area",
+    "table4_nonlinear_ppl",
+    "table5_nonlinear_eff",
+    "fig8_accuracy_throughput",
+    "fig9_energy",
+    "ablations",
+]

@@ -1,0 +1,70 @@
+"""Shared configuration of the experiment drivers (fast mode, model subsets, schemes)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.llm.perplexity import EvalConfig
+from repro.llm.zoo import LLAMA_FAMILY, NONLINEAR_FAMILY, OPT_FAMILY
+
+__all__ = [
+    "is_fast_mode",
+    "eval_config",
+    "table2_model_specs",
+    "table4_model_specs",
+    "TABLE2_LINEAR_FORMATS",
+    "FIG8_STRATEGIES",
+]
+
+#: The linear-quantisation formats swept in Table II (besides the baselines).
+TABLE2_LINEAR_FORMATS = (
+    BFPConfig(6),
+    BFPConfig(4),
+    BBFPConfig(3, 1),
+    BBFPConfig(4, 2),
+    BBFPConfig(4, 3),
+    BBFPConfig(6, 3),
+    BBFPConfig(6, 4),
+)
+
+#: The strategies compared under iso-area in Fig. 8 / costed in Table III / Fig. 9.
+FIG8_STRATEGIES = (
+    "Oltron",
+    "Olive",
+    BFPConfig(4),
+    BFPConfig(6),
+    BBFPConfig(3, 1),
+    BBFPConfig(3, 2),
+    BBFPConfig(4, 2),
+    BBFPConfig(4, 3),
+    BBFPConfig(6, 3),
+    BBFPConfig(6, 4),
+    BBFPConfig(6, 5),
+)
+
+
+def is_fast_mode(fast=None) -> bool:
+    """Fast mode shrinks model sets and evaluation sizes (``REPRO_FAST=1``)."""
+    if fast is not None:
+        return bool(fast)
+    return os.environ.get("REPRO_FAST", "0") == "1"
+
+
+def eval_config(fast=None) -> EvalConfig:
+    return EvalConfig(max_batches=2 if is_fast_mode(fast) else 4)
+
+
+def table2_model_specs(fast=None):
+    """The Table II model list: the full 12-model zoo, or 4 representatives in fast mode."""
+    if is_fast_mode(fast):
+        return (LLAMA_FAMILY[0], LLAMA_FAMILY[2], OPT_FAMILY[0], OPT_FAMILY[2])
+    return LLAMA_FAMILY + OPT_FAMILY
+
+
+def table4_model_specs(fast=None):
+    """The Table IV model list (Llama-7B, Llama2-7B, Llama3-8B), or just Llama-7B in fast mode."""
+    if is_fast_mode(fast):
+        return (NONLINEAR_FAMILY[0],)
+    return NONLINEAR_FAMILY

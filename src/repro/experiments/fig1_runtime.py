@@ -1,0 +1,68 @@
+"""Fig. 1(b): linear vs nonlinear runtime of a Llama-7B decoder layer stack.
+
+The paper measures the decoder-stage runtime of Llama-7B while growing the
+sequence length from 128 to 4096 and observes the nonlinear operators
+(Softmax + SiLU) taking a progressively larger share when they run on a
+conventional full-precision vector unit — the motivation for the BBFP
+nonlinear unit.  The reproduction runs the same operator list (at the real
+Llama-7B dimensions; no weights are needed for a timing model) through the
+cycle-level simulator twice: once with an FP32-style nonlinear unit and once
+with the proposed BBFP unit.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator import AcceleratorConfig, AcceleratorSimulator, decoder_workload
+from repro.analysis.reporting import ExperimentResult
+from repro.core.bbfp import BBFPConfig
+from repro.llm.config import ModelConfig
+
+__all__ = ["run", "LLAMA_7B_DIMENSIONS"]
+
+#: The real Llama-7B architecture dimensions (only shapes matter for timing).
+LLAMA_7B_DIMENSIONS = ModelConfig(
+    name="Llama-7B-dims",
+    vocab_size=32000,
+    d_model=4096,
+    n_heads=32,
+    n_layers=32,
+    d_ff=11008,
+    max_seq_len=4096,
+    arch="llama",
+)
+
+_DEFAULT_SEQ_LENGTHS = (128, 256, 512, 1024, 2048, 4096)
+
+
+def run(seq_lengths=_DEFAULT_SEQ_LENGTHS, fast=None) -> ExperimentResult:
+    """Regenerate the Fig. 1(b) runtime breakdown across sequence lengths."""
+    config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=32, pe_cols=32)
+    fp32_sim = AcceleratorSimulator(config, nonlinear_style="fp32")
+    bbal_sim = AcceleratorSimulator(config, nonlinear_style="bbal")
+
+    rows = []
+    for seq_len in seq_lengths:
+        workload = decoder_workload(LLAMA_7B_DIMENSIONS, seq_len, phase="prefill")
+        fp32_report = fp32_sim.run(workload)
+        bbal_report = bbal_sim.run(workload)
+        rows.append(
+            {
+                "seq_len": seq_len,
+                "linear_ms": fp32_report.linear_runtime_s * 1e3,
+                "nonlinear_fp32_ms": fp32_report.nonlinear_runtime_s * 1e3,
+                "nonlinear_bbal_ms": bbal_report.nonlinear_runtime_s * 1e3,
+                "nonlinear_share_fp32": fp32_report.nonlinear_runtime_s / fp32_report.runtime_s,
+                "nonlinear_share_bbal": bbal_report.nonlinear_runtime_s / bbal_report.runtime_s,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="Fig1b",
+        title="Linear vs nonlinear runtime of the Llama-7B decoder stage",
+        rows=rows,
+        notes=(
+            "The nonlinear share under the FP32-style unit grows with sequence length "
+            "(softmax work scales with seq^2), reproducing the paper's bottleneck "
+            "observation; the BBFP nonlinear unit keeps the share small at every length."
+        ),
+        metadata={"model_dims": LLAMA_7B_DIMENSIONS.as_dict()},
+    )

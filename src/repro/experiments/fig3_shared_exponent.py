@@ -1,0 +1,33 @@
+"""Fig. 3: shared-exponent selection vs per-layer activation quantisation MSE."""
+
+from __future__ import annotations
+
+from repro.analysis.mse_sweep import layer_activation_mse
+from repro.analysis.reporting import ExperimentResult
+from repro.llm.zoo import default_corpus, load_inference_model
+
+__all__ = ["run"]
+
+
+def run(model_name: str = "OPT-6.7B", fast=None) -> ExperimentResult:
+    """Regenerate Fig. 3: BBFP(4,2) alignment strategies (Max-1/2/3) vs BFP4, per layer kind.
+
+    The expected ordering, as in the paper: Max-2 (the Eq. 9 rule) has the
+    smallest error; Max-1 selects larger shared exponents and loses small
+    values; Max-3 shifts the most significant bit out of the truncation
+    window and is the worst; BFP4 sits well above Max-2.
+    """
+    corpus = default_corpus()
+    model = load_inference_model(model_name, corpus=corpus)
+    rows = layer_activation_mse(model, corpus, mantissa_bits=4, overlap_bits=2)
+    return ExperimentResult(
+        experiment_id="Fig3",
+        title="Impact of shared-exponent selection on activation quantisation error",
+        rows=rows,
+        notes=(
+            "Relative MSE per layer kind (lower is better). Max-2 = max(E) - (m - o) is the "
+            "paper's proposed rule (Eq. 9); Max-1 / Max-3 shift it by one either way; BFP4 "
+            "aligns to the maximum exponent."
+        ),
+        metadata={"model": model_name, "format": "BBFP(4,2)"},
+    )

@@ -1,0 +1,95 @@
+"""Fig. 8: accuracy (average Llama / OPT perplexity) vs throughput at equal PE area."""
+
+from __future__ import annotations
+
+from repro.accelerator.metrics import iso_area_design_points
+from repro.analysis.reporting import ExperimentResult
+from repro.baselines import build_olive_scheme, build_oltron_scheme
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.experiments.common import FIG8_STRATEGIES, eval_config, is_fast_mode
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.zoo import LLAMA_FAMILY, OPT_FAMILY, default_corpus, load_inference_model
+
+__all__ = ["run"]
+
+
+def _scheme_for_strategy(strategy) -> QuantizationScheme:
+    if isinstance(strategy, str):
+        key = strategy.lower()
+        if key == "oltron":
+            return build_oltron_scheme()
+        if key in ("olive", "oliver"):
+            return build_olive_scheme()
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return QuantizationScheme.from_format(strategy)
+
+
+def _family_average_ppl(strategies, specs, corpus, evaluation) -> dict:
+    """Average perplexity of each strategy over a model family."""
+    totals = {}
+    for spec in specs:
+        model = load_inference_model(spec, corpus=corpus)
+        for strategy in strategies:
+            scheme = _scheme_for_strategy(strategy)
+            model.set_scheme(scheme)
+            ppl = evaluate_perplexity(model, corpus, evaluation)
+            totals.setdefault(scheme.name, []).append(ppl)
+        model.set_scheme(QuantizationScheme.fp_reference())
+    return {name: sum(values) / len(values) for name, values in totals.items()}
+
+
+def run(fast=None, strategies=FIG8_STRATEGIES) -> ExperimentResult:
+    """Regenerate Fig. 8: per-strategy relative throughput (iso-area) and average PPL.
+
+    Hardware half: strategies with smaller PEs fit more PEs in the shared area
+    budget and gain peak throughput.  Accuracy half: the average perplexity of
+    each strategy over the Llama-like and OPT-like families.  The headline
+    comparisons are BBFP(3,x) vs Oltron (same 3-bit multipliers, similar
+    throughput, better accuracy) and BBFP(3,x) vs BFP4 (similar accuracy,
+    higher throughput).
+    """
+    corpus = default_corpus()
+    evaluation = eval_config(fast)
+    if is_fast_mode(fast):
+        llama_specs = LLAMA_FAMILY[:2]
+        opt_specs = OPT_FAMILY[:2]
+    else:
+        llama_specs = LLAMA_FAMILY
+        opt_specs = OPT_FAMILY
+
+    points = {p.strategy_name: p for p in iso_area_design_points(strategies)}
+    llama_ppl = _family_average_ppl(strategies, llama_specs, corpus, evaluation)
+    opt_ppl = _family_average_ppl(strategies, opt_specs, corpus, evaluation)
+
+    rows = []
+    for strategy in strategies:
+        scheme_name = _scheme_for_strategy(strategy).name
+        point_name = scheme_name if scheme_name in points else str(strategy)
+        point = points.get(point_name)
+        if point is None:
+            # PE designs name Oltron/Olive by their plain strategy names.
+            point = points[[k for k in points if k.lower().startswith(scheme_name.lower()[:5])][0]]
+        rows.append(
+            {
+                "strategy": scheme_name,
+                "relative_throughput": point.relative_throughput,
+                "num_pes": point.num_pes,
+                "avg_llama_ppl": llama_ppl[scheme_name],
+                "avg_opt_ppl": opt_ppl[scheme_name],
+            }
+        )
+
+    return ExperimentResult(
+        experiment_id="Fig8",
+        title="Quantisation strategies at equal PE area: throughput vs average perplexity",
+        rows=rows,
+        notes=(
+            "Relative throughput is peak MACs/cycle under the shared area budget (higher is "
+            "better); perplexities are family averages (lower is better).  BBFP(3,x) should "
+            "match Oltron's throughput with markedly lower Llama perplexity, and should beat "
+            "BFP4's throughput at comparable accuracy."
+        ),
+        metadata={"fast_mode": is_fast_mode(fast)},
+    )

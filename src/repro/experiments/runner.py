@@ -1,0 +1,102 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage::
+
+    python -m repro.experiments.runner            # full run, writes results/
+    REPRO_FAST=1 python -m repro.experiments.runner --fast
+
+The first invocation trains the model zoo (cached under ``.cache/models``);
+subsequent runs reuse the cache and complete in a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import ExperimentResult, save_result
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig1_distribution,
+    fig1_runtime,
+    fig3_shared_exponent,
+    fig4_overlap,
+    fig8_accuracy_throughput,
+    fig9_energy,
+    table1_mac,
+    table2_linear_ppl,
+    table3_pe_area,
+    table4_nonlinear_ppl,
+    table5_nonlinear_eff,
+)
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+#: Ordered registry of every experiment driver.
+EXPERIMENTS = {
+    "fig1a": fig1_distribution.run,
+    "fig1b": fig1_runtime.run,
+    "fig3": fig3_shared_exponent.run,
+    "fig4": fig4_overlap.run,
+    "table1": table1_mac.run,
+    "table2": table2_linear_ppl.run,
+    "table3": table3_pe_area.run,
+    "table4": table4_nonlinear_ppl.run,
+    "table5": table5_nonlinear_eff.run,
+    "fig8": fig8_accuracy_throughput.run,
+    "fig9": fig9_energy.run,
+    "ablation_carry_chain": ablations.carry_chain_ablation,
+    "ablation_block_size": ablations.block_size_ablation,
+    "ablation_lut_address": ablations.lut_address_ablation,
+    "ext_rounding": extensions.rounding_mode_ablation,
+    "ext_multiplier": extensions.multiplier_architecture_ablation,
+    "ext_format_family": extensions.format_family_ablation,
+    "ext_format_ppl": extensions.extended_format_ppl,
+    "ext_roofline": extensions.roofline_extension,
+    "ext_dataflow": extensions.dataflow_extension,
+    "ext_generation": extensions.generation_latency_extension,
+    "ext_mixed_precision": extensions.mixed_precision_extension,
+}
+
+
+def run_all(names=None, fast=None, output_dir="results", verbose: bool = True) -> dict:
+    """Run the selected experiments (all by default); returns ``{name: ExperimentResult}``."""
+    names = list(names) if names else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    results = {}
+    for name in names:
+        start = time.time()
+        result: ExperimentResult = EXPERIMENTS[name](fast=fast)
+        results[name] = result
+        if output_dir is not None:
+            save_result(result, Path(output_dir))
+        if verbose:
+            print(result.to_text())
+            print(f"[{name}] completed in {time.time() - start:.1f}s\n")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="subset of experiments to run (default: all)")
+    parser.add_argument("--fast", action="store_true", help="small models / fewer eval batches")
+    parser.add_argument("--output-dir", default="results", help="directory for JSON/text results")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    run_all(args.experiments or None, fast=args.fast or None, output_dir=args.output_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

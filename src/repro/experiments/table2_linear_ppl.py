@@ -1,0 +1,64 @@
+"""Table II: perplexity of linear-layer weight-activation quantisation, 12 models x 11 schemes."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult
+from repro.baselines import build_olive_scheme, build_oltron_scheme, build_omniquant_scheme
+from repro.experiments.common import TABLE2_LINEAR_FORMATS, eval_config, is_fast_mode, table2_model_specs
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.zoo import default_corpus, load_inference_model
+
+__all__ = ["run", "evaluate_model_row"]
+
+
+def evaluate_model_row(spec, corpus, evaluation) -> dict:
+    """Evaluate one zoo model under every Table II scheme; returns the table row."""
+    model = load_inference_model(spec, corpus=corpus)
+    row = {"model": spec.paper_name}
+
+    schemes = [QuantizationScheme.fp16()]
+    schemes.append(build_oltron_scheme())
+    schemes.append(build_olive_scheme())
+    schemes.append(build_omniquant_scheme(model, corpus))
+    schemes.extend(QuantizationScheme.from_format(fmt) for fmt in TABLE2_LINEAR_FORMATS)
+
+    for scheme in schemes:
+        model.set_scheme(scheme)
+        row[scheme.name] = evaluate_perplexity(model, corpus, evaluation)
+    model.set_scheme(QuantizationScheme.fp_reference())
+    return row
+
+
+def run(fast=None, model_specs=None) -> ExperimentResult:
+    """Regenerate Table II over the simulated Llama/OPT zoo.
+
+    The absolute perplexities belong to the miniature zoo models, not to the
+    billion-parameter checkpoints; the comparisons that carry over are the
+    per-model orderings: BBFP(m,o) <= BFP(m); BBFP(6,x) ~ FP16; BBFP(4,2)
+    close to BFP6; the outlier-aware baselines (Oltron, Olive) degrading much
+    more on the Llama-like family (more outliers) than on the OPT-like one.
+    """
+    corpus = default_corpus()
+    evaluation = eval_config(fast)
+    specs = model_specs if model_specs is not None else table2_model_specs(fast)
+    rows = [evaluate_model_row(spec, corpus, evaluation) for spec in specs]
+
+    # Per-scheme averages across the two families (used by Fig. 8).
+    scheme_names = [k for k in rows[0] if k != "model"]
+    averages = {"model": "Average"}
+    for name in scheme_names:
+        averages[name] = sum(r[name] for r in rows) / len(rows)
+    rows.append(averages)
+
+    return ExperimentResult(
+        experiment_id="Table2",
+        title="Perplexity of quantised models (linear layers, weight + activation)",
+        rows=rows,
+        notes=(
+            "Lower is better. Compare orderings within each row: BBFP at a given mantissa "
+            "width should match or beat the BFP of the same width, BBFP(6,x) should sit at "
+            "the FP16 level, and Oltron/Olive should degrade most on the Llama-like models."
+        ),
+        metadata={"fast_mode": is_fast_mode(fast), "models": [s.paper_name for s in specs]},
+    )

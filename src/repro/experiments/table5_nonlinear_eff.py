@@ -1,0 +1,47 @@
+"""Table V: ADP / EDP / efficiency / compatibility of nonlinear units."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult
+from repro.nonlinear.reference_designs import comparison_table
+
+__all__ = ["run", "PAPER_TABLE5"]
+
+#: The paper's published Table V values (their units), for side-by-side reading.
+PAPER_TABLE5 = {
+    "Pseudo-softmax [32]": {"adp": 4.33, "edp": 79.58, "efficiency": 85.98},
+    "High-precision softmax [33]": {"adp": 299.13, "edp": 18691.24, "efficiency": 3.31},
+    "BBAL nonlinear unit (ours)": {"adp": 32.64, "edp": 1040.40, "efficiency": 98.03},
+}
+
+
+def run(vector_length: int = 1024, fast=None) -> ExperimentResult:
+    """Regenerate Table V from the shared gate-level cost model.
+
+    All three designs are evaluated at the same clock and vector length, so
+    compare ratios: the proposed unit should be far more efficient than the
+    high-precision design [33] (the paper reports ~30x), should lose to the
+    tiny approximate design [32] on ADP, and is the only one that also covers
+    SiLU / GELU / sigmoid.
+    """
+    rows = comparison_table(vector_length=vector_length)
+    for row in rows:
+        paper = PAPER_TABLE5.get(row["design"], {})
+        row["paper_adp"] = paper.get("adp")
+        row["paper_edp"] = paper.get("edp")
+        row["paper_efficiency"] = paper.get("efficiency")
+    ours = next(r for r in rows if "ours" in r["design"])
+    high_precision = next(r for r in rows if "[33]" in r["design"])
+    speedup = ours["efficiency"] / high_precision["efficiency"]
+    return ExperimentResult(
+        experiment_id="Table5",
+        title="Nonlinear unit comparison: ADP, EDP, efficiency, compatibility",
+        rows=rows,
+        notes=(
+            f"Efficiency advantage of the proposed unit over the high-precision design "
+            f"[33]: {speedup:.1f}x (paper reports ~30x). The published [32]/[33] numbers "
+            f"use each paper's own operating point, so absolute values differ from the "
+            f"shared-framework columns."
+        ),
+        metadata={"vector_length": vector_length},
+    )

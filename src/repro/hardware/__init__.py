@@ -1,0 +1,55 @@
+"""Gate-level analytic hardware cost models (area, energy, memory).
+
+The paper implements BBAL in Chisel and reports post-synthesis numbers under
+TSMC 28 nm (Design Compiler for logic, CACTI for on-chip memories).  Offline,
+this package substitutes an analytic model built from technology-normalised
+gate equivalents: every compared design (FP16 / INT8 / BFP / BBFP / Oltron /
+Olive MAC units and PEs, the carry-chain sparse adders, the segmented-LUT
+nonlinear unit, SRAM buffers and DRAM) is costed with the *same* primitive
+library, so the relative comparisons the paper reports (Tables I, III, V,
+Figs. 4, 8, 9) are preserved even though absolute square microns differ.
+"""
+
+from repro.hardware.technology import TechnologyModel, TSMC28_LIKE
+from repro.hardware.gates import GateCounts
+from repro.hardware.adders import ripple_carry_adder, carry_chain, sparse_partial_sum_adder
+from repro.hardware.multipliers import array_multiplier, barrel_shifter
+from repro.hardware.multiplier_arch import (
+    MultiplierDesign,
+    array_multiplier_design,
+    booth_radix4_multiplier,
+    wallace_tree_multiplier,
+    multiplier_architecture_table,
+)
+from repro.hardware.datapath import MACDatapath, ripple_add, sparse_ripple_add
+from repro.hardware.mac import MACUnit, mac_unit_for_format, mac_table
+from repro.hardware.pe import PEDesign, pe_for_strategy
+from repro.hardware.memory import SRAMBuffer, DRAMModel
+from repro.hardware.energy import EnergyBreakdown
+
+__all__ = [
+    "TechnologyModel",
+    "TSMC28_LIKE",
+    "GateCounts",
+    "ripple_carry_adder",
+    "carry_chain",
+    "sparse_partial_sum_adder",
+    "array_multiplier",
+    "barrel_shifter",
+    "MultiplierDesign",
+    "array_multiplier_design",
+    "booth_radix4_multiplier",
+    "wallace_tree_multiplier",
+    "multiplier_architecture_table",
+    "MACDatapath",
+    "ripple_add",
+    "sparse_ripple_add",
+    "MACUnit",
+    "mac_unit_for_format",
+    "mac_table",
+    "PEDesign",
+    "pe_for_strategy",
+    "SRAMBuffer",
+    "DRAMModel",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,227 @@
+"""Bit-accurate model of the BBFP MAC datapath (Fig. 5, Eq. 10–14).
+
+The cost models in :mod:`repro.hardware.mac` count gates; this module checks
+that the *behaviour* those gates implement is the one the paper derives from
+the data format:
+
+* the intra-block multiplication of Eq. 10 — an ``m x m`` integer multiply
+  followed by a flag-controlled left shift of ``0``, ``m - o`` or
+  ``2 (m - o)`` bits, so the product has a structurally-zero bit pattern
+  (Fig. 5(a));
+* the partial-sum addition of Fig. 5(b) — a narrower full adder plus a
+  *carry chain* covering the positions where the product is structurally
+  zero, whose cells implement Eq. 13/14 instead of the full Eq. 11/12.
+
+Everything here operates on integers bit by bit, exactly as the RTL would, and
+is verified against both a behavioural addition and the integer-exact block
+dot product of :mod:`repro.core.dotproduct` — so the gate-count savings
+claimed in Table I rest on an addition that provably still produces the right
+bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bbfp import BBFPConfig, BBFPTensor
+from repro.core.dotproduct import bbfp_product_shift
+
+__all__ = [
+    "full_adder_bit",
+    "carry_chain_bit",
+    "ripple_add",
+    "sparse_ripple_add",
+    "product_zero_mask",
+    "bbfp_multiply_codes",
+    "MACDatapath",
+]
+
+
+def full_adder_bit(a: int, b: int, carry_in: int) -> tuple:
+    """One mirror full adder (Eq. 11 / Eq. 12): returns ``(sum, carry_out)``."""
+    s = carry_in ^ a ^ b
+    carry_out = (a & b) | (carry_in & (a ^ b))
+    return s, carry_out
+
+
+def carry_chain_bit(a: int, carry_in: int) -> tuple:
+    """One carry-chain cell (Eq. 13 / Eq. 14), valid only where ``b`` is structurally zero."""
+    s = carry_in ^ a
+    carry_out = carry_in & a
+    return s, carry_out
+
+
+def ripple_add(a: int, b: int, width: int) -> tuple:
+    """Bit-serial ripple-carry addition of two unsigned ``width``-bit integers.
+
+    Returns ``(sum mod 2**width, carry_out)`` — the reference the sparse adder
+    is checked against.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if a < 0 or b < 0:
+        raise ValueError("operands must be unsigned")
+    if a >= (1 << width) or b >= (1 << width):
+        raise ValueError(f"operands must fit in {width} bits")
+    carry = 0
+    result = 0
+    for i in range(width):
+        bit_a = (a >> i) & 1
+        bit_b = (b >> i) & 1
+        s, carry = full_adder_bit(bit_a, bit_b, carry)
+        result |= s << i
+    return result, carry
+
+
+def sparse_ripple_add(a: int, b: int, width: int, chain_mask: int) -> tuple:
+    """The paper's sparse adder: carry-chain cells where ``chain_mask`` is set.
+
+    ``chain_mask`` marks the bit positions where the second operand ``b`` is
+    structurally zero (Fig. 5(a)); those positions use the reduced Eq. 13/14
+    cell.  A ``b`` bit that is set inside the mask violates the structural
+    assumption and raises — the hardware would simply compute the wrong sum.
+
+    Returns ``(sum mod 2**width, carry_out)``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if a < 0 or b < 0:
+        raise ValueError("operands must be unsigned")
+    if a >= (1 << width) or b >= (1 << width):
+        raise ValueError(f"operands must fit in {width} bits")
+    if b & chain_mask:
+        raise ValueError(
+            f"operand b=0b{b:b} has set bits inside the carry-chain mask 0b{chain_mask:b}"
+        )
+    carry = 0
+    result = 0
+    for i in range(width):
+        bit_a = (a >> i) & 1
+        if (chain_mask >> i) & 1:
+            s, carry = carry_chain_bit(bit_a, carry)
+        else:
+            bit_b = (b >> i) & 1
+            s, carry = full_adder_bit(bit_a, bit_b, carry)
+        result |= s << i
+    return result, carry
+
+
+def product_zero_mask(flag_a: int, flag_b: int, config: BBFPConfig) -> int:
+    """Structurally-zero bit positions of one Eq. 10 product (Fig. 5(a)).
+
+    The raw ``m x m`` product occupies ``2 m`` bits; the flag-controlled shift
+    widens it to ``2 m + 2 (m - o)`` bits of which:
+
+    * flags ``0/0``  — the top ``2 (m - o)`` bits are zero;
+    * flags ``0/1`` or ``1/0`` — the bottom ``m - o`` and top ``m - o`` bits
+      are zero;
+    * flags ``1/1``  — the bottom ``2 (m - o)`` bits are zero.
+
+    Returns a bit mask over the ``2 m + 2 (m - o)``-bit product with ones at
+    the structurally-zero positions.
+    """
+    m = config.mantissa_bits
+    shift_unit = m - config.overlap_bits
+    product_width = 2 * m + 2 * shift_unit
+    shift = (int(flag_a == 1) + int(flag_b == 1)) * shift_unit
+    low_zeros = (1 << shift) - 1
+    high_zeros_count = product_width - (2 * m + shift)
+    high_zeros = ((1 << high_zeros_count) - 1) << (2 * m + shift)
+    return low_zeros | high_zeros
+
+
+def bbfp_multiply_codes(mantissa_a: int, flag_a: int, mantissa_b: int, flag_b: int,
+                        config: BBFPConfig) -> int:
+    """One Eq. 10 mantissa product: integer multiply then flag-controlled shift."""
+    if not 0 <= mantissa_a <= config.max_mantissa_level:
+        raise ValueError(f"mantissa_a out of range: {mantissa_a}")
+    if not 0 <= mantissa_b <= config.max_mantissa_level:
+        raise ValueError(f"mantissa_b out of range: {mantissa_b}")
+    shift_unit = config.mantissa_bits - config.overlap_bits
+    shift = (int(flag_a == 1) + int(flag_b == 1)) * shift_unit
+    return (mantissa_a * mantissa_b) << shift
+
+
+@dataclass(frozen=True)
+class MACDatapath:
+    """Bit-accurate weight-stationary MAC processing one BBFP block pair at a time.
+
+    The accumulator keeps two unsigned magnitudes (one per product sign), each
+    updated through :func:`sparse_ripple_add`, mirroring a sign-magnitude
+    datapath; the final partial sum is their difference scaled by the two
+    shared exponents.  ``accumulator_bits`` defaults to the product width plus
+    enough guard bits for a 32-element block.
+    """
+
+    config: BBFPConfig
+    accumulator_bits: int = 0
+
+    def __post_init__(self):
+        if self.accumulator_bits <= 0:
+            object.__setattr__(self, "accumulator_bits", self._default_accumulator_bits())
+
+    def _default_accumulator_bits(self) -> int:
+        m = self.config.mantissa_bits
+        shift_unit = m - self.config.overlap_bits
+        product_bits = 2 * m + 2 * shift_unit
+        guard = max(1, int(np.ceil(np.log2(max(2, self.config.block_size))))) + 1
+        return product_bits + guard
+
+    @property
+    def product_bits(self) -> int:
+        m = self.config.mantissa_bits
+        return 2 * m + 2 * (m - self.config.overlap_bits)
+
+    def block_dot(self, a: BBFPTensor, b: BBFPTensor) -> np.ndarray:
+        """Per-block dot products computed through the bit-level datapath.
+
+        Both operands must carry the same blocking (same shapes) and the same
+        configuration as this datapath.  The result equals
+        :func:`repro.core.dotproduct.bbfp_block_dot` exactly.
+        """
+        for operand, name in ((a, "a"), (b, "b")):
+            if operand.config.mantissa_bits != self.config.mantissa_bits or \
+                    operand.config.overlap_bits != self.config.overlap_bits:
+                raise ValueError(f"operand {name} was quantised with a different BBFP configuration")
+        if a.mantissas.shape != b.mantissas.shape:
+            raise ValueError("operands must share blocking")
+
+        width = self.accumulator_bits
+        mantissas_a = a.mantissas.reshape(-1, a.mantissas.shape[-1])
+        mantissas_b = b.mantissas.reshape(-1, b.mantissas.shape[-1])
+        flags_a = a.flags.reshape(mantissas_a.shape)
+        flags_b = b.flags.reshape(mantissas_b.shape)
+        signs = (a.signs * b.signs).reshape(mantissas_a.shape)
+        shifts = bbfp_product_shift(a.flags, b.flags, a.config, b.config).reshape(mantissas_a.shape)
+
+        partials = np.zeros(mantissas_a.shape[0], dtype=np.float64)
+        for block in range(mantissas_a.shape[0]):
+            positive_acc = 0
+            negative_acc = 0
+            for lane in range(mantissas_a.shape[1]):
+                product = bbfp_multiply_codes(
+                    int(mantissas_a[block, lane]), int(flags_a[block, lane]),
+                    int(mantissas_b[block, lane]), int(flags_b[block, lane]),
+                    self.config,
+                )
+                mask = product_zero_mask(
+                    int(flags_a[block, lane]), int(flags_b[block, lane]), self.config
+                )
+                # Extend the structural-zero mask across the accumulator guard
+                # bits: the product can never reach them either.
+                mask |= ((1 << width) - 1) ^ ((1 << self.product_bits) - 1)
+                assert shifts[block, lane] == 0 or product % (1 << int(shifts[block, lane])) == 0
+                if signs[block, lane] >= 0:
+                    positive_acc, _ = sparse_ripple_add(positive_acc, product, width, mask)
+                else:
+                    negative_acc, _ = sparse_ripple_add(negative_acc, product, width, mask)
+            partials[block] = float(positive_acc - negative_acc)
+
+        scale = np.exp2(
+            a.shared_exponents.astype(np.float64)
+            + b.shared_exponents.astype(np.float64)
+            - 2 * (self.config.mantissa_bits - 1)
+        )
+        return partials.reshape(a.shared_exponents.shape) * scale

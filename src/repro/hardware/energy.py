@@ -1,0 +1,59 @@
+"""Energy accounting: the static / DRAM / buffer / core breakdown of Fig. 9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one workload execution split into the paper's four components (joules)."""
+
+    static_j: float
+    dram_j: float
+    buffer_j: float
+    core_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.dram_j + self.buffer_j + self.core_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            static_j=self.static_j + other.static_j,
+            dram_j=self.dram_j + other.dram_j,
+            buffer_j=self.buffer_j + other.buffer_j,
+            core_j=self.core_j + other.core_j,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            static_j=self.static_j * factor,
+            dram_j=self.dram_j * factor,
+            buffer_j=self.buffer_j * factor,
+            core_j=self.core_j * factor,
+        )
+
+    def normalised_to(self, reference: "EnergyBreakdown") -> dict:
+        """Components divided by the reference design's *total* (Fig. 9 style)."""
+        ref_total = reference.total_j
+        if ref_total <= 0:
+            raise ValueError("reference total energy must be positive")
+        return {
+            "static": self.static_j / ref_total,
+            "dram": self.dram_j / ref_total,
+            "buffer": self.buffer_j / ref_total,
+            "core": self.core_j / ref_total,
+            "total": self.total_j / ref_total,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "static_j": self.static_j,
+            "dram_j": self.dram_j,
+            "buffer_j": self.buffer_j,
+            "core_j": self.core_j,
+            "total_j": self.total_j,
+        }

@@ -1,0 +1,83 @@
+"""Gate-equivalent accounting for combinational and sequential primitives.
+
+Every arithmetic block in :mod:`repro.hardware` is described as a
+:class:`GateCounts` — how many of each primitive cell it instantiates — and
+converted to gate equivalents (NAND2-normalised area) with the usual standard
+cell weights.  Keeping the counts symbolic (instead of collapsing to a single
+number immediately) lets the tests assert structural facts, e.g. that the
+carry-chain unit of Eq. 13/14 removes exactly one AND and two XOR gates
+relative to a full adder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.technology import TechnologyModel
+
+__all__ = ["GateCounts", "GATE_EQUIVALENT_WEIGHTS", "FULL_ADDER", "HALF_ADDER"]
+
+#: NAND2-equivalent area weights of the primitive cells (typical standard-cell
+#: library ratios).
+GATE_EQUIVALENT_WEIGHTS = {
+    "nand2": 1.0,
+    "and2": 1.5,
+    "or2": 1.5,
+    "xor2": 3.0,
+    "not": 0.7,
+    "mux2": 2.3,
+    "flipflop": 6.0,
+}
+
+
+@dataclass(frozen=True)
+class GateCounts:
+    """A bag of primitive-cell counts with arithmetic for composing blocks."""
+
+    counts: dict = field(default_factory=dict)
+
+    @staticmethod
+    def of(**kwargs) -> "GateCounts":
+        unknown = set(kwargs) - set(GATE_EQUIVALENT_WEIGHTS)
+        if unknown:
+            raise ValueError(f"unknown gate types {sorted(unknown)}")
+        return GateCounts({k: float(v) for k, v in kwargs.items() if v})
+
+    def __add__(self, other: "GateCounts") -> "GateCounts":
+        merged = dict(self.counts)
+        for key, value in other.counts.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return GateCounts(merged)
+
+    def __mul__(self, factor: float) -> "GateCounts":
+        return GateCounts({k: v * factor for k, v in self.counts.items()})
+
+    __rmul__ = __mul__
+
+    def count(self, gate: str) -> float:
+        return self.counts.get(gate, 0.0)
+
+    def gate_equivalents(self) -> float:
+        """Total area in NAND2 equivalents."""
+        return sum(GATE_EQUIVALENT_WEIGHTS[k] * v for k, v in self.counts.items())
+
+    def area_um2(self, technology: TechnologyModel) -> float:
+        return technology.logic_area_um2(self.gate_equivalents())
+
+    def dynamic_energy_j(self, technology: TechnologyModel, activity: float = 1.0) -> float:
+        """Energy of one evaluation assuming ``activity`` of the gates toggle."""
+        return technology.dynamic_energy_j(self.gate_equivalents() * activity)
+
+    def static_power_w(self, technology: TechnologyModel) -> float:
+        return self.gate_equivalents() * technology.static_power_per_ge_nw * 1e-9
+
+    def as_dict(self) -> dict:
+        return dict(self.counts)
+
+
+#: A mirror-style full adder: 2 XOR, 2 AND, 1 OR (sum = a ^ b ^ cin,
+#: carry = ab + cin(a ^ b)) — the reference the sparse adder is compared with.
+FULL_ADDER = GateCounts.of(xor2=2, and2=2, or2=1)
+
+#: Half adder: 1 XOR (sum), 1 AND (carry).
+HALF_ADDER = GateCounts.of(xor2=1, and2=1)

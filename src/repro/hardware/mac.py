@@ -1,0 +1,189 @@
+"""MAC-unit cost models for every compared number format (Table I).
+
+A MAC (multiply-accumulate) unit consists of the operand multiplier, the
+partial-sum adder and — for block formats — the shared-exponent adder and the
+flag/shift handling.  The models here reproduce the structure of Section IV-A:
+
+* **FP16**: full floating-point multiply-add (mantissa multiplier, alignment
+  and normalisation shifters, wide mantissa adder, rounding/exception
+  control), by far the largest unit.
+* **INT8**: a plain integer multiplier and accumulator.
+* **BFPm**: an m-bit integer multiplier, an accumulator sized for the block
+  dot product and one shared-exponent adder — fixed-point efficiency with a
+  floating-point-like dynamic range.
+* **BBFP(m,o)**: the BFP datapath plus the flag-controlled product shifter of
+  Eq. 10 and the sparse partial-sum adder of Fig. 5(b) (full adders where the
+  product bits can be non-zero, carry-chain cells where they are structurally
+  zero).  The area is slightly larger than BFPm — the price of the extra
+  representational range — matching the Table I ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.floatspec import FP16, FloatSpec
+from repro.core.integer import IntQuantConfig
+from repro.hardware.adders import ripple_carry_adder, sparse_partial_sum_adder
+from repro.hardware.gates import GateCounts
+from repro.hardware.multipliers import array_multiplier, barrel_shifter, exponent_adder
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+
+__all__ = ["MACUnit", "mac_unit_for_format", "mac_table", "ACCUMULATOR_GUARD_BITS"]
+
+#: Extra accumulator bits beyond the widest single product, covering the block
+#: dot-product accumulation without overflow (32-element blocks need 5 bits;
+#: one more bit of headroom matches common accelerator practice).
+ACCUMULATOR_GUARD_BITS = 6
+
+#: Control, rounding, exception and subnormal handling of an IEEE FP multiply-
+#: add, expressed as a multiplier on the datapath gate count.  Block formats
+#: avoid this logic entirely, which is the main source of their efficiency.
+_FP_CONTROL_OVERHEAD = 1.9
+
+
+@dataclass(frozen=True)
+class MACUnit:
+    """Cost summary of one MAC unit (Table I row)."""
+
+    name: str
+    gates: GateCounts
+    block_size: int
+    equivalent_bit_width: float
+    multiplier_bits: int
+
+    def area_um2(self, technology: TechnologyModel = TSMC28_LIKE) -> float:
+        return self.gates.area_um2(technology)
+
+    def gate_equivalents(self) -> float:
+        return self.gates.gate_equivalents()
+
+    def memory_efficiency(self, reference_bits: float = 16.0) -> float:
+        return reference_bits / self.equivalent_bit_width
+
+    def energy_per_mac_j(self, technology: TechnologyModel = TSMC28_LIKE,
+                         activity: float = 0.5) -> float:
+        """Dynamic energy of one multiply-accumulate."""
+        return self.gates.dynamic_energy_j(technology, activity=activity)
+
+
+def _accumulator_width(product_bits: int, block_size: int) -> int:
+    return product_bits + max(1, math.ceil(math.log2(max(2, block_size)))) + ACCUMULATOR_GUARD_BITS - 5
+
+
+def fp16_mac() -> MACUnit:
+    """IEEE FP16 multiply with FP32-style accumulation."""
+    mantissa = FP16.mantissa_bits + 1  # implicit leading one
+    datapath = (
+        array_multiplier(mantissa, mantissa)
+        + exponent_adder(FP16.exponent_bits)
+        + barrel_shifter(width=2 * mantissa + 2, positions=2 ** FP16.exponent_bits)  # align
+        + ripple_carry_adder(2 * mantissa + 2)  # mantissa addition
+        + barrel_shifter(width=2 * mantissa + 2, positions=2 * mantissa + 2)  # normalise
+    )
+    gates = datapath * _FP_CONTROL_OVERHEAD
+    return MACUnit(
+        name="FP16",
+        gates=gates,
+        block_size=1,
+        equivalent_bit_width=16.0,
+        multiplier_bits=mantissa,
+    )
+
+
+def int_mac(config: IntQuantConfig) -> MACUnit:
+    """Plain integer MAC (INT8 in Table I)."""
+    bits = config.bits
+    product_bits = 2 * bits
+    gates = array_multiplier(bits, bits) + ripple_carry_adder(
+        _accumulator_width(product_bits, 32)
+    )
+    return MACUnit(
+        name=config.name,
+        gates=gates,
+        block_size=1,
+        equivalent_bit_width=config.equivalent_bit_width(),
+        multiplier_bits=bits,
+    )
+
+
+def bfp_mac(config: BFPConfig) -> MACUnit:
+    """Vanilla BFP MAC: integer multiplier + accumulator + shared-exponent adder."""
+    m = config.mantissa_bits
+    product_bits = 2 * m
+    gates = (
+        array_multiplier(m, m)
+        + ripple_carry_adder(_accumulator_width(product_bits, config.block_size))
+        + exponent_adder(config.exponent_bits)
+    )
+    return MACUnit(
+        name=config.name,
+        gates=gates,
+        block_size=config.block_size,
+        equivalent_bit_width=config.equivalent_bit_width(),
+        multiplier_bits=m,
+    )
+
+
+def bbfp_mac(config: BBFPConfig) -> MACUnit:
+    """BBFP MAC: integer multiplier + flag shifter (Eq. 10) + sparse adder (Fig. 5(b))."""
+    m = config.mantissa_bits
+    shift = m - config.overlap_bits
+    product_bits = 2 * m + 2 * shift  # worst case: both flags set
+    # The flag-controlled shifter selects between 0, `shift` and `2*shift`.
+    flag_shifter = barrel_shifter(width=2 * m, positions=3)
+    flag_logic = GateCounts.of(and2=2, xor2=1)  # Eq. 10 flag decode + output flag encode
+    adder = sparse_partial_sum_adder(
+        total_bits=_accumulator_width(product_bits, config.block_size),
+        chain_bits=2 * shift,
+    )
+    gates = (
+        array_multiplier(m, m)
+        + flag_shifter
+        + flag_logic
+        + adder
+        + exponent_adder(config.exponent_bits)
+    )
+    return MACUnit(
+        name=config.name,
+        gates=gates,
+        block_size=config.block_size,
+        equivalent_bit_width=config.equivalent_bit_width(),
+        multiplier_bits=m,
+    )
+
+
+def mac_unit_for_format(config) -> MACUnit:
+    """Dispatch a format config (FloatSpec / IntQuantConfig / BFPConfig / BBFPConfig) to its MAC model."""
+    if isinstance(config, BBFPConfig):
+        return bbfp_mac(config)
+    if isinstance(config, BFPConfig):
+        return bfp_mac(config)
+    if isinstance(config, IntQuantConfig):
+        return int_mac(config)
+    if isinstance(config, FloatSpec):
+        if config.name != "FP16":
+            raise ValueError(f"only the FP16 MAC baseline is modelled, got {config.name}")
+        return fp16_mac()
+    raise TypeError(f"unsupported format config {type(config)!r}")
+
+
+def mac_table(configs, technology: TechnologyModel = TSMC28_LIKE) -> list:
+    """Build Table I rows: datatype, block size, area, equivalent bit-width, memory efficiency."""
+    rows = []
+    for config in configs:
+        unit = mac_unit_for_format(config)
+        rows.append(
+            {
+                "datatype": unit.name,
+                "block_size": unit.block_size,
+                "area_um2": unit.area_um2(technology),
+                "gate_equivalents": unit.gate_equivalents(),
+                "equivalent_bit_width": unit.equivalent_bit_width,
+                "memory_efficiency": unit.memory_efficiency(),
+            }
+        )
+    return rows

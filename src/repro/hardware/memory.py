@@ -1,0 +1,63 @@
+"""On-chip SRAM buffers and external DRAM (CACTI-style analytic model).
+
+The paper uses CACTI for the on-chip input/weight/output buffers and counts
+DRAM traffic for the energy breakdown of Fig. 9.  This model captures the two
+properties that matter for those comparisons:
+
+* energy per byte grows slowly with buffer capacity (bitline/wordline length),
+  modelled as a square-root capacity factor on a 28 nm-class base energy;
+* DRAM access energy is two orders of magnitude above SRAM, so formats with a
+  smaller memory footprint (fewer bits per element) directly save DRAM energy
+  — the reason BBFP's extra flag bit shows up in the Fig. 9 DRAM component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+
+__all__ = ["SRAMBuffer", "DRAMModel"]
+
+_REFERENCE_SRAM_BYTES = 32 * 1024  # energy constants are quoted for a 32 KiB macro
+
+
+@dataclass(frozen=True)
+class SRAMBuffer:
+    """A single on-chip SRAM buffer (input, weight or output buffer)."""
+
+    name: str
+    capacity_bytes: int
+    technology: TechnologyModel = TSMC28_LIKE
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+
+    @property
+    def _capacity_factor(self) -> float:
+        return max(0.25, (self.capacity_bytes / _REFERENCE_SRAM_BYTES) ** 0.5)
+
+    def area_um2(self) -> float:
+        return self.capacity_bytes * self.technology.sram_area_per_byte_um2
+
+    def read_energy_j(self, num_bytes: float) -> float:
+        return num_bytes * self.technology.sram_read_energy_per_byte_pj * 1e-12 * self._capacity_factor
+
+    def write_energy_j(self, num_bytes: float) -> float:
+        return num_bytes * self.technology.sram_write_energy_per_byte_pj * 1e-12 * self._capacity_factor
+
+    def leakage_power_w(self) -> float:
+        # SRAM leakage scales with capacity; ~25% of the equivalent logic leakage per area.
+        gate_equivalents = self.area_um2() / self.technology.nand2_area_um2
+        return 0.25 * gate_equivalents * self.technology.static_power_per_ge_nw * 1e-9
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """External memory access energy (no timing model — bandwidth is assumed sufficient)."""
+
+    technology: TechnologyModel = TSMC28_LIKE
+
+    def access_energy_j(self, num_bytes: float) -> float:
+        return num_bytes * self.technology.dram_energy_per_byte_pj * 1e-12

@@ -1,0 +1,189 @@
+"""Alternative multiplier and adder micro-architectures for the PE ablations.
+
+Table I / Table III cost every PE with a plain carry-save *array* multiplier
+(:func:`repro.hardware.multipliers.array_multiplier`), which is what the
+paper's PE area comparison implies (all formats use the same multiplier
+structure, only its width changes).  A designer porting BBAL to a different
+operating point would also consider:
+
+* **Booth radix-4 recoding** — halves the number of partial products, trading
+  AND-array area for recoders and selectors; pays off for wide operands,
+  costs area for the 3–6-bit mantissas BBFP actually uses.
+* **Wallace-tree reduction** — same partial products as the array, but a
+  logarithmic-depth compressor tree plus a final carry-propagate adder;
+  roughly area-neutral while much shorter in logic depth (higher clock).
+* **Carry-save accumulation** — keeps the partial sum in redundant
+  (sum, carry) form so each accumulation step is a single full-adder delay;
+  more registers, no carry propagation until the final conversion.
+
+Each design is described by a :class:`MultiplierDesign` carrying both the
+:class:`~repro.hardware.gates.GateCounts` (area/energy) and an estimate of the
+*logic depth* in full-adder delays, so the ablation bench can show the
+area–frequency trade-off that the paper's single-architecture tables cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.gates import FULL_ADDER, GateCounts, HALF_ADDER
+from repro.hardware.multipliers import array_multiplier
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+
+__all__ = [
+    "MultiplierDesign",
+    "array_multiplier_design",
+    "booth_radix4_multiplier",
+    "wallace_tree_multiplier",
+    "carry_save_accumulator",
+    "multiplier_architecture_table",
+]
+
+#: Logic depth of one full-adder cell, in the same arbitrary unit used by all
+#: depth estimates below (one "FA delay").
+_FA_DEPTH = 1.0
+
+
+def _lookahead_cpa(width: int) -> GateCounts:
+    """Final carry-propagate adder of the tree/Booth multipliers.
+
+    Modelled as a carry-lookahead structure: full-adder cells plus a
+    generate/propagate network of roughly one AND and one OR per bit level.
+    The array multiplier keeps its plain ripple carry, which is exactly why
+    its depth is linear while these are logarithmic.
+    """
+    return FULL_ADDER * width + GateCounts.of(and2=width, or2=width)
+
+
+def _cpa_depth(width: int) -> float:
+    """Depth of the lookahead CPA in FA delays (logarithmic in the width)."""
+    return _FA_DEPTH * max(1.0, math.log2(max(2, width)))
+
+
+@dataclass(frozen=True)
+class MultiplierDesign:
+    """One multiplier micro-architecture: its gates and an estimated logic depth."""
+
+    name: str
+    operand_bits: tuple
+    gates: GateCounts
+    logic_depth_fa: float
+
+    def area_um2(self, technology: TechnologyModel = TSMC28_LIKE) -> float:
+        return self.gates.area_um2(technology)
+
+    def gate_equivalents(self) -> float:
+        return self.gates.gate_equivalents()
+
+    def max_frequency_ghz(self, fa_delay_ps: float = 45.0) -> float:
+        """Rough attainable clock assuming the multiplier is the critical path."""
+        if self.logic_depth_fa <= 0:
+            return float("inf")
+        return 1e3 / (self.logic_depth_fa * fa_delay_ps)
+
+    def area_delay_product(self, technology: TechnologyModel = TSMC28_LIKE,
+                           fa_delay_ps: float = 45.0) -> float:
+        """Area x delay (µm² x ns) — the figure of merit of the ablation."""
+        return self.area_um2(technology) * self.logic_depth_fa * fa_delay_ps * 1e-3
+
+
+def array_multiplier_design(bits_a: int, bits_b: int) -> MultiplierDesign:
+    """The baseline carry-save array (what Table I / III use), with its depth estimate."""
+    gates = array_multiplier(bits_a, bits_b)
+    # Carry ripples through roughly bits_a + bits_b full-adder stages.
+    depth = _FA_DEPTH * max(1, bits_a + bits_b - 2)
+    return MultiplierDesign("array", (bits_a, bits_b), gates, depth)
+
+
+def booth_radix4_multiplier(bits_a: int, bits_b: int) -> MultiplierDesign:
+    """Radix-4 Booth multiplier: ``ceil(b/2) + 1`` partial products.
+
+    Each Booth group needs a recoder (the classic 3-input encode is a couple of
+    XORs and ANDs) and one selector cell per partial-product bit (a mux plus a
+    conditional inversion).  The partial products are then reduced with an
+    adder array and a final carry-propagate adder.
+    """
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("multiplier operand widths must be >= 1")
+    groups = bits_b // 2 + 1
+    pp_width = bits_a + 1  # sign extension of the +/-2x terms
+    recoders = GateCounts.of(xor2=2 * groups, and2=2 * groups, or2=groups)
+    selectors = GateCounts.of(mux2=groups * pp_width, xor2=groups * pp_width)
+    reduction_rows = max(0, groups - 2)
+    reduction = FULL_ADDER * (reduction_rows * pp_width) + HALF_ADDER * pp_width
+    final_adder = _lookahead_cpa(bits_a + bits_b)
+    gates = recoders + selectors + reduction + final_adder
+    depth = _FA_DEPTH * (1 + max(0, groups - 1)) + _cpa_depth(bits_a + bits_b)
+    return MultiplierDesign("booth-r4", (bits_a, bits_b), gates, depth)
+
+
+def wallace_tree_multiplier(bits_a: int, bits_b: int) -> MultiplierDesign:
+    """Wallace-tree multiplier: AND array + 3:2 compressor tree + final CPA.
+
+    The compressor tree uses essentially the same number of full adders as the
+    array (reducing ``a*b`` partial-product bits to two rows costs about
+    ``a*b - 2*(a+b)`` compressors) but its depth is logarithmic in the number
+    of partial products instead of linear.
+    """
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("multiplier operand widths must be >= 1")
+    partial_products = GateCounts.of(and2=bits_a * bits_b)
+    compressors = FULL_ADDER * max(0, bits_a * bits_b - 2 * (bits_a + bits_b))
+    half = HALF_ADDER * (bits_a + bits_b)
+    final_adder = _lookahead_cpa(bits_a + bits_b)
+    gates = partial_products + compressors + half + final_adder
+    # Reduction depth ~ log_1.5 of the partial-product count, plus the CPA.
+    rows = max(2, bits_b)
+    tree_depth = math.ceil(math.log(rows / 2.0, 1.5)) if rows > 2 else 1
+    depth = _FA_DEPTH * tree_depth + _cpa_depth(bits_a + bits_b)
+    return MultiplierDesign("wallace", (bits_a, bits_b), gates, depth)
+
+
+def carry_save_accumulator(bits: int, terms: int) -> GateCounts:
+    """Carry-save accumulation of ``terms`` values of ``bits`` width.
+
+    One row of full adders per accumulated term (each step is O(1) in delay),
+    plus the final carry-propagate adder converting (sum, carry) back to
+    binary.  Used by the MAC ablation as the alternative to the paper's
+    sparse ripple adder.
+    """
+    if bits < 1:
+        raise ValueError("adder width must be >= 1")
+    if terms < 1:
+        raise ValueError("terms must be >= 1")
+    per_term = FULL_ADDER * bits
+    final = FULL_ADDER * bits
+    # Redundant-form partial sums double the accumulator registers; registers
+    # are accounted by the PE model, so only adders appear here.
+    return per_term * max(1, terms - 1) + final
+
+
+def multiplier_architecture_table(operand_bits,
+                                  technology: TechnologyModel = TSMC28_LIKE) -> list:
+    """Compare all three multiplier architectures over a list of operand widths.
+
+    Returns one row per (width, architecture) with area, depth, attainable
+    frequency and area-delay product — the data behind the multiplier ablation
+    bench.
+    """
+    rows = []
+    for bits in operand_bits:
+        designs = (
+            array_multiplier_design(bits, bits),
+            booth_radix4_multiplier(bits, bits),
+            wallace_tree_multiplier(bits, bits),
+        )
+        for design in designs:
+            rows.append(
+                {
+                    "bits": bits,
+                    "architecture": design.name,
+                    "area_um2": design.area_um2(technology),
+                    "gate_equivalents": design.gate_equivalents(),
+                    "logic_depth_fa": design.logic_depth_fa,
+                    "max_frequency_ghz": design.max_frequency_ghz(),
+                    "area_delay_product": design.area_delay_product(technology),
+                }
+            )
+    return rows

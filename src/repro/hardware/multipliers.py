@@ -1,0 +1,65 @@
+"""Multiplier, shifter and comparator cost models."""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.gates import FULL_ADDER, GateCounts, HALF_ADDER
+
+__all__ = ["array_multiplier", "barrel_shifter", "comparator", "exponent_adder", "divider"]
+
+
+def array_multiplier(bits_a: int, bits_b: int) -> GateCounts:
+    """Unsigned array multiplier: one AND per partial-product bit plus an adder array.
+
+    The classic carry-save array uses ``bits_a * bits_b`` AND gates,
+    ``(bits_a - 1) * bits_b`` full adders (minus the half adders of the first
+    row).  The quadratic growth with mantissa width is what makes the PE area
+    comparison of Table III be dominated by the multiplier.
+    """
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("multiplier operand widths must be >= 1")
+    partial_products = GateCounts.of(and2=bits_a * bits_b)
+    if bits_a == 1 or bits_b == 1:
+        return partial_products
+    full_adders = FULL_ADDER * max(0, (bits_a - 2) * bits_b)
+    half_adders = HALF_ADDER * bits_b
+    return partial_products + full_adders + half_adders
+
+
+def barrel_shifter(width: int, positions: int) -> GateCounts:
+    """Mux-based shifter over ``positions`` distinct shift amounts.
+
+    Each of ``ceil(log2(positions))`` stages needs one 2:1 mux per output bit.
+    Used for the flag-controlled shift of the BBFP MAC (Eq. 10) and for the
+    mantissa alignment in the FP-to-BBFP encoder.
+    """
+    if width < 1:
+        raise ValueError("shifter width must be >= 1")
+    if positions < 1:
+        raise ValueError("positions must be >= 1")
+    stages = max(1, math.ceil(math.log2(positions))) if positions > 1 else 0
+    return GateCounts.of(mux2=width * stages)
+
+
+def comparator(bits: int) -> GateCounts:
+    """Magnitude comparator (used by the max unit and the exponent alignment)."""
+    if bits < 1:
+        raise ValueError("comparator width must be >= 1")
+    return GateCounts.of(xor2=bits, and2=bits, or2=bits)
+
+
+def exponent_adder(bits: int = 5) -> GateCounts:
+    """Small adder for shared-exponent addition (one per block dot product)."""
+    return FULL_ADDER * bits
+
+
+def divider(bits: int) -> GateCounts:
+    """Iterative restoring divider (used by the softmax normalisation stage).
+
+    A restoring divider is roughly one subtractor plus a mux per quotient bit.
+    """
+    if bits < 1:
+        raise ValueError("divider width must be >= 1")
+    per_stage = FULL_ADDER * bits + GateCounts.of(mux2=bits)
+    return per_stage * bits

@@ -1,0 +1,209 @@
+"""Processing-element (PE) cost models for every quantisation strategy (Table III).
+
+The BBAL PE (Fig. 7) is weight-stationary: it keeps one quantised weight in a
+local register, multiplies it with the forwarded input activation every cycle
+and accumulates into the forwarded partial sum.  Two PE flavours exist — one
+with a shared-exponent adder and one with an exponent bypass — so on average
+only a fraction of the PEs carry the 5-bit exponent adder.
+
+Following the paper's own accounting ("the PE area consists of two
+components: multiplier and adder, with multiplier occupying the majority"),
+the reported PE area covers the arithmetic datapath:
+
+* the mantissa multiplier (quadratic in the mantissa width — the dominant
+  term that orders Table III);
+* the partial-sum adder, sized for the product width plus accumulation
+  headroom; BBFP products are wider (``2m + 2(m-o)``) but the structurally
+  zero positions use the cheap carry-chain cells of Fig. 5(b);
+* the flag-controlled product shifter and flag decode (BBFP only);
+* an amortised share of the shared-exponent adder.
+
+The pipeline registers (weight / forwarded input / partial sum) are modelled
+separately — they are needed by the accelerator energy model but excluded
+from the Table III area, matching the paper.
+
+The comparison strategies are modelled with the same skeleton:
+
+* **Oltron** — outlier-aware accelerator whose regular path uses 3-bit
+  multipliers and low-bit adders, plus a small outlier-index controller.
+* **Olive** — outlier-victim pair quantisation: a 4-bit datapath with the
+  extra decode/escape logic needed to reconstruct outliers that replaced
+  their "victim" neighbours.
+* **BFPm / BBFP(m,o)** — the block formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.integer import IntQuantConfig
+from repro.hardware.adders import ripple_carry_adder, sparse_partial_sum_adder
+from repro.hardware.gates import GateCounts
+from repro.hardware.multipliers import array_multiplier, barrel_shifter, exponent_adder
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+
+__all__ = ["PEDesign", "pe_for_strategy", "pe_area_table", "STRATEGY_NAMES",
+           "ACCUMULATION_HEADROOM_BITS", "EXPONENT_ADDER_SHARE"]
+
+#: Strategy names accepted by :func:`pe_for_strategy` in addition to format configs.
+STRATEGY_NAMES = ("Oltron", "Olive")
+
+#: Extra adder bits beyond the product width, covering the in-array partial-sum
+#: accumulation over a 32-element block.
+ACCUMULATION_HEADROOM_BITS = 5
+
+#: Fraction of PEs that carry the shared-exponent adder (Fig. 7 PE type 1); the
+#: rest bypass the exponent, so the per-PE average is amortised.
+EXPONENT_ADDER_SHARE = 0.25
+
+
+@dataclass(frozen=True)
+class PEDesign:
+    """Cost summary of one processing element."""
+
+    name: str
+    datapath_gates: GateCounts
+    register_gates: GateCounts
+    multiplier_bits: int
+
+    @property
+    def gates(self) -> GateCounts:
+        """Datapath plus pipeline registers (used by the energy model)."""
+        return self.datapath_gates + self.register_gates
+
+    def gate_equivalents(self, include_registers: bool = False) -> float:
+        gates = self.gates if include_registers else self.datapath_gates
+        return gates.gate_equivalents()
+
+    def area_um2(self, technology: TechnologyModel = TSMC28_LIKE,
+                 include_registers: bool = False) -> float:
+        gates = self.gates if include_registers else self.datapath_gates
+        return gates.area_um2(technology)
+
+    def energy_per_mac_j(self, technology: TechnologyModel = TSMC28_LIKE,
+                         activity: float = 0.5) -> float:
+        """Dynamic energy of one multiply-accumulate (registers included)."""
+        return self.gates.dynamic_energy_j(technology, activity=activity)
+
+    def static_power_w(self, technology: TechnologyModel = TSMC28_LIKE) -> float:
+        return self.gates.static_power_w(technology)
+
+    def macs_per_cycle(self) -> float:
+        """Every modelled PE performs one multiply-accumulate per cycle."""
+        return 1.0
+
+
+def _registers(weight_bits: int, accumulator_bits: int) -> GateCounts:
+    """Weight register + forwarded-input register + partial-sum register."""
+    return GateCounts.of(flipflop=2 * weight_bits + accumulator_bits)
+
+
+def _make_pe(name, multiplier_bits, datapath, accumulator_bits) -> PEDesign:
+    return PEDesign(
+        name=name,
+        datapath_gates=datapath,
+        register_gates=_registers(multiplier_bits + 2, accumulator_bits),
+        multiplier_bits=multiplier_bits,
+    )
+
+
+def _bfp_pe(config: BFPConfig) -> PEDesign:
+    m = config.mantissa_bits
+    adder_bits = 2 * m + ACCUMULATION_HEADROOM_BITS
+    datapath = (
+        array_multiplier(m, m)
+        + ripple_carry_adder(adder_bits)
+        + exponent_adder(config.exponent_bits) * EXPONENT_ADDER_SHARE
+    )
+    return _make_pe(config.name, m, datapath, adder_bits)
+
+
+def _bbfp_pe(config: BBFPConfig) -> PEDesign:
+    m = config.mantissa_bits
+    shift = m - config.overlap_bits
+    product_bits = 2 * m + 2 * shift
+    adder_bits = product_bits + ACCUMULATION_HEADROOM_BITS
+    datapath = (
+        array_multiplier(m, m)
+        + barrel_shifter(width=2 * m, positions=3)  # flag-controlled shift of Eq. 10
+        + GateCounts.of(and2=2, xor2=1)  # flag decode + output flag encode
+        + sparse_partial_sum_adder(total_bits=adder_bits, chain_bits=2 * shift)
+        + exponent_adder(config.exponent_bits) * EXPONENT_ADDER_SHARE
+    )
+    return _make_pe(config.name, m, datapath, adder_bits)
+
+
+def _int_pe(config: IntQuantConfig) -> PEDesign:
+    bits = config.bits
+    adder_bits = 2 * bits + ACCUMULATION_HEADROOM_BITS
+    datapath = array_multiplier(bits, bits) + ripple_carry_adder(adder_bits)
+    return _make_pe(config.name, bits, datapath, adder_bits)
+
+
+def _oltron_pe() -> PEDesign:
+    """Oltron-style PE: 3-bit regular datapath, low-bit adder, outlier-index control."""
+    adder_bits = 2 * 3 + ACCUMULATION_HEADROOM_BITS + 2  # widened for outlier partial sums
+    datapath = (
+        array_multiplier(3, 3)
+        + ripple_carry_adder(adder_bits)
+        + GateCounts.of(mux2=4, and2=4)  # outlier index steering
+    )
+    return _make_pe("Oltron", 3, datapath, adder_bits)
+
+
+def _olive_pe() -> PEDesign:
+    """Olive-style PE: 4-bit datapath plus outlier-victim pair decode and escape path."""
+    adder_bits = 2 * 4 + ACCUMULATION_HEADROOM_BITS + 2
+    pair_decode = GateCounts.of(mux2=16, and2=8, xor2=4)
+    escape_adder = ripple_carry_adder(4)  # widens the product when an outlier is decoded
+    datapath = (
+        array_multiplier(4, 4)
+        + ripple_carry_adder(adder_bits)
+        + pair_decode
+        + escape_adder
+    )
+    return _make_pe("Olive", 4, datapath, adder_bits)
+
+
+def pe_for_strategy(strategy) -> PEDesign:
+    """Build the PE for a named baseline (``"Oltron"``/``"Olive"``) or a format config."""
+    if isinstance(strategy, str):
+        key = strategy.strip().lower()
+        if key == "oltron":
+            return _oltron_pe()
+        if key in ("olive", "oliver"):
+            return _olive_pe()
+        raise ValueError(f"unknown PE strategy {strategy!r}; known names: {STRATEGY_NAMES}")
+    if isinstance(strategy, BBFPConfig):
+        return _bbfp_pe(strategy)
+    if isinstance(strategy, BFPConfig):
+        return _bfp_pe(strategy)
+    if isinstance(strategy, IntQuantConfig):
+        return _int_pe(strategy)
+    raise TypeError(f"unsupported strategy type {type(strategy)!r}")
+
+
+def pe_area_table(strategies, technology: TechnologyModel = TSMC28_LIKE,
+                  normalise_to=None) -> list:
+    """Build Table III rows: PE area per strategy, normalised to a reference design.
+
+    ``normalise_to`` defaults to the largest area in the list (the paper
+    normalises to BBFP(6,3), which is its largest PE).
+    """
+    designs = [pe_for_strategy(s) for s in strategies]
+    areas = [d.area_um2(technology) for d in designs]
+    if normalise_to is None:
+        reference = max(areas)
+    else:
+        reference = pe_for_strategy(normalise_to).area_um2(technology)
+    return [
+        {
+            "strategy": design.name,
+            "area_um2": area,
+            "normalised_area": area / reference,
+            "multiplier_bits": design.multiplier_bits,
+        }
+        for design, area in zip(designs, areas)
+    ]

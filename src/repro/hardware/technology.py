@@ -1,0 +1,65 @@
+"""Technology constants for the analytic 28 nm-class cost model.
+
+All logic area is expressed in *gate equivalents* (GE, the area of one NAND2)
+and converted to square microns with the NAND2 area of a 28 nm-class library.
+Dynamic energy is charged per gate equivalent toggled, static power per gate
+equivalent present; memory energies follow the usual CACTI-style ordering
+(register file < SRAM < DRAM, roughly 1 : 10 : 200 per byte).
+
+The absolute values are representative, not foundry data — every result built
+on them is reported as a *ratio* between designs costed with the same
+constants, mirroring how the paper normalises its figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyModel", "TSMC28_LIKE"]
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Process/technology constants used by every hardware cost model."""
+
+    name: str
+    nand2_area_um2: float
+    clock_frequency_hz: float
+    dynamic_energy_per_ge_fj: float
+    static_power_per_ge_nw: float
+    sram_read_energy_per_byte_pj: float
+    sram_write_energy_per_byte_pj: float
+    sram_area_per_byte_um2: float
+    dram_energy_per_byte_pj: float
+    register_energy_per_byte_pj: float
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.clock_frequency_hz
+
+    def logic_area_um2(self, gate_equivalents: float) -> float:
+        """Convert gate equivalents to square microns."""
+        return gate_equivalents * self.nand2_area_um2
+
+    def dynamic_energy_j(self, gate_equivalents_toggled: float) -> float:
+        """Dynamic switching energy in joules for the given toggled GE count."""
+        return gate_equivalents_toggled * self.dynamic_energy_per_ge_fj * 1e-15
+
+    def static_energy_j(self, gate_equivalents: float, seconds: float) -> float:
+        """Leakage energy in joules of ``gate_equivalents`` over ``seconds``."""
+        return gate_equivalents * self.static_power_per_ge_nw * 1e-9 * seconds
+
+
+#: Representative 28 nm-class constants (the paper's TSMC 28 nm flow).
+TSMC28_LIKE = TechnologyModel(
+    name="28nm-class",
+    nand2_area_um2=0.49,
+    clock_frequency_hz=1.0e9,
+    dynamic_energy_per_ge_fj=0.8,
+    static_power_per_ge_nw=2.0,
+    sram_read_energy_per_byte_pj=1.2,
+    sram_write_energy_per_byte_pj=1.5,
+    sram_area_per_byte_um2=1.6,
+    dram_energy_per_byte_pj=160.0,
+    register_energy_per_byte_pj=0.15,
+)

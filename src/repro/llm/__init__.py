@@ -1,0 +1,38 @@
+"""LLM substrate: autodiff, transformer models, training, data and quantised inference.
+
+The paper evaluates BBFP by quantising Llama/OPT checkpoints and measuring
+WikiText-2 perplexity.  Those checkpoints (and GPUs) are not available
+offline, so this package provides the closest synthetic equivalent that
+exercises the same code paths:
+
+* a from-scratch reverse-mode autodiff engine over numpy
+  (:mod:`repro.llm.autograd`);
+* Llama-style (RMSNorm + SwiGLU) and OPT-style (LayerNorm + GELU) decoder-only
+  transformers (:mod:`repro.llm.transformer`);
+* a deterministic synthetic character corpus with WikiText-like statistics
+  (:mod:`repro.llm.dataset`) and a character tokenizer
+  (:mod:`repro.llm.tokenizer`);
+* an Adam trainer with on-disk caching (:mod:`repro.llm.training`);
+* a model zoo mirroring the paper's Llama/OPT size families including
+  function-preserving activation-outlier injection (:mod:`repro.llm.zoo`);
+* a pure-numpy inference path with pluggable weight/activation/nonlinear
+  quantisation (:mod:`repro.llm.inference`) and perplexity evaluation
+  (:mod:`repro.llm.perplexity`).
+"""
+
+from repro.llm.config import ModelConfig
+from repro.llm.transformer import TransformerLM
+from repro.llm.inference import InferenceModel, QuantizationScheme
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.generation import GenerationConfig, generate_text, generate_tokens
+
+__all__ = [
+    "ModelConfig",
+    "TransformerLM",
+    "InferenceModel",
+    "QuantizationScheme",
+    "evaluate_perplexity",
+    "GenerationConfig",
+    "generate_tokens",
+    "generate_text",
+]

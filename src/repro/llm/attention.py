@@ -1,0 +1,63 @@
+"""Causal self-attention block (training path, autograd)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.autograd import Tensor
+from repro.llm.config import ModelConfig
+from repro.llm.layers import Linear, Module
+
+__all__ = ["CausalSelfAttention", "causal_mask"]
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive causal mask: 0 on/below the diagonal, a large negative above it."""
+    mask = np.triu(np.ones((seq_len, seq_len)), k=1)
+    return mask * -1e9
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal self-attention.
+
+    The four projections (Query, Key, Value, Proj) are exactly the linear
+    layers the paper quantises (Fig. 3 sweeps activation error across
+    Query / Key / Value / Proj / FC1 / FC2), and the softmax over attention
+    scores is one of the two nonlinear operators handled by the BBFP
+    nonlinear unit (Table IV, "Softmax only").
+    """
+
+    def __init__(self, config: ModelConfig, rng=None):
+        rng = rng or np.random.default_rng()
+        bias = config.use_bias
+        self.config = config
+        self.q_proj = Linear(config.d_model, config.d_model, bias=bias, rng=rng)
+        self.k_proj = Linear(config.d_model, config.d_model, bias=bias, rng=rng)
+        self.v_proj = Linear(config.d_model, config.d_model, bias=bias, rng=rng)
+        self.out_proj = Linear(config.d_model, config.d_model, bias=bias, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq_len, d_model = x.shape
+        heads = self.config.n_heads
+        head_dim = self.config.head_dim
+
+        def split_heads(tensor: Tensor) -> Tensor:
+            return tensor.reshape(batch, seq_len, heads, head_dim).transpose(0, 2, 1, 3)
+
+        q = split_heads(self.q_proj(x))
+        k = split_heads(self.k_proj(x))
+        v = split_heads(self.v_proj(x))
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(head_dim))
+        scores = scores + Tensor(causal_mask(seq_len))
+
+        # Numerically-stable softmax composed from autograd primitives; the
+        # subtracted max is treated as a constant, which leaves the gradient
+        # unchanged.
+        shifted = scores - Tensor(scores.data.max(axis=-1, keepdims=True))
+        exp_scores = shifted.exp()
+        attn = exp_scores * exp_scores.sum(axis=-1, keepdims=True) ** -1.0
+
+        context = attn @ v
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, d_model)
+        return self.out_proj(context)

@@ -1,0 +1,393 @@
+"""A minimal reverse-mode automatic differentiation engine over numpy.
+
+The paper's perplexity experiments need *trained* language models — random
+weights would make every quantisation format look identical (uniform output
+distribution).  Because no deep-learning framework is available offline, this
+module implements the small subset of autodiff needed to train decoder-only
+transformers: broadcasting arithmetic, matmul (batched), reductions,
+activations, embedding gather and a fused softmax cross-entropy.
+
+The design follows the classic "tape" approach: every :class:`Tensor` created
+by an operation remembers its parents and a closure that accumulates gradients
+into them; :meth:`Tensor.backward` topologically sorts the graph and runs the
+closures in reverse order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "softmax_cross_entropy", "embedding_lookup"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (used during evaluation)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_tensor(value) -> "Tensor":
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+class Tensor:
+    """A numpy array plus an optional gradient and backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, parents=(), backward=None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad = None
+        self._parents = tuple(parents) if _GRAD_ENABLED else ()
+        self._backward = backward if _GRAD_ENABLED else None
+
+    # ------------------------------------------------------------------ infra
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self):
+        self.grad = None
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    @staticmethod
+    def _make(data, parents, backward) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray):
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad=None):
+        """Back-propagate from this tensor; defaults to d(self)/d(self) = 1."""
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without an explicit gradient needs a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order of the graph reachable from self.
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other):
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other):
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = _as_tensor(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other):
+        return _as_tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Tensor):
+            raise TypeError("only scalar exponents are supported")
+        exponent = float(exponent)
+        out_data = np.power(self.data, exponent)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * np.power(self.data, exponent - 1.0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = _as_tensor(other)
+        out_data = np.matmul(self.data, other.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------ elementwise
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self):
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self):
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def silu(self):
+        """SiLU / swish: ``x * sigmoid(x)`` — the Llama MLP activation."""
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = self.data * sig
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (sig * (1.0 + self.data * (1.0 - sig))))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def gelu(self):
+        """Tanh-approximation GELU — the OPT MLP activation."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad):
+            if self.requires_grad:
+                d_inner = c * (1.0 + 3 * 0.044715 * x**2)
+                local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
+                self._accumulate(grad * local)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ---------------------------------------------------------------- reshape
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes))
+        out_data = self.data.transpose(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int):
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by default)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``table`` (vocab, dim) by integer ``indices`` (any shape)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = table.data[indices]
+
+    def backward(grad):
+        if table.requires_grad:
+            grad_table = np.zeros_like(table.data)
+            np.add.at(grad_table, indices.ravel(), grad.reshape(-1, table.data.shape[-1]))
+            table._accumulate(grad_table)
+
+    return Tensor._make(out_data, (table,), backward)
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of ``targets`` under softmax(logits).
+
+    ``logits`` has shape ``(..., vocab)`` and ``targets`` the matching integer
+    shape ``(...,)``.  The softmax and the log are fused for numerical
+    stability, and the backward pass is the standard ``softmax - onehot``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+    flat_targets = targets.reshape(-1)
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    nll = -log_probs[np.arange(flat_targets.size), flat_targets]
+    out_data = np.array(nll.mean())
+
+    def backward(grad):
+        if logits.requires_grad:
+            probs = np.exp(log_probs)
+            probs[np.arange(flat_targets.size), flat_targets] -= 1.0
+            probs *= float(grad) / flat_targets.size
+            logits._accumulate(probs.reshape(logits.data.shape))
+
+    return Tensor._make(out_data, (logits,), backward)

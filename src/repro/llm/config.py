@@ -1,0 +1,85 @@
+"""Model configuration for the decoder-only transformer substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+__all__ = ["ModelConfig"]
+
+_VALID_ARCH = ("llama", "opt")
+_VALID_NORM = ("rmsnorm", "layernorm")
+_VALID_ACT = ("silu", "gelu", "relu")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of a decoder-only language model.
+
+    The two ``arch`` presets follow the families evaluated in the paper:
+
+    ``"llama"``
+        RMSNorm, SwiGLU MLP (gate/up/down projections), no biases — the
+        structure whose nonlinear layers are Softmax + SiLU, matching the
+        paper's nonlinear unit evaluation (Table IV).
+    ``"opt"``
+        LayerNorm with biases and a GELU MLP (fc1/fc2) — the OPT family used
+        in Table II and Fig. 1(a).
+    """
+
+    name: str
+    vocab_size: int
+    d_model: int
+    n_heads: int
+    n_layers: int
+    d_ff: int
+    max_seq_len: int = 128
+    arch: str = "llama"
+    norm: str = field(default="")
+    activation: str = field(default="")
+    use_bias: bool = field(default=None)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.arch not in _VALID_ARCH:
+            raise ValueError(f"arch must be one of {_VALID_ARCH}, got {self.arch!r}")
+        # Fill architecture-dependent defaults.
+        if not self.norm:
+            object.__setattr__(self, "norm", "rmsnorm" if self.arch == "llama" else "layernorm")
+        if not self.activation:
+            object.__setattr__(self, "activation", "silu" if self.arch == "llama" else "gelu")
+        if self.use_bias is None:
+            object.__setattr__(self, "use_bias", self.arch == "opt")
+        if self.norm not in _VALID_NORM:
+            raise ValueError(f"norm must be one of {_VALID_NORM}, got {self.norm!r}")
+        if self.activation not in _VALID_ACT:
+            raise ValueError(f"activation must be one of {_VALID_ACT}, got {self.activation!r}")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model ({self.d_model}) must be divisible by n_heads ({self.n_heads})"
+            )
+        for field_name in ("vocab_size", "d_model", "n_heads", "n_layers", "d_ff", "max_seq_len"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def uses_gated_mlp(self) -> bool:
+        """Llama-style models use a gated (SwiGLU) MLP with an extra projection."""
+        return self.arch == "llama"
+
+    def parameter_count(self) -> int:
+        """Approximate trainable parameter count (used for model-family scaling)."""
+        embed = self.vocab_size * self.d_model + self.max_seq_len * self.d_model
+        attn = 4 * self.d_model * self.d_model
+        if self.uses_gated_mlp:
+            mlp = 3 * self.d_model * self.d_ff
+        else:
+            mlp = 2 * self.d_model * self.d_ff
+        head = self.d_model * self.vocab_size
+        return embed + self.n_layers * (attn + mlp) + head
+
+    def as_dict(self) -> dict:
+        return asdict(self)

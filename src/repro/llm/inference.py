@@ -1,0 +1,296 @@
+"""Quantisation-aware inference path (pure numpy, no autograd).
+
+This module re-implements the transformer forward pass on top of a plain
+``{name: ndarray}`` state dict so that every operator the paper quantises can
+be intercepted:
+
+* **linear layers** (Query / Key / Value / Proj / FC1 / FC2 / Gate / Up / Down
+  / LM head): both the weight and the input activation pass through the
+  scheme's quantisers, blocked along the reduction axis exactly like the
+  BBAL PE array consumes them;
+* **nonlinear operators** (softmax over attention scores, SiLU / GELU in the
+  MLP): dispatched through the scheme so the BBFP segmented-LUT nonlinear
+  unit of :mod:`repro.nonlinear` can replace the FP32 reference (Table IV);
+* **activation recording**: a hook collects the inputs of selected linear
+  layers for Fig. 3 (per-layer quantisation MSE) and for the calibration of
+  the SmoothQuant / OmniQuant baselines.
+
+Norms, residual additions and embeddings stay in floating point, matching the
+paper's accelerator (the FP adder / FP encoder path in Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.floatspec import FloatSpec
+from repro.core.fp_formats import fp16_round, minifloat_quantize_dequantize
+from repro.core.integer import IntQuantConfig, int_quantize_dequantize
+from repro.llm import activations as ref_act
+from repro.llm.attention import causal_mask
+from repro.llm.config import ModelConfig
+
+__all__ = ["QuantizationScheme", "InferenceModel", "LINEAR_LAYER_KINDS"]
+
+#: The linear-layer kinds recognised by layer-name matching (used by Fig. 3
+#: and by baselines that treat e.g. the LM head differently).
+LINEAR_LAYER_KINDS = ("q_proj", "k_proj", "v_proj", "out_proj", "gate_proj", "up_proj",
+                      "down_proj", "fc1", "fc2", "lm_head")
+
+
+def _identity_weight(name: str, w: np.ndarray) -> np.ndarray:
+    return w
+
+
+def _identity_activation(name: str, x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _reference_nonlinear(kind: str, x: np.ndarray) -> np.ndarray:
+    try:
+        return ref_act.ACTIVATIONS[kind](x)
+    except KeyError:
+        raise ValueError(f"unknown nonlinear kind {kind!r}") from None
+
+
+@dataclass
+class QuantizationScheme:
+    """Bundle of quantisers applied during inference.
+
+    Attributes
+    ----------
+    name:
+        Display name used in result tables (e.g. ``"BBFP(4,2)"``).
+    weight_fn:
+        ``(layer_name, weight) -> weight_hat`` fake-quantiser; the weight has
+        shape ``(in_features, out_features)`` and should be quantised along
+        the reduction axis (axis 0).
+    activation_fn:
+        ``(layer_name, activation) -> activation_hat`` fake-quantiser; the
+        activation has shape ``(..., in_features)`` and should be quantised
+        along the last axis.
+    softmax_fn:
+        Replacement for the attention softmax (``(scores, axis) -> probs``).
+    nonlinear_fn:
+        Replacement for elementwise nonlinearities
+        (``(kind, x) -> y`` with ``kind`` in ``{"silu", "gelu", "relu", "sigmoid"}``).
+    quantize_lm_head:
+        Whether the final vocabulary projection is quantised (the paper keeps
+        it in the same format as the other linears; disable for ablations).
+    """
+
+    name: str
+    weight_fn: callable = field(default=_identity_weight)
+    activation_fn: callable = field(default=_identity_activation)
+    softmax_fn: callable = field(default=ref_act.softmax)
+    nonlinear_fn: callable = field(default=_reference_nonlinear)
+    quantize_lm_head: bool = True
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def fp_reference(name: str = "FP32") -> "QuantizationScheme":
+        """No quantisation anywhere — the accuracy baseline."""
+        return QuantizationScheme(name=name)
+
+    @staticmethod
+    def fp16(name: str = "FP16") -> "QuantizationScheme":
+        """IEEE half precision on weights and activations (the paper's Table II baseline)."""
+        return QuantizationScheme(
+            name=name,
+            weight_fn=lambda _, w: fp16_round(w),
+            activation_fn=lambda _, x: fp16_round(x),
+        )
+
+    @staticmethod
+    def from_format(config, name: str = None) -> "QuantizationScheme":
+        """Quantise weights and activations with a core format config.
+
+        ``config`` may be a :class:`BBFPConfig`, :class:`BFPConfig`,
+        :class:`IntQuantConfig`, :class:`FloatSpec` or any object exposing a
+        ``quantize_dequantize(x, axis)`` method (e.g. the MX and BiE formats
+        of :mod:`repro.core.microscaling` / :mod:`repro.core.bie`); weights
+        are blocked along the reduction axis and activations along their last
+        axis.
+        """
+        if isinstance(config, BBFPConfig):
+            weight = lambda _, w: bbfp_quantize_dequantize(w, config, axis=0)
+            act = lambda _, x: bbfp_quantize_dequantize(x, config, axis=-1)
+            default_name = config.name
+        elif isinstance(config, BFPConfig):
+            weight = lambda _, w: bfp_quantize_dequantize(w, config, axis=0)
+            act = lambda _, x: bfp_quantize_dequantize(x, config, axis=-1)
+            default_name = config.name
+        elif isinstance(config, IntQuantConfig):
+            weight = lambda _, w: int_quantize_dequantize(w, config)
+            act = lambda _, x: int_quantize_dequantize(x, config)
+            default_name = config.name
+        elif isinstance(config, FloatSpec):
+            weight = lambda _, w: minifloat_quantize_dequantize(w, config)
+            act = lambda _, x: minifloat_quantize_dequantize(x, config)
+            default_name = config.name
+        elif hasattr(config, "quantize_dequantize"):
+            weight = lambda _, w: config.quantize_dequantize(w, axis=0)
+            act = lambda _, x: config.quantize_dequantize(x, axis=-1)
+            default_name = getattr(config, "name", type(config).__name__)
+        else:
+            raise TypeError(f"unsupported format config {type(config)!r}")
+        return QuantizationScheme(name=name or default_name, weight_fn=weight, activation_fn=act)
+
+    def with_nonlinear(self, softmax_fn=None, nonlinear_fn=None, name: str = None) -> "QuantizationScheme":
+        """Return a copy with the nonlinear operators replaced (Table IV experiments)."""
+        return QuantizationScheme(
+            name=name or self.name,
+            weight_fn=self.weight_fn,
+            activation_fn=self.activation_fn,
+            softmax_fn=softmax_fn or self.softmax_fn,
+            nonlinear_fn=nonlinear_fn or self.nonlinear_fn,
+            quantize_lm_head=self.quantize_lm_head,
+        )
+
+
+class InferenceModel:
+    """Numpy forward pass over a trained state dict with pluggable quantisation."""
+
+    def __init__(self, config: ModelConfig, state_dict: dict, scheme: QuantizationScheme = None):
+        self.config = config
+        self.state = {k: np.asarray(v, dtype=np.float64) for k, v in state_dict.items()}
+        self.scheme = scheme or QuantizationScheme.fp_reference()
+        self._weight_cache = {}
+        self._recorder = None
+        self._validate_state()
+
+    # ----------------------------------------------------------------- setup
+    def _validate_state(self):
+        required = ["token_embedding.weight", "position_embedding.weight", "lm_head.weight"]
+        for key in required:
+            if key not in self.state:
+                raise KeyError(f"state dict is missing {key!r}")
+        for i in range(self.config.n_layers):
+            if f"blocks.{i}.attention.q_proj.weight" not in self.state:
+                raise KeyError(f"state dict is missing block {i}")
+
+    def set_scheme(self, scheme: QuantizationScheme):
+        """Switch quantisation scheme (clears the quantised-weight cache)."""
+        self.scheme = scheme
+        self._weight_cache = {}
+
+    # ------------------------------------------------------------- recording
+    class _Recorder:
+        def __init__(self, model, layer_kinds):
+            self.model = model
+            self.layer_kinds = layer_kinds
+            self.records = {}
+
+        def __enter__(self):
+            self.model._recorder = self
+            return self.records
+
+        def __exit__(self, exc_type, exc, tb):
+            self.model._recorder = None
+            return False
+
+    def record_activations(self, layer_kinds=LINEAR_LAYER_KINDS):
+        """Context manager collecting linear-layer inputs keyed by layer name.
+
+        Example
+        -------
+        >>> with model.record_activations(("q_proj", "fc1")) as records:  # doctest: +SKIP
+        ...     model.forward(tokens)
+        >>> records["blocks.0.attention.q_proj"].shape  # doctest: +SKIP
+        """
+        return InferenceModel._Recorder(self, tuple(layer_kinds))
+
+    # --------------------------------------------------------------- helpers
+    def _linear(self, name: str, x: np.ndarray) -> np.ndarray:
+        weight = self.state[f"{name}.weight"]
+        bias = self.state.get(f"{name}.bias")
+        kind = name.rsplit(".", 1)[-1]
+        if self._recorder is not None and kind in self._recorder.layer_kinds:
+            self._recorder.records.setdefault(name, []).append(np.array(x, copy=True))
+        quantize = self.scheme.quantize_lm_head or kind != "lm_head"
+        if quantize:
+            if name not in self._weight_cache:
+                self._weight_cache[name] = self.scheme.weight_fn(name, weight)
+            weight = self._weight_cache[name]
+            x = self.scheme.activation_fn(name, x)
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+        return out
+
+    def _norm(self, prefix: str, x: np.ndarray) -> np.ndarray:
+        if self.config.norm == "rmsnorm":
+            gain = self.state[f"{prefix}.gain"]
+            mean_square = np.mean(x**2, axis=-1, keepdims=True)
+            return x / np.sqrt(mean_square + 1e-5) * gain
+        gain = self.state[f"{prefix}.gain"]
+        bias = self.state[f"{prefix}.bias"]
+        mu = x.mean(axis=-1, keepdims=True)
+        var = np.mean((x - mu) ** 2, axis=-1, keepdims=True)
+        return (x - mu) / np.sqrt(var + 1e-5) * gain + bias
+
+    def _attention(self, index: int, x: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        batch, seq_len, _ = x.shape
+        prefix = f"blocks.{index}.attention"
+        q = self._linear(f"{prefix}.q_proj", x)
+        k = self._linear(f"{prefix}.k_proj", x)
+        v = self._linear(f"{prefix}.v_proj", x)
+
+        def split(t):
+            return t.reshape(batch, seq_len, cfg.n_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+
+        q, k, v = split(q), split(k), split(v)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(cfg.head_dim)
+        scores = scores + causal_mask(seq_len)
+        attn = self.scheme.softmax_fn(scores, axis=-1)
+        context = attn @ v
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, cfg.d_model)
+        return self._linear(f"{prefix}.out_proj", context)
+
+    def _mlp(self, index: int, x: np.ndarray) -> np.ndarray:
+        prefix = f"blocks.{index}.mlp"
+        if self.config.uses_gated_mlp:
+            gate = self._linear(f"{prefix}.gate_proj", x)
+            up = self._linear(f"{prefix}.up_proj", x)
+            hidden = self.scheme.nonlinear_fn("silu", gate) * up
+            return self._linear(f"{prefix}.down_proj", hidden)
+        hidden = self._linear(f"{prefix}.fc1", x)
+        hidden = self.scheme.nonlinear_fn(self.config.activation, hidden)
+        return self._linear(f"{prefix}.fc2", hidden)
+
+    # ---------------------------------------------------------------- public
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Return logits ``(batch, seq, vocab)`` for integer ``tokens``."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        _, seq_len = tokens.shape
+        if seq_len > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        x = self.state["token_embedding.weight"][tokens] + self.state["position_embedding.weight"][
+            np.arange(seq_len)
+        ]
+        for i in range(self.config.n_layers):
+            x = x + self._attention(i, self._norm(f"blocks.{i}.attn_norm", x))
+            x = x + self._mlp(i, self._norm(f"blocks.{i}.mlp_norm", x))
+        x = self._norm("final_norm", x)
+        return self._linear("lm_head", x)
+
+    def negative_log_likelihood(self, tokens: np.ndarray) -> float:
+        """Mean next-token NLL (nats) of a batch of ``(batch, seq+1)`` token windows."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        logits = self.forward(tokens[:, :-1])
+        targets = tokens[:, 1:]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)[..., 0]
+        return float(-picked.mean())

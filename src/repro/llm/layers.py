@@ -1,0 +1,145 @@
+"""Trainable building blocks (Module system, Linear, Embedding, norms).
+
+These modules are used only for *training* the FP reference models; the
+quantised evaluation path re-implements the forward pass in plain numpy
+(:mod:`repro.llm.inference`) so that quantisers can be inserted at every
+linear and nonlinear operator without autograd overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.autograd import Parameter, Tensor, embedding_lookup
+
+__all__ = ["Module", "Linear", "Embedding", "LayerNorm", "RMSNorm", "ModuleList"]
+
+
+class Module:
+    """Minimal module container with parameter traversal and state dicts."""
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def named_parameters(self, prefix: str = ""):
+        """Yield ``(name, Parameter)`` pairs, recursing into sub-modules and lists."""
+        for attr_name, value in vars(self).items():
+            full = f"{prefix}{attr_name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+
+    def parameters(self):
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def zero_grad(self):
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict:
+        """Copy all parameters into a plain ``{name: ndarray}`` dict."""
+        return {name: np.array(p.data, copy=True) for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict):
+        """Load parameters from :meth:`state_dict` output (shapes must match)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+
+class ModuleList(Module, list):
+    """A list of sub-modules that participates in parameter traversal."""
+
+    def __init__(self, modules=()):
+        list.__init__(self, modules)
+
+    def named_parameters(self, prefix: str = ""):
+        for index, module in enumerate(self):
+            yield from module.named_parameters(prefix=f"{prefix}{index}.")
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Linear(Module):
+    """Affine projection ``y = x @ W (+ b)`` with weight shape ``(in, out)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        rng = rng or np.random.default_rng()
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token (or position) embedding table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng=None):
+        rng = rng or np.random.default_rng()
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Standard LayerNorm with learnable gain and bias (OPT-style blocks)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gain = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+        self.eps = eps
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centred = x - mu
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred * (var + self.eps) ** -0.5
+        return normalised * self.gain + self.bias
+
+
+class RMSNorm(Module):
+    """Root-mean-square norm with learnable gain (Llama-style blocks)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gain = Parameter(np.ones(dim))
+        self.eps = eps
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean_square = (x * x).mean(axis=-1, keepdims=True)
+        return x * (mean_square + self.eps) ** -0.5 * self.gain

@@ -1,0 +1,58 @@
+"""Feed-forward blocks: SwiGLU (Llama-style) and plain two-layer MLP (OPT-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.autograd import Tensor
+from repro.llm.config import ModelConfig
+from repro.llm.layers import Linear, Module
+
+__all__ = ["SwiGLUMLP", "FeedForwardMLP", "build_mlp"]
+
+
+class SwiGLUMLP(Module):
+    """Gated MLP: ``down( silu(gate(x)) * up(x) )``.
+
+    The gate / up / down projections correspond to the "Up + Down + Gate"
+    linear operators of Fig. 1(b), and the SiLU is the second nonlinear
+    operator handled by the BBFP nonlinear unit (Table IV, "SILU only").
+    """
+
+    def __init__(self, config: ModelConfig, rng=None):
+        rng = rng or np.random.default_rng()
+        bias = config.use_bias
+        self.gate_proj = Linear(config.d_model, config.d_ff, bias=bias, rng=rng)
+        self.up_proj = Linear(config.d_model, config.d_ff, bias=bias, rng=rng)
+        self.down_proj = Linear(config.d_ff, config.d_model, bias=bias, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down_proj(self.gate_proj(x).silu() * self.up_proj(x))
+
+
+class FeedForwardMLP(Module):
+    """Plain two-layer MLP ``fc2(act(fc1(x)))`` used by the OPT-style models."""
+
+    def __init__(self, config: ModelConfig, rng=None):
+        rng = rng or np.random.default_rng()
+        bias = config.use_bias
+        self.fc1 = Linear(config.d_model, config.d_ff, bias=bias, rng=rng)
+        self.fc2 = Linear(config.d_ff, config.d_model, bias=bias, rng=rng)
+        self.activation = config.activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        if self.activation == "gelu":
+            hidden = hidden.gelu()
+        elif self.activation == "silu":
+            hidden = hidden.silu()
+        else:
+            hidden = hidden.relu()
+        return self.fc2(hidden)
+
+
+def build_mlp(config: ModelConfig, rng=None) -> Module:
+    """Instantiate the MLP variant matching ``config.arch``."""
+    if config.uses_gated_mlp:
+        return SwiGLUMLP(config, rng=rng)
+    return FeedForwardMLP(config, rng=rng)

@@ -1,0 +1,134 @@
+"""Function-preserving activation-outlier injection.
+
+The paper's motivation (Fig. 1(a)) and its comparison against outlier-aware
+accelerators (Fig. 8) both hinge on the activation outliers of real LLMs:
+Llama-family models have more (and larger) outlier channels than OPT-family
+models, which is why fixed-proportion outlier methods (Olive, Oltron) behave
+differently on the two families.
+
+Freshly-trained miniature models do not naturally develop such extreme
+channels, so this module *injects* them with an exactly function-preserving
+transformation: for a pre-norm block, scaling channel ``c`` of the norm's gain
+(and bias) by ``s`` while dividing row ``c`` of every weight matrix that
+consumes the normed output by ``s`` leaves the network function unchanged but
+makes the *activation tensor seen by the quantiser* contain genuine outliers
+— precisely the situation weight–activation quantisation faces on real LLMs.
+(This is the inverse of the SmoothQuant migration.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+
+__all__ = ["OutlierProfile", "LLAMA_PROFILE", "OPT_PROFILE", "inject_outliers"]
+
+
+@dataclass(frozen=True)
+class OutlierProfile:
+    """How many channels become outliers and how large they are.
+
+    Parameters
+    ----------
+    channel_fraction:
+        Fraction of d_model channels turned into outlier channels per norm.
+    scale_min, scale_max:
+        The multiplicative boost applied to chosen channels is drawn uniformly
+        from ``[scale_min, scale_max]``.
+    seed:
+        Base seed of the channel/scale selection.
+    """
+
+    channel_fraction: float
+    scale_min: float
+    scale_max: float
+    seed: int = 7
+
+    def __post_init__(self):
+        if not 0.0 <= self.channel_fraction <= 0.5:
+            raise ValueError("channel_fraction must lie in [0, 0.5]")
+        if not 1.0 <= self.scale_min <= self.scale_max:
+            raise ValueError("need 1 <= scale_min <= scale_max")
+
+
+#: Llama-like profile: more outlier channels with larger magnitudes (Fig. 8
+#: discussion: "models contain varying proportions and magnitudes of outliers
+#: ... outlier-aware methods perform poorly on the Llama").
+LLAMA_PROFILE = OutlierProfile(channel_fraction=0.06, scale_min=14.0, scale_max=40.0)
+
+#: OPT-like profile: fewer, milder outlier channels.
+OPT_PROFILE = OutlierProfile(channel_fraction=0.03, scale_min=6.0, scale_max=14.0)
+
+
+def _scale_channels(state: dict, gain_key: str, consumer_weight_keys, channels, scales,
+                    bias_key: str = None):
+    """Scale norm output channels and compensate in the consuming weights."""
+    gain = state[gain_key]
+    gain[channels] *= scales
+    if bias_key is not None and bias_key in state:
+        state[bias_key][channels] *= scales
+    for weight_key in consumer_weight_keys:
+        if weight_key in state:
+            state[weight_key][channels, :] /= scales[:, None]
+
+
+def inject_outliers(config: ModelConfig, state_dict: dict, profile: OutlierProfile) -> dict:
+    """Return a copy of ``state_dict`` with outlier channels injected.
+
+    Every pre-norm (attention norm, MLP norm and the final norm) receives a
+    random subset of boosted channels; the weights that consume the normed
+    activations are rescaled so the model output is bit-for-bit unaffected in
+    exact arithmetic.
+    """
+    state = {k: np.array(v, dtype=np.float64, copy=True) for k, v in state_dict.items()}
+    rng = np.random.default_rng(profile.seed + config.seed)
+    num_channels = max(1, int(round(profile.channel_fraction * config.d_model)))
+    if profile.channel_fraction == 0.0:
+        return state
+
+    def draw():
+        channels = rng.choice(config.d_model, size=num_channels, replace=False)
+        scales = rng.uniform(profile.scale_min, profile.scale_max, size=num_channels)
+        return channels, scales
+
+    for i in range(config.n_layers):
+        channels, scales = draw()
+        _scale_channels(
+            state,
+            gain_key=f"blocks.{i}.attn_norm.gain",
+            bias_key=f"blocks.{i}.attn_norm.bias",
+            consumer_weight_keys=[
+                f"blocks.{i}.attention.q_proj.weight",
+                f"blocks.{i}.attention.k_proj.weight",
+                f"blocks.{i}.attention.v_proj.weight",
+            ],
+            channels=channels,
+            scales=scales,
+        )
+        channels, scales = draw()
+        if config.uses_gated_mlp:
+            consumers = [f"blocks.{i}.mlp.gate_proj.weight", f"blocks.{i}.mlp.up_proj.weight"]
+        else:
+            consumers = [f"blocks.{i}.mlp.fc1.weight"]
+        _scale_channels(
+            state,
+            gain_key=f"blocks.{i}.mlp_norm.gain",
+            bias_key=f"blocks.{i}.mlp_norm.bias",
+            consumer_weight_keys=consumers,
+            channels=channels,
+            scales=scales,
+        )
+
+    channels, scales = draw()
+    _scale_channels(
+        state,
+        gain_key="final_norm.gain",
+        bias_key="final_norm.bias",
+        consumer_weight_keys=["lm_head.weight"],
+        channels=channels,
+        scales=scales,
+    )
+    return state

@@ -1,0 +1,56 @@
+"""Perplexity evaluation of quantised models (the Table II / Table IV metric)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.inference import InferenceModel, QuantizationScheme
+
+__all__ = ["EvalConfig", "evaluate_perplexity", "perplexity_table"]
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Evaluation shape: how many held-out tokens perplexity is measured on."""
+
+    batch_size: int = 8
+    seq_len: int = 48
+    max_batches: int = 4
+    split: str = "valid"
+
+
+def evaluate_perplexity(model: InferenceModel, corpus: SyntheticCorpus,
+                        eval_config: EvalConfig = EvalConfig()) -> float:
+    """Teacher-forced perplexity ``exp(mean NLL)`` on deterministic held-out batches."""
+    seq_len = min(eval_config.seq_len, model.config.max_seq_len - 1)
+    nlls = []
+    for batch in corpus.sequential_batches(
+        eval_config.split, eval_config.batch_size, seq_len, max_batches=eval_config.max_batches
+    ):
+        nlls.append(model.negative_log_likelihood(batch))
+    if not nlls:
+        raise ValueError("no evaluation batches produced; corpus too small for the eval shape")
+    return float(np.exp(np.mean(nlls)))
+
+
+def perplexity_table(model: InferenceModel, corpus: SyntheticCorpus, schemes,
+                     eval_config: EvalConfig = EvalConfig()) -> dict:
+    """Evaluate several quantisation schemes on one model.
+
+    Returns ``{scheme_name: perplexity}`` in the order the schemes were given.
+    The model's original scheme is restored afterwards.
+    """
+    original = model.scheme
+    results = {}
+    try:
+        for scheme in schemes:
+            if not isinstance(scheme, QuantizationScheme):
+                raise TypeError(f"expected QuantizationScheme, got {type(scheme)!r}")
+            model.set_scheme(scheme)
+            results[scheme.name] = evaluate_perplexity(model, corpus, eval_config)
+    finally:
+        model.set_scheme(original)
+    return results

@@ -1,0 +1,42 @@
+"""Character-level tokenizer for the synthetic corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CharTokenizer"]
+
+
+class CharTokenizer:
+    """Maps characters to integer ids and back.
+
+    The vocabulary is built from the corpus text plus an ``<unk>`` symbol at
+    id 0, so the tokenizer is deterministic given the same corpus.
+    """
+
+    UNK_TOKEN = "\x00"
+
+    def __init__(self, text: str):
+        symbols = sorted(set(text))
+        self._itos = [self.UNK_TOKEN] + [c for c in symbols if c != self.UNK_TOKEN]
+        self._stoi = {c: i for i, c in enumerate(self._itos)}
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._itos)
+
+    def encode(self, text: str) -> np.ndarray:
+        """Encode a string into an int64 id array; unknown characters map to 0."""
+        return np.array([self._stoi.get(c, 0) for c in text], dtype=np.int64)
+
+    def decode(self, ids) -> str:
+        """Decode an id sequence back to a string."""
+        out = []
+        for i in np.asarray(ids, dtype=np.int64).ravel():
+            if not 0 <= i < len(self._itos):
+                raise ValueError(f"token id {i} out of range [0, {len(self._itos)})")
+            out.append(self._itos[int(i)])
+        return "".join(out)
+
+    def __len__(self) -> int:
+        return self.vocab_size

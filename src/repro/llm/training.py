@@ -1,0 +1,165 @@
+"""Adam optimiser and the training loop producing the FP reference checkpoints."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llm.autograd import no_grad
+from repro.llm.config import ModelConfig
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.transformer import TransformerLM
+
+__all__ = ["Adam", "TrainingConfig", "TrainingResult", "train_model", "evaluate_loss"]
+
+
+class Adam:
+    """Adam optimiser with optional gradient clipping and weight decay."""
+
+    def __init__(self, parameters, lr: float = 3e-3, betas=(0.9, 0.95), eps: float = 1e-8,
+                 weight_decay: float = 0.0, grad_clip: float = 1.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._step = 0
+
+    def zero_grad(self):
+        for p in self.parameters:
+            p.zero_grad()
+
+    def _clip_gradients(self):
+        if self.grad_clip is None or self.grad_clip <= 0:
+            return
+        total = 0.0
+        for p in self.parameters:
+            if p.grad is not None:
+                total += float(np.sum(p.grad**2))
+        norm = np.sqrt(total)
+        if norm > self.grad_clip:
+            scale = self.grad_clip / (norm + 1e-12)
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def step(self):
+        self._step += 1
+        self._clip_gradients()
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the reference-model training run."""
+
+    steps: int = 400
+    batch_size: int = 8
+    seq_len: int = 64
+    learning_rate: float = 3e-3
+    warmup_steps: int = 20
+    grad_clip: float = 1.0
+    weight_decay: float = 0.01
+    eval_every: int = 100
+    eval_batches: int = 4
+    seed: int = 0
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    state_dict: dict
+    train_losses: list = field(default_factory=list)
+    valid_losses: list = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+    @property
+    def final_valid_loss(self) -> float:
+        return self.valid_losses[-1] if self.valid_losses else float("nan")
+
+
+def evaluate_loss(model: TransformerLM, corpus: SyntheticCorpus, batch_size: int, seq_len: int,
+                  max_batches: int = 4, split: str = "valid") -> float:
+    """Average next-token loss over deterministic evaluation batches."""
+    losses = []
+    with no_grad():
+        for batch in corpus.sequential_batches(split, batch_size, seq_len, max_batches=max_batches):
+            losses.append(float(model.loss(batch).data))
+    if not losses:
+        raise ValueError("evaluation produced no batches; corpus too small for the requested shape")
+    return float(np.mean(losses))
+
+
+def _learning_rate(step: int, config: TrainingConfig) -> float:
+    """Linear warmup followed by cosine decay to 10% of the peak rate."""
+    if step < config.warmup_steps:
+        return config.learning_rate * (step + 1) / max(1, config.warmup_steps)
+    progress = (step - config.warmup_steps) / max(1, config.steps - config.warmup_steps)
+    return config.learning_rate * (0.1 + 0.9 * 0.5 * (1.0 + np.cos(np.pi * progress)))
+
+
+def train_model(model_config: ModelConfig, corpus: SyntheticCorpus,
+                training: TrainingConfig = TrainingConfig()) -> TrainingResult:
+    """Train a :class:`TransformerLM` from scratch on ``corpus``.
+
+    Returns the final state dict plus loss curves.  The sequence length is
+    clipped to the model's ``max_seq_len``.
+    """
+    if model_config.vocab_size != corpus.vocab_size:
+        raise ValueError(
+            f"model vocab_size ({model_config.vocab_size}) must match the corpus "
+            f"({corpus.vocab_size}); build the config from the corpus"
+        )
+    seq_len = min(training.seq_len, model_config.max_seq_len - 1)
+    rng = np.random.default_rng(training.seed)
+    model = TransformerLM(model_config)
+    optimiser = Adam(
+        model.parameters(),
+        lr=training.learning_rate,
+        weight_decay=training.weight_decay,
+        grad_clip=training.grad_clip,
+    )
+
+    result = TrainingResult(state_dict={})
+    start = time.time()
+    for step in range(training.steps):
+        optimiser.lr = _learning_rate(step, training)
+        batch = corpus.sample_batch("train", training.batch_size, seq_len, rng=rng)
+        optimiser.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimiser.step()
+        result.train_losses.append(float(loss.data))
+        if training.eval_every and (step + 1) % training.eval_every == 0:
+            result.valid_losses.append(
+                evaluate_loss(model, corpus, training.batch_size, seq_len, training.eval_batches)
+            )
+    if not result.valid_losses:
+        result.valid_losses.append(
+            evaluate_loss(model, corpus, training.batch_size, seq_len, training.eval_batches)
+        )
+    result.wall_time_seconds = time.time() - start
+    result.state_dict = model.state_dict()
+    return result

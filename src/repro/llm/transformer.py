@@ -1,0 +1,79 @@
+"""Decoder-only transformer language model (training path, autograd)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.attention import CausalSelfAttention
+from repro.llm.autograd import Tensor, softmax_cross_entropy
+from repro.llm.config import ModelConfig
+from repro.llm.layers import Embedding, LayerNorm, Linear, Module, ModuleList, RMSNorm
+from repro.llm.mlp import build_mlp
+
+__all__ = ["DecoderBlock", "TransformerLM"]
+
+
+def _build_norm(config: ModelConfig) -> Module:
+    if config.norm == "rmsnorm":
+        return RMSNorm(config.d_model)
+    return LayerNorm(config.d_model)
+
+
+class DecoderBlock(Module):
+    """Pre-norm decoder block: attention + MLP, each with a residual connection."""
+
+    def __init__(self, config: ModelConfig, rng=None):
+        self.attn_norm = _build_norm(config)
+        self.attention = CausalSelfAttention(config, rng=rng)
+        self.mlp_norm = _build_norm(config)
+        self.mlp = build_mlp(config, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.attn_norm(x))
+        x = x + self.mlp(self.mlp_norm(x))
+        return x
+
+
+class TransformerLM(Module):
+    """A small decoder-only language model.
+
+    This is the FP "checkpoint" stand-in for the paper's Llama/OPT models:
+    it is trained with :mod:`repro.llm.training` on the synthetic corpus, and
+    its weights are then exported to the quantisation-aware inference path
+    (:mod:`repro.llm.inference`) for every perplexity experiment.
+    """
+
+    def __init__(self, config: ModelConfig):
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
+        self.blocks = ModuleList(DecoderBlock(config, rng=rng) for _ in range(config.n_layers))
+        self.final_norm = _build_norm(config)
+        self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Return logits of shape ``(batch, seq, vocab)`` for integer ``tokens``."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        _, seq_len = tokens.shape
+        if seq_len > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.arange(seq_len)
+        x = self.token_embedding(tokens) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.lm_head(x)
+
+    def loss(self, tokens: np.ndarray) -> Tensor:
+        """Next-token cross-entropy over a batch of token sequences."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        logits = self.forward(tokens[:, :-1])
+        targets = tokens[:, 1:]
+        return softmax_cross_entropy(logits, targets)

@@ -1,0 +1,208 @@
+"""Model zoo mirroring the paper's Llama / OPT size families.
+
+The paper evaluates 12 linear-quantisation checkpoints (Llama 1B…65B and OPT
+1.3B…66B, Table II) plus three nonlinear-quantisation checkpoints (Llama-7B,
+Llama2-7B, Llama3-8B, Table IV).  Training billion-parameter models offline is
+impossible, so each paper checkpoint is mapped to a miniature *simulated*
+model of the matching architecture family:
+
+* ``sim-llama-*``: RMSNorm + SwiGLU, no biases, Llama-like activation-outlier
+  profile (more and larger outlier channels);
+* ``sim-opt-*``: LayerNorm + GELU with biases, OPT-like outlier profile
+  (fewer and milder outlier channels).
+
+Model capacity and training budget grow with the size tier, so the FP16
+perplexity ordering of the zoo mirrors the paper (bigger model => lower PPL).
+Trained weights are cached on disk (``.npz``) so repeated experiments reuse
+them; the outlier-injected state dict is derived from the cached weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+from repro.llm.dataset import CorpusConfig, SyntheticCorpus
+from repro.llm.inference import InferenceModel, QuantizationScheme
+from repro.llm.outliers import LLAMA_PROFILE, OPT_PROFILE, OutlierProfile, inject_outliers
+from repro.llm.training import TrainingConfig, train_model
+
+__all__ = [
+    "ModelSpec",
+    "LLAMA_FAMILY",
+    "OPT_FAMILY",
+    "NONLINEAR_FAMILY",
+    "ALL_SPECS",
+    "get_spec",
+    "default_corpus",
+    "load_state_dict",
+    "load_inference_model",
+    "default_cache_dir",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A paper checkpoint and the simulated miniature standing in for it."""
+
+    paper_name: str
+    family: str  # "llama" or "opt"
+    size_tier: int  # 0 = smallest of the family
+    d_model: int
+    n_layers: int
+    n_heads: int
+    d_ff: int
+    train_steps: int
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for cache file names."""
+        return self.paper_name.lower().replace(".", "_").replace("-", "_")
+
+    @property
+    def outlier_profile(self) -> OutlierProfile:
+        return LLAMA_PROFILE if self.family == "llama" else OPT_PROFILE
+
+    def model_config(self, vocab_size: int, max_seq_len: int = 96) -> ModelConfig:
+        return ModelConfig(
+            name=self.paper_name,
+            vocab_size=vocab_size,
+            d_model=self.d_model,
+            n_heads=self.n_heads,
+            n_layers=self.n_layers,
+            d_ff=self.d_ff,
+            max_seq_len=max_seq_len,
+            arch=self.family,
+            seed=self.seed,
+        )
+
+    def training_config(self) -> TrainingConfig:
+        return TrainingConfig(steps=self.train_steps, batch_size=8, seq_len=48, seed=self.seed)
+
+
+def _llama(paper_name, tier, d_model, n_layers, n_heads, d_ff, steps, seed):
+    return ModelSpec(paper_name, "llama", tier, d_model, n_layers, n_heads, d_ff, steps, seed)
+
+
+def _opt(paper_name, tier, d_model, n_layers, n_heads, d_ff, steps, seed):
+    return ModelSpec(paper_name, "opt", tier, d_model, n_layers, n_heads, d_ff, steps, seed)
+
+
+#: Table II Llama column order: 1B, 3B, 7B, 13B, 30B, 65B.
+LLAMA_FAMILY = (
+    _llama("Llama-1B", 0, 48, 2, 4, 128, 220, 11),
+    _llama("Llama-3B", 1, 56, 2, 4, 144, 260, 12),
+    _llama("Llama-7B", 2, 64, 3, 4, 160, 320, 13),
+    _llama("Llama-13B", 3, 72, 3, 4, 192, 360, 14),
+    _llama("Llama-30B", 4, 80, 4, 4, 208, 400, 15),
+    _llama("Llama-65B", 5, 88, 4, 8, 224, 440, 16),
+)
+
+#: Table II OPT column order: 1.3B, 2.7B, 6.7B, 13B, 30B, 66B.
+OPT_FAMILY = (
+    _opt("OPT-1.3B", 0, 48, 2, 4, 128, 220, 21),
+    _opt("OPT-2.7B", 1, 56, 2, 4, 144, 260, 22),
+    _opt("OPT-6.7B", 2, 64, 3, 4, 160, 320, 23),
+    _opt("OPT-13B", 3, 72, 3, 4, 192, 360, 24),
+    _opt("OPT-30B", 4, 80, 4, 4, 208, 400, 25),
+    _opt("OPT-66B", 5, 88, 4, 8, 224, 440, 26),
+)
+
+#: Table IV checkpoints (nonlinear-unit evaluation); Llama-7B is shared with Table II.
+NONLINEAR_FAMILY = (
+    LLAMA_FAMILY[2],
+    _llama("Llama2-7B", 2, 64, 3, 4, 160, 320, 33),
+    _llama("Llama3-8B", 2, 72, 3, 4, 176, 340, 34),
+)
+
+ALL_SPECS = tuple(dict.fromkeys(LLAMA_FAMILY + OPT_FAMILY + NONLINEAR_FAMILY))
+
+
+def get_spec(paper_name: str) -> ModelSpec:
+    """Look up a :class:`ModelSpec` by its paper name (case-insensitive)."""
+    wanted = paper_name.lower()
+    for spec in ALL_SPECS:
+        if spec.paper_name.lower() == wanted:
+            return spec
+    raise KeyError(f"unknown model {paper_name!r}; known: {[s.paper_name for s in ALL_SPECS]}")
+
+
+_CORPUS_CACHE = {}
+
+
+def default_corpus(fast: bool = None) -> SyntheticCorpus:
+    """The shared evaluation corpus (cached per process).
+
+    ``fast=True`` (or the environment variable ``REPRO_FAST=1``) shrinks the
+    corpus so unit tests stay quick; experiments use the full corpus.
+    """
+    if fast is None:
+        fast = os.environ.get("REPRO_FAST", "0") == "1"
+    key = "fast" if fast else "full"
+    if key not in _CORPUS_CACHE:
+        config = CorpusConfig(num_sentences=900 if fast else 3000)
+        _CORPUS_CACHE[key] = SyntheticCorpus(config)
+    return _CORPUS_CACHE[key]
+
+
+def default_cache_dir() -> Path:
+    """Directory holding trained model weights (``REPRO_CACHE_DIR`` overrides)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "models"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_token(spec: ModelSpec, corpus: SyntheticCorpus, training: TrainingConfig) -> str:
+    payload = repr((spec, corpus.config, training)).encode()
+    return hashlib.sha1(payload).hexdigest()[:12]
+
+
+def load_state_dict(spec: ModelSpec, corpus: SyntheticCorpus = None, cache_dir: Path = None,
+                    training: TrainingConfig = None, with_outliers: bool = True) -> tuple:
+    """Return ``(model_config, state_dict)`` for a zoo model, training it if necessary.
+
+    Trained FP weights are cached under ``cache_dir``; the outlier injection is
+    applied on load (it is deterministic and fast), so the cache stores the
+    plain trained weights.
+    """
+    corpus = corpus or default_corpus()
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    training = training or spec.training_config()
+    config = spec.model_config(corpus.vocab_size)
+    token = _cache_token(spec, corpus, training)
+    cache_file = cache_dir / f"{spec.key}_{token}.npz"
+
+    if cache_file.exists():
+        with np.load(cache_file) as payload:
+            state = {k: payload[k] for k in payload.files}
+    else:
+        result = train_model(config, corpus, training)
+        state = result.state_dict
+        np.savez_compressed(cache_file, **state)
+
+    if with_outliers:
+        state = inject_outliers(config, state, spec.outlier_profile)
+    return config, state
+
+
+def load_inference_model(spec_or_name, corpus: SyntheticCorpus = None,
+                         scheme: QuantizationScheme = None, cache_dir: Path = None,
+                         training: TrainingConfig = None,
+                         with_outliers: bool = True) -> InferenceModel:
+    """Convenience wrapper returning a ready-to-evaluate :class:`InferenceModel`."""
+    spec = spec_or_name if isinstance(spec_or_name, ModelSpec) else get_spec(spec_or_name)
+    corpus = corpus or default_corpus()
+    config, state = load_state_dict(
+        spec, corpus=corpus, cache_dir=cache_dir, training=training, with_outliers=with_outliers
+    )
+    return InferenceModel(config, state, scheme=scheme)

@@ -1,0 +1,41 @@
+"""The BBFP nonlinear computation unit (Section IV-B).
+
+Transformer nonlinear operators (Softmax, SiLU, GELU, sigmoid) normally need
+floating-point transcendental evaluation.  The paper replaces them with an
+exponent-segmented lookup table driven by BBFP(10,5):
+
+* the function domain is split into sub-tables, one per (effective exponent,
+  sign) segment, stored in external memory and loaded on demand once the
+  block's shared exponent is known;
+* within a segment the BBFP mantissa is used *directly* as the LUT address
+  (no extra mapping logic), with a 7-bit address width;
+* the whole unit is pipelined (align exponent → LUT → multiply/subtract →
+  adder tree → divide → output encode) and reconfigurable across functions.
+
+:mod:`repro.nonlinear.lut` implements the numerics (and is what the
+perplexity experiments of Table IV plug into the inference path);
+:mod:`repro.nonlinear.unit` implements the hardware cost and pipeline timing
+model used for Table V; :mod:`repro.nonlinear.reference_designs` models the
+two comparator designs of Table V.
+"""
+
+from repro.nonlinear.lut import SegmentedLUT, LUTNonlinear
+from repro.nonlinear.unit import NonlinearUnit, NonlinearUnitConfig, NonlinearUnitCost
+from repro.nonlinear.reference_designs import (
+    PSEUDO_SOFTMAX_INT8,
+    HIGH_PRECISION_INT27,
+    bbal_nonlinear_reference,
+    comparison_table,
+)
+
+__all__ = [
+    "SegmentedLUT",
+    "LUTNonlinear",
+    "NonlinearUnit",
+    "NonlinearUnitConfig",
+    "NonlinearUnitCost",
+    "PSEUDO_SOFTMAX_INT8",
+    "HIGH_PRECISION_INT27",
+    "bbal_nonlinear_reference",
+    "comparison_table",
+]

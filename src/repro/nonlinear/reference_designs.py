@@ -1,0 +1,99 @@
+"""Comparator nonlinear-unit designs of Table V.
+
+The paper compares its nonlinear unit against two published softmax designs:
+
+* **[32] pseudo-softmax (Cardarilli et al., 2021)** — an INT8 approximation
+  that replaces the exponential with a base-2 shift trick and avoids the
+  divider: tiny area and energy (best ADP/EDP), but it only approximates
+  softmax and supports nothing else.
+* **[33] high-precision base-2 softmax (Zhang et al., 2023)** — a 27-bit
+  integer design with full-precision exponent evaluation and division: very
+  accurate but roughly two orders of magnitude behind in efficiency.
+
+Both are modelled with the same gate primitives as the BBAL unit so the
+ADP / EDP / efficiency comparison is consistent.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.adders import ripple_carry_adder
+from repro.hardware.gates import GateCounts
+from repro.hardware.multipliers import array_multiplier, barrel_shifter, comparator, divider
+from repro.nonlinear.unit import NonlinearUnit, NonlinearUnitConfig, NonlinearUnitCost
+
+__all__ = [
+    "PSEUDO_SOFTMAX_INT8",
+    "HIGH_PRECISION_INT27",
+    "bbal_nonlinear_reference",
+    "comparison_table",
+]
+
+
+def _pseudo_softmax_int8(lanes: int = 10) -> NonlinearUnitCost:
+    """[32]: INT8 pseudo-softmax — shift-based exponential, no divider."""
+    bits = 8
+    per_lane = (
+        comparator(bits)
+        + ripple_carry_adder(bits)
+        + barrel_shifter(width=bits + 4, positions=bits)
+    )
+    adder_tree = ripple_carry_adder(bits + 4) * max(1, lanes - 1)
+    normaliser = barrel_shifter(width=bits + 4, positions=bits + 4) * lanes
+    buffers = GateCounts.of(flipflop=3 * lanes * bits)
+    gates = per_lane * lanes + adder_tree + normaliser + buffers
+    return NonlinearUnitCost(
+        name="Pseudo-softmax [32]",
+        num_format="Int8",
+        lanes=lanes,
+        gates=gates,
+        lut_buffer_bits=0,
+        pipeline_stages=3,
+        subtable_load_cycles=0,
+        compatibility=("softmax (approximate)",),
+        # The published design targets 10-class classification: it produces one
+        # 10-element softmax per invocation and re-normalises serially, so its
+        # sustained rate is far below one element per lane per cycle.
+        elements_per_cycle=2.0,
+    )
+
+
+def _high_precision_int27(lanes: int = 8) -> NonlinearUnitCost:
+    """[33]: high-precision base-2 softmax — 27-bit integer datapath with division."""
+    bits = 27
+    per_lane = (
+        array_multiplier(bits, bits)
+        + ripple_carry_adder(bits + 5)
+        + barrel_shifter(width=bits + 5, positions=bits)
+    )
+    adder_tree = ripple_carry_adder(bits + 8) * max(1, lanes - 1)
+    dividers = divider(bits + 5) * lanes
+    buffers = GateCounts.of(flipflop=6 * lanes * bits)
+    gates = per_lane * lanes + adder_tree + dividers + buffers
+    return NonlinearUnitCost(
+        name="High-precision softmax [33]",
+        num_format="Int27",
+        lanes=lanes,
+        gates=gates,
+        lut_buffer_bits=0,
+        pipeline_stages=8,
+        subtable_load_cycles=0,
+        compatibility=("softmax",),
+        # The base-2 high-precision evaluation iterates over mantissa digits,
+        # so each lane needs several cycles per element.
+        elements_per_cycle=2.0,
+    )
+
+
+PSEUDO_SOFTMAX_INT8 = _pseudo_softmax_int8()
+HIGH_PRECISION_INT27 = _high_precision_int27()
+
+
+def bbal_nonlinear_reference(config: NonlinearUnitConfig = NonlinearUnitConfig()) -> NonlinearUnitCost:
+    """The paper's unit (16 lanes, BBFP(10,5,5)) costed with the same primitives."""
+    return NonlinearUnit(config).cost()
+
+
+def comparison_table(vector_length: int = 1024) -> list:
+    """Table V rows: ADP / EDP / efficiency / compatibility for the three designs."""
+    designs = [PSEUDO_SOFTMAX_INT8, HIGH_PRECISION_INT27, bbal_nonlinear_reference()]
+    return [design.as_row(vector_length) for design in designs]

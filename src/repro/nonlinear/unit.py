@@ -1,0 +1,220 @@
+"""Hardware model of the pipelined BBFP nonlinear computation unit (Fig. 6).
+
+The unit processes vectors (a softmax row, a SiLU activation tile) through a
+pipeline of stages:
+
+``Align Exponent -> LUT File -> Sub/Mul Unit -> Adder Tree -> Div Unit -> Output Encoder``
+
+Each stage is buffered, sub-tables are streamed from external memory (masked
+by the pipeline), and the datapath keeps full-precision integer multipliers
+and dividers — the paper accepts their area/power cost in exchange for
+accuracy and for compatibility with many functions (the same unit computes
+Softmax, SiLU, GELU and sigmoid by re-ordering the dataflow).
+
+This module provides both the *numerics* (delegated to
+:class:`repro.nonlinear.lut.LUTNonlinear`) and the *cost/timing* model used by
+Table V and by the accelerator-level simulations (Fig. 1(b), Fig. 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bbfp import BBFPConfig
+from repro.hardware.adders import ripple_carry_adder
+from repro.hardware.gates import GateCounts
+from repro.hardware.multipliers import array_multiplier, barrel_shifter, comparator, divider
+from repro.hardware.technology import TSMC28_LIKE, TechnologyModel
+from repro.nonlinear.lut import LUTNonlinear
+
+__all__ = ["NonlinearUnitConfig", "NonlinearUnitCost", "NonlinearUnit"]
+
+
+@dataclass(frozen=True)
+class NonlinearUnitConfig:
+    """Configuration of the nonlinear computation unit.
+
+    The paper's evaluation instance uses BBFP(10,5), 7-bit LUT addresses,
+    16 lanes, 18 softmax sub-tables and 24 SiLU sub-tables.
+    """
+
+    input_format: BBFPConfig = BBFPConfig(10, 5)
+    address_bits: int = 7
+    lanes: int = 16
+    datapath_bits: int = 16
+    pipeline_stages: int = 6
+    subtable_load_cycles: int = 8
+    subtables: dict = field(default_factory=lambda: {"softmax": 18, "silu": 24, "gelu": 24,
+                                                     "sigmoid": 16})
+    lut_entry_bits: int = 16
+
+    def __post_init__(self):
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if self.address_bits < 1:
+            raise ValueError("address_bits must be >= 1")
+
+    @property
+    def name(self) -> str:
+        fmt = self.input_format
+        return f"BBFP({fmt.mantissa_bits},{fmt.overlap_bits},{fmt.exponent_bits})"
+
+    @property
+    def lut_entries(self) -> int:
+        return 1 << self.address_bits
+
+    def onchip_lut_bits(self) -> int:
+        """On-chip buffer: double-buffered single sub-table (rest stays in external memory)."""
+        return 2 * self.lut_entries * self.lut_entry_bits
+
+
+@dataclass(frozen=True)
+class NonlinearUnitCost:
+    """Area / power / timing summary of a nonlinear unit design."""
+
+    name: str
+    num_format: str
+    lanes: int
+    gates: GateCounts
+    lut_buffer_bits: int
+    pipeline_stages: int
+    subtable_load_cycles: int
+    technology: TechnologyModel = TSMC28_LIKE
+    compatibility: tuple = ("softmax",)
+    #: Sustained elements processed per cycle; defaults to ``lanes`` (fully
+    #: pipelined).  Designs that iterate internally (e.g. the high-precision
+    #: base-2 unit) sustain fewer elements per cycle than they have lanes.
+    elements_per_cycle: float = None
+
+    @property
+    def sustained_elements_per_cycle(self) -> float:
+        return self.elements_per_cycle if self.elements_per_cycle is not None else float(self.lanes)
+
+    def area_um2(self) -> float:
+        lut_area = (self.lut_buffer_bits / 8.0) * self.technology.sram_area_per_byte_um2
+        return self.gates.area_um2(self.technology) + lut_area
+
+    def area_mm2(self) -> float:
+        return self.area_um2() * 1e-6
+
+    def dynamic_power_w(self, activity: float = 0.35) -> float:
+        energy_per_cycle = self.gates.dynamic_energy_j(self.technology, activity=activity)
+        return energy_per_cycle * self.technology.clock_frequency_hz
+
+    def static_power_w(self) -> float:
+        lut_ge = (self.lut_buffer_bits / 8.0) * self.technology.sram_area_per_byte_um2 / \
+            self.technology.nand2_area_um2 * 0.25
+        return (self.gates.gate_equivalents() + lut_ge) * self.technology.static_power_per_ge_nw * 1e-9
+
+    def power_w(self, activity: float = 0.35) -> float:
+        return self.dynamic_power_w(activity) + self.static_power_w()
+
+    def latency_cycles(self, vector_length: int) -> int:
+        """Cycles to process one vector of ``vector_length`` elements."""
+        if vector_length < 1:
+            raise ValueError("vector_length must be >= 1")
+        beats = math.ceil(vector_length / self.sustained_elements_per_cycle)
+        return beats + self.pipeline_stages + self.subtable_load_cycles
+
+    def latency_s(self, vector_length: int) -> float:
+        return self.latency_cycles(vector_length) * self.technology.cycle_time_s
+
+    def throughput_elements_per_s(self, vector_length: int = 1024) -> float:
+        return vector_length / self.latency_s(vector_length)
+
+    # ----------------------------------------------------- Table V metrics
+    def adp(self, vector_length: int = 1024) -> float:
+        """Area-delay product in mm^2 * us."""
+        return self.area_mm2() * self.latency_s(vector_length) * 1e6
+
+    def edp(self, vector_length: int = 1024, activity: float = 0.35) -> float:
+        """Energy-delay product in nJ * us."""
+        delay_s = self.latency_s(vector_length)
+        energy_j = self.power_w(activity) * delay_s
+        return (energy_j * 1e9) * (delay_s * 1e6)
+
+    def efficiency(self, vector_length: int = 1024, activity: float = 0.35) -> float:
+        """Throughput / (area x power) in Gelem/s per (mm^2 * W)."""
+        throughput = self.throughput_elements_per_s(vector_length) * 1e-9
+        return throughput / (self.area_mm2() * self.power_w(activity))
+
+    def as_row(self, vector_length: int = 1024) -> dict:
+        return {
+            "design": self.name,
+            "lanes": self.lanes,
+            "num_format": self.num_format,
+            "area_mm2": self.area_mm2(),
+            "power_w": self.power_w(),
+            "adp": self.adp(vector_length),
+            "edp": self.edp(vector_length),
+            "efficiency": self.efficiency(vector_length),
+            "compatibility": ", ".join(self.compatibility),
+        }
+
+
+class NonlinearUnit:
+    """Numerics + hardware cost of the proposed BBFP nonlinear unit."""
+
+    def __init__(self, config: NonlinearUnitConfig = NonlinearUnitConfig()):
+        self.config = config
+        self.lut = LUTNonlinear(config.input_format, address_bits=config.address_bits)
+
+    # ------------------------------------------------------------- numerics
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.lut.softmax(x, axis=axis)
+
+    def activation(self, kind: str, x: np.ndarray) -> np.ndarray:
+        if kind == "relu":
+            return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+        return self.lut.apply(kind, x, axis=-1)
+
+    def softmax_fn(self):
+        """Drop-in ``softmax_fn`` for :class:`repro.llm.inference.QuantizationScheme`."""
+        return lambda x, axis=-1: self.softmax(x, axis=axis)
+
+    def nonlinear_fn(self):
+        """Drop-in ``nonlinear_fn`` for :class:`repro.llm.inference.QuantizationScheme`."""
+        return lambda kind, x: self.activation(kind, x)
+
+    # ------------------------------------------------------------- hardware
+    def cost(self) -> NonlinearUnitCost:
+        cfg = self.config
+        bits = cfg.datapath_bits
+        m = cfg.input_format.mantissa_bits
+        exponent_bits = cfg.input_format.exponent_bits
+
+        align_unit = (comparator(exponent_bits) + barrel_shifter(width=m + 2, positions=m)) * cfg.lanes
+        sub_unit = ripple_carry_adder(bits) * cfg.lanes
+        mul_unit = array_multiplier(bits, bits) * cfg.lanes
+        adder_tree = ripple_carry_adder(bits + 8) * max(1, cfg.lanes - 1)
+        div_unit = divider(bits + 8)
+        encoder = (barrel_shifter(width=m + 2, positions=m) + comparator(exponent_bits)) * cfg.lanes
+        stage_buffers = GateCounts.of(flipflop=cfg.pipeline_stages * cfg.lanes * bits)
+        control = GateCounts.of(flipflop=64, mux2=32, and2=32)
+
+        gates = align_unit + sub_unit + mul_unit + adder_tree + div_unit + encoder + stage_buffers + control
+        return NonlinearUnitCost(
+            name="BBAL nonlinear unit (ours)",
+            num_format=cfg.name,
+            lanes=cfg.lanes,
+            gates=gates,
+            lut_buffer_bits=cfg.onchip_lut_bits(),
+            pipeline_stages=cfg.pipeline_stages,
+            subtable_load_cycles=cfg.subtable_load_cycles,
+            compatibility=("softmax", "silu", "gelu", "sigmoid"),
+        )
+
+    def external_table_bits(self, function: str) -> int:
+        """Storage of all sub-tables of ``function`` held in external memory."""
+        tables = self.config.subtables.get(function)
+        if tables is None:
+            raise ValueError(
+                f"unknown function {function!r}; known: {sorted(self.config.subtables)}"
+            )
+        return tables * self.config.lut_entries * self.config.lut_entry_bits
+
+    def latency_cycles(self, vector_length: int) -> int:
+        return self.cost().latency_cycles(vector_length)

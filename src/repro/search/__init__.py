@@ -1,0 +1,32 @@
+"""Mixed-precision configuration search on top of the BBFP format family.
+
+The paper fixes one BBFP configuration for every linear layer of the model
+(Table II evaluates each configuration globally).  Its own sensitivity data —
+different layer kinds have very different outlier profiles (Fig. 3) and
+different models tolerate different widths (Fig. 4 / Algorithm 1) — suggests
+the natural extension implemented here: assign a *different* BBFP(m, o) to
+each layer kind so that the cheap kinds drop to 3–4 bits while the sensitive
+ones keep 6, meeting an accuracy budget at a smaller weight footprint and PE
+cost than any single global configuration.
+
+* :mod:`repro.search.layerwise` — a :class:`~repro.llm.inference.QuantizationScheme`
+  that dispatches a different number format per linear-layer kind;
+* :mod:`repro.search.mixed_precision` — per-kind sensitivity profiling and a
+  greedy budget-constrained assignment search.
+"""
+
+from repro.search.layerwise import build_layerwise_scheme
+from repro.search.mixed_precision import (
+    MixedPrecisionResult,
+    greedy_mixed_precision_search,
+    layer_kind_parameter_counts,
+    sensitivity_profile,
+)
+
+__all__ = [
+    "build_layerwise_scheme",
+    "MixedPrecisionResult",
+    "greedy_mixed_precision_search",
+    "layer_kind_parameter_counts",
+    "sensitivity_profile",
+]

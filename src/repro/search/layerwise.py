@@ -1,0 +1,76 @@
+"""Layer-kind-wise quantisation schemes.
+
+The inference path names every linear layer ``blocks.<i>.<module>.<kind>``
+(kinds: ``q_proj``, ``k_proj``, ``v_proj``, ``out_proj``, ``gate_proj``,
+``up_proj``, ``down_proj``, ``fc1``, ``fc2``, ``lm_head``).  A layer-wise
+scheme maps each *kind* to its own number format and falls back to a default
+format for unmapped kinds — the building block of the mixed-precision search
+and a useful tool on its own (e.g. "keep ``down_proj`` at BBFP(6,3), quantise
+everything else to BBFP(4,2)").
+"""
+
+from __future__ import annotations
+
+from repro.llm.inference import QuantizationScheme
+
+__all__ = ["build_layerwise_scheme", "layer_kind_of"]
+
+
+def layer_kind_of(layer_name: str) -> str:
+    """Extract the layer kind from a fully qualified linear-layer name."""
+    return layer_name.rsplit(".", 1)[-1]
+
+
+def _as_scheme(format_or_scheme) -> QuantizationScheme:
+    if isinstance(format_or_scheme, QuantizationScheme):
+        return format_or_scheme
+    if format_or_scheme is None:
+        return QuantizationScheme.fp_reference()
+    return QuantizationScheme.from_format(format_or_scheme)
+
+
+def build_layerwise_scheme(assignment: dict, default=None, name: str = None,
+                           quantize_lm_head: bool = True) -> QuantizationScheme:
+    """Build a scheme that applies a different format to each linear-layer kind.
+
+    Parameters
+    ----------
+    assignment:
+        ``{layer_kind: format}`` where each format is anything accepted by
+        :meth:`QuantizationScheme.from_format` (BBFP/BFP/INT/MX/BiE configs, a
+        :class:`~repro.core.floatspec.FloatSpec`) or an already-built
+        :class:`QuantizationScheme`.
+    default:
+        Format used for kinds missing from ``assignment``; ``None`` keeps them
+        unquantised (the FP reference).
+    name:
+        Display name; derived from the assignment when omitted.
+    quantize_lm_head:
+        Forwarded to the resulting scheme.
+
+    Returns
+    -------
+    QuantizationScheme
+        A scheme whose weight/activation functions dispatch on the layer kind.
+    """
+    schemes = {kind: _as_scheme(fmt) for kind, fmt in assignment.items()}
+    default_scheme = _as_scheme(default)
+
+    if name is None:
+        parts = ", ".join(f"{kind}={scheme.name}" for kind, scheme in sorted(schemes.items()))
+        name = f"Layerwise({parts})"
+
+    def weight_fn(layer_name, weight):
+        scheme = schemes.get(layer_kind_of(layer_name), default_scheme)
+        return scheme.weight_fn(layer_name, weight)
+
+    def activation_fn(layer_name, activation):
+        scheme = schemes.get(layer_kind_of(layer_name), default_scheme)
+        return scheme.activation_fn(layer_name, activation)
+
+    return QuantizationScheme(
+        name=name,
+        weight_fn=weight_fn,
+        activation_fn=activation_fn,
+        quantize_lm_head=quantize_lm_head,
+    )

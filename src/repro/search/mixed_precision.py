@@ -1,0 +1,220 @@
+"""Greedy per-layer-kind mixed-precision search over the BBFP family.
+
+The search answers the deployment question the paper's global sweeps leave
+open: *given an accuracy budget, which BBFP configuration should each layer
+kind get?*  It proceeds in three steps:
+
+1. **Sensitivity profiling** — evaluate perplexity with exactly one layer
+   kind quantised to each candidate format (everything else in FP); the
+   resulting deltas mirror the per-layer MSE study of Fig. 3 but in the
+   end-to-end metric that matters.
+2. **Greedy assignment** — start from the most accurate candidate everywhere
+   and repeatedly downgrade the (kind, format) move with the best
+   footprint-saved per perplexity-lost ratio, as long as the *predicted*
+   perplexity increase (sum of single-kind deltas) stays within the budget.
+3. **Validation** — evaluate the final assignment exactly; if interactions
+   between kinds push it over budget, the most recent moves are reverted
+   until the measured perplexity fits.
+
+The cost metric is the weight-memory footprint (parameters x equivalent bits
+per element), which is also what drives DRAM energy in Fig. 9; the PE-area
+implications of each assignment can be read off Table III since the widest
+assigned format dictates the PE datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.dataset import SyntheticCorpus
+from repro.llm.inference import InferenceModel, QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+from repro.search.layerwise import build_layerwise_scheme, layer_kind_of
+
+__all__ = [
+    "MixedPrecisionResult",
+    "layer_kind_parameter_counts",
+    "sensitivity_profile",
+    "greedy_mixed_precision_search",
+]
+
+
+def layer_kind_parameter_counts(model: InferenceModel) -> dict:
+    """Number of weight parameters per linear-layer kind (used as footprint weights)."""
+    counts = {}
+    for key, tensor in model.state.items():
+        if not key.endswith(".weight"):
+            continue
+        layer_name = key[: -len(".weight")]
+        kind = layer_kind_of(layer_name)
+        if kind in ("token_embedding", "position_embedding"):
+            continue
+        counts[kind] = counts.get(kind, 0) + int(tensor.size)
+    return counts
+
+
+def _footprint_bits(assignment: dict, parameter_counts: dict) -> float:
+    """Total weight footprint (bits) of an assignment."""
+    total = 0.0
+    for kind, fmt in assignment.items():
+        total += parameter_counts.get(kind, 0) * float(fmt.equivalent_bit_width())
+    return total
+
+
+def _evaluate(model: InferenceModel, corpus: SyntheticCorpus, scheme: QuantizationScheme,
+              eval_config: EvalConfig) -> float:
+    original = model.scheme
+    model.set_scheme(scheme)
+    try:
+        return float(evaluate_perplexity(model, corpus, eval_config))
+    finally:
+        model.set_scheme(original)
+
+
+def sensitivity_profile(model: InferenceModel, corpus: SyntheticCorpus, candidates,
+                        kinds=None, eval_config: EvalConfig = None) -> dict:
+    """Perplexity with exactly one layer kind quantised, for every (kind, candidate).
+
+    Returns ``{kind: {candidate_name: perplexity}}`` plus the FP reference
+    under the key ``"__reference__"``.
+    """
+    eval_config = eval_config or EvalConfig()
+    if kinds is None:
+        kinds = sorted(layer_kind_parameter_counts(model))
+    reference = _evaluate(model, corpus, QuantizationScheme.fp_reference(), eval_config)
+    profile = {"__reference__": reference}
+    for kind in kinds:
+        profile[kind] = {}
+        for candidate in candidates:
+            scheme = build_layerwise_scheme({kind: candidate}, default=None,
+                                            name=f"only-{kind}-{candidate.name}")
+            profile[kind][candidate.name] = _evaluate(model, corpus, scheme, eval_config)
+    return profile
+
+
+@dataclass
+class MixedPrecisionResult:
+    """Outcome of the greedy mixed-precision search."""
+
+    assignment: dict
+    perplexity: float
+    reference_perplexity: float
+    footprint_bits: float
+    uniform_footprint_bits: float
+    scheme: QuantizationScheme
+    history: list = field(default_factory=list)
+
+    @property
+    def footprint_saving(self) -> float:
+        """Fraction of the uniform-widest-format footprint saved."""
+        if self.uniform_footprint_bits == 0:
+            return 0.0
+        return 1.0 - self.footprint_bits / self.uniform_footprint_bits
+
+    @property
+    def perplexity_overhead(self) -> float:
+        """Relative perplexity increase over the FP reference."""
+        if self.reference_perplexity == 0:
+            return 0.0
+        return self.perplexity / self.reference_perplexity - 1.0
+
+    def as_rows(self) -> list:
+        return [
+            {"kind": kind, "format": fmt.name, "bits_per_element": fmt.equivalent_bit_width()}
+            for kind, fmt in sorted(self.assignment.items())
+        ]
+
+
+def greedy_mixed_precision_search(model: InferenceModel, corpus: SyntheticCorpus, candidates,
+                                  ppl_budget_ratio: float = 1.05, kinds=None,
+                                  eval_config: EvalConfig = None) -> MixedPrecisionResult:
+    """Assign one candidate format per layer kind within a perplexity budget.
+
+    Parameters
+    ----------
+    model, corpus:
+        The model under quantisation and the held-out corpus for evaluation.
+    candidates:
+        Iterable of format configs (typically BBFP configs of decreasing
+        width); the *first* candidate is treated as the most accurate one and
+        is the starting assignment for every kind.
+    ppl_budget_ratio:
+        The final perplexity must stay below
+        ``reference_perplexity * ppl_budget_ratio``.
+    kinds:
+        Layer kinds to search over; all linear kinds of the model by default.
+    eval_config:
+        Evaluation configuration (batch sizes / lengths) for all measurements.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("need at least one candidate format")
+    if ppl_budget_ratio < 1.0:
+        raise ValueError("ppl_budget_ratio must be >= 1.0")
+    eval_config = eval_config or EvalConfig()
+    parameter_counts = layer_kind_parameter_counts(model)
+    if kinds is None:
+        kinds = sorted(parameter_counts)
+    kinds = [kind for kind in kinds if parameter_counts.get(kind, 0) > 0]
+
+    profile = sensitivity_profile(model, corpus, candidates, kinds=kinds, eval_config=eval_config)
+    reference = profile["__reference__"]
+    budget = reference * ppl_budget_ratio
+
+    assignment = {kind: candidates[0] for kind in kinds}
+    predicted_overhead = sum(
+        max(0.0, profile[kind][candidates[0].name] - reference) for kind in kinds
+    )
+    history = []
+
+    # Candidate downgrades: move a kind from its current format to any cheaper one.
+    improved = True
+    while improved:
+        improved = False
+        best_move = None
+        for kind in kinds:
+            current = assignment[kind]
+            current_delta = max(0.0, profile[kind][current.name] - reference)
+            for candidate in candidates:
+                if candidate.equivalent_bit_width() >= current.equivalent_bit_width():
+                    continue
+                extra_delta = max(0.0, profile[kind][candidate.name] - reference) - current_delta
+                saving = parameter_counts[kind] * (
+                    current.equivalent_bit_width() - candidate.equivalent_bit_width()
+                )
+                if predicted_overhead + extra_delta > budget - reference:
+                    continue
+                score = saving / (extra_delta + 1e-9)
+                if best_move is None or score > best_move[0]:
+                    best_move = (score, kind, candidate, extra_delta, saving)
+        if best_move is not None:
+            _, kind, candidate, extra_delta, saving = best_move
+            assignment[kind] = candidate
+            predicted_overhead += extra_delta
+            history.append({"kind": kind, "format": candidate.name, "saving_bits": saving,
+                            "predicted_extra_ppl": extra_delta})
+            improved = True
+
+    # Validate the interaction effects with an exact evaluation; back out the
+    # most aggressive moves until the measured perplexity fits the budget.
+    def build(assignment_now):
+        return build_layerwise_scheme(dict(assignment_now), default=None, name="MixedPrecision")
+
+    measured = _evaluate(model, corpus, build(assignment), eval_config)
+    while measured > budget and history:
+        reverted = history.pop()
+        assignment[reverted["kind"]] = candidates[0]
+        measured = _evaluate(model, corpus, build(assignment), eval_config)
+
+    uniform_footprint = sum(
+        parameter_counts[kind] * candidates[0].equivalent_bit_width() for kind in kinds
+    )
+    return MixedPrecisionResult(
+        assignment=dict(assignment),
+        perplexity=measured,
+        reference_perplexity=reference,
+        footprint_bits=_footprint_bits(assignment, parameter_counts),
+        uniform_footprint_bits=uniform_footprint,
+        scheme=build(assignment),
+        history=history,
+    )

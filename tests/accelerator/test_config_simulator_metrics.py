@@ -1,0 +1,125 @@
+"""Tests for the accelerator configuration, cycle-level simulator and iso-area metrics."""
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig, bits_per_element
+from repro.accelerator.metrics import efficiency_metric, iso_area_design_points
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.workloads import decoder_workload
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.llm.config import ModelConfig
+
+
+@pytest.fixture
+def dims():
+    return ModelConfig(name="m", vocab_size=1000, d_model=256, n_heads=8, n_layers=2,
+                       d_ff=704, max_seq_len=2048, arch="llama")
+
+
+@pytest.fixture
+def workload(dims):
+    return decoder_workload(dims, 256, phase="prefill")
+
+
+class TestConfig:
+    def test_bits_per_element(self):
+        assert bits_per_element(BBFPConfig(4, 2)) == pytest.approx(6.15625)
+        assert bits_per_element(BFPConfig(4)) == pytest.approx(5.15625)
+        assert bits_per_element("Oltron") == pytest.approx(4.25)
+        assert bits_per_element("fp16") == 16.0
+        with pytest.raises(ValueError):
+            bits_per_element("mystery")
+        with pytest.raises(TypeError):
+            bits_per_element(3.0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=0)
+
+    def test_areas_positive_and_additive(self):
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2))
+        assert config.num_pes == 1024
+        assert config.total_area_um2() > config.pe_array_area_um2()
+        assert config.buffer_area_um2() > 0
+
+    def test_strategy_name(self):
+        assert AcceleratorConfig(strategy="Oltron").strategy_name == "Oltron"
+        assert AcceleratorConfig(strategy=BBFPConfig(4, 2)).strategy_name == "BBFP(4,2)"
+
+
+class TestSimulator:
+    def test_report_structure(self, workload):
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2))
+        report = AcceleratorSimulator(config).run(workload)
+        assert report.total_macs == workload.total_macs
+        assert report.linear_cycles > 0 and report.nonlinear_cycles > 0
+        assert report.runtime_s > 0
+        assert report.throughput_gmacs > 0
+        assert report.energy.total_j > 0
+        assert len(report.per_op) == len(workload.matmuls) + len(workload.nonlinears)
+        assert set(report.as_dict()) >= {"config", "total_cycles", "energy"}
+
+    def test_invalid_nonlinear_style(self):
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2))
+        with pytest.raises(ValueError):
+            AcceleratorSimulator(config, nonlinear_style="gpu")
+
+    def test_fp32_nonlinear_slower_than_bbal(self, workload):
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2))
+        fp32 = AcceleratorSimulator(config, nonlinear_style="fp32").run(workload)
+        bbal = AcceleratorSimulator(config, nonlinear_style="bbal").run(workload)
+        assert fp32.nonlinear_cycles > bbal.nonlinear_cycles
+        assert fp32.linear_cycles == bbal.linear_cycles
+
+    def test_nonlinear_share_grows_with_sequence_length(self, dims):
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2))
+        sim = AcceleratorSimulator(config, nonlinear_style="fp32")
+        short = sim.run(decoder_workload(dims, 128, phase="prefill"))
+        long = sim.run(decoder_workload(dims, 1024, phase="prefill"))
+        assert (long.nonlinear_runtime_s / long.runtime_s) > (
+            short.nonlinear_runtime_s / short.runtime_s
+        )
+
+    def test_wider_format_costs_more_energy(self, workload):
+        narrow = AcceleratorSimulator(AcceleratorConfig(strategy=BBFPConfig(3, 1))).run(workload)
+        wide = AcceleratorSimulator(AcceleratorConfig(strategy=BBFPConfig(6, 3))).run(workload)
+        assert wide.energy.total_j > narrow.energy.total_j
+        assert wide.energy.dram_j > narrow.energy.dram_j
+
+    def test_bbfp3_energy_below_bfp4(self, workload):
+        """The Fig. 9 claim: BBFP with a 3-bit mantissa undercuts BFP4."""
+        bbfp = AcceleratorSimulator(AcceleratorConfig(strategy=BBFPConfig(3, 1))).run(workload)
+        bfp4 = AcceleratorSimulator(AcceleratorConfig(strategy=BFPConfig(4))).run(workload)
+        assert bbfp.energy.total_j < bfp4.energy.total_j
+
+
+class TestIsoArea:
+    def test_points_share_budget(self):
+        points = iso_area_design_points([BBFPConfig(3, 1), BFPConfig(4), BBFPConfig(6, 3)])
+        by_name = {p.strategy_name: p for p in points}
+        assert by_name["BBFP(3,1)"].num_pes > by_name["BFP4"].num_pes > by_name["BBFP(6,3)"].num_pes
+        assert max(p.relative_throughput for p in points) == 1.0
+
+    def test_bbfp3_throughput_advantage_over_bfp4(self):
+        """Fig. 8: BBFP(3,x) should get meaningfully more PEs than BFP4 at equal area."""
+        points = {p.strategy_name: p for p in iso_area_design_points([BBFPConfig(3, 1), BFPConfig(4)])}
+        assert points["BBFP(3,1)"].num_pes > 1.1 * points["BFP4"].num_pes
+
+    def test_explicit_budget_and_errors(self):
+        points = iso_area_design_points([BBFPConfig(4, 2)], area_budget_um2=1e6)
+        assert points[0].num_pes > 0
+        with pytest.raises(ValueError):
+            iso_area_design_points([])
+        with pytest.raises(ValueError):
+            iso_area_design_points([BBFPConfig(4, 2)], area_budget_um2=0)
+
+    def test_point_as_dict(self):
+        point = iso_area_design_points([BBFPConfig(4, 2)])[0]
+        assert set(point.as_dict()) == {"strategy", "pe_area_um2", "num_pes",
+                                        "peak_macs_per_cycle", "relative_throughput"}
+
+    def test_efficiency_metric(self):
+        assert efficiency_metric(100.0, 2.0, 5.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            efficiency_metric(1.0, 0.0, 1.0)

@@ -1,0 +1,86 @@
+"""Tests for the dataflow comparison models (repro.accelerator.dataflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.dataflow import DATAFLOWS, compare_dataflows, dataflow_stats
+from repro.accelerator.pe_array import matmul_cycles
+from repro.accelerator.workloads import MatmulOp
+
+
+@pytest.fixture
+def prefill_gemm():
+    return MatmulOp("fc1", 512, 1024, 4096)
+
+
+@pytest.fixture
+def decode_gemv():
+    return MatmulOp("fc1", 1, 4096, 4096)
+
+
+class TestDataflowStats:
+    def test_weight_stationary_matches_pe_array_timing(self, prefill_gemm):
+        stats = dataflow_stats(prefill_gemm, 32, 32, "weight_stationary")
+        assert stats.cycles == matmul_cycles(prefill_gemm, 32, 32).cycles
+
+    @pytest.mark.parametrize("dataflow", DATAFLOWS)
+    def test_macs_are_dataflow_invariant(self, prefill_gemm, dataflow):
+        assert dataflow_stats(prefill_gemm, 32, 32, dataflow).macs == prefill_gemm.macs
+
+    @pytest.mark.parametrize("dataflow", DATAFLOWS)
+    def test_utilisation_bounded(self, prefill_gemm, dataflow):
+        stats = dataflow_stats(prefill_gemm, 32, 32, dataflow)
+        assert 0.0 < stats.utilisation <= 1.0
+
+    @pytest.mark.parametrize("dataflow", DATAFLOWS)
+    def test_compulsory_operand_reads_never_undercounted(self, prefill_gemm, dataflow):
+        stats = dataflow_stats(prefill_gemm, 32, 32, dataflow)
+        assert stats.input_reads >= prefill_gemm.input_elements
+        assert stats.weight_reads >= prefill_gemm.weight_elements
+        assert stats.partial_sum_transfers >= prefill_gemm.output_elements
+
+    def test_output_stationary_never_moves_partial_sums(self, prefill_gemm):
+        stats = dataflow_stats(prefill_gemm, 32, 32, "output_stationary")
+        assert stats.partial_sum_transfers == prefill_gemm.output_elements
+
+    def test_weight_stationary_reads_weights_exactly_once(self, prefill_gemm):
+        stats = dataflow_stats(prefill_gemm, 32, 32, "weight_stationary")
+        assert stats.weight_reads == prefill_gemm.weight_elements
+
+    def test_input_stationary_reads_inputs_exactly_once(self, prefill_gemm):
+        stats = dataflow_stats(prefill_gemm, 32, 32, "input_stationary")
+        assert stats.input_reads == prefill_gemm.input_elements
+
+    def test_decode_weight_reads_favour_weight_stationary(self, decode_gemv):
+        """With one query token the weight matrix dominates traffic; the
+        weight-stationary array reads it once, output stationary as well (one
+        output tile row), but input stationary re-reads it per output tile."""
+        ws = dataflow_stats(decode_gemv, 32, 32, "weight_stationary")
+        inp = dataflow_stats(decode_gemv, 32, 32, "input_stationary")
+        assert ws.weight_reads <= inp.weight_reads
+
+    def test_unknown_dataflow_rejected(self, prefill_gemm):
+        with pytest.raises(ValueError, match="unknown dataflow"):
+            dataflow_stats(prefill_gemm, 32, 32, "systolic-magic")
+
+    def test_invalid_array_rejected(self, prefill_gemm):
+        with pytest.raises(ValueError, match="positive"):
+            dataflow_stats(prefill_gemm, 0, 32, "weight_stationary")
+
+
+class TestCompareDataflows:
+    def test_one_row_per_dataflow(self, prefill_gemm):
+        rows = compare_dataflows(prefill_gemm)
+        assert [row["dataflow"] for row in rows] == list(DATAFLOWS)
+
+    def test_traffic_scales_with_bits(self, prefill_gemm):
+        narrow = compare_dataflows(prefill_gemm, bits_per_element=4.0)
+        wide = compare_dataflows(prefill_gemm, bits_per_element=8.0)
+        for narrow_row, wide_row in zip(narrow, wide):
+            assert wide_row["operand_bytes"] == pytest.approx(2.0 * narrow_row["operand_bytes"])
+
+    def test_prefill_cycles_comparable_across_dataflows(self, prefill_gemm):
+        rows = {row["dataflow"]: row for row in compare_dataflows(prefill_gemm)}
+        cycles = [row["cycles"] for row in rows.values()]
+        assert max(cycles) <= 5 * min(cycles)

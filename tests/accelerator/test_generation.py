@@ -1,0 +1,94 @@
+"""Tests for the end-to-end generation latency model (repro.accelerator.generation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.generation import GenerationLatencyModel
+from repro.core.bbfp import BBFPConfig
+from repro.llm.config import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def model_config():
+    return ModelConfig(
+        name="gen-llama", vocab_size=256, d_model=256, n_heads=4, n_layers=2,
+        d_ff=688, max_seq_len=2048, arch="llama",
+    )
+
+
+@pytest.fixture(scope="module")
+def accel_config():
+    return AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=16, pe_cols=16)
+
+
+class TestGenerationLatencyModel:
+    def test_report_structure(self, accel_config, model_config):
+        model = GenerationLatencyModel(accel_config, model_config)
+        report = model.estimate(prompt_tokens=64, generated_tokens=32)
+        assert report.prompt_tokens == 64
+        assert report.generated_tokens == 32
+        assert report.prefill.cycles > 0
+        assert report.decode.cycles > 0
+        assert report.time_to_first_token_s > 0
+        assert report.tokens_per_second > 0
+        assert report.total_energy_j > 0
+
+    def test_zero_generation_has_empty_decode_phase(self, accel_config, model_config):
+        report = GenerationLatencyModel(accel_config, model_config).estimate(64, 0)
+        assert report.decode.cycles == 0
+        assert report.decode_latency_per_token_s == 0.0
+        assert report.energy_per_token_j == 0.0
+
+    def test_longer_prompt_increases_time_to_first_token(self, accel_config, model_config):
+        model = GenerationLatencyModel(accel_config, model_config)
+        short = model.estimate(32, 8)
+        long = model.estimate(512, 8)
+        assert long.time_to_first_token_s > short.time_to_first_token_s
+
+    def test_decode_cost_scales_roughly_linearly_with_tokens(self, accel_config, model_config):
+        model = GenerationLatencyModel(accel_config, model_config, decode_step_stride=8)
+        few = model.estimate(64, 16)
+        many = model.estimate(64, 64)
+        ratio = many.decode.cycles / few.decode.cycles
+        assert 3.0 < ratio < 6.0
+
+    def test_stride_one_matches_stride_many_within_tolerance(self, accel_config, model_config):
+        exact = GenerationLatencyModel(accel_config, model_config, decode_step_stride=1)
+        coarse = GenerationLatencyModel(accel_config, model_config, decode_step_stride=16)
+        exact_report = exact.estimate(64, 32)
+        coarse_report = coarse.estimate(64, 32)
+        assert coarse_report.decode.cycles == pytest.approx(exact_report.decode.cycles, rel=0.1)
+
+    def test_denser_format_spends_less_energy_per_generation(self, model_config):
+        from repro.core.blockfp import BFPConfig
+
+        dense = AcceleratorConfig(strategy=BBFPConfig(3, 1), pe_rows=16, pe_cols=16)
+        wide = AcceleratorConfig(strategy=BFPConfig(8), pe_rows=16, pe_cols=16)
+        dense_report = GenerationLatencyModel(dense, model_config).estimate(128, 32)
+        wide_report = GenerationLatencyModel(wide, model_config).estimate(128, 32)
+        assert dense_report.total_energy_j < wide_report.total_energy_j
+
+    def test_bbal_nonlinear_unit_keeps_nonlinear_share_low(self, accel_config, model_config):
+        bbal = GenerationLatencyModel(accel_config, model_config, nonlinear_style="bbal")
+        fp32 = GenerationLatencyModel(accel_config, model_config, nonlinear_style="fp32")
+        bbal_report = bbal.estimate(512, 16)
+        fp32_report = fp32.estimate(512, 16)
+        assert bbal_report.prefill.nonlinear_share < fp32_report.prefill.nonlinear_share
+
+    def test_invalid_arguments_rejected(self, accel_config, model_config):
+        model = GenerationLatencyModel(accel_config, model_config)
+        with pytest.raises(ValueError):
+            model.estimate(0, 4)
+        with pytest.raises(ValueError):
+            model.estimate(4, -1)
+        with pytest.raises(ValueError):
+            GenerationLatencyModel(accel_config, model_config, decode_step_stride=0)
+
+    def test_as_dict_contains_phase_breakdown(self, accel_config, model_config):
+        report = GenerationLatencyModel(accel_config, model_config).estimate(64, 8)
+        payload = report.as_dict()
+        assert payload["prefill"]["phase"] == "prefill"
+        assert payload["decode"]["phase"] == "decode"
+        assert payload["tokens_per_second"] == pytest.approx(report.tokens_per_second)

@@ -1,0 +1,119 @@
+"""Tests for the roofline analysis (repro.accelerator.roofline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.roofline import (
+    RooflineModel,
+    analyze_workload,
+    matmul_arithmetic_intensity,
+    roofline_for_config,
+)
+from repro.accelerator.workloads import MatmulOp, decoder_workload
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.llm.config import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def llama_like_config():
+    return ModelConfig(
+        name="roofline-llama", vocab_size=256, d_model=512, n_heads=8, n_layers=4,
+        d_ff=1376, max_seq_len=4096, arch="llama",
+    )
+
+
+@pytest.fixture
+def bbal_config():
+    return AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=32, pe_cols=32)
+
+
+class TestRooflineModel:
+    def test_ridge_point(self):
+        roofline = RooflineModel(peak_macs_per_s=1e12, dram_bandwidth_bytes_per_s=1e11)
+        assert roofline.ridge_intensity == pytest.approx(10.0)
+
+    def test_attainable_clamps_to_peak(self):
+        roofline = RooflineModel(peak_macs_per_s=1e12, dram_bandwidth_bytes_per_s=1e11)
+        assert roofline.attainable_macs_per_s(100.0) == pytest.approx(1e12)
+        assert roofline.attainable_macs_per_s(1.0) == pytest.approx(1e11)
+        assert roofline.attainable_macs_per_s(0.0) == 0.0
+
+    def test_bound_classification(self):
+        roofline = RooflineModel(peak_macs_per_s=1e12, dram_bandwidth_bytes_per_s=1e11)
+        assert roofline.is_compute_bound(20.0)
+        assert not roofline.is_compute_bound(5.0)
+
+    def test_invalid_ceilings_rejected(self):
+        with pytest.raises(ValueError):
+            RooflineModel(0.0, 1e9)
+        with pytest.raises(ValueError):
+            RooflineModel(1e9, -1.0)
+
+
+class TestArithmeticIntensity:
+    def test_square_gemm_intensity_grows_with_size(self):
+        small = matmul_arithmetic_intensity(MatmulOp("a", 64, 64, 64), 8.0)
+        large = matmul_arithmetic_intensity(MatmulOp("b", 512, 512, 512), 8.0)
+        assert large > small
+
+    def test_lower_bits_raise_intensity(self):
+        op = MatmulOp("a", 128, 128, 128)
+        assert matmul_arithmetic_intensity(op, 4.0) == pytest.approx(
+            2.0 * matmul_arithmetic_intensity(op, 8.0)
+        )
+
+    def test_matvec_intensity_is_below_one_mac_per_weight_byte(self):
+        # Decode-phase matrix-vector product: one MAC per weight element.
+        op = MatmulOp("decode", 1, 4096, 4096)
+        intensity = matmul_arithmetic_intensity(op, 8.0)
+        assert intensity < 1.05
+
+
+class TestRooflineForConfig:
+    def test_peak_scales_with_pe_count(self, bbal_config):
+        roofline = roofline_for_config(bbal_config)
+        assert roofline.peak_macs_per_s == pytest.approx(
+            bbal_config.num_pes * bbal_config.technology.clock_frequency_hz
+        )
+
+    def test_bandwidth_parameter_respected(self, bbal_config):
+        roofline = roofline_for_config(bbal_config, dram_bandwidth_gbytes_per_s=100.0)
+        assert roofline.dram_bandwidth_bytes_per_s == pytest.approx(1e11)
+
+
+class TestAnalyzeWorkload:
+    def test_prefill_projections_are_compute_bound(self, bbal_config, llama_like_config):
+        workload = decoder_workload(llama_like_config, seq_len=1024, phase="prefill")
+        analyses = {a.name: a for a in analyze_workload(bbal_config, workload)}
+        assert analyses["query"].bound == "compute"
+        assert analyses["down"].bound == "compute"
+
+    def test_decode_projections_are_memory_bound(self, bbal_config, llama_like_config):
+        workload = decoder_workload(llama_like_config, seq_len=1024, phase="decode")
+        analyses = {a.name: a for a in analyze_workload(bbal_config, workload)}
+        assert analyses["query"].bound == "memory"
+        assert analyses["down"].bound == "memory"
+
+    def test_denser_format_never_slower(self, llama_like_config):
+        """Fewer bits per element can only raise the memory roof."""
+        workload = decoder_workload(llama_like_config, seq_len=256, phase="decode")
+        dense = AcceleratorConfig(strategy=BBFPConfig(3, 1), pe_rows=32, pe_cols=32)
+        wide = AcceleratorConfig(strategy=BFPConfig(8), pe_rows=32, pe_cols=32)
+        dense_runtime = sum(a.runtime_s for a in analyze_workload(dense, workload))
+        wide_runtime = sum(a.runtime_s for a in analyze_workload(wide, workload))
+        assert dense_runtime <= wide_runtime
+
+    def test_repeat_scales_macs_and_bytes(self, bbal_config, llama_like_config):
+        workload = decoder_workload(llama_like_config, seq_len=128, phase="prefill")
+        single = analyze_workload(bbal_config, workload.scaled(1))
+        double = analyze_workload(bbal_config, workload.scaled(2))
+        assert double[0].macs == 2 * single[0].macs
+        assert double[0].dram_bytes == pytest.approx(2 * single[0].dram_bytes)
+
+    def test_rows_expose_dict_interface(self, bbal_config, llama_like_config):
+        workload = decoder_workload(llama_like_config, seq_len=128, phase="prefill")
+        row = analyze_workload(bbal_config, workload)[0].as_dict()
+        assert {"op", "macs", "arithmetic_intensity", "bound", "attainable_gmacs"} <= set(row)

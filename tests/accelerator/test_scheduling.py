@@ -1,0 +1,125 @@
+"""Tests for the GEMM tiling scheduler (repro.accelerator.scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.scheduling import (
+    best_tiling,
+    candidate_tile_sizes,
+    traffic_for_tiling,
+)
+from repro.accelerator.workloads import MatmulOp
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+
+
+@pytest.fixture
+def bbal_config():
+    return AcceleratorConfig(
+        strategy=BBFPConfig(4, 2), pe_rows=16, pe_cols=16,
+        input_buffer_bytes=16 * 1024, weight_buffer_bytes=32 * 1024,
+        output_buffer_bytes=16 * 1024,
+    )
+
+
+class TestCandidateTileSizes:
+    def test_powers_of_two_plus_full_dimension(self):
+        assert candidate_tile_sizes(12) == [1, 2, 4, 8, 12]
+        assert candidate_tile_sizes(8) == [1, 2, 4, 8]
+        assert candidate_tile_sizes(1) == [1]
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_tile_sizes(0)
+
+
+class TestTrafficModel:
+    def test_single_tile_moves_each_tensor_once(self):
+        op = MatmulOp("gemm", 64, 64, 64)
+        traffic = traffic_for_tiling(op, 64, 64, 64, bits_per_element=8.0)
+        expected = (op.input_elements + op.weight_elements + op.output_elements) * 1.0
+        assert traffic == pytest.approx(expected)
+
+    def test_narrow_column_tiles_reread_inputs(self):
+        op = MatmulOp("gemm", 64, 64, 64)
+        one_pass = traffic_for_tiling(op, 64, 64, 64, 8.0)
+        four_passes = traffic_for_tiling(op, 64, 64, 16, 8.0)
+        assert four_passes > one_pass
+
+    def test_split_reduction_spills_partial_sums(self):
+        op = MatmulOp("gemm", 64, 64, 64)
+        assert traffic_for_tiling(op, 64, 16, 64, 8.0) > traffic_for_tiling(op, 64, 64, 64, 8.0)
+
+    def test_fewer_bits_move_fewer_bytes(self):
+        op = MatmulOp("gemm", 128, 128, 128)
+        assert traffic_for_tiling(op, 64, 64, 64, 4.0) < traffic_for_tiling(op, 64, 64, 64, 8.0)
+
+
+class TestBestTiling:
+    def test_tiles_fit_the_buffers(self, bbal_config):
+        op = MatmulOp("fc1", 512, 1024, 4096)
+        choice = best_tiling(op, bbal_config)
+        assert choice.input_buffer_bytes <= bbal_config.input_buffer_bytes / 2
+        assert choice.weight_buffer_bytes <= bbal_config.weight_buffer_bytes / 2
+        assert choice.output_buffer_bytes <= bbal_config.output_buffer_bytes / 2
+
+    def test_small_gemm_needs_a_single_tile(self, bbal_config):
+        op = MatmulOp("tiny", 16, 32, 16)
+        choice = best_tiling(op, bbal_config)
+        assert choice.tiles == 1
+        assert choice.dram_bytes == pytest.approx(
+            (op.input_elements + op.weight_elements + op.output_elements)
+            * bbal_config.element_bits() / 8.0
+        )
+
+    def test_traffic_never_below_compulsory_minimum(self, bbal_config):
+        op = MatmulOp("fc2", 256, 4096, 1024)
+        choice = best_tiling(op, bbal_config)
+        compulsory = (
+            op.input_elements + op.weight_elements + op.output_elements
+        ) * bbal_config.element_bits() / 8.0
+        assert choice.dram_bytes >= compulsory
+
+    def test_larger_buffers_never_increase_traffic(self):
+        op = MatmulOp("fc1", 512, 1024, 4096)
+        small = AcceleratorConfig(
+            strategy=BBFPConfig(4, 2), input_buffer_bytes=8 * 1024,
+            weight_buffer_bytes=16 * 1024, output_buffer_bytes=8 * 1024,
+        )
+        large = AcceleratorConfig(
+            strategy=BBFPConfig(4, 2), input_buffer_bytes=64 * 1024,
+            weight_buffer_bytes=128 * 1024, output_buffer_bytes=64 * 1024,
+        )
+        assert best_tiling(op, large).dram_bytes <= best_tiling(op, small).dram_bytes
+
+    def test_denser_format_fits_bigger_tiles(self):
+        op = MatmulOp("fc1", 512, 1024, 4096)
+        dense = AcceleratorConfig(strategy=BBFPConfig(3, 1), input_buffer_bytes=8 * 1024,
+                                  weight_buffer_bytes=16 * 1024, output_buffer_bytes=8 * 1024)
+        wide = AcceleratorConfig(strategy=BFPConfig(8), input_buffer_bytes=8 * 1024,
+                                 weight_buffer_bytes=16 * 1024, output_buffer_bytes=8 * 1024)
+        dense_choice = best_tiling(op, dense)
+        wide_choice = best_tiling(op, wide)
+        assert dense_choice.tile_k * dense_choice.tile_n >= wide_choice.tile_k * wide_choice.tile_n
+
+    def test_single_buffering_allows_larger_tiles(self, bbal_config):
+        op = MatmulOp("fc1", 512, 1024, 4096)
+        double = best_tiling(op, bbal_config, double_buffered=True)
+        single = best_tiling(op, bbal_config, double_buffered=False)
+        assert single.dram_bytes <= double.dram_bytes
+
+    def test_impossible_tiling_raises(self):
+        config = AcceleratorConfig(
+            strategy=BFPConfig(8), input_buffer_bytes=1, weight_buffer_bytes=1,
+            output_buffer_bytes=1,
+        )
+        with pytest.raises(ValueError, match="no legal tiling"):
+            best_tiling(MatmulOp("huge", 1024, 1024, 1024), config)
+
+    def test_as_dict_round_trip(self, bbal_config):
+        choice = best_tiling(MatmulOp("fc1", 64, 128, 256), bbal_config)
+        row = choice.as_dict()
+        assert row["op"] == "fc1"
+        assert row["tiles"] == choice.tiles

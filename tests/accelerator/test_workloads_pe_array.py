@@ -1,0 +1,114 @@
+"""Tests for workload construction and the PE-array timing model."""
+
+import pytest
+
+from repro.accelerator.pe_array import PEArray, matmul_cycles
+from repro.accelerator.workloads import LayerWorkload, MatmulOp, NonlinearOp, decoder_workload
+from repro.llm.config import ModelConfig
+
+
+@pytest.fixture
+def llama_dims():
+    return ModelConfig(name="llama", vocab_size=1000, d_model=256, n_heads=8, n_layers=4,
+                       d_ff=704, max_seq_len=4096, arch="llama")
+
+
+@pytest.fixture
+def opt_dims():
+    return ModelConfig(name="opt", vocab_size=1000, d_model=256, n_heads=8, n_layers=4,
+                       d_ff=1024, max_seq_len=4096, arch="opt")
+
+
+class TestOps:
+    def test_matmul_counts(self):
+        op = MatmulOp("q", 4, 8, 16)
+        assert op.macs == 4 * 8 * 16
+        assert op.input_elements == 32
+        assert op.weight_elements == 128
+        assert op.output_elements == 64
+
+    def test_matmul_validation(self):
+        with pytest.raises(ValueError):
+            MatmulOp("bad", 0, 8, 8)
+
+    def test_nonlinear_validation(self):
+        with pytest.raises(ValueError):
+            NonlinearOp("s", "softplus", 1, 8)
+        with pytest.raises(ValueError):
+            NonlinearOp("s", "softmax", 0, 8)
+
+    def test_nonlinear_elements(self):
+        assert NonlinearOp("s", "softmax", 4, 128).elements == 512
+
+
+class TestDecoderWorkload:
+    def test_llama_has_gate_up_down_and_silu(self, llama_dims):
+        workload = decoder_workload(llama_dims, 128, phase="prefill")
+        names = [op.name for op in workload.matmuls]
+        assert {"query", "key", "value", "out_proj", "gate", "up", "down"} <= set(names)
+        assert any(op.kind == "silu" for op in workload.nonlinears)
+        assert workload.repeat == llama_dims.n_layers
+
+    def test_opt_has_fc1_fc2_and_gelu(self, opt_dims):
+        workload = decoder_workload(opt_dims, 128, phase="prefill")
+        names = [op.name for op in workload.matmuls]
+        assert {"fc1", "fc2"} <= set(names)
+        assert any(op.kind == "gelu" for op in workload.nonlinears)
+
+    def test_decode_has_single_query(self, llama_dims):
+        workload = decoder_workload(llama_dims, 1024, phase="decode")
+        query = next(op for op in workload.matmuls if op.name == "query")
+        assert query.m == 1
+        scores = next(op for op in workload.matmuls if op.name == "attn_scores")
+        assert scores.n == 1024
+
+    def test_softmax_work_scales_quadratically_in_prefill(self, llama_dims):
+        short = decoder_workload(llama_dims, 128, phase="prefill")
+        long = decoder_workload(llama_dims, 512, phase="prefill")
+        short_elems = sum(op.elements for op in short.nonlinears if op.kind == "softmax")
+        long_elems = sum(op.elements for op in long.nonlinears if op.kind == "softmax")
+        assert long_elems == pytest.approx(16 * short_elems)
+
+    def test_invalid_phase(self, llama_dims):
+        with pytest.raises(ValueError):
+            decoder_workload(llama_dims, 128, phase="training")
+
+    def test_total_macs_positive_and_scaled(self, llama_dims):
+        workload = decoder_workload(llama_dims, 64, phase="prefill")
+        assert workload.total_macs > 0
+        assert workload.scaled(1).total_macs == workload.total_macs // llama_dims.n_layers
+
+
+class TestPEArrayTiming:
+    def test_cycles_at_least_ideal(self):
+        op = MatmulOp("g", 256, 256, 256)
+        stats = matmul_cycles(op, 32, 32)
+        ideal = op.macs / (32 * 32)
+        assert stats.cycles >= ideal
+        assert 0 < stats.utilisation <= 1.0
+
+    def test_large_prefill_gemm_is_well_utilised(self):
+        op = MatmulOp("g", 2048, 512, 512)
+        stats = matmul_cycles(op, 32, 32)
+        assert stats.utilisation > 0.8
+
+    def test_decode_gemv_is_poorly_utilised(self):
+        op = MatmulOp("g", 1, 512, 512)
+        stats = matmul_cycles(op, 32, 32)
+        assert stats.utilisation < 0.1
+
+    def test_weight_tiles_count(self):
+        stats = matmul_cycles(MatmulOp("g", 8, 64, 96), 32, 32)
+        assert stats.weight_tiles == 2 * 3
+
+    def test_invalid_array(self):
+        with pytest.raises(ValueError):
+            matmul_cycles(MatmulOp("g", 1, 1, 1), 0, 4)
+        with pytest.raises(ValueError):
+            PEArray(0, 4)
+
+    def test_pe_array_helpers(self):
+        array = PEArray(16, 8)
+        assert array.num_pes == 128
+        assert array.peak_macs_per_cycle() == 128
+        assert array.gemm(MatmulOp("g", 4, 16, 8)).cycles > 0

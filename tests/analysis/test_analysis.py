@@ -1,0 +1,89 @@
+"""Tests for reporting, distribution analysis and the Fig. 3 MSE sweep."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    distribution_histograms,
+    model_activation_samples,
+    model_tensor_stats,
+    model_weight_tensors,
+)
+from repro.analysis.mse_sweep import FIG3_STRATEGIES, LAYER_KINDS_FIG3, layer_activation_mse
+from repro.analysis.reporting import ExperimentResult, format_table, save_result
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_experiment_result_to_text(self):
+        result = ExperimentResult("T1", "demo", [{"x": 1}], notes="hello")
+        text = result.to_text()
+        assert "T1" in text and "hello" in text
+
+    def test_save_result_writes_json_and_text(self, tmp_path):
+        result = ExperimentResult("Fig X", "demo", [{"x": 1.0}], metadata={"seed": 1})
+        path = save_result(result, tmp_path)
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "Fig X"
+        assert (tmp_path / "fig_x.txt").exists()
+
+
+class TestDistributions:
+    def test_weight_tensor_selection(self, tiny_inference_model):
+        weights = model_weight_tensors(tiny_inference_model)
+        assert all(name.endswith(".weight") for name in weights)
+        assert not any("embedding" in name for name in weights)
+        assert len(weights) >= 7 * tiny_inference_model.config.n_layers
+
+    def test_activation_samples_shapes(self, tiny_inference_model, small_corpus):
+        samples = model_activation_samples(tiny_inference_model, small_corpus, num_batches=1)
+        for name, activation in samples.items():
+            assert activation.ndim == 2
+            assert activation.shape[1] in (tiny_inference_model.config.d_model,
+                                           tiny_inference_model.config.d_ff)
+
+    def test_model_stats_activation_outliers_heavier(self, tiny_inference_model, small_corpus):
+        """The Fig. 1(a) observation reproduced on the zoo: activations have heavier tails."""
+        stats = model_tensor_stats(tiny_inference_model, small_corpus)
+        assert stats["activation"].kurtosis > stats["weight"].kurtosis * 0.5
+        assert stats["activation"].max_abs > stats["weight"].max_abs
+
+    def test_histograms(self, tiny_inference_model, small_corpus):
+        histograms = distribution_histograms(tiny_inference_model, small_corpus, bins=16)
+        assert histograms["weight"]["counts"].sum() > 0
+        assert len(histograms["activation"]["bin_edges"]) == 17
+
+
+class TestMSESweep:
+    def test_rows_cover_layers_and_average(self, tiny_inference_model, small_corpus):
+        rows = layer_activation_mse(tiny_inference_model, small_corpus, num_batches=1)
+        labels = [row["layer"] for row in rows]
+        assert "Avg." in labels
+        assert set(labels) - {"Avg."} <= set(LAYER_KINDS_FIG3)
+        for row in rows:
+            for strategy in FIG3_STRATEGIES:
+                assert row[strategy] >= 0
+
+    def test_fig3_ordering(self, tiny_inference_model, small_corpus):
+        """Max-2 (Eq. 9) beats Max-1, Max-3 and BFP4 on average."""
+        rows = layer_activation_mse(tiny_inference_model, small_corpus, num_batches=1)
+        average = next(row for row in rows if row["layer"] == "Avg.")
+        assert average["Max-2"] < average["Max-1"]
+        assert average["Max-2"] < average["Max-3"]
+        assert average["Max-2"] < average["BFP4"]

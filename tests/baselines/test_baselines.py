@@ -1,0 +1,172 @@
+"""Tests for the comparator quantisation schemes (SmoothQuant, OmniQuant, Olive, Oltron)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.calibration import collect_linear_input_stats
+from repro.baselines.olive import OliveConfig, build_olive_scheme, olive_quantize_dequantize
+from repro.baselines.oltron import OltronConfig, build_oltron_scheme, oltron_quantize_dequantize
+from repro.baselines.omniquant import OmniQuantConfig, build_omniquant_scheme, search_clip_ratio
+from repro.baselines.smoothquant import (
+    SmoothQuantConfig,
+    build_smoothquant_scheme,
+    compute_smoothing_scales,
+)
+from repro.core.integer import IntQuantConfig, int_quantize_dequantize
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=2)
+
+
+class TestCalibration:
+    def test_stats_cover_all_linears(self, tiny_inference_model, small_corpus):
+        stats = collect_linear_input_stats(tiny_inference_model, small_corpus, num_batches=1)
+        assert any(name.endswith("q_proj") for name in stats)
+        assert any(name.endswith("down_proj") for name in stats)
+        for name, per_channel in stats.items():
+            weight = tiny_inference_model.state[f"{name}.weight"]
+            assert per_channel.shape == (weight.shape[0],)
+            assert np.all(per_channel >= 0)
+
+
+class TestSmoothQuant:
+    def test_scale_formula(self):
+        act_max = np.array([8.0, 2.0])
+        weight = np.array([[0.5, 0.5], [2.0, 2.0]])
+        scales = compute_smoothing_scales(act_max, weight, alpha=0.5)
+        assert scales[0] == pytest.approx(np.sqrt(8.0) / np.sqrt(0.5))
+        assert scales[1] == pytest.approx(np.sqrt(2.0) / np.sqrt(2.0))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SmoothQuantConfig(alpha=2.0)
+
+    def test_smoothing_reduces_int8_error_on_outlier_channels(self, rng):
+        """The core SmoothQuant property, isolated from the model."""
+        x = rng.standard_normal((256, 16))
+        x[:, 3] *= 40.0  # outlier channel
+        w = rng.standard_normal((16, 8)) * 0.1
+        act_max = np.abs(x).max(axis=0)
+        scales = compute_smoothing_scales(act_max, w, alpha=0.5)
+        config = IntQuantConfig(8)
+        plain = int_quantize_dequantize(x, config) @ int_quantize_dequantize(w, config)
+        smooth = (int_quantize_dequantize(x / scales, config) * scales) @ (
+            int_quantize_dequantize(w * scales[:, None], config) / scales[:, None]
+        )
+        exact = x @ w
+        assert np.mean((smooth - exact) ** 2) < np.mean((plain - exact) ** 2)
+
+    def test_scheme_recovers_most_accuracy_at_8bit(self, tiny_inference_model, small_corpus):
+        fp_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        scheme = build_smoothquant_scheme(tiny_inference_model, small_corpus)
+        tiny_inference_model.set_scheme(scheme)
+        sq_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        assert sq_ppl < fp_ppl * 1.2
+
+
+class TestOmniQuant:
+    def test_clip_search_prefers_clipping_with_outlier_weights(self, rng):
+        # Many well-behaved values plus one extreme outlier per channel: clipping
+        # the outlier buys a much finer step for everything else.
+        w = rng.uniform(-1.0, 1.0, size=(1024, 4))
+        w[0, :] = 4.0
+        ratio = search_clip_ratio(w, bits=4, candidates=(1.0, 0.8, 0.6))
+        assert ratio < 1.0
+
+    def test_clip_search_keeps_full_range_for_uniform_weights(self, rng):
+        w = rng.uniform(-1.0, 1.0, size=(256, 4))
+        assert search_clip_ratio(w, bits=8, candidates=(1.0, 0.8, 0.6)) == 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            OmniQuantConfig(weight_bits=1)
+        with pytest.raises(ValueError):
+            OmniQuantConfig(clip_candidates=())
+
+    def test_scheme_beats_plain_int4(self, tiny_inference_model, small_corpus):
+        scheme = build_omniquant_scheme(tiny_inference_model, small_corpus)
+        tiny_inference_model.set_scheme(scheme)
+        omni_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        from repro.llm.inference import QuantizationScheme
+
+        tiny_inference_model.set_scheme(QuantizationScheme.from_format(IntQuantConfig(4)))
+        int4_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        assert omni_ppl <= int4_ppl * 1.05
+
+
+class TestOlive:
+    def test_normal_values_quantised_like_int(self, rng):
+        x = rng.standard_normal(512)
+        x_hat = olive_quantize_dequantize(x, OliveConfig())
+        assert np.mean((x - x_hat) ** 2) < 0.1 * np.mean(x**2)
+
+    def test_outlier_prunes_victim(self, rng):
+        x = rng.standard_normal(128)
+        x[10] = 10.0  # outlier, ~5x the robust group maximum
+        x[11] = 0.1  # its victim
+        config = OliveConfig()
+        x_hat = olive_quantize_dequantize(x, config)
+        assert x_hat[11] == 0.0  # victim pruned
+        assert abs(x_hat[10] - 10.0) < 2.0  # outlier retained through the extended range
+
+    def test_adjacent_outliers_clash(self, rng):
+        x = rng.standard_normal(128) * 0.5
+        x[10] = 12.0
+        x[11] = 11.0
+        x_hat = olive_quantize_dequantize(x, OliveConfig())
+        # The second outlier of the pair cannot use the extension and collapses
+        # to the normal clipped range.
+        assert abs(x_hat[11]) < abs(x_hat[10])
+        assert abs(x_hat[11]) < 4.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            OliveConfig(bits=1)
+
+    def test_empty_input(self):
+        assert olive_quantize_dequantize(np.array([])).size == 0
+
+    def test_scheme_name(self):
+        assert build_olive_scheme().name == "Olive"
+
+
+class TestOltron:
+    def test_outlier_budget_respected(self, outlier_tensor):
+        config = OltronConfig(outlier_ratio=0.01)
+        x_hat = oltron_quantize_dequantize(outlier_tensor, config)
+        # The top-magnitude values survive almost exactly (FP16 side path).
+        top = np.argsort(np.abs(outlier_tensor))[-5:]
+        assert np.allclose(x_hat[top], outlier_tensor[top], rtol=1e-2)
+
+    def test_inliers_quantised_coarsely(self, rng):
+        x = rng.standard_normal(4096)
+        x_hat = oltron_quantize_dequantize(x, OltronConfig(outlier_ratio=0.01))
+        distinct = np.unique(np.round(x_hat[np.abs(x) < 1.0], 6))
+        assert len(distinct) <= 2 * OltronConfig().max_code + 1
+
+    def test_zero_budget_is_plain_int(self, rng):
+        x = rng.standard_normal(128)
+        x_hat = oltron_quantize_dequantize(x, OltronConfig(outlier_ratio=0.0))
+        assert np.max(np.abs(x_hat)) <= np.max(np.abs(x)) + 1e-9
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            OltronConfig(outlier_ratio=0.7)
+
+    def test_fixed_budget_fails_when_outliers_exceed_it(self, rng):
+        """The Fig. 8 narrative: more outliers than the budget -> large error."""
+        few = rng.standard_normal(4096)
+        few[::512] *= 50.0  # ~0.2% outliers, inside the 1% budget
+        many = rng.standard_normal(4096)
+        many[::16] *= 50.0  # ~6% outliers, beyond the budget
+        config = OltronConfig(outlier_ratio=0.01)
+
+        def relative_error(x):
+            x_hat = oltron_quantize_dequantize(x, config)
+            return np.mean((x - x_hat) ** 2) / np.mean(x**2)
+
+        assert relative_error(many) > 2 * relative_error(few)
+
+    def test_scheme_name(self):
+        assert build_oltron_scheme().name == "Oltron"

@@ -1,0 +1,146 @@
+"""Tests for the GPTQ baseline (repro.baselines.gptq)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.calibration import collect_linear_input_hessians
+from repro.baselines.gptq import GPTQConfig, build_gptq_scheme, gptq_quantize_weight
+from repro.core.integer import Granularity, IntQuantConfig, int_quantize_dequantize
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=2)
+
+
+def _rtn(weight: np.ndarray, bits: int) -> np.ndarray:
+    """Plain round-to-nearest on the per-output-channel grid (the GPTQ reference point)."""
+    return int_quantize_dequantize(weight, IntQuantConfig(bits, Granularity.PER_CHANNEL))
+
+
+class TestGPTQConfig:
+    def test_defaults_are_weight_only(self):
+        config = GPTQConfig()
+        assert config.weight_bits == 4
+        assert config.activation_bits is None
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError, match="weight_bits"):
+            GPTQConfig(weight_bits=1)
+        with pytest.raises(ValueError, match="activation_bits"):
+            GPTQConfig(activation_bits=1)
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ValueError, match="percdamp"):
+            GPTQConfig(percdamp=0.0)
+
+
+class TestHessianCalibration:
+    def test_hessians_are_square_and_psd(self, tiny_inference_model, small_corpus):
+        hessians = collect_linear_input_hessians(tiny_inference_model, small_corpus, num_batches=1)
+        assert any(name.endswith("q_proj") for name in hessians)
+        for name, hessian in hessians.items():
+            in_features = tiny_inference_model.state[f"{name}.weight"].shape[0]
+            assert hessian.shape == (in_features, in_features)
+            np.testing.assert_allclose(hessian, hessian.T, atol=1e-9)
+            eigenvalues = np.linalg.eigvalsh(hessian)
+            assert eigenvalues.min() >= -1e-8
+
+
+class TestGPTQQuantizeWeight:
+    def test_output_stays_on_per_channel_grid(self, rng):
+        weight = rng.standard_normal((32, 16))
+        hessian = np.eye(32)
+        quantised = gptq_quantize_weight(weight, hessian, GPTQConfig(weight_bits=4))
+        max_code = 7
+        scales = np.abs(weight).max(axis=0) / max_code
+        codes = quantised / scales
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+        assert np.max(np.abs(codes)) <= max_code + 1e-9
+
+    def test_identity_hessian_reduces_to_rtn(self, rng):
+        """With no cross-feature correlation there is nothing to compensate."""
+        weight = rng.standard_normal((24, 12))
+        quantised = gptq_quantize_weight(weight, np.eye(24), GPTQConfig(weight_bits=4))
+        np.testing.assert_allclose(quantised, _rtn(weight, 4), atol=1e-9)
+
+    def test_compensation_reduces_layer_output_error(self, rng):
+        """The GPTQ objective: ||X W - X W_hat||_F drops versus round-to-nearest."""
+        x = rng.standard_normal((512, 48))
+        # Correlated input features make compensation matter.
+        mixing = rng.standard_normal((48, 48)) * 0.3 + np.eye(48)
+        x = x @ mixing
+        weight = rng.standard_normal((48, 24))
+        hessian = x.T @ x
+        config = GPTQConfig(weight_bits=3)
+        gptq_w = gptq_quantize_weight(weight, hessian, config)
+        rtn_w = _rtn(weight, 3)
+        gptq_err = float(np.linalg.norm(x @ (weight - gptq_w)))
+        rtn_err = float(np.linalg.norm(x @ (weight - rtn_w)))
+        assert gptq_err < rtn_err
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="hessian shape"):
+            gptq_quantize_weight(rng.standard_normal((8, 4)), np.eye(6))
+
+    def test_dead_features_are_zeroed(self, rng):
+        weight = rng.standard_normal((16, 8))
+        x = rng.standard_normal((64, 16))
+        x[:, 5] = 0.0  # feature 5 never activates
+        hessian = x.T @ x
+        quantised = gptq_quantize_weight(weight, hessian, GPTQConfig(weight_bits=4))
+        np.testing.assert_array_equal(quantised[5, :], 0.0)
+
+    def test_high_bit_quantisation_is_nearly_lossless(self, rng):
+        weight = rng.standard_normal((32, 16))
+        x = rng.standard_normal((256, 32))
+        quantised = gptq_quantize_weight(weight, x.T @ x, GPTQConfig(weight_bits=8))
+        rel = np.abs(weight - quantised) / np.abs(weight).max()
+        assert rel.max() < 0.02
+
+
+class TestBuildGPTQScheme:
+    def test_scheme_quantises_calibrated_layers(self, tiny_inference_model, small_corpus):
+        scheme = build_gptq_scheme(tiny_inference_model, small_corpus, GPTQConfig(weight_bits=4))
+        assert scheme.name == "GPTQ"
+        name = "blocks.0.attention.q_proj"
+        weight = tiny_inference_model.state[f"{name}.weight"]
+        quantised = scheme.weight_fn(name, weight)
+        assert quantised.shape == weight.shape
+        assert not np.array_equal(quantised, weight)
+
+    def test_uncalibrated_layer_falls_back_to_rtn(self, tiny_inference_model, small_corpus, rng):
+        scheme = build_gptq_scheme(tiny_inference_model, small_corpus, GPTQConfig(weight_bits=4))
+        weight = rng.standard_normal((16, 8))
+        np.testing.assert_allclose(
+            scheme.weight_fn("made.up.layer", weight), _rtn(weight, 4), atol=1e-12
+        )
+
+    def test_restores_original_scheme_after_calibration(self, tiny_inference_model, small_corpus):
+        original = QuantizationScheme.fp16()
+        tiny_inference_model.set_scheme(original)
+        build_gptq_scheme(tiny_inference_model, small_corpus)
+        assert tiny_inference_model.scheme is original
+
+    def test_weight_only_gptq_tracks_fp_reference_perplexity(
+        self, tiny_inference_model, small_corpus
+    ):
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        reference = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        scheme = build_gptq_scheme(tiny_inference_model, small_corpus, GPTQConfig(weight_bits=4))
+        tiny_inference_model.set_scheme(scheme)
+        quantised = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert np.isfinite(quantised)
+        assert quantised <= reference * 1.5
+
+    def test_activation_bits_enable_activation_quantisation(
+        self, tiny_inference_model, small_corpus, rng
+    ):
+        scheme = build_gptq_scheme(
+            tiny_inference_model, small_corpus, GPTQConfig(weight_bits=4, activation_bits=8)
+        )
+        x = rng.standard_normal((4, 32))
+        x_hat = scheme.activation_fn("blocks.0.attention.q_proj", x)
+        assert not np.array_equal(x_hat, x)

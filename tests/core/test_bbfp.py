@@ -1,0 +1,128 @@
+"""Tests for the BBFP quantiser — the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize, parse_bbfp_name, quantize_bbfp
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.exponent_selection import ExponentStrategy
+
+
+class TestBBFPConfig:
+    def test_name(self):
+        assert BBFPConfig(4, 2).name == "BBFP(4,2)"
+
+    def test_high_group_factor(self):
+        # Eq. 6: f = 2**(m - o).
+        assert BBFPConfig(4, 2).high_group_factor == 4
+        assert BBFPConfig(6, 3).high_group_factor == 8
+        assert BBFPConfig(10, 5).high_group_factor == 32
+
+    def test_mantissa_range_bbfp42(self):
+        # Fig. 2(b): BBFP(4,2) mantissas span +/-7.5 (4x the BFP4 range).
+        _, high = BBFPConfig(4, 2).mantissa_range()
+        assert high == pytest.approx(7.5)
+
+    def test_equivalent_bit_width_matches_paper(self):
+        # Table I: BBFP(8,4) -> 10.16 bits, BBFP(6,3) -> 8.16 bits.
+        assert BBFPConfig(8, 4).equivalent_bit_width() == pytest.approx(10.16, abs=0.01)
+        assert BBFPConfig(6, 3).equivalent_bit_width() == pytest.approx(8.16, abs=0.01)
+
+    def test_memory_efficiency_matches_paper(self):
+        assert BBFPConfig(8, 4).memory_efficiency() == pytest.approx(1.58, abs=0.01)
+        assert BBFPConfig(6, 3).memory_efficiency() == pytest.approx(1.96, abs=0.01)
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            BBFPConfig(4, 4)
+        with pytest.raises(ValueError):
+            BBFPConfig(4, -1)
+
+    def test_parse_name(self):
+        config = parse_bbfp_name("BBFP(6,3)")
+        assert config.mantissa_bits == 6 and config.overlap_bits == 3
+        config = parse_bbfp_name("bbfp(10, 5, 5)")
+        assert config.exponent_bits == 5
+
+    def test_parse_name_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bbfp_name("BFP4")
+
+
+class TestQuantizeBBFP:
+    def test_zero_tensor(self):
+        x = np.zeros(64)
+        assert np.array_equal(bbfp_quantize_dequantize(x, BBFPConfig(4, 2)), x)
+
+    def test_flags_mark_large_elements(self, rng):
+        x = rng.standard_normal(32) * 0.1
+        x[5] = 50.0  # an outlier well above the shared exponent
+        quantised = quantize_bbfp(x, BBFPConfig(4, 2))
+        flags = quantised.flags.reshape(-1)
+        assert flags[5] == 1
+        assert flags.sum() >= 1
+
+    def test_default_shared_exponent_is_max_minus_m_minus_o(self, rng):
+        x = rng.standard_normal((4, 64))
+        config = BBFPConfig(4, 2)
+        quantised = quantize_bbfp(x, config)
+        from repro.core.blocking import to_blocks
+        from repro.core.floatspec import exponent_of
+
+        blocks, _ = to_blocks(x, 32)
+        expected = exponent_of(blocks).max(axis=-1) - 2
+        assert np.array_equal(quantised.shared_exponents, expected)
+
+    def test_outlier_still_captured(self, outlier_tensor):
+        config = BBFPConfig(4, 2)
+        x_hat = bbfp_quantize_dequantize(outlier_tensor, config)
+        idx = np.argmax(np.abs(outlier_tensor))
+        assert np.abs(x_hat[idx] - outlier_tensor[idx]) / np.abs(outlier_tensor[idx]) < 0.2
+
+    def test_small_values_get_finer_steps_than_bfp(self, rng):
+        """The defining property: small/moderate values quantise better than BFP."""
+        x = rng.standard_normal(1024) * 0.5
+        x[::32] *= 60.0  # outliers force BFP's shared exponent up
+        bbfp_err = np.mean((x - bbfp_quantize_dequantize(x, BBFPConfig(4, 2))) ** 2)
+        bfp_err = np.mean((x - bfp_quantize_dequantize(x, BFPConfig(4))) ** 2)
+        assert bbfp_err < bfp_err
+
+    @pytest.mark.parametrize("m,o", [(3, 1), (4, 2), (4, 3), (6, 3), (6, 4), (8, 4), (10, 5)])
+    def test_bbfp_never_worse_than_bfp_same_mantissa(self, outlier_tensor, m, o):
+        bbfp_err = np.mean((outlier_tensor - bbfp_quantize_dequantize(outlier_tensor, BBFPConfig(m, o))) ** 2)
+        bfp_err = np.mean((outlier_tensor - bfp_quantize_dequantize(outlier_tensor, BFPConfig(m))) ** 2)
+        assert bbfp_err <= bfp_err * 1.0001
+
+    def test_mantissa_codes_within_range(self, rng):
+        x = rng.standard_normal(512) * 100
+        quantised = quantize_bbfp(x, BBFPConfig(4, 2))
+        assert quantised.mantissas.min() >= 0
+        assert quantised.mantissas.max() <= 15
+
+    def test_memory_bits_include_flag(self, rng):
+        x = rng.standard_normal(64)
+        quantised = quantize_bbfp(x, BBFPConfig(4, 2, block_size=32))
+        # 64 elements * (4 + sign + flag) + 2 blocks * 5 exponent bits.
+        assert quantised.memory_bits() == 64 * 6 + 2 * 5
+
+    def test_high_fraction_between_zero_and_one(self, outlier_tensor):
+        quantised = quantize_bbfp(outlier_tensor, BBFPConfig(4, 2))
+        assert 0.0 <= quantised.high_fraction() <= 1.0
+
+    def test_max_strategy_reduces_to_bfp_like_alignment(self, outlier_tensor):
+        """With the MAX strategy and no flags set... flags never trigger, matching BFP."""
+        config = BBFPConfig(4, 2, exponent_strategy=ExponentStrategy.MAX)
+        quantised = quantize_bbfp(outlier_tensor, config)
+        assert quantised.flags.sum() == 0
+        bfp_hat = bfp_quantize_dequantize(outlier_tensor, BFPConfig(4))
+        assert np.allclose(quantised.dequantize(), bfp_hat)
+
+    def test_idempotence(self, outlier_tensor):
+        config = BBFPConfig(6, 3)
+        once = bbfp_quantize_dequantize(outlier_tensor, config)
+        twice = bbfp_quantize_dequantize(once, config)
+        assert np.allclose(once, twice)
+
+    def test_shape_preserved_nd(self, rng):
+        x = rng.standard_normal((3, 5, 70))
+        assert bbfp_quantize_dequantize(x, BBFPConfig(4, 2)).shape == x.shape

@@ -1,0 +1,166 @@
+"""Tests for the bi-exponent BFP comparator format (repro.core.bie)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.core.bie import BiEConfig, bie_quantize_dequantize, quantize_bie
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.blocking import to_blocks
+from repro.llm.inference import QuantizationScheme
+
+
+class TestBiEConfig:
+    def test_name_mentions_mantissa_and_outlier_budget(self):
+        assert BiEConfig(4, outlier_count=2).name == "BiE4(k=2)"
+
+    def test_equivalent_bit_width(self):
+        # m + sign + select + two 5-bit exponents / 32 elements.
+        assert BiEConfig(4).equivalent_bit_width() == pytest.approx(4 + 2 + 10 / 32)
+
+    def test_storage_matches_bbfp_element_budget(self):
+        """Per-element storage equals BBFP's; only the amortised exponent differs."""
+        bie = BiEConfig(6)
+        bbfp = BBFPConfig(6, 3)
+        assert bie.equivalent_bit_width() == pytest.approx(
+            bbfp.equivalent_bit_width() + 5 / 32
+        )
+
+    def test_invalid_outlier_count_rejected(self):
+        with pytest.raises(ValueError, match="outlier_count"):
+            BiEConfig(4, outlier_count=32, block_size=32)
+        with pytest.raises(ValueError, match="outlier_count"):
+            BiEConfig(4, outlier_count=-1)
+
+    def test_invalid_mantissa_rejected(self):
+        with pytest.raises(ValueError, match="mantissa_bits"):
+            BiEConfig(0)
+
+
+class TestQuantizeBiE:
+    def test_roundtrip_shape_preserved(self, rng):
+        x = rng.standard_normal((3, 100))
+        assert bie_quantize_dequantize(x, BiEConfig(4)).shape == x.shape
+
+    def test_outlier_budget_respected(self, outlier_tensor):
+        config = BiEConfig(4, outlier_count=2, block_size=32)
+        quantised = quantize_bie(outlier_tensor, config)
+        per_block_outliers = quantised.selects.sum(axis=-1)
+        assert np.all(per_block_outliers <= 2)
+
+    def test_zero_outlier_count_degenerates_to_bfp(self, rng):
+        x = rng.standard_normal(128)
+        bie = bie_quantize_dequantize(x, BiEConfig(4, outlier_count=0))
+        bfp = bfp_quantize_dequantize(x, BFPConfig(4))
+        np.testing.assert_allclose(bie, bfp)
+
+    def test_high_group_holds_the_largest_elements(self, outlier_tensor):
+        """Selected (high-exponent) elements dominate every unselected one in their block."""
+        quantised = quantize_bie(outlier_tensor, BiEConfig(4, outlier_count=2))
+        blocks = outlier_tensor.reshape(-1, 32)
+        for block_selects, block_values in zip(quantised.selects.reshape(-1, 32), blocks):
+            if block_selects.sum() == 0:
+                continue
+            mags = np.abs(block_values)
+            assert mags[block_selects == 1].min() >= mags[block_selects == 0].max()
+
+    def test_low_exponent_never_exceeds_high_exponent(self, rng):
+        x = rng.standard_normal(512) * np.exp(rng.standard_normal(512))
+        quantised = quantize_bie(x, BiEConfig(4, outlier_count=3))
+        assert np.all(quantised.low_exponents <= quantised.high_exponents)
+
+    def test_signs_preserved(self, rng):
+        x = rng.standard_normal(256)
+        x_hat = bie_quantize_dequantize(x, BiEConfig(6))
+        nonzero = x_hat != 0
+        assert np.all(np.sign(x_hat[nonzero]) == np.sign(x[nonzero]))
+
+    def test_zero_tensor_is_exact(self):
+        x = np.zeros(96)
+        np.testing.assert_array_equal(bie_quantize_dequantize(x, BiEConfig(4)), x)
+
+    def test_bie_beats_vanilla_bfp_on_outlier_tensors(self, outlier_tensor):
+        """The second exponent protects the bulk of the block, like the ICML paper claims."""
+        bie_err = float(
+            np.mean((outlier_tensor - bie_quantize_dequantize(outlier_tensor, BiEConfig(4))) ** 2)
+        )
+        bfp_err = float(
+            np.mean((outlier_tensor - bfp_quantize_dequantize(outlier_tensor, BFPConfig(4))) ** 2)
+        )
+        assert bie_err < bfp_err
+
+    def test_bbfp_and_bie_are_both_outlier_robust(self, outlier_tensor):
+        """Both mechanisms bound the damage of outliers; record their relative standing."""
+        bie_err = float(
+            np.mean((outlier_tensor - bie_quantize_dequantize(outlier_tensor, BiEConfig(4))) ** 2)
+        )
+        bbfp_err = float(
+            np.mean(
+                (outlier_tensor - bbfp_quantize_dequantize(outlier_tensor, BBFPConfig(4, 2))) ** 2
+            )
+        )
+        bfp_err = float(
+            np.mean((outlier_tensor - bfp_quantize_dequantize(outlier_tensor, BFPConfig(4))) ** 2)
+        )
+        assert max(bie_err, bbfp_err) < bfp_err
+
+    def test_memory_bits_accounting(self, rng):
+        x = rng.standard_normal(64)
+        quantised = quantize_bie(x, BiEConfig(4))
+        assert quantised.memory_bits() == 64 * (4 + 2) + 2 * 2 * 5
+
+    def test_outlier_fraction_never_exceeds_budget(self, rng):
+        x = rng.standard_normal(32 * 8)
+        quantised = quantize_bie(x, BiEConfig(4, outlier_count=4))
+        assert quantised.outlier_fraction() <= 4 / 32 + 1e-12
+
+    def test_clear_outliers_fill_the_budget(self, rng):
+        x = rng.standard_normal((8, 32))
+        x[:, :2] = np.array([150.0, -90.0])  # two unmistakable outliers per block
+        quantised = quantize_bie(x.ravel(), BiEConfig(4, outlier_count=2))
+        assert quantised.outlier_fraction() == pytest.approx(2 / 32)
+
+    def test_idempotent_on_clearly_separated_outliers(self, rng):
+        x = rng.standard_normal(32 * 16)
+        x[::16] *= 100.0
+        config = BiEConfig(4, outlier_count=2)
+        once = bie_quantize_dequantize(x, config)
+        twice = bie_quantize_dequantize(once, config)
+        np.testing.assert_allclose(once, twice, rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=100),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32),
+        ),
+        m=st.integers(2, 8),
+        k=st.integers(0, 4),
+    )
+    def test_high_group_error_bounded_by_one_step(self, x, m, k):
+        """High-group elements align to the block max, so the error is at most
+        one coarse step (half a step from rounding, up to a full step when the
+        largest mantissa rounds up into the clip — the same bound the vanilla
+        BFP property test uses)."""
+        config = BiEConfig(m, outlier_count=k)
+        quantised = quantize_bie(x, config)
+        blocks, _ = to_blocks(x, config.block_size)
+        high_step = np.exp2(quantised.high_exponents[..., None].astype(np.float64) - (m - 1))
+        errors = np.abs(quantised.block_values - blocks)
+        in_high = quantised.selects == 1
+        assert np.all(errors[in_high] <= (high_step * np.ones_like(errors))[in_high] + 1e-9)
+
+
+class TestSchemeIntegration:
+    def test_from_format_accepts_bie_config(self, rng):
+        scheme = QuantizationScheme.from_format(BiEConfig(4))
+        assert scheme.name.startswith("BiE4")
+        x = rng.standard_normal((5, 64))
+        x_hat = scheme.activation_fn("blocks.0.mlp.fc1", x)
+        assert x_hat.shape == x.shape

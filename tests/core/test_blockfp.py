@@ -1,0 +1,104 @@
+"""Tests for the vanilla BFP quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize, quantize_bfp
+
+
+class TestBFPConfig:
+    def test_name(self):
+        assert BFPConfig(4).name == "BFP4"
+
+    def test_equivalent_bit_width_matches_paper(self):
+        # Table I: BFP8 -> 9.16 bits, BFP6 -> 7.16 bits with blocks of 32.
+        assert BFPConfig(8).equivalent_bit_width() == pytest.approx(9.16, abs=0.01)
+        assert BFPConfig(6).equivalent_bit_width() == pytest.approx(7.16, abs=0.01)
+
+    def test_memory_efficiency_matches_paper(self):
+        assert BFPConfig(8).memory_efficiency() == pytest.approx(1.75, abs=0.01)
+        assert BFPConfig(6).memory_efficiency() == pytest.approx(2.24, abs=0.01)
+
+    def test_mantissa_range_bfp4(self):
+        # Fig. 2(b): BFP4 mantissas span +/-1.875.
+        low, high = BFPConfig(4).mantissa_range()
+        assert high == pytest.approx(1.875)
+        assert low == pytest.approx(0.125)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            BFPConfig(0)
+        with pytest.raises(ValueError):
+            BFPConfig(4, block_size=0)
+        with pytest.raises(ValueError):
+            BFPConfig(4, exponent_bits=1)
+
+
+class TestQuantizeBFP:
+    def test_exact_representable_values(self):
+        # All values share exponent 0 and sit exactly on the grid.
+        x = np.array([1.875, 1.0, 0.125, -0.25] + [0.0] * 28)
+        config = BFPConfig(4, block_size=32)
+        assert np.allclose(bfp_quantize_dequantize(x, config), x)
+
+    def test_max_element_preserved_within_step(self, outlier_tensor):
+        config = BFPConfig(6)
+        x_hat = bfp_quantize_dequantize(outlier_tensor, config)
+        idx = np.argmax(np.abs(outlier_tensor))
+        step = 2.0 ** (np.floor(np.log2(np.abs(outlier_tensor[idx]))) - 5)
+        assert abs(x_hat[idx] - outlier_tensor[idx]) <= step
+
+    def test_zero_tensor(self):
+        x = np.zeros(64)
+        assert np.array_equal(bfp_quantize_dequantize(x, BFPConfig(4)), x)
+
+    def test_error_bounded_by_step(self, rng):
+        # Rounding error is at most step/2; the block maximum may additionally be
+        # clipped by up to one step (mantissa saturates at 2**m - 1).
+        x = rng.standard_normal(1024)
+        config = BFPConfig(8)
+        quantised = quantize_bfp(x, config)
+        step = np.exp2(quantised.shared_exponents.astype(float) - 7)
+        errors = np.abs(quantised.block_values - x.reshape(quantised.block_values.shape))
+        assert np.all(errors <= step[..., None] + 1e-12)
+
+    def test_mantissa_codes_within_range(self, rng):
+        x = rng.standard_normal(512) * 100
+        quantised = quantize_bfp(x, BFPConfig(4))
+        assert quantised.mantissas.min() >= 0
+        assert quantised.mantissas.max() <= 15
+
+    def test_shared_exponent_is_block_max(self, rng):
+        x = rng.standard_normal((2, 64))
+        quantised = quantize_bfp(x, BFPConfig(4))
+        from repro.core.blocking import to_blocks
+        from repro.core.floatspec import exponent_of
+
+        blocks, _ = to_blocks(x, 32)
+        expected = exponent_of(blocks).max(axis=-1)
+        assert np.array_equal(quantised.shared_exponents, expected)
+
+    def test_quantisation_along_axis_zero(self, rng):
+        x = rng.standard_normal((64, 8))
+        x_hat = bfp_quantize_dequantize(x, BFPConfig(6), axis=0)
+        assert x_hat.shape == x.shape
+        assert np.mean((x - x_hat) ** 2) < 1e-3
+
+    def test_more_mantissa_bits_reduce_error(self, outlier_tensor):
+        errors = []
+        for bits in (3, 4, 6, 8):
+            x_hat = bfp_quantize_dequantize(outlier_tensor, BFPConfig(bits))
+            errors.append(np.mean((outlier_tensor - x_hat) ** 2))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_memory_bits(self, rng):
+        x = rng.standard_normal(64)
+        quantised = quantize_bfp(x, BFPConfig(4, block_size=32))
+        # 64 elements * (4 + 1 sign) + 2 blocks * 5 exponent bits.
+        assert quantised.memory_bits() == 64 * 5 + 2 * 5
+
+    def test_idempotence(self, outlier_tensor):
+        config = BFPConfig(6)
+        once = bfp_quantize_dequantize(outlier_tensor, config)
+        twice = bfp_quantize_dequantize(once, config)
+        assert np.allclose(once, twice)

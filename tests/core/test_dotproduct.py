@@ -1,0 +1,112 @@
+"""Tests for the integer-exact BFP/BBFP dot product (the MAC datapath semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig, quantize_bbfp
+from repro.core.blockfp import BFPConfig, quantize_bfp
+from repro.core.dotproduct import (
+    bbfp_block_dot,
+    bbfp_dot,
+    bbfp_matmul,
+    bbfp_product_shift,
+    bfp_block_dot,
+    bfp_dot,
+    bfp_matmul,
+)
+
+
+class TestProductShift:
+    def test_shift_values_eq10(self):
+        """Eq. 10: shift 0 / (m-o) / 2(m-o) depending on the two flags."""
+        config = BBFPConfig(4, 2)
+        flags_a = np.array([0, 1, 0, 1])
+        flags_b = np.array([0, 0, 1, 1])
+        shifts = bbfp_product_shift(flags_a, flags_b, config, config)
+        assert list(shifts) == [0, 2, 2, 4]
+
+    def test_mixed_configs(self):
+        a = BBFPConfig(4, 2)
+        b = BBFPConfig(6, 3)
+        shifts = bbfp_product_shift(np.array([1]), np.array([1]), a, b)
+        assert shifts[0] == 2 + 3
+
+
+class TestDotEquivalence:
+    """The integer datapath must agree exactly with dequantise-then-multiply."""
+
+    @pytest.mark.parametrize("m,o", [(3, 1), (4, 2), (6, 3), (8, 4)])
+    def test_bbfp_integer_path_matches_math_path(self, rng, m, o):
+        config = BBFPConfig(m, o)
+        x = rng.standard_normal(256)
+        y = rng.standard_normal(256)
+        x[::50] *= 30
+        integer_result = bbfp_dot(x, y, config)
+        math_result = float(
+            np.dot(quantize_bbfp(x, config).dequantize(), quantize_bbfp(y, config).dequantize())
+        )
+        assert integer_result == pytest.approx(math_result, rel=1e-12, abs=1e-9)
+
+    @pytest.mark.parametrize("m", [4, 6, 8])
+    def test_bfp_integer_path_matches_math_path(self, rng, m):
+        config = BFPConfig(m)
+        x = rng.standard_normal(256)
+        y = rng.standard_normal(256)
+        integer_result = bfp_dot(x, y, config)
+        math_result = float(
+            np.dot(quantize_bfp(x, config).dequantize(), quantize_bfp(y, config).dequantize())
+        )
+        assert integer_result == pytest.approx(math_result, rel=1e-12, abs=1e-9)
+
+    def test_dot_approximates_fp_for_wide_mantissa(self, rng):
+        x = rng.standard_normal(512)
+        y = rng.standard_normal(512)
+        exact = float(np.dot(x, y))
+        approx = bbfp_dot(x, y, BBFPConfig(10, 5))
+        assert approx == pytest.approx(exact, abs=0.05 * max(1.0, abs(exact)))
+
+    def test_block_dot_shape(self, rng):
+        config = BBFPConfig(4, 2)
+        a = quantize_bbfp(rng.standard_normal((3, 64)), config)
+        b = quantize_bbfp(rng.standard_normal((3, 64)), config)
+        partial = bbfp_block_dot(a, b)
+        assert partial.shape == (3, 2)
+
+    def test_block_dot_requires_matching_blocking(self, rng):
+        config = BBFPConfig(4, 2)
+        a = quantize_bbfp(rng.standard_normal(64), config)
+        b = quantize_bbfp(rng.standard_normal(32), config)
+        with pytest.raises(ValueError):
+            bbfp_block_dot(a, b)
+
+    def test_bfp_block_dot_shape(self, rng):
+        config = BFPConfig(4)
+        a = quantize_bfp(rng.standard_normal(64), config)
+        b = quantize_bfp(rng.standard_normal(64), config)
+        assert bfp_block_dot(a, b).shape == (2,)
+
+
+class TestMatmul:
+    def test_bbfp_matmul_matches_fake_quant_reference(self, rng):
+        config = BBFPConfig(6, 3)
+        x = rng.standard_normal((5, 64))
+        w = rng.standard_normal((64, 7))
+        result = bbfp_matmul(x, w, config)
+        reference = quantize_bbfp(x, config).dequantize() @ quantize_bbfp(w.T, config).dequantize().T
+        assert np.allclose(result, reference)
+
+    def test_bfp_matmul_shapes(self, rng):
+        result = bfp_matmul(rng.standard_normal((2, 3, 32)), rng.standard_normal((32, 5)),
+                            BFPConfig(6))
+        assert result.shape == (2, 3, 5)
+
+    def test_matmul_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            bbfp_matmul(rng.standard_normal((2, 8)), rng.standard_normal((9, 3)), BBFPConfig(4, 2))
+
+    def test_matmul_close_to_fp_with_wide_mantissa(self, rng):
+        x = rng.standard_normal((4, 96))
+        w = rng.standard_normal((96, 4))
+        exact = x @ w
+        approx = bbfp_matmul(x, w, BBFPConfig(10, 5))
+        assert np.max(np.abs(exact - approx)) < 0.05

@@ -1,0 +1,85 @@
+"""Tests for the analytic quantisation-error model (Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.error_model import (
+    analytic_error_variance,
+    block_exponent_pmf,
+    compare_formats,
+    empirical_error_variance,
+    empirical_mse,
+    predicted_variance,
+)
+
+
+class TestPMF:
+    def test_pmf_sums_to_one(self, rng):
+        exps = rng.integers(-3, 4, size=100)
+        _, probs = block_exponent_pmf(exps)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_pmf_levels_sorted_unique(self):
+        levels, _ = block_exponent_pmf(np.array([2, 0, 2, -1]))
+        assert list(levels) == [-1, 0, 2]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            block_exponent_pmf(np.array([]))
+
+
+class TestAnalyticVariance:
+    def test_single_level_closed_form(self):
+        # One exponent level gamma: variance = (2^(gamma - (Lm-1)))^2 / 12.
+        variance = analytic_error_variance(4, np.array([0]), np.array([1.0]))
+        assert variance == pytest.approx((2.0 ** (0 - 3)) ** 2 / 12.0)
+
+    def test_larger_exponents_increase_variance(self):
+        low = analytic_error_variance(4, np.array([0]), np.array([1.0]))
+        high = analytic_error_variance(4, np.array([3]), np.array([1.0]))
+        assert high > low
+
+    def test_more_mantissa_bits_reduce_variance(self):
+        levels, probs = np.array([0, 1]), np.array([0.5, 0.5])
+        assert analytic_error_variance(6, levels, probs) < analytic_error_variance(4, levels, probs)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            analytic_error_variance(4, np.array([0, 1]), np.array([0.3, 0.3]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            analytic_error_variance(4, np.array([0, 1]), np.array([1.0]))
+
+
+class TestPredictedVsEmpirical:
+    def test_prediction_within_factor_of_empirical_bfp(self, rng):
+        x = rng.standard_normal(4096)
+        config = BFPConfig(6)
+        predicted = predicted_variance(x, config)
+        measured = empirical_error_variance(x, config)
+        assert predicted == pytest.approx(measured, rel=1.5)
+
+    def test_prediction_orders_bbfp_below_bfp(self, outlier_tensor):
+        bbfp = predicted_variance(outlier_tensor, BBFPConfig(4, 2))
+        bfp = predicted_variance(outlier_tensor, BFPConfig(4))
+        assert bbfp < bfp
+
+    def test_unsupported_config_type(self):
+        with pytest.raises(TypeError):
+            predicted_variance(np.ones(8), config="INT8")
+
+
+class TestHelpers:
+    def test_empirical_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            empirical_mse(np.ones(4), np.ones(5))
+
+    def test_compare_formats_rows(self, outlier_tensor):
+        reports = compare_formats(outlier_tensor, [BFPConfig(4), BBFPConfig(4, 2)])
+        assert [r.format_name for r in reports] == ["BFP4", "BBFP(4,2)"]
+        assert reports[1].empirical_mse < reports[0].empirical_mse
+        assert set(reports[0].as_dict()) == {"format", "analytic_variance", "empirical_mse",
+                                             "relative_mse"}

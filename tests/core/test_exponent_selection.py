@@ -1,0 +1,77 @@
+"""Tests for the shared-exponent selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.exponent_selection import (
+    ExponentStrategy,
+    SharedExponentRule,
+    select_shared_exponent,
+    shift_for_strategy,
+    strategy_from_name,
+)
+
+
+class TestStrategyResolution:
+    def test_enum_passthrough(self):
+        assert strategy_from_name(ExponentStrategy.MAX) is ExponentStrategy.MAX
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("max", ExponentStrategy.MAX),
+        ("bfp", ExponentStrategy.MAX),
+        ("bbfp_default", ExponentStrategy.BBFP_DEFAULT),
+        ("max-2", ExponentStrategy.BBFP_DEFAULT),
+        ("max-1", ExponentStrategy.BBFP_PLUS_ONE),
+        ("max-3", ExponentStrategy.BBFP_MINUS_ONE),
+    ])
+    def test_aliases(self, alias, expected):
+        assert strategy_from_name(alias) is expected
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            strategy_from_name("align-to-the-moon")
+
+
+class TestShift:
+    def test_max_has_zero_shift(self):
+        assert shift_for_strategy(ExponentStrategy.MAX, 4, 2) == 0
+
+    def test_bbfp_default_shift_is_m_minus_o(self):
+        assert shift_for_strategy(ExponentStrategy.BBFP_DEFAULT, 4, 2) == 2
+        assert shift_for_strategy(ExponentStrategy.BBFP_DEFAULT, 6, 3) == 3
+
+    def test_plus_minus_one(self):
+        assert shift_for_strategy(ExponentStrategy.BBFP_PLUS_ONE, 4, 2) == 1
+        assert shift_for_strategy(ExponentStrategy.BBFP_MINUS_ONE, 4, 2) == 3
+
+    def test_max_minus_k(self):
+        assert shift_for_strategy(ExponentStrategy.MAX_MINUS_K, 4, 2, k=5) == 5
+
+    def test_rule_apply(self):
+        rule = SharedExponentRule(ExponentStrategy.BBFP_DEFAULT, 4, 2)
+        assert list(rule.apply(np.array([10, 3]))) == [8, 1]
+
+
+class TestSelectSharedExponent:
+    def test_max_strategy(self):
+        exps = np.array([[1, 5, 3], [0, -2, -7]])
+        shared = select_shared_exponent(exps, "max", mantissa_bits=4)
+        assert list(shared) == [5, 0]
+
+    def test_default_strategy_subtracts_shift(self):
+        exps = np.array([[1, 5, 3]])
+        shared = select_shared_exponent(exps, "bbfp_default", mantissa_bits=4, overlap_bits=2)
+        assert shared[0] == 3
+
+    def test_clamping(self):
+        exps = np.array([[40, 2]])
+        shared = select_shared_exponent(exps, "max", mantissa_bits=4, exponent_max=16)
+        assert shared[0] == 16
+        exps = np.array([[-40, -50]])
+        shared = select_shared_exponent(exps, "max", mantissa_bits=4, exponent_min=-14)
+        assert shared[0] == -14
+
+    def test_shape_reduces_last_axis(self, rng):
+        exps = rng.integers(-5, 5, size=(3, 4, 8))
+        shared = select_shared_exponent(exps, "max", mantissa_bits=4)
+        assert shared.shape == (3, 4)

@@ -1,0 +1,96 @@
+"""Tests for float decomposition and minifloat specifications."""
+
+import numpy as np
+import pytest
+
+from repro.core.floatspec import (
+    BF16,
+    FP4_E2M1,
+    FP8_E4M3,
+    FP16,
+    FP32,
+    FloatSpec,
+    compose_float,
+    decompose_float,
+    exponent_of,
+)
+
+
+class TestFloatSpec:
+    def test_fp16_fields(self):
+        assert FP16.bias == 15
+        assert FP16.max_exponent == 15
+        assert FP16.min_exponent == -14
+        assert FP16.total_bits == 16
+
+    def test_fp16_max_value_matches_ieee(self):
+        assert FP16.max_value == pytest.approx(65504.0)
+
+    def test_fp32_bias(self):
+        assert FP32.bias == 127
+
+    def test_bf16_shares_fp32_exponent_range(self):
+        assert BF16.max_exponent == FP32.max_exponent
+        assert BF16.min_exponent == FP32.min_exponent
+
+    def test_min_normal_and_subnormal(self):
+        assert FP16.min_normal == pytest.approx(2.0**-14)
+        assert FP16.min_subnormal == pytest.approx(2.0**-24)
+
+    def test_representable_values_fp4(self):
+        values = FP4_E2M1.representable_positive_values()
+        assert values[0] > 0
+        assert np.all(np.diff(values) > 0)
+        assert values[-1] == pytest.approx(FP4_E2M1.max_value)
+
+    def test_representable_values_rejects_wide_formats(self):
+        with pytest.raises(ValueError):
+            FP16.representable_positive_values()
+
+    def test_custom_spec(self):
+        spec = FloatSpec("custom", exponent_bits=3, mantissa_bits=2)
+        assert spec.bias == 3
+        assert spec.total_bits == 6
+
+
+class TestExponentOf:
+    def test_powers_of_two(self):
+        x = np.array([1.0, 2.0, 4.0, 0.5, 0.25])
+        assert list(exponent_of(x)) == [0, 1, 2, -1, -2]
+
+    def test_non_powers(self):
+        assert exponent_of(np.array([3.0]))[0] == 1
+        assert exponent_of(np.array([0.9]))[0] == -1
+
+    def test_negative_values_use_magnitude(self):
+        assert exponent_of(np.array([-8.0]))[0] == 3
+
+    def test_zero_gets_sentinel(self):
+        assert exponent_of(np.array([0.0]), zero_exponent=-99)[0] == -99
+
+    def test_zero_never_wins_block_max(self):
+        x = np.array([0.0, 0.125])
+        assert exponent_of(x).max() == -3
+
+
+class TestDecomposeCompose:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal(256) * 10
+        sign, exponent, mantissa = decompose_float(x)
+        assert np.allclose(compose_float(sign, exponent, mantissa), x)
+
+    def test_mantissa_in_unit_range(self, rng):
+        x = rng.standard_normal(256) + 5
+        _, _, mantissa = decompose_float(x)
+        nonzero = mantissa[mantissa != 0]
+        assert np.all(nonzero >= 1.0)
+        assert np.all(nonzero < 2.0)
+
+    def test_sign_of_negative(self):
+        sign, _, _ = decompose_float(np.array([-3.5]))
+        assert sign[0] == -1.0
+
+    def test_zero_decomposition(self):
+        sign, _, mantissa = decompose_float(np.array([0.0]))
+        assert mantissa[0] == 0.0
+        assert sign[0] == 1.0

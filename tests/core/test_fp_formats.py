@@ -1,0 +1,51 @@
+"""Tests for minifloat rounding."""
+
+import numpy as np
+import pytest
+
+from repro.core.floatspec import FP4_E2M1, FP8_E4M3, FP16
+from repro.core.fp_formats import fp16_round, minifloat_quantize_dequantize
+
+
+class TestMinifloatRounding:
+    def test_representable_values_are_fixed_points(self):
+        values = FP4_E2M1.representable_positive_values()
+        rounded = minifloat_quantize_dequantize(values, FP4_E2M1)
+        assert np.allclose(rounded, values)
+
+    def test_saturation_to_max(self):
+        x = np.array([1e6, -1e6])
+        rounded = minifloat_quantize_dequantize(x, FP8_E4M3)
+        assert rounded[0] == pytest.approx(FP8_E4M3.max_value)
+        assert rounded[1] == pytest.approx(-FP8_E4M3.max_value)
+
+    def test_tiny_values_flush_toward_zero(self):
+        x = np.array([FP8_E4M3.min_subnormal / 4.0])
+        rounded = minifloat_quantize_dequantize(x, FP8_E4M3)
+        assert rounded[0] == pytest.approx(0.0, abs=FP8_E4M3.min_subnormal)
+
+    def test_sign_preserved(self, rng):
+        x = rng.standard_normal(256)
+        rounded = minifloat_quantize_dequantize(x, FP8_E4M3)
+        nonzero = rounded != 0
+        assert np.all(np.sign(rounded[nonzero]) == np.sign(x[nonzero]))
+
+    def test_fp16_spec_agrees_with_numpy_half(self, rng):
+        x = rng.standard_normal(2048) * 10
+        spec_rounded = minifloat_quantize_dequantize(x, FP16)
+        numpy_rounded = fp16_round(x)
+        # Both are FP16 grids; allow ties to differ by at most one ULP.
+        ulp = 2.0 ** (np.floor(np.log2(np.abs(x) + 1e-30)) - 10)
+        assert np.all(np.abs(spec_rounded - numpy_rounded) <= ulp + 1e-12)
+
+    def test_error_decreases_with_mantissa_bits(self, rng):
+        x = rng.standard_normal(2048)
+        err8 = np.mean((x - minifloat_quantize_dequantize(x, FP8_E4M3)) ** 2)
+        err16 = np.mean((x - minifloat_quantize_dequantize(x, FP16)) ** 2)
+        err4 = np.mean((x - minifloat_quantize_dequantize(x, FP4_E2M1)) ** 2)
+        assert err16 < err8 < err4
+
+    def test_fp16_round_idempotent(self, rng):
+        x = rng.standard_normal(128)
+        once = fp16_round(x)
+        assert np.array_equal(fp16_round(once), once)

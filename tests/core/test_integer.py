@@ -1,0 +1,74 @@
+"""Tests for the symmetric integer quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.core.integer import Granularity, IntQuantConfig, int_quantize, int_quantize_dequantize
+
+
+class TestConfig:
+    def test_max_code(self):
+        assert IntQuantConfig(8).max_code == 127
+        assert IntQuantConfig(4).max_code == 7
+
+    def test_name_and_bits(self):
+        config = IntQuantConfig(8)
+        assert config.name == "INT8"
+        assert config.equivalent_bit_width() == 8
+        assert config.memory_efficiency() == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            IntQuantConfig(1)
+        with pytest.raises(ValueError):
+            IntQuantConfig(8, clip_ratio=0.0)
+
+
+class TestQuantise:
+    def test_codes_within_range(self, rng):
+        x = rng.standard_normal(512) * 10
+        codes, _ = int_quantize(x, IntQuantConfig(4))
+        assert codes.max() <= 7 and codes.min() >= -7
+
+    def test_max_value_maps_to_max_code(self):
+        x = np.array([-10.0, 5.0, 10.0])
+        codes, scale = int_quantize(x, IntQuantConfig(8))
+        assert codes[2] == 127
+        assert scale == pytest.approx(10.0 / 127)
+
+    def test_int8_error_small_without_outliers(self, rng):
+        x = rng.standard_normal(2048)
+        x_hat = int_quantize_dequantize(x, IntQuantConfig(8))
+        assert np.mean((x - x_hat) ** 2) < 1e-3
+
+    def test_outliers_destroy_int4(self, outlier_tensor):
+        """The paper's motivation: INT formats cannot absorb outliers."""
+        per_tensor = int_quantize_dequantize(outlier_tensor, IntQuantConfig(4))
+        small = np.abs(outlier_tensor) < 1.0
+        relative_error = np.mean(np.abs(outlier_tensor[small] - per_tensor[small]))
+        assert relative_error > 0.2  # small values are essentially wiped out
+
+    def test_per_channel_beats_per_tensor_on_heterogeneous_channels(self, rng):
+        x = rng.standard_normal((128, 8))
+        x[:, 0] *= 50.0
+        per_tensor = int_quantize_dequantize(x, IntQuantConfig(8, Granularity.PER_TENSOR))
+        per_channel = int_quantize_dequantize(x, IntQuantConfig(8, Granularity.PER_CHANNEL))
+        err_tensor = np.mean((x[:, 1:] - per_tensor[:, 1:]) ** 2)
+        err_channel = np.mean((x[:, 1:] - per_channel[:, 1:]) ** 2)
+        assert err_channel < err_tensor
+
+    def test_per_block_granularity(self, rng):
+        x = rng.standard_normal(100)
+        x_hat = int_quantize_dequantize(x, IntQuantConfig(8, Granularity.PER_BLOCK, block_size=32))
+        assert x_hat.shape == x.shape
+        assert np.mean((x - x_hat) ** 2) < 1e-3
+
+    def test_clip_ratio_reduces_scale(self, rng):
+        x = rng.standard_normal(256)
+        _, scale_full = int_quantize(x, IntQuantConfig(8, clip_ratio=1.0))
+        _, scale_clip = int_quantize(x, IntQuantConfig(8, clip_ratio=0.5))
+        assert scale_clip == pytest.approx(scale_full * 0.5)
+
+    def test_zero_tensor(self):
+        x = np.zeros(16)
+        assert np.array_equal(int_quantize_dequantize(x, IntQuantConfig(8)), x)

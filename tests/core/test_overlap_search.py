@@ -1,0 +1,73 @@
+"""Tests for Algorithm 1 (overlap-bit-width selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.overlap_search import mse_ppl_proxy, select_overlap_width
+
+
+def _linear_overhead(config: BBFPConfig) -> float:
+    # A simple monotone stand-in for the hardware overhead: fewer overlap bits
+    # mean a wider product datapath.
+    return 10.0 + 2.0 * (config.mantissa_bits - config.overlap_bits)
+
+
+class TestSelectOverlapWidth:
+    def test_sweeps_all_widths(self):
+        result = select_overlap_width(4, lambda c: 1.0, lambda c: 1.0)
+        assert [c.overlap_bits for c in result.candidates] == [0, 1, 2, 3]
+
+    def test_pure_accuracy_weight_picks_lowest_ppl(self):
+        ppls = {0: 30.0, 1: 12.0, 2: 10.0, 3: 25.0}
+        result = select_overlap_width(4, lambda c: ppls[c.overlap_bits], _linear_overhead,
+                                      overhead_weight=0.0)
+        assert result.best_overlap == 2
+
+    def test_pure_overhead_weight_picks_cheapest(self):
+        ppls = {0: 30.0, 1: 12.0, 2: 10.0, 3: 25.0}
+        result = select_overlap_width(4, lambda c: ppls[c.overlap_bits], _linear_overhead,
+                                      overhead_weight=1.0)
+        assert result.best_overlap == 3  # widest overlap = narrowest datapath
+
+    def test_score_is_normalised_weighted_sum(self):
+        result = select_overlap_width(3, lambda c: 2.0 * (c.overlap_bits + 1),
+                                      lambda c: 4.0 - c.overlap_bits, overhead_weight=0.25)
+        for candidate in result.candidates:
+            expected = 0.25 * candidate.overhead_norm + 0.75 * candidate.ppl_norm
+            assert candidate.score == pytest.approx(expected)
+
+    def test_best_config_property(self):
+        result = select_overlap_width(4, lambda c: 1.0, _linear_overhead, overhead_weight=1.0)
+        assert isinstance(result.best_config, BBFPConfig)
+        assert result.best_config.overlap_bits == result.best_overlap
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            select_overlap_width(4, lambda c: 1.0, lambda c: 1.0, overhead_weight=1.5)
+
+    def test_needs_two_mantissa_bits(self):
+        with pytest.raises(ValueError):
+            select_overlap_width(1, lambda c: 1.0, lambda c: 1.0)
+
+    def test_rows_export(self):
+        result = select_overlap_width(3, lambda c: 1.0, lambda c: 1.0)
+        rows = result.as_rows()
+        assert len(rows) == 3
+        assert {"overlap_bits", "ppl", "overhead", "score"} <= set(rows[0])
+
+
+class TestMSEProxy:
+    def test_proxy_orders_like_real_mse(self, outlier_tensor):
+        proxy = mse_ppl_proxy([outlier_tensor])
+        # More mantissa bits at fixed overlap ratio -> lower proxy value.
+        assert proxy(BBFPConfig(6, 3)) < proxy(BBFPConfig(4, 2)) < proxy(BBFPConfig(3, 1))
+
+    def test_proxy_requires_tensors(self):
+        with pytest.raises(ValueError):
+            mse_ppl_proxy([])
+
+    def test_algorithm_with_proxy_runs_end_to_end(self, outlier_tensor):
+        proxy = mse_ppl_proxy([outlier_tensor])
+        result = select_overlap_width(4, proxy, _linear_overhead, overhead_weight=0.3)
+        assert 0 <= result.best_overlap < 4

@@ -1,0 +1,58 @@
+"""Tests for tensor distribution statistics (Fig. 1(a) machinery)."""
+
+import numpy as np
+
+from repro.core.tensor_stats import (
+    absolute_histogram,
+    collect_stats,
+    kurtosis,
+    outlier_magnitude,
+    outlier_ratio,
+)
+
+
+class TestOutlierMetrics:
+    def test_gaussian_has_negligible_outlier_ratio(self, rng):
+        x = rng.standard_normal(20000)
+        assert outlier_ratio(x, threshold_sigmas=6.0) < 1e-3
+
+    def test_injected_outliers_detected(self, outlier_tensor):
+        assert outlier_ratio(outlier_tensor, threshold_sigmas=4.0) > 0.0
+
+    def test_outlier_magnitude_grows_with_outliers(self, rng):
+        base = rng.standard_normal(10000)
+        spiky = base.copy()
+        spiky[::100] *= 50
+        assert outlier_magnitude(spiky) > outlier_magnitude(base)
+
+    def test_zero_tensor_safe(self):
+        assert outlier_ratio(np.zeros(10)) == 0.0
+        assert outlier_magnitude(np.zeros(10)) == 0.0
+        assert kurtosis(np.zeros(10)) == 0.0
+
+    def test_kurtosis_of_gaussian_near_zero(self, rng):
+        assert abs(kurtosis(rng.standard_normal(200000))) < 0.2
+
+    def test_kurtosis_heavy_tail_positive(self, rng):
+        x = rng.standard_normal(10000)
+        x[::50] *= 30
+        assert kurtosis(x) > 5
+
+
+class TestHistogramAndStats:
+    def test_histogram_counts_total(self, rng):
+        x = rng.standard_normal(1000)
+        edges, counts = absolute_histogram(x, bins=32)
+        assert counts.sum() == 1000
+        assert len(edges) == 33
+
+    def test_collect_stats_fields(self, outlier_tensor):
+        stats = collect_stats(outlier_tensor, name="activations")
+        payload = stats.as_dict()
+        assert payload["name"] == "activations"
+        assert payload["max_abs"] >= payload["mean_abs"] > 0
+        assert payload["dynamic_range_bits"] > 0
+
+    def test_collect_stats_empty(self):
+        stats = collect_stats(np.array([]))
+        assert stats.mean_abs == 0.0 and stats.max_abs == 0.0

@@ -1,0 +1,121 @@
+"""Smoke tests of the experiment drivers (cheap drivers run fully; model-backed ones are patched)."""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult
+from repro.experiments import (
+    ablations,
+    fig1_distribution,
+    fig1_runtime,
+    fig3_shared_exponent,
+    table1_mac,
+    table3_pe_area,
+    table5_nonlinear_eff,
+)
+from repro.experiments.common import (
+    FIG8_STRATEGIES,
+    TABLE2_LINEAR_FORMATS,
+    eval_config,
+    is_fast_mode,
+    table2_model_specs,
+    table4_model_specs,
+)
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestCommon:
+    def test_fast_mode_flag(self):
+        assert is_fast_mode(True) is True
+        assert is_fast_mode(False) is False
+
+    def test_eval_config_smaller_in_fast_mode(self):
+        assert eval_config(True).max_batches < eval_config(False).max_batches
+
+    def test_model_subsets(self):
+        assert len(table2_model_specs(fast=True)) == 4
+        assert len(table2_model_specs(fast=False)) == 12
+        assert len(table4_model_specs(fast=True)) == 1
+        assert len(table4_model_specs(fast=False)) == 3
+
+    def test_format_lists(self):
+        assert len(TABLE2_LINEAR_FORMATS) == 7
+        assert len(FIG8_STRATEGIES) == 11
+
+
+class TestCheapDrivers:
+    def test_table1(self):
+        result = table1_mac.run()
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 6
+        names = [row["datatype"] for row in result.rows]
+        assert names[0] == "FP16" and "BBFP(6,3)" in names
+
+    def test_table3(self):
+        result = table3_pe_area.run()
+        assert len(result.rows) == 11
+        bbfp63 = next(r for r in result.rows if r["strategy"] == "BBFP(6,3)")
+        assert bbfp63["normalised_area"] == pytest.approx(1.0)
+        assert all(r["paper_normalised"] is not None for r in result.rows)
+
+    def test_table5(self):
+        result = table5_nonlinear_eff.run(vector_length=256)
+        assert len(result.rows) == 3
+        ours = next(r for r in result.rows if "ours" in r["design"])
+        assert ours["efficiency"] > 0
+
+    def test_fig1b_shares_grow(self):
+        result = fig1_runtime.run(seq_lengths=(128, 512, 1024))
+        shares = [row["nonlinear_share_fp32"] for row in result.rows]
+        assert shares == sorted(shares)
+        assert all(row["nonlinear_share_bbal"] < row["nonlinear_share_fp32"]
+                   for row in result.rows)
+
+    def test_ablation_drivers(self):
+        assert len(ablations.carry_chain_ablation().rows) == 4
+        block_rows = ablations.block_size_ablation(block_sizes=(16, 32)).rows
+        assert len(block_rows) == 2
+        assert all(r["bbfp_relative_mse"] <= r["bfp_relative_mse"] for r in block_rows)
+        lut_rows = ablations.lut_address_ablation(address_bits=(5, 7)).rows
+        assert lut_rows[0]["mean_kl_divergence"] > lut_rows[1]["mean_kl_divergence"]
+
+
+class TestModelBackedDrivers:
+    """Drivers needing a trained checkpoint run against the tiny session model."""
+
+    @pytest.fixture(autouse=True)
+    def _patch_zoo(self, monkeypatch, tiny_inference_model, small_corpus):
+        def fake_load(*args, **kwargs):
+            scheme = kwargs.get("scheme")
+            if scheme is not None:
+                tiny_inference_model.set_scheme(scheme)
+            return tiny_inference_model
+
+        for module in (fig1_distribution, fig3_shared_exponent):
+            monkeypatch.setattr(module, "load_inference_model", fake_load)
+            monkeypatch.setattr(module, "default_corpus", lambda *a, **k: small_corpus)
+
+    def test_fig1a(self):
+        result = fig1_distribution.run(model_name="patched")
+        assert {row["name"] for row in result.rows} == {"weight", "activation"}
+        assert "activation_histogram_counts" in result.metadata
+
+    def test_fig3(self):
+        result = fig3_shared_exponent.run(model_name="patched")
+        average = next(row for row in result.rows if row["layer"] == "Avg.")
+        assert average["Max-2"] < average["BFP4"]
+
+
+class TestRunner:
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {"fig1a", "fig1b", "fig3", "fig4", "table1", "table2", "table3", "table4",
+                    "table5", "fig8", "fig9"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_run_all_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_all(["table99"], output_dir=None, verbose=False)
+
+    def test_run_all_saves_results(self, tmp_path):
+        results = run_all(["table1"], output_dir=tmp_path, verbose=False)
+        assert "table1" in results
+        assert (tmp_path / "table1.json").exists()

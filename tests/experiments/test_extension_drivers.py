@@ -1,0 +1,52 @@
+"""Smoke tests of the extension experiment drivers (repro.experiments.extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.experiments import extensions
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_extension_drivers_are_registered(self):
+        for name in ("ext_rounding", "ext_multiplier", "ext_format_family",
+                     "ext_format_ppl", "ext_roofline", "ext_dataflow",
+                     "ext_generation", "ext_mixed_precision"):
+            assert name in EXPERIMENTS
+
+
+class TestCheapExtensionDrivers:
+    def test_rounding_mode_ablation(self):
+        result = extensions.rounding_mode_ablation()
+        assert isinstance(result, ExperimentResult)
+        assert {row["format"] for row in result.rows} == {"BFP4", "BBFP(4,2)", "BBFP(6,3)"}
+        for row in result.rows:
+            assert row["nearest_relative_mse"] <= row["truncate_relative_mse"]
+
+    def test_multiplier_architecture_ablation(self):
+        result = extensions.multiplier_architecture_ablation()
+        architectures = {row["architecture"] for row in result.rows}
+        assert architectures == {"array", "booth-r4", "wallace"}
+        assert all(np.isfinite(row["area_delay_product"]) for row in result.rows)
+
+    def test_format_family_ablation_covers_all_families(self):
+        result = extensions.format_family_ablation()
+        formats = {row["format"] for row in result.rows}
+        assert {"BFP4", "BBFP(4,2)", "BiE4(k=2)", "MXFP8", "INT4"} <= formats
+        for row in result.rows:
+            assert row["relative_mse"] > 0
+            assert row["equivalent_bits"] > 0
+
+    def test_roofline_extension_has_both_phases(self):
+        result = extensions.roofline_extension()
+        phases = {row["phase"] for row in result.rows}
+        assert phases == {"prefill", "decode"}
+
+    def test_generation_extension_iso_area_pe_counts_differ(self):
+        result = extensions.generation_latency_extension(fast=True)
+        pe_counts = {row["strategy"]: row["iso_area_pes"] for row in result.rows}
+        assert pe_counts["BBFP(3,1)"] > pe_counts["BFP6"]
+        for row in result.rows:
+            assert row["tokens_per_second"] > 0

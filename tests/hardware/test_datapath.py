@@ -1,0 +1,160 @@
+"""Tests for the bit-accurate BBFP MAC datapath (repro.hardware.datapath)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bbfp import BBFPConfig, quantize_bbfp
+from repro.core.dotproduct import bbfp_block_dot
+from repro.hardware.datapath import (
+    MACDatapath,
+    bbfp_multiply_codes,
+    carry_chain_bit,
+    full_adder_bit,
+    product_zero_mask,
+    ripple_add,
+    sparse_ripple_add,
+)
+
+
+class TestBitCells:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_full_adder_truth_table(self, a, b, cin):
+        s, cout = full_adder_bit(a, b, cin)
+        assert s + 2 * cout == a + b + cin
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_carry_chain_equals_full_adder_with_zero_operand(self, a, cin):
+        assert carry_chain_bit(a, cin) == full_adder_bit(a, 0, cin)
+
+
+class TestRippleAdd:
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(0, 2**12 - 1), b=st.integers(0, 2**12 - 1))
+    def test_matches_integer_addition(self, a, b):
+        total, carry = ripple_add(a, b, 12)
+        assert total + (carry << 12) == a + b
+
+    def test_rejects_out_of_range_operands(self):
+        with pytest.raises(ValueError):
+            ripple_add(1 << 8, 0, 8)
+        with pytest.raises(ValueError):
+            ripple_add(-1, 0, 8)
+        with pytest.raises(ValueError):
+            ripple_add(1, 1, 0)
+
+
+class TestSparseRippleAdd:
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(0, 2**12 - 1), b=st.integers(0, 2**7 - 1))
+    def test_equivalent_to_full_adder_when_assumption_holds(self, a, b):
+        """Replacing full adders by carry-chain cells never changes the sum
+        as long as the masked operand bits really are zero (the Fig. 5(b) claim)."""
+        chain_mask = 0b111110000000  # b is confined to the low 7 bits
+        sparse = sparse_ripple_add(a, b, 12, chain_mask)
+        full = ripple_add(a, b, 12)
+        assert sparse == full
+
+    def test_detects_structural_assumption_violation(self):
+        with pytest.raises(ValueError, match="carry-chain mask"):
+            sparse_ripple_add(0, 0b1000, 8, chain_mask=0b1000)
+
+    def test_zero_mask_degenerates_to_ripple_add(self):
+        assert sparse_ripple_add(37, 91, 8, 0) == ripple_add(37, 91, 8)
+
+    def test_carry_propagates_through_the_chain(self):
+        # a = all ones in the chain region, +1 from below must ripple through.
+        total, carry = sparse_ripple_add(0b11110000, 0b00010000, 8, chain_mask=0b00001111)
+        assert total == 0b00000000
+        assert carry == 1
+
+
+class TestProductStructure:
+    @pytest.mark.parametrize("flag_a", [0, 1])
+    @pytest.mark.parametrize("flag_b", [0, 1])
+    def test_products_respect_the_zero_mask(self, flag_a, flag_b, rng):
+        config = BBFPConfig(4, 2)
+        mask = product_zero_mask(flag_a, flag_b, config)
+        for _ in range(50):
+            m1 = int(rng.integers(0, config.max_mantissa_level + 1))
+            m2 = int(rng.integers(0, config.max_mantissa_level + 1))
+            product = bbfp_multiply_codes(m1, flag_a, m2, flag_b, config)
+            assert product & mask == 0
+
+    def test_mask_width_matches_product_width(self):
+        config = BBFPConfig(4, 2)
+        # Product width = 2m + 2(m-o) = 12 bits; flags 0/0 zero the top 4.
+        assert product_zero_mask(0, 0, config) == 0b111100000000
+        # Flags 1/1 zero the bottom 4.
+        assert product_zero_mask(1, 1, config) == 0b000000001111
+        # Mixed flags zero the bottom 2 and top 2.
+        assert product_zero_mask(1, 0, config) == 0b110000000011
+
+    def test_out_of_range_mantissa_rejected(self):
+        config = BBFPConfig(4, 2)
+        with pytest.raises(ValueError):
+            bbfp_multiply_codes(16, 0, 3, 0, config)
+        with pytest.raises(ValueError):
+            bbfp_multiply_codes(3, 0, -1, 0, config)
+
+    def test_eq10_shift_amounts(self):
+        config = BBFPConfig(4, 2)
+        assert bbfp_multiply_codes(3, 0, 5, 0, config) == 15
+        assert bbfp_multiply_codes(3, 1, 5, 0, config) == 15 << 2
+        assert bbfp_multiply_codes(3, 1, 5, 1, config) == 15 << 4
+
+
+class TestMACDatapath:
+    @pytest.mark.parametrize("m, o", [(4, 2), (3, 1), (6, 3)])
+    def test_block_dot_matches_integer_reference(self, m, o, rng):
+        config = BBFPConfig(m, o)
+        x = rng.standard_normal(64)
+        x[::16] *= 20.0
+        y = rng.standard_normal(64)
+        a = quantize_bbfp(x, config)
+        b = quantize_bbfp(y, config)
+        datapath = MACDatapath(config)
+        np.testing.assert_allclose(datapath.block_dot(a, b), bbfp_block_dot(a, b), rtol=1e-12)
+
+    def test_block_dot_matches_dequantised_dot(self, rng):
+        config = BBFPConfig(4, 2)
+        x = rng.standard_normal(32)
+        y = rng.standard_normal(32)
+        a = quantize_bbfp(x, config)
+        b = quantize_bbfp(y, config)
+        expected = float(np.dot(a.dequantize(), b.dequantize()))
+        assert float(MACDatapath(config).block_dot(a, b).sum()) == pytest.approx(expected)
+
+    def test_accumulator_width_defaults_cover_a_full_block(self):
+        datapath = MACDatapath(BBFPConfig(4, 2, block_size=32))
+        # Product width 12 plus >= 6 guard bits.
+        assert datapath.accumulator_bits >= 18
+
+    def test_mismatched_configs_rejected(self, rng):
+        a = quantize_bbfp(rng.standard_normal(32), BBFPConfig(4, 2))
+        b = quantize_bbfp(rng.standard_normal(32), BBFPConfig(6, 3))
+        with pytest.raises(ValueError, match="different BBFP configuration"):
+            MACDatapath(BBFPConfig(4, 2)).block_dot(a, b)
+
+    def test_mismatched_blocking_rejected(self, rng):
+        config = BBFPConfig(4, 2)
+        a = quantize_bbfp(rng.standard_normal(32), config)
+        b = quantize_bbfp(rng.standard_normal(64), config)
+        with pytest.raises(ValueError, match="share blocking"):
+            MACDatapath(config).block_dot(a, b)
+
+    def test_multi_block_shapes(self, rng):
+        config = BBFPConfig(4, 2)
+        x = rng.standard_normal((3, 64))
+        y = rng.standard_normal((3, 64))
+        a = quantize_bbfp(x, config)
+        b = quantize_bbfp(y, config)
+        result = MACDatapath(config).block_dot(a, b)
+        assert result.shape == a.shared_exponents.shape
+        np.testing.assert_allclose(result, bbfp_block_dot(a, b), rtol=1e-12)

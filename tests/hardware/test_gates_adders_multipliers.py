@@ -1,0 +1,123 @@
+"""Tests for the gate-level primitives: gate counts, adders, carry chains, multipliers."""
+
+import pytest
+
+from repro.hardware.adders import (
+    CARRY_CHAIN_CELL,
+    adder_savings_ratio,
+    carry_chain,
+    ripple_carry_adder,
+    sparse_partial_sum_adder,
+)
+from repro.hardware.gates import FULL_ADDER, GATE_EQUIVALENT_WEIGHTS, GateCounts, HALF_ADDER
+from repro.hardware.multipliers import (
+    array_multiplier,
+    barrel_shifter,
+    comparator,
+    divider,
+    exponent_adder,
+)
+from repro.hardware.technology import TSMC28_LIKE
+
+
+class TestGateCounts:
+    def test_of_rejects_unknown_gate(self):
+        with pytest.raises(ValueError):
+            GateCounts.of(nand3=1)
+
+    def test_addition_merges_counts(self):
+        total = GateCounts.of(and2=2) + GateCounts.of(and2=1, xor2=3)
+        assert total.count("and2") == 3
+        assert total.count("xor2") == 3
+
+    def test_scaling(self):
+        doubled = GateCounts.of(xor2=2) * 2
+        assert doubled.count("xor2") == 4
+
+    def test_gate_equivalents_weighting(self):
+        ge = GateCounts.of(xor2=1, and2=1).gate_equivalents()
+        assert ge == GATE_EQUIVALENT_WEIGHTS["xor2"] + GATE_EQUIVALENT_WEIGHTS["and2"]
+
+    def test_area_conversion(self):
+        gates = GateCounts.of(nand2=10)
+        assert gates.area_um2(TSMC28_LIKE) == pytest.approx(10 * TSMC28_LIKE.nand2_area_um2)
+
+    def test_energy_and_power_positive(self):
+        gates = GateCounts.of(flipflop=8, xor2=4)
+        assert gates.dynamic_energy_j(TSMC28_LIKE) > 0
+        assert gates.static_power_w(TSMC28_LIKE) > 0
+
+    def test_full_adder_structure(self):
+        assert FULL_ADDER.count("xor2") == 2
+        assert FULL_ADDER.count("and2") == 2
+        assert FULL_ADDER.count("or2") == 1
+        assert HALF_ADDER.count("xor2") == 1
+
+
+class TestAdders:
+    def test_ripple_adder_scales_linearly(self):
+        assert ripple_carry_adder(8).gate_equivalents() == pytest.approx(
+            2 * ripple_carry_adder(4).gate_equivalents()
+        )
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+        with pytest.raises(ValueError):
+            carry_chain(-1)
+        with pytest.raises(ValueError):
+            sparse_partial_sum_adder(8, 9)
+
+    def test_carry_chain_cell_saves_one_and_two_xor(self):
+        """Eq. 13/14 vs Eq. 11/12: the carry-chain cell drops 1 AND, 1 OR and 1 XOR... precisely
+        it keeps one XOR and one AND of the full adder's 2 XOR + 2 AND + 1 OR."""
+        assert CARRY_CHAIN_CELL.count("xor2") == FULL_ADDER.count("xor2") - 1
+        assert CARRY_CHAIN_CELL.count("and2") == FULL_ADDER.count("and2") - 1
+        assert CARRY_CHAIN_CELL.count("or2") == 0
+
+    def test_sparse_adder_cheaper_than_full(self):
+        assert sparse_partial_sum_adder(12, 4).gate_equivalents() < ripple_carry_adder(12).gate_equivalents()
+
+    def test_paper_savings_figure(self):
+        """Replacing a 12-bit adder by an 8-bit adder + 4-bit carry chain saves roughly 15%."""
+        savings = adder_savings_ratio(12, 4)
+        assert 0.10 <= savings <= 0.25
+
+    def test_savings_grow_with_chain_length(self):
+        assert adder_savings_ratio(16, 8) > adder_savings_ratio(16, 4)
+
+    def test_zero_chain_is_identity(self):
+        assert sparse_partial_sum_adder(10, 0).gate_equivalents() == pytest.approx(
+            ripple_carry_adder(10).gate_equivalents()
+        )
+
+
+class TestMultipliersAndFriends:
+    def test_multiplier_grows_quadratically(self):
+        small = array_multiplier(3, 3).gate_equivalents()
+        big = array_multiplier(6, 6).gate_equivalents()
+        assert 3.0 < big / small < 6.0
+
+    def test_multiplier_invalid(self):
+        with pytest.raises(ValueError):
+            array_multiplier(0, 4)
+
+    def test_one_bit_multiplier_is_just_ands(self):
+        gates = array_multiplier(1, 4)
+        assert gates.count("and2") == 4
+        assert gates.count("xor2") == 0
+
+    def test_barrel_shifter_stages(self):
+        two_positions = barrel_shifter(8, 2).count("mux2")
+        four_positions = barrel_shifter(8, 4).count("mux2")
+        assert four_positions == 2 * two_positions
+
+    def test_shifter_single_position_free(self):
+        assert barrel_shifter(8, 1).gate_equivalents() == 0
+
+    def test_comparator_and_exponent_adder(self):
+        assert comparator(5).gate_equivalents() > 0
+        assert exponent_adder(5).gate_equivalents() == pytest.approx(5 * FULL_ADDER.gate_equivalents())
+
+    def test_divider_much_larger_than_adder(self):
+        assert divider(16).gate_equivalents() > 10 * ripple_carry_adder(16).gate_equivalents()

@@ -1,0 +1,110 @@
+"""Tests for the MAC-unit (Table I) and PE (Table III) cost models."""
+
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.floatspec import FP16, FP8_E4M3
+from repro.core.integer import IntQuantConfig
+from repro.hardware.mac import bbfp_mac, bfp_mac, fp16_mac, int_mac, mac_table, mac_unit_for_format
+from repro.hardware.pe import pe_area_table, pe_for_strategy
+
+
+class TestMACUnits:
+    def test_fp16_much_larger_than_int8(self):
+        assert fp16_mac().gate_equivalents() > 3 * int_mac(IntQuantConfig(8)).gate_equivalents()
+
+    def test_bfp8_close_to_int8(self):
+        """Table I: BFP8 costs about the same as INT8 (the exponent adder is small)."""
+        ratio = bfp_mac(BFPConfig(8)).gate_equivalents() / int_mac(IntQuantConfig(8)).gate_equivalents()
+        assert 0.9 < ratio < 1.25
+
+    def test_bbfp_slightly_larger_than_bfp_same_width(self):
+        """Table I: BBFP adds a few percent over BFP at equal mantissa width."""
+        for m, o in [(8, 4), (6, 3)]:
+            bbfp = bbfp_mac(BBFPConfig(m, o)).gate_equivalents()
+            bfp = bfp_mac(BFPConfig(m)).gate_equivalents()
+            assert 1.0 < bbfp / bfp < 1.35
+
+    def test_bbfp63_cheaper_than_bfp8(self):
+        """The paper's punchline: BBFP(6,3) gives more range than BFP8 for less area and memory."""
+        bbfp63 = bbfp_mac(BBFPConfig(6, 3))
+        bfp8 = bfp_mac(BFPConfig(8))
+        assert bbfp63.gate_equivalents() < bfp8.gate_equivalents()
+        assert bbfp63.memory_efficiency() > bfp8.memory_efficiency()
+
+    def test_memory_efficiency_values(self):
+        assert bbfp_mac(BBFPConfig(6, 3)).memory_efficiency() == pytest.approx(1.96, abs=0.01)
+        assert bfp_mac(BFPConfig(6)).memory_efficiency() == pytest.approx(2.24, abs=0.01)
+
+    def test_dispatch(self):
+        assert mac_unit_for_format(BBFPConfig(4, 2)).name == "BBFP(4,2)"
+        assert mac_unit_for_format(FP16).name == "FP16"
+        with pytest.raises(ValueError):
+            mac_unit_for_format(FP8_E4M3)
+        with pytest.raises(TypeError):
+            mac_unit_for_format("INT8")
+
+    def test_mac_table_rows(self):
+        rows = mac_table([FP16, IntQuantConfig(8), BBFPConfig(6, 3)])
+        assert [r["datatype"] for r in rows] == ["FP16", "INT8", "BBFP(6,3)"]
+        assert all(r["area_um2"] > 0 for r in rows)
+
+    def test_energy_per_mac_ordering(self):
+        assert fp16_mac().energy_per_mac_j() > bbfp_mac(BBFPConfig(4, 2)).energy_per_mac_j()
+
+
+class TestPEDesigns:
+    def test_multiplier_width_orders_block_formats(self):
+        a3 = pe_for_strategy(BBFPConfig(3, 1)).area_um2()
+        a4 = pe_for_strategy(BBFPConfig(4, 2)).area_um2()
+        a6 = pe_for_strategy(BBFPConfig(6, 3)).area_um2()
+        assert a3 < a4 < a6
+
+    def test_wider_overlap_shrinks_pe(self):
+        assert pe_for_strategy(BBFPConfig(6, 5)).area_um2() < pe_for_strategy(BBFPConfig(6, 3)).area_um2()
+
+    def test_bbfp3_smaller_than_bfp4(self):
+        """The Fig. 8 throughput argument: BBFP(3,x) PEs are smaller than BFP4 PEs."""
+        assert pe_for_strategy(BBFPConfig(3, 1)).area_um2() < pe_for_strategy(BFPConfig(4)).area_um2()
+
+    def test_oltron_is_smallest_class(self):
+        oltron = pe_for_strategy("Oltron").area_um2()
+        assert oltron < pe_for_strategy(BFPConfig(4)).area_um2()
+
+    def test_olive_between_bfp4_and_bfp6(self):
+        olive = pe_for_strategy("Olive").area_um2()
+        assert pe_for_strategy(BFPConfig(4)).area_um2() < olive < pe_for_strategy(BFPConfig(6)).area_um2()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            pe_for_strategy("tpu")
+        with pytest.raises(TypeError):
+            pe_for_strategy(3.14)
+
+    def test_registers_add_area(self):
+        design = pe_for_strategy(BBFPConfig(4, 2))
+        assert design.area_um2(include_registers=True) > design.area_um2(include_registers=False)
+
+    def test_pe_area_table_normalisation(self):
+        rows = pe_area_table(["Oltron", BFPConfig(4), BBFPConfig(6, 3)],
+                             normalise_to=BBFPConfig(6, 3))
+        by_name = {r["strategy"]: r for r in rows}
+        assert by_name["BBFP(6,3)"]["normalised_area"] == pytest.approx(1.0)
+        assert by_name["Oltron"]["normalised_area"] < 0.5
+
+    def test_table3_ordering_matches_paper(self):
+        """The full Table III ordering: 3-bit designs < 4-bit designs < 6-bit designs."""
+        rows = pe_area_table(
+            ["Oltron", "Olive", BFPConfig(4), BFPConfig(6), BBFPConfig(3, 1), BBFPConfig(4, 2),
+             BBFPConfig(6, 3)],
+            normalise_to=BBFPConfig(6, 3),
+        )
+        norm = {r["strategy"]: r["normalised_area"] for r in rows}
+        assert norm["Oltron"] < norm["BFP4"] < norm["Olive"] < norm["BFP6"] < 1.01
+        assert norm["BBFP(3,1)"] < norm["BBFP(4,2)"] < norm["BBFP(6,3)"]
+
+    def test_static_power_and_macs_per_cycle(self):
+        design = pe_for_strategy(BBFPConfig(4, 2))
+        assert design.static_power_w() > 0
+        assert design.macs_per_cycle() == 1.0

@@ -1,0 +1,76 @@
+"""Tests for the SRAM/DRAM models, the energy breakdown container and technology constants."""
+
+import pytest
+
+from repro.hardware.energy import EnergyBreakdown
+from repro.hardware.memory import DRAMModel, SRAMBuffer
+from repro.hardware.technology import TSMC28_LIKE
+
+
+class TestTechnology:
+    def test_cycle_time(self):
+        assert TSMC28_LIKE.cycle_time_s == pytest.approx(1e-9)
+
+    def test_dram_much_more_expensive_than_sram(self):
+        assert TSMC28_LIKE.dram_energy_per_byte_pj > 50 * TSMC28_LIKE.sram_read_energy_per_byte_pj
+
+    def test_logic_area_and_energy_helpers(self):
+        assert TSMC28_LIKE.logic_area_um2(100) == pytest.approx(49.0)
+        assert TSMC28_LIKE.dynamic_energy_j(1000) > 0
+        assert TSMC28_LIKE.static_energy_j(1000, 1e-3) > 0
+
+
+class TestSRAM:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SRAMBuffer("bad", 0)
+
+    def test_area_scales_with_capacity(self):
+        small = SRAMBuffer("a", 16 * 1024)
+        big = SRAMBuffer("b", 64 * 1024)
+        assert big.area_um2() == pytest.approx(4 * small.area_um2())
+
+    def test_energy_per_byte_grows_with_capacity(self):
+        small = SRAMBuffer("a", 16 * 1024)
+        big = SRAMBuffer("b", 256 * 1024)
+        assert big.read_energy_j(1024) > small.read_energy_j(1024)
+
+    def test_write_more_expensive_than_read(self):
+        buf = SRAMBuffer("a", 32 * 1024)
+        assert buf.write_energy_j(100) > buf.read_energy_j(100)
+
+    def test_leakage_positive(self):
+        assert SRAMBuffer("a", 32 * 1024).leakage_power_w() > 0
+
+
+class TestDRAM:
+    def test_linear_in_bytes(self):
+        dram = DRAMModel()
+        assert dram.access_energy_j(2000) == pytest.approx(2 * dram.access_energy_j(1000))
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert e.total_j == 10.0
+
+    def test_add_and_scale(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        doubled = e + e
+        assert doubled.total_j == 20.0
+        assert e.scaled(0.5).total_j == 5.0
+
+    def test_normalised_components_sum_to_total(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        ref = EnergyBreakdown(2.0, 2.0, 3.0, 13.0)
+        norm = e.normalised_to(ref)
+        assert norm["total"] == pytest.approx(norm["static"] + norm["dram"] + norm["buffer"] + norm["core"])
+        assert norm["total"] == pytest.approx(0.5)
+
+    def test_normalise_requires_positive_reference(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(1, 1, 1, 1).normalised_to(EnergyBreakdown(0, 0, 0, 0))
+
+    def test_as_dict(self):
+        payload = EnergyBreakdown(1, 2, 3, 4).as_dict()
+        assert payload["total_j"] == 10

@@ -1,0 +1,117 @@
+"""Tests for the multiplier micro-architecture ablation models (repro.hardware.multiplier_arch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.multiplier_arch import (
+    MultiplierDesign,
+    array_multiplier_design,
+    booth_radix4_multiplier,
+    carry_save_accumulator,
+    multiplier_architecture_table,
+    wallace_tree_multiplier,
+)
+from repro.hardware.multipliers import array_multiplier
+from repro.hardware.technology import TSMC28_LIKE
+
+
+class TestArrayDesign:
+    def test_gates_match_the_table1_multiplier(self):
+        design = array_multiplier_design(4, 4)
+        assert design.gates.as_dict() == array_multiplier(4, 4).as_dict()
+
+    def test_depth_grows_linearly_with_width(self):
+        assert array_multiplier_design(16, 16).logic_depth_fa > 2 * array_multiplier_design(
+            6, 6
+        ).logic_depth_fa
+
+
+class TestBoothRadix4:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            booth_radix4_multiplier(0, 4)
+
+    def test_cheaper_than_array_for_wide_operands(self):
+        booth = booth_radix4_multiplier(24, 24)
+        array = array_multiplier_design(24, 24)
+        assert booth.gate_equivalents() < array.gate_equivalents()
+
+    def test_not_worth_it_for_bbfp_width_mantissas(self):
+        """For the 3–6-bit mantissas BBFP uses, the recoders dominate: the
+        plain array stays cheaper — the reason the paper's PEs use it."""
+        booth = booth_radix4_multiplier(4, 4)
+        array = array_multiplier_design(4, 4)
+        assert booth.gate_equivalents() > array.gate_equivalents()
+
+    def test_shallower_than_array_for_wide_operands(self):
+        assert (
+            booth_radix4_multiplier(16, 16).logic_depth_fa
+            < array_multiplier_design(16, 16).logic_depth_fa
+        )
+
+
+class TestWallaceTree:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            wallace_tree_multiplier(4, -1)
+
+    def test_depth_much_shorter_than_array(self):
+        wallace = wallace_tree_multiplier(12, 12)
+        array = array_multiplier_design(12, 12)
+        assert wallace.logic_depth_fa < array.logic_depth_fa / 2
+
+    def test_area_within_a_small_factor_of_array(self):
+        wallace = wallace_tree_multiplier(8, 8)
+        array = array_multiplier_design(8, 8)
+        ratio = wallace.gate_equivalents() / array.gate_equivalents()
+        assert 0.5 < ratio < 1.6
+
+    def test_best_area_delay_product_at_wide_widths(self):
+        designs = [
+            array_multiplier_design(16, 16),
+            booth_radix4_multiplier(16, 16),
+            wallace_tree_multiplier(16, 16),
+        ]
+        best = min(designs, key=lambda d: d.area_delay_product())
+        assert best.name in ("wallace", "booth-r4")
+
+
+class TestMultiplierDesign:
+    def test_max_frequency_inverse_of_depth(self):
+        shallow = MultiplierDesign("a", (4, 4), array_multiplier(4, 4), logic_depth_fa=2.0)
+        deep = MultiplierDesign("b", (4, 4), array_multiplier(4, 4), logic_depth_fa=8.0)
+        assert shallow.max_frequency_ghz() == pytest.approx(4 * deep.max_frequency_ghz())
+
+    def test_area_delay_product_units(self):
+        design = array_multiplier_design(6, 6)
+        expected = design.area_um2(TSMC28_LIKE) * design.logic_depth_fa * 45.0 * 1e-3
+        assert design.area_delay_product() == pytest.approx(expected)
+
+
+class TestCarrySaveAccumulator:
+    def test_scales_with_terms(self):
+        few = carry_save_accumulator(12, terms=4).gate_equivalents()
+        many = carry_save_accumulator(12, terms=32).gate_equivalents()
+        assert many > few
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            carry_save_accumulator(0, 4)
+        with pytest.raises(ValueError):
+            carry_save_accumulator(8, 0)
+
+
+class TestArchitectureTable:
+    def test_rows_cover_all_architectures_and_widths(self):
+        rows = multiplier_architecture_table([4, 8])
+        assert len(rows) == 6
+        assert {row["architecture"] for row in rows} == {"array", "booth-r4", "wallace"}
+        assert {row["bits"] for row in rows} == {4, 8}
+
+    def test_rows_contain_positive_metrics(self):
+        for row in multiplier_architecture_table([6]):
+            assert row["area_um2"] > 0
+            assert row["logic_depth_fa"] > 0
+            assert row["max_frequency_ghz"] > 0
+            assert row["area_delay_product"] > 0

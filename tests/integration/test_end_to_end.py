@@ -1,0 +1,112 @@
+"""Integration tests spanning the core formats, the LLM substrate and the hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, AcceleratorSimulator, decoder_workload
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.overlap_search import select_overlap_width
+from repro.hardware.pe import pe_for_strategy
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity, perplexity_table
+from repro.nonlinear.lut import lut_function, lut_softmax
+from repro.nonlinear.unit import NonlinearUnit
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=2)
+
+
+class TestLinearQuantisationPipeline:
+    def test_table2_style_ordering_on_tiny_model(self, tiny_inference_model, small_corpus):
+        """End-to-end: the Table II orderings hold on a freshly trained model."""
+        schemes = [
+            QuantizationScheme.fp16(),
+            QuantizationScheme.from_format(BFPConfig(6)),
+            QuantizationScheme.from_format(BFPConfig(4)),
+            QuantizationScheme.from_format(BBFPConfig(4, 2)),
+            QuantizationScheme.from_format(BBFPConfig(6, 3)),
+        ]
+        ppl = perplexity_table(tiny_inference_model, small_corpus, schemes, _EVAL)
+        assert ppl["BBFP(6,3)"] <= ppl["BFP4"]
+        assert ppl["BBFP(4,2)"] <= ppl["BFP4"] * 1.02
+        assert ppl["BBFP(6,3)"] <= ppl["FP16"] * 1.05
+
+    def test_nonlinear_pipeline_bbfp_tracks_fp(self, tiny_inference_model, small_corpus):
+        """End-to-end Table IV behaviour on the tiny model."""
+        fp_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        unit_scheme = QuantizationScheme.fp_reference().with_nonlinear(
+            softmax_fn=lut_softmax(BBFPConfig(10, 5)),
+            nonlinear_fn=lut_function(BBFPConfig(10, 5)),
+        )
+        tiny_inference_model.set_scheme(unit_scheme)
+        bbfp_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        bfp_scheme = QuantizationScheme.fp_reference().with_nonlinear(
+            softmax_fn=lut_softmax(BFPConfig(10)),
+            nonlinear_fn=lut_function(BFPConfig(10)),
+        )
+        tiny_inference_model.set_scheme(bfp_scheme)
+        bfp_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert bbfp_ppl <= fp_ppl * 1.1
+        assert bfp_ppl >= bbfp_ppl
+
+    def test_algorithm1_with_real_ppl_and_hardware(self, tiny_inference_model, small_corpus):
+        """Algorithm 1 wired to the real perplexity evaluator and the real PE cost model."""
+
+        def ppl_fn(config):
+            tiny_inference_model.set_scheme(QuantizationScheme.from_format(config))
+            return evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+
+        result = select_overlap_width(
+            mantissa_bits=4,
+            ppl_fn=ppl_fn,
+            overhead_fn=lambda config: pe_for_strategy(config).area_um2(),
+            overhead_weight=0.5,
+        )
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert 0 <= result.best_overlap < 4
+        assert len(result.candidates) == 4
+        # Overhead decreases monotonically with wider overlap (narrower datapath).
+        overheads = [c.overhead for c in result.candidates]
+        assert overheads == sorted(overheads, reverse=True)
+
+
+class TestAcceleratorPipeline:
+    def test_model_config_drives_simulator(self, tiny_model_config):
+        workload = decoder_workload(tiny_model_config, 32, phase="prefill")
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=8, pe_cols=8)
+        report = AcceleratorSimulator(config).run(workload)
+        assert report.total_macs == workload.total_macs
+        assert report.energy.total_j > 0
+
+    def test_iso_area_and_accuracy_tradeoff(self, tiny_inference_model, small_corpus):
+        """Fig. 8 in miniature: BBFP(3,1) is at least as accurate as BFP4 and has a smaller PE."""
+        tiny_inference_model.set_scheme(QuantizationScheme.from_format(BBFPConfig(3, 1)))
+        bbfp_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        tiny_inference_model.set_scheme(QuantizationScheme.from_format(BFPConfig(4)))
+        bfp_ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert bbfp_ppl <= bfp_ppl * 1.1
+        assert pe_for_strategy(BBFPConfig(3, 1)).area_um2() < pe_for_strategy(BFPConfig(4)).area_um2()
+
+    def test_nonlinear_unit_cost_consistent_with_simulator(self, tiny_model_config):
+        unit_cost = NonlinearUnit().cost()
+        workload = decoder_workload(tiny_model_config, 32, phase="prefill")
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=8, pe_cols=8)
+        report = AcceleratorSimulator(config).run(workload)
+        softmax_ops = [op for op in workload.nonlinears if op.kind == "softmax"]
+        assert report.nonlinear_cycles >= unit_cost.latency_cycles(softmax_ops[0].vector_length)
+
+
+class TestNumericalConsistency:
+    def test_scheme_matmul_equals_core_matmul(self, rng):
+        """The inference-path fake quantisation equals the core bbfp_matmul semantics."""
+        from repro.core.dotproduct import bbfp_matmul
+
+        config = BBFPConfig(4, 2)
+        scheme = QuantizationScheme.from_format(config)
+        x = rng.standard_normal((6, 64))
+        w = rng.standard_normal((64, 5))
+        via_scheme = scheme.activation_fn("layer", x) @ scheme.weight_fn("layer", w)
+        via_core = bbfp_matmul(x, w, config)
+        assert np.allclose(via_scheme, via_core)

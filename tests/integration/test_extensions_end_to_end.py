@@ -1,0 +1,112 @@
+"""Cross-module integration tests for the extension subsystems.
+
+These exercise the new pieces *together* — formats through the inference path,
+the bit-level datapath against the quantised matmul, the tiling scheduler
+against the simulator's traffic accounting, and the mixed-precision result
+plugged back into end-to-end evaluation — mirroring how a downstream user
+would chain them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.dataflow import compare_dataflows
+from repro.accelerator.roofline import analyze_workload
+from repro.accelerator.scheduling import best_tiling
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.workloads import decoder_workload
+from repro.baselines.gptq import GPTQConfig, build_gptq_scheme
+from repro.core.bbfp import BBFPConfig, quantize_bbfp
+from repro.core.bie import BiEConfig
+from repro.core.microscaling import MXFP8
+from repro.hardware.datapath import MACDatapath
+from repro.llm.generation import GenerationConfig, generate_tokens
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+from repro.search.mixed_precision import greedy_mixed_precision_search
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=2)
+
+
+class TestExtensionFormatsThroughInference:
+    def test_bie_and_mx_track_the_fp_reference_on_the_tiny_model(
+        self, tiny_inference_model, small_corpus
+    ):
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        reference = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        results = {}
+        for config in (BiEConfig(6), MXFP8, BBFPConfig(6, 3)):
+            tiny_inference_model.set_scheme(QuantizationScheme.from_format(config))
+            results[config.name] = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        for name, ppl in results.items():
+            assert ppl <= reference * 1.10, name
+
+    def test_gptq_scheme_supports_generation(self, tiny_inference_model, small_corpus):
+        scheme = build_gptq_scheme(tiny_inference_model, small_corpus, GPTQConfig(weight_bits=4))
+        tiny_inference_model.set_scheme(scheme)
+        tokens = generate_tokens(tiny_inference_model, [1, 2, 3],
+                                 GenerationConfig(max_new_tokens=12))
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert tokens.size == 15
+        assert tokens.max() < tiny_inference_model.config.vocab_size
+
+
+class TestDatapathAgainstQuantisedMatmul:
+    def test_bit_level_mac_reproduces_a_quantised_linear_layer_output(self, rng):
+        """One output element of x @ w computed by the gate-level datapath equals
+        the dequantised math the inference path uses."""
+        config = BBFPConfig(4, 2)
+        x = rng.standard_normal(64)
+        w_column = rng.standard_normal(64)
+        xq = quantize_bbfp(x, config)
+        wq = quantize_bbfp(w_column, config)
+        datapath = MACDatapath(config)
+        bit_level = float(datapath.block_dot(xq, wq).sum())
+        dequantised = float(np.dot(xq.dequantize(), wq.dequantize()))
+        assert bit_level == pytest.approx(dequantised, rel=1e-12)
+
+
+class TestSchedulerSimulatorConsistency:
+    def _workload(self):
+        from repro.llm.config import ModelConfig
+
+        dims = ModelConfig(name="sched-check", vocab_size=64, d_model=256, n_heads=4,
+                           n_layers=1, d_ff=512, max_seq_len=512, arch="llama")
+        return decoder_workload(dims, seq_len=128, phase="prefill")
+
+    def test_tiled_traffic_never_below_simulator_compulsory_traffic(self):
+        """The simulator charges compulsory (stream-once) DRAM traffic; any legal
+        tiling must move at least that much."""
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=16, pe_cols=16)
+        simulator = AcceleratorSimulator(config)
+        for op in self._workload().matmuls:
+            compulsory = simulator._matmul_traffic_bytes(op)["dram"]
+            assert best_tiling(op, config).dram_bytes >= compulsory - 1e-6
+
+    def test_roofline_and_dataflow_account_the_same_macs(self):
+        config = AcceleratorConfig(strategy=BBFPConfig(4, 2), pe_rows=32, pe_cols=32)
+        workload = self._workload()
+        roofline_macs = sum(a.macs for a in analyze_workload(config, workload))
+        assert roofline_macs == workload.total_macs
+        for op in workload.matmuls:
+            for row in compare_dataflows(op):
+                assert row["cycles"] > 0  # every dataflow produces a schedule for every GEMM
+
+
+class TestMixedPrecisionEndToEnd:
+    def test_search_result_scheme_reproduces_measured_perplexity(
+        self, tiny_inference_model, small_corpus
+    ):
+        candidates = [BBFPConfig(6, 3), BBFPConfig(3, 1)]
+        result = greedy_mixed_precision_search(
+            tiny_inference_model, small_corpus, candidates,
+            ppl_budget_ratio=1.2, eval_config=_EVAL,
+        )
+        tiny_inference_model.set_scheme(result.scheme)
+        replayed = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert replayed == pytest.approx(result.perplexity, rel=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the reverse-mode autodiff engine, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.llm.autograd import Parameter, Tensor, embedding_lookup, no_grad, softmax_cross_entropy
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, rng, atol=1e-5):
+    """Compare autodiff gradients with numeric gradients for one input tensor."""
+    x0 = rng.standard_normal(shape)
+    param = Parameter(x0.copy())
+    loss = build_loss(param)
+    loss.backward()
+    numeric = numeric_gradient(lambda arr: float(build_loss(Tensor(arr)).data), x0.copy())
+    assert np.allclose(param.grad, numeric, atol=atol), (
+        f"max diff {np.max(np.abs(param.grad - numeric))}"
+    )
+
+
+class TestBasicOps:
+    def test_add_mul_forward(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b * 2.0).data, [7.0, 10.0])
+
+    def test_backward_requires_scalar(self):
+        p = Parameter(np.ones(3))
+        with pytest.raises(ValueError):
+            (p * 2.0).backward()
+
+    def test_grad_accumulates_over_reuse(self):
+        p = Parameter(np.array([2.0]))
+        loss = (p * p).sum()  # d/dp p^2 = 2p
+        loss.backward()
+        assert p.grad[0] == pytest.approx(4.0)
+
+    def test_no_grad_blocks_graph(self):
+        p = Parameter(np.ones(4))
+        with no_grad():
+            out = (p * 3.0).sum()
+        assert out._backward is None
+        out2 = (p * 3.0).sum()
+        out2.backward()
+        assert p.grad is not None
+
+    def test_detach(self):
+        p = Parameter(np.ones(4))
+        d = p.detach()
+        assert not d.requires_grad
+        assert d.data is p.data
+
+
+class TestGradients:
+    def test_add_broadcast(self, rng):
+        bias = rng.standard_normal(4)
+        check_gradient(lambda p: (p + Tensor(bias)).sum(), (3, 4), rng)
+
+    def test_mul_broadcast_gradient_for_small_operand(self, rng):
+        big = rng.standard_normal((3, 4))
+        check_gradient(lambda p: (Tensor(big) * p).sum(), (4,), rng)
+
+    def test_matmul(self, rng):
+        w = rng.standard_normal((4, 5))
+        check_gradient(lambda p: (p @ Tensor(w)).sum(), (3, 4), rng)
+
+    def test_batched_matmul(self, rng):
+        other = rng.standard_normal((2, 5, 3))
+        check_gradient(lambda p: (p @ Tensor(other)).sum(), (2, 4, 5), rng)
+
+    def test_power_and_div(self, rng):
+        check_gradient(lambda p: ((p * p + 1.0) ** -0.5).sum(), (6,), rng)
+
+    def test_exp_log(self, rng):
+        check_gradient(lambda p: ((p * 0.3).exp() + 2.0).log().sum(), (5,), rng)
+
+    def test_tanh_sigmoid_relu(self, rng):
+        check_gradient(lambda p: p.tanh().sum(), (7,), rng)
+        check_gradient(lambda p: p.sigmoid().sum(), (7,), rng)
+
+    def test_silu_gelu(self, rng):
+        check_gradient(lambda p: p.silu().sum(), (9,), rng)
+        check_gradient(lambda p: p.gelu().sum(), (9,), rng, atol=1e-4)
+
+    def test_sum_axis_keepdims(self, rng):
+        check_gradient(lambda p: (p.sum(axis=1, keepdims=True) * 2.0).sum(), (3, 4), rng)
+
+    def test_mean(self, rng):
+        check_gradient(lambda p: p.mean(axis=-1).sum(), (3, 4), rng)
+
+    def test_reshape_transpose(self, rng):
+        check_gradient(lambda p: (p.reshape(2, 6).transpose(1, 0) * 3.0).sum(), (3, 4), rng)
+
+    def test_swapaxes(self, rng):
+        check_gradient(lambda p: p.swapaxes(0, 1).sum(), (2, 3), rng)
+
+    def test_composite_softmax_like_expression(self, rng):
+        def loss(p):
+            shifted = p - Tensor(p.data.max(axis=-1, keepdims=True))
+            exps = shifted.exp()
+            probs = exps * exps.sum(axis=-1, keepdims=True) ** -1.0
+            return (probs * probs).sum()
+
+        check_gradient(loss, (3, 5), rng)
+
+
+class TestEmbeddingAndCrossEntropy:
+    def test_embedding_forward(self, rng):
+        table = Parameter(rng.standard_normal((10, 4)))
+        out = embedding_lookup(table, np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], table.data[1])
+
+    def test_embedding_gradient_accumulates_repeats(self, rng):
+        table = Parameter(rng.standard_normal((6, 3)))
+        out = embedding_lookup(table, np.array([2, 2, 4]))
+        out.sum().backward()
+        assert np.allclose(table.grad[2], 2.0)
+        assert np.allclose(table.grad[4], 1.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        loss = softmax_cross_entropy(Tensor(logits), targets)
+        probs = np.exp(logits - logits.max(-1, keepdims=True))
+        probs /= probs.sum(-1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(2)[:, None], np.arange(3)[None, :], targets]))
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_cross_entropy_gradient(self, rng):
+        targets = rng.integers(0, 4, size=(6,))
+        check_gradient(lambda p: softmax_cross_entropy(p, targets), (6, 4), rng)
+
+    def test_cross_entropy_decreases_when_correct_logit_grows(self, rng):
+        logits = np.zeros((1, 4))
+        base = float(softmax_cross_entropy(Tensor(logits), np.array([2])).data)
+        logits[0, 2] = 3.0
+        better = float(softmax_cross_entropy(Tensor(logits), np.array([2])).data)
+        assert better < base

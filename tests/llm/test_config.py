@@ -1,0 +1,54 @@
+"""Tests for the model configuration."""
+
+import pytest
+
+from repro.llm.config import ModelConfig
+
+
+def _make(**kwargs):
+    defaults = dict(name="m", vocab_size=50, d_model=32, n_heads=4, n_layers=2, d_ff=64)
+    defaults.update(kwargs)
+    return ModelConfig(**defaults)
+
+
+class TestModelConfig:
+    def test_llama_defaults(self):
+        config = _make(arch="llama")
+        assert config.norm == "rmsnorm"
+        assert config.activation == "silu"
+        assert config.use_bias is False
+        assert config.uses_gated_mlp
+
+    def test_opt_defaults(self):
+        config = _make(arch="opt")
+        assert config.norm == "layernorm"
+        assert config.activation == "gelu"
+        assert config.use_bias is True
+        assert not config.uses_gated_mlp
+
+    def test_head_dim(self):
+        assert _make(d_model=48, n_heads=4).head_dim == 12
+
+    def test_invalid_arch(self):
+        with pytest.raises(ValueError):
+            _make(arch="gpt")
+
+    def test_invalid_head_split(self):
+        with pytest.raises(ValueError):
+            _make(d_model=30, n_heads=4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            _make(n_layers=0)
+
+    def test_parameter_count_grows_with_width(self):
+        assert _make(d_model=64, n_heads=4).parameter_count() > _make().parameter_count()
+
+    def test_gated_mlp_has_more_parameters(self):
+        llama = _make(arch="llama").parameter_count()
+        opt = _make(arch="opt").parameter_count()
+        assert llama > opt
+
+    def test_as_dict(self):
+        payload = _make().as_dict()
+        assert payload["d_model"] == 32 and payload["arch"] == "llama"

@@ -1,0 +1,75 @@
+"""Tests for the tokenizer and the synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.llm.dataset import CorpusConfig, SyntheticCorpus, generate_text
+from repro.llm.tokenizer import CharTokenizer
+
+
+class TestTokenizer:
+    def test_roundtrip(self):
+        tok = CharTokenizer("hello world")
+        assert tok.decode(tok.encode("hello world")) == "hello world"
+
+    def test_unknown_maps_to_zero(self):
+        tok = CharTokenizer("abc")
+        assert tok.encode("z")[0] == 0
+
+    def test_vocab_size_includes_unk(self):
+        tok = CharTokenizer("ab")
+        assert tok.vocab_size == 3
+        assert len(tok) == 3
+
+    def test_decode_out_of_range(self):
+        tok = CharTokenizer("ab")
+        with pytest.raises(ValueError):
+            tok.decode([99])
+
+
+class TestCorpus:
+    def test_deterministic_generation(self):
+        a = generate_text(CorpusConfig(num_sentences=50, seed=5))
+        b = generate_text(CorpusConfig(num_sentences=50, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_text(CorpusConfig(num_sentences=50, seed=5))
+        b = generate_text(CorpusConfig(num_sentences=50, seed=6))
+        assert a != b
+
+    def test_train_valid_split(self, small_corpus):
+        total = len(small_corpus.train_tokens) + len(small_corpus.valid_tokens)
+        ratio = len(small_corpus.valid_tokens) / total
+        assert 0.05 < ratio < 0.15
+
+    def test_sample_batch_shape(self, small_corpus, rng):
+        batch = small_corpus.sample_batch("train", batch_size=4, seq_len=16, rng=rng)
+        assert batch.shape == (4, 17)
+        assert batch.max() < small_corpus.vocab_size
+
+    def test_sample_batch_invalid_split(self, small_corpus):
+        with pytest.raises(ValueError):
+            small_corpus.sample_batch("test", 2, 8)
+
+    def test_sequential_batches_deterministic(self, small_corpus):
+        first = list(small_corpus.sequential_batches("valid", 2, 16, max_batches=3))
+        second = list(small_corpus.sequential_batches("valid", 2, 16, max_batches=3))
+        assert len(first) == 3
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_sequential_batches_non_overlapping(self, small_corpus):
+        batches = list(small_corpus.sequential_batches("valid", 1, 16, max_batches=2))
+        assert not np.array_equal(batches[0], batches[1])
+
+    def test_zipfian_structure(self, small_corpus):
+        """A few characters should dominate the corpus (Zipf-like frequencies)."""
+        counts = np.bincount(small_corpus.train_tokens)
+        top_share = np.sort(counts)[::-1][:5].sum() / counts.sum()
+        assert top_share > 0.3
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(valid_fraction=1.5)
+        with pytest.raises(ValueError):
+            CorpusConfig(vocabulary_size=2)

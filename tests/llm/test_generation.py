@@ -1,0 +1,122 @@
+"""Tests for auto-regressive generation (repro.llm.generation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.llm.generation import (
+    GenerationConfig,
+    generate_text,
+    generate_tokens,
+    sequence_log_likelihood,
+)
+from repro.llm.inference import QuantizationScheme
+
+
+class TestGenerationConfig:
+    def test_defaults_are_greedy(self):
+        config = GenerationConfig()
+        assert config.temperature == 0.0
+        assert config.top_k == 0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            GenerationConfig(temperature=-0.1)
+        with pytest.raises(ValueError):
+            GenerationConfig(top_k=-2)
+
+
+class TestGenerateTokens:
+    def test_output_contains_prompt_plus_new_tokens(self, tiny_inference_model):
+        prompt = np.array([1, 2, 3, 4], dtype=np.int64)
+        out = generate_tokens(tiny_inference_model, prompt, GenerationConfig(max_new_tokens=8))
+        assert out.shape == (12,)
+        np.testing.assert_array_equal(out[:4], prompt)
+
+    def test_all_tokens_within_vocabulary(self, tiny_inference_model):
+        out = generate_tokens(tiny_inference_model, [1, 2], GenerationConfig(max_new_tokens=16))
+        assert out.min() >= 0
+        assert out.max() < tiny_inference_model.config.vocab_size
+
+    def test_greedy_decoding_is_deterministic(self, tiny_inference_model):
+        config = GenerationConfig(max_new_tokens=10)
+        first = generate_tokens(tiny_inference_model, [3, 5, 7], config)
+        second = generate_tokens(tiny_inference_model, [3, 5, 7], config)
+        np.testing.assert_array_equal(first, second)
+
+    def test_sampling_is_seed_reproducible(self, tiny_inference_model):
+        config = GenerationConfig(max_new_tokens=10, temperature=1.0, top_k=8, seed=42)
+        first = generate_tokens(tiny_inference_model, [3, 5, 7], config)
+        second = generate_tokens(tiny_inference_model, [3, 5, 7], config)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_usually_differ(self, tiny_inference_model):
+        prompt = [3, 5, 7]
+        a = generate_tokens(tiny_inference_model, prompt,
+                            GenerationConfig(max_new_tokens=20, temperature=1.5, seed=1))
+        b = generate_tokens(tiny_inference_model, prompt,
+                            GenerationConfig(max_new_tokens=20, temperature=1.5, seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_generation_can_exceed_max_seq_len(self, tiny_inference_model):
+        max_len = tiny_inference_model.config.max_seq_len
+        out = generate_tokens(tiny_inference_model, [1, 2, 3],
+                              GenerationConfig(max_new_tokens=max_len + 10))
+        assert out.size == 3 + max_len + 10
+
+    def test_zero_new_tokens_returns_prompt(self, tiny_inference_model):
+        prompt = np.array([4, 4, 4])
+        out = generate_tokens(tiny_inference_model, prompt, GenerationConfig(max_new_tokens=0))
+        np.testing.assert_array_equal(out, prompt)
+
+    def test_invalid_prompt_rejected(self, tiny_inference_model):
+        with pytest.raises(ValueError, match="at least one token"):
+            generate_tokens(tiny_inference_model, [])
+        with pytest.raises(ValueError, match="vocabulary"):
+            generate_tokens(tiny_inference_model, [10_000])
+
+    def test_quantised_scheme_changes_generation_but_stays_valid(self, tiny_inference_model):
+        config = GenerationConfig(max_new_tokens=12)
+        reference = generate_tokens(tiny_inference_model, [1, 2, 3], config)
+        tiny_inference_model.set_scheme(QuantizationScheme.from_format(BBFPConfig(3, 1)))
+        quantised = generate_tokens(tiny_inference_model, [1, 2, 3], config)
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+        assert quantised.min() >= 0
+        assert quantised.max() < tiny_inference_model.config.vocab_size
+        assert quantised.shape == reference.shape
+
+
+class TestGenerateText:
+    def test_continuation_starts_with_prompt(self, tiny_inference_model, small_corpus):
+        # Use a prompt made of characters the corpus tokenizer actually knows,
+        # so encode/decode round-trips exactly.
+        prompt = small_corpus.tokenizer.decode(small_corpus.valid_tokens[:12])
+        text = generate_text(tiny_inference_model, small_corpus, prompt,
+                             GenerationConfig(max_new_tokens=20))
+        assert text.startswith(prompt)
+        assert len(text) == len(prompt) + 20
+
+
+class TestSequenceLogLikelihood:
+    def test_loglikelihood_is_finite_and_negative(self, tiny_inference_model, small_corpus):
+        tokens = small_corpus.valid_tokens[:40]
+        score = sequence_log_likelihood(tiny_inference_model, tokens)
+        assert np.isfinite(score)
+        assert score < 0
+
+    def test_reference_scores_its_own_greedy_output_at_least_as_well_as_noise(
+        self, tiny_inference_model, rng
+    ):
+        generated = generate_tokens(tiny_inference_model, [1, 2, 3],
+                                    GenerationConfig(max_new_tokens=24))
+        noise = rng.integers(0, tiny_inference_model.config.vocab_size, size=generated.size)
+        assert sequence_log_likelihood(tiny_inference_model, generated) > \
+            sequence_log_likelihood(tiny_inference_model, noise)
+
+    def test_too_short_sequence_rejected(self, tiny_inference_model):
+        with pytest.raises(ValueError, match="two tokens"):
+            sequence_log_likelihood(tiny_inference_model, [1])

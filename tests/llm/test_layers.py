@@ -1,0 +1,92 @@
+"""Tests for the trainable module system and layers."""
+
+import numpy as np
+import pytest
+
+from repro.llm.autograd import Tensor
+from repro.llm.layers import Embedding, LayerNorm, Linear, Module, ModuleList, RMSNorm
+
+
+class TestModuleSystem:
+    def test_named_parameters_recurse(self):
+        class Block(Module):
+            def __init__(self):
+                self.linear = Linear(4, 4, rng=np.random.default_rng(0))
+                self.norm = RMSNorm(4)
+
+        class Net(Module):
+            def __init__(self):
+                self.blocks = ModuleList(Block() for _ in range(2))
+                self.head = Linear(4, 2, rng=np.random.default_rng(1))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "blocks.0.linear.weight" in names
+        assert "blocks.1.norm.gain" in names
+        assert "head.bias" in names
+
+    def test_num_parameters(self):
+        linear = Linear(4, 3, rng=np.random.default_rng(0))
+        assert linear.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(4, 3, rng=np.random.default_rng(0))
+        b = Linear(4, 3, rng=np.random.default_rng(1))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        a = Linear(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})
+        bad = a.state_dict()
+        bad["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(bad)
+
+    def test_zero_grad(self):
+        linear = Linear(3, 3, rng=np.random.default_rng(0))
+        out = linear(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert linear.weight.grad is not None
+        linear.zero_grad()
+        assert linear.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_matches_numpy(self, rng):
+        linear = Linear(5, 3, rng=np.random.default_rng(0))
+        x = rng.standard_normal((2, 5))
+        out = linear(Tensor(x))
+        assert np.allclose(out.data, x @ linear.weight.data + linear.bias.data)
+
+    def test_linear_without_bias(self, rng):
+        linear = Linear(5, 3, bias=False, rng=np.random.default_rng(0))
+        assert linear.bias is None
+        assert linear(Tensor(rng.standard_normal((2, 5)))).shape == (2, 3)
+
+    def test_embedding_lookup(self):
+        emb = Embedding(7, 3, rng=np.random.default_rng(0))
+        out = emb(np.array([0, 6, 2]))
+        assert out.shape == (3, 3)
+
+    def test_layernorm_output_statistics(self, rng):
+        norm = LayerNorm(16)
+        x = rng.standard_normal((4, 16)) * 5 + 2
+        out = norm(Tensor(x)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_rmsnorm_scale_invariance_direction(self, rng):
+        norm = RMSNorm(8)
+        x = rng.standard_normal((3, 8))
+        out1 = norm(Tensor(x)).data
+        out2 = norm(Tensor(x * 10)).data
+        assert np.allclose(out1, out2, atol=1e-3)
+
+    def test_norm_gain_scales_output(self, rng):
+        norm = RMSNorm(8)
+        x = rng.standard_normal((2, 8))
+        base = norm(Tensor(x)).data.copy()
+        norm.gain.data = norm.gain.data * 2.0
+        assert np.allclose(norm(Tensor(x)).data, base * 2.0)

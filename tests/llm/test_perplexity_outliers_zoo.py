@@ -1,0 +1,130 @@
+"""Tests for perplexity evaluation, outlier injection and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.llm.inference import InferenceModel, QuantizationScheme
+from repro.llm.outliers import LLAMA_PROFILE, OPT_PROFILE, OutlierProfile, inject_outliers
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity, perplexity_table
+from repro.llm.zoo import (
+    ALL_SPECS,
+    LLAMA_FAMILY,
+    OPT_FAMILY,
+    get_spec,
+    load_inference_model,
+    load_state_dict,
+)
+from repro.llm.training import TrainingConfig
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=2)
+
+
+class TestPerplexity:
+    def test_trained_model_beats_uniform(self, tiny_inference_model, small_corpus):
+        ppl = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        assert 1.0 < ppl < small_corpus.vocab_size
+
+    def test_perplexity_deterministic(self, tiny_inference_model, small_corpus):
+        a = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        b = evaluate_perplexity(tiny_inference_model, small_corpus, _EVAL)
+        assert a == pytest.approx(b)
+
+    def test_quantisation_ordering(self, tiny_inference_model, small_corpus):
+        """FP16 <= BBFP(6,3) <= BBFP(4,2) and BBFP(m,o) <= BFP(m) on the same model."""
+        schemes = [
+            QuantizationScheme.fp16(),
+            QuantizationScheme.from_format(BBFPConfig(6, 3)),
+            QuantizationScheme.from_format(BBFPConfig(4, 2)),
+            QuantizationScheme.from_format(BFPConfig(4)),
+        ]
+        results = perplexity_table(tiny_inference_model, small_corpus, schemes, _EVAL)
+        assert results["BBFP(6,3)"] <= results["BBFP(4,2)"] * 1.05
+        assert results["BBFP(4,2)"] <= results["BFP4"] * 1.05
+        assert results["FP16"] <= results["BBFP(6,3)"] * 1.02
+
+    def test_perplexity_table_restores_scheme(self, tiny_inference_model, small_corpus):
+        original = tiny_inference_model.scheme
+        perplexity_table(tiny_inference_model, small_corpus, [QuantizationScheme.fp16()], _EVAL)
+        assert tiny_inference_model.scheme is original
+
+    def test_perplexity_table_type_check(self, tiny_inference_model, small_corpus):
+        with pytest.raises(TypeError):
+            perplexity_table(tiny_inference_model, small_corpus, ["FP16"], _EVAL)
+
+
+class TestOutliers:
+    def test_profiles_ordering(self):
+        assert LLAMA_PROFILE.channel_fraction > OPT_PROFILE.channel_fraction
+        assert LLAMA_PROFILE.scale_max > OPT_PROFILE.scale_max
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            OutlierProfile(channel_fraction=0.9, scale_min=2, scale_max=3)
+        with pytest.raises(ValueError):
+            OutlierProfile(channel_fraction=0.1, scale_min=5, scale_max=2)
+
+    def test_injection_scales_norm_gains(self, tiny_model_config, tiny_training_result):
+        state = inject_outliers(tiny_model_config, tiny_training_result.state_dict, LLAMA_PROFILE)
+        original = tiny_training_result.state_dict["blocks.0.attn_norm.gain"]
+        injected = state["blocks.0.attn_norm.gain"]
+        assert np.max(injected / np.maximum(original, 1e-9)) > LLAMA_PROFILE.scale_min * 0.9
+
+    def test_injection_makes_activation_quantisation_harder(self, tiny_model_config,
+                                                            tiny_training_result, small_corpus):
+        plain = InferenceModel(tiny_model_config, tiny_training_result.state_dict)
+        injected = InferenceModel(
+            tiny_model_config,
+            inject_outliers(tiny_model_config, tiny_training_result.state_dict, LLAMA_PROFILE),
+        )
+        scheme = QuantizationScheme.from_format(BFPConfig(4))
+        plain.set_scheme(scheme)
+        injected.set_scheme(scheme)
+        assert evaluate_perplexity(injected, small_corpus, _EVAL) >= evaluate_perplexity(
+            plain, small_corpus, _EVAL
+        ) * 0.99
+
+    def test_injection_does_not_mutate_input(self, tiny_model_config, tiny_training_result):
+        before = {k: v.copy() for k, v in tiny_training_result.state_dict.items()}
+        inject_outliers(tiny_model_config, tiny_training_result.state_dict, LLAMA_PROFILE)
+        for key, value in before.items():
+            assert np.array_equal(value, tiny_training_result.state_dict[key])
+
+
+class TestZoo:
+    def test_family_sizes(self):
+        assert len(LLAMA_FAMILY) == 6
+        assert len(OPT_FAMILY) == 6
+        assert len(ALL_SPECS) == 14  # 12 Table II models + Llama2/Llama3 for Table IV
+
+    def test_capacity_grows_with_tier(self):
+        for family in (LLAMA_FAMILY, OPT_FAMILY):
+            dims = [spec.d_model * spec.n_layers for spec in family]
+            assert dims == sorted(dims)
+
+    def test_get_spec(self):
+        assert get_spec("llama-7b").paper_name == "Llama-7B"
+        with pytest.raises(KeyError):
+            get_spec("GPT-4")
+
+    def test_load_state_dict_caches(self, small_corpus, tmp_path):
+        spec = LLAMA_FAMILY[0]
+        fast_training = TrainingConfig(steps=5, batch_size=2, seq_len=24, eval_every=0)
+        config, state = load_state_dict(spec, corpus=small_corpus, cache_dir=tmp_path,
+                                        training=fast_training)
+        assert config.vocab_size == small_corpus.vocab_size
+        cache_files = list(tmp_path.glob("*.npz"))
+        assert len(cache_files) == 1
+        # Second load must reuse the cache and produce identical outlier-injected weights.
+        _, state2 = load_state_dict(spec, corpus=small_corpus, cache_dir=tmp_path,
+                                    training=fast_training)
+        assert all(np.array_equal(state[k], state2[k]) for k in state)
+
+    def test_load_inference_model(self, small_corpus, tmp_path):
+        spec = OPT_FAMILY[0]
+        fast_training = TrainingConfig(steps=5, batch_size=2, seq_len=24, eval_every=0)
+        model = load_inference_model(spec, corpus=small_corpus, cache_dir=tmp_path,
+                                     training=fast_training)
+        assert isinstance(model, InferenceModel)
+        assert model.config.arch == "opt"

@@ -1,0 +1,76 @@
+"""Tests for the Adam optimiser and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.llm.autograd import Parameter
+from repro.llm.training import Adam, TrainingConfig, evaluate_loss, train_model
+from repro.llm.transformer import TransformerLM
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        target = np.array([3.0, -2.0])
+        p = Parameter(np.zeros(2))
+        optimiser = Adam([p], lr=0.1)
+        for _ in range(300):
+            optimiser.zero_grad()
+            loss = ((p - target) * (p - target)).sum()
+            loss.backward()
+            optimiser.step()
+        assert np.allclose(p.data, target, atol=1e-2)
+
+    def test_gradient_clipping(self):
+        p = Parameter(np.zeros(4))
+        optimiser = Adam([p], lr=0.1, grad_clip=1.0)
+        p.grad = np.full(4, 100.0)
+        optimiser._clip_gradients()
+        assert np.linalg.norm(p.grad) <= 1.0 + 1e-9
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.full(3, 5.0))
+        optimiser = Adam([p], lr=0.05, weight_decay=0.5)
+        for _ in range(50):
+            optimiser.zero_grad()
+            p.grad = np.zeros(3)
+            optimiser.step()
+        assert np.all(np.abs(p.data) < 5.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2))
+        optimiser = Adam([p], lr=0.1)
+        optimiser.step()  # no gradient -> no change, no crash
+        assert np.allclose(p.data, 1.0)
+
+
+class TestTrainModel:
+    def test_training_reduces_loss(self, tiny_model_config, small_corpus, tiny_training_result):
+        result = tiny_training_result
+        first = np.mean(result.train_losses[:10])
+        last = np.mean(result.train_losses[-10:])
+        assert last < first
+        assert last < np.log(small_corpus.vocab_size)  # better than uniform
+
+    def test_result_contains_state_dict(self, tiny_training_result, tiny_model_config):
+        model = TransformerLM(tiny_model_config)
+        model.load_state_dict(tiny_training_result.state_dict)  # should not raise
+
+    def test_valid_loss_recorded(self, tiny_training_result):
+        assert len(tiny_training_result.valid_losses) >= 1
+        assert np.isfinite(tiny_training_result.final_valid_loss)
+
+    def test_vocab_mismatch_rejected(self, small_corpus, tiny_model_config):
+        from repro.llm.config import ModelConfig
+
+        bad = ModelConfig(name="bad", vocab_size=small_corpus.vocab_size + 1, d_model=32,
+                          n_heads=4, n_layers=1, d_ff=32, max_seq_len=32)
+        with pytest.raises(ValueError):
+            train_model(bad, small_corpus, TrainingConfig(steps=1))
+
+    def test_evaluate_loss_deterministic(self, tiny_model_config, tiny_training_result,
+                                         small_corpus):
+        model = TransformerLM(tiny_model_config)
+        model.load_state_dict(tiny_training_result.state_dict)
+        a = evaluate_loss(model, small_corpus, batch_size=2, seq_len=24, max_batches=2)
+        b = evaluate_loss(model, small_corpus, batch_size=2, seq_len=24, max_batches=2)
+        assert a == pytest.approx(b)

@@ -1,0 +1,110 @@
+"""Tests for the attention block, MLPs and the full transformer (training path)."""
+
+import numpy as np
+import pytest
+
+from repro.llm.attention import CausalSelfAttention, causal_mask
+from repro.llm.autograd import Tensor
+from repro.llm.config import ModelConfig
+from repro.llm.mlp import FeedForwardMLP, SwiGLUMLP, build_mlp
+from repro.llm.transformer import TransformerLM
+
+
+@pytest.fixture
+def llama_config(small_corpus):
+    return ModelConfig(name="t", vocab_size=small_corpus.vocab_size, d_model=32, n_heads=4,
+                       n_layers=2, d_ff=48, max_seq_len=32, arch="llama", seed=0)
+
+
+@pytest.fixture
+def opt_config(small_corpus):
+    return ModelConfig(name="t", vocab_size=small_corpus.vocab_size, d_model=32, n_heads=4,
+                       n_layers=2, d_ff=48, max_seq_len=32, arch="opt", seed=0)
+
+
+class TestAttention:
+    def test_causal_mask_shape_and_values(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert mask[0, 1] < -1e8
+        assert mask[3, 0] == 0.0
+
+    def test_attention_output_shape(self, llama_config, rng):
+        attn = CausalSelfAttention(llama_config, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 8, 32)))
+        assert attn(x).shape == (2, 8, 32)
+
+    def test_causality(self, llama_config, rng):
+        """Changing a future token must not change earlier outputs."""
+        attn = CausalSelfAttention(llama_config, rng=np.random.default_rng(0))
+        x = rng.standard_normal((1, 8, 32))
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 7] += 5.0
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(out[0, :7], base[0, :7])
+        assert not np.allclose(out[0, 7], base[0, 7])
+
+
+class TestMLP:
+    def test_build_mlp_dispatch(self, llama_config, opt_config):
+        assert isinstance(build_mlp(llama_config), SwiGLUMLP)
+        assert isinstance(build_mlp(opt_config), FeedForwardMLP)
+
+    def test_swiglu_shape(self, llama_config, rng):
+        mlp = SwiGLUMLP(llama_config, rng=np.random.default_rng(0))
+        assert mlp(Tensor(rng.standard_normal((2, 4, 32)))).shape == (2, 4, 32)
+
+    def test_feedforward_shape(self, opt_config, rng):
+        mlp = FeedForwardMLP(opt_config, rng=np.random.default_rng(0))
+        assert mlp(Tensor(rng.standard_normal((2, 4, 32)))).shape == (2, 4, 32)
+
+
+class TestTransformerLM:
+    def test_logit_shape(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=(2, 16))
+        assert model.forward(tokens).shape == (2, 16, llama_config.vocab_size)
+
+    def test_1d_tokens_promoted(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=16)
+        assert model.forward(tokens).shape == (1, 16, llama_config.vocab_size)
+
+    def test_sequence_length_guard(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=(1, 64))
+        with pytest.raises(ValueError):
+            model.forward(tokens)
+
+    def test_loss_is_finite_scalar(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=(2, 17))
+        loss = model.loss(tokens)
+        assert loss.size == 1
+        assert np.isfinite(loss.data)
+
+    def test_loss_near_uniform_at_init(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=(4, 17))
+        loss = float(model.loss(tokens).data)
+        assert abs(loss - np.log(llama_config.vocab_size)) < 1.0
+
+    def test_backward_populates_all_gradients(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=(2, 9))
+        model.loss(tokens).backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_opt_architecture_runs(self, opt_config, rng):
+        model = TransformerLM(opt_config)
+        tokens = rng.integers(0, opt_config.vocab_size, size=(1, 9))
+        assert np.isfinite(float(model.loss(tokens).data))
+
+    def test_state_dict_roundtrip_preserves_outputs(self, llama_config, rng):
+        model = TransformerLM(llama_config)
+        clone = TransformerLM(llama_config)
+        tokens = rng.integers(0, llama_config.vocab_size, size=(1, 8))
+        clone.load_state_dict(model.state_dict())
+        assert np.allclose(model.forward(tokens).data, clone.forward(tokens).data)

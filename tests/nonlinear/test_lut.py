@@ -1,0 +1,117 @@
+"""Tests for the exponent-segmented LUT and its use as softmax/SiLU replacement."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
+from repro.llm.activations import gelu, sigmoid, silu, softmax
+from repro.nonlinear.lut import LUTNonlinear, SegmentedLUT, lut_function, lut_softmax
+
+
+class TestSegmentedLUT:
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            SegmentedLUT("tan", BBFPConfig(10, 5))
+
+    def test_table_sizes(self):
+        lut = SegmentedLUT("exp", BBFPConfig(10, 5), address_bits=7)
+        assert lut.entries_per_table == 128
+        lut.build_segment(0, 1)
+        lut.build_segment(1, -1)
+        assert lut.num_subtables == 2
+        assert lut.table_bits() == 2 * 128 * 16
+
+    def test_segments_are_cached(self):
+        lut = SegmentedLUT("silu", BBFPConfig(10, 5))
+        a = lut.build_segment(2, 1)
+        b = lut.build_segment(2, 1)
+        assert a is b
+
+    def test_lookup_matches_vectorised_path(self, rng):
+        """The explicit table walk and the fast vectorised path must agree exactly."""
+        config = BBFPConfig(10, 5)
+        x = rng.normal(0, 3, size=64)
+        table_path = SegmentedLUT("silu", config, address_bits=7).lookup(x)
+        fast_path = LUTNonlinear(config, address_bits=7, requantize_output=False).apply("silu", x)
+        assert np.allclose(table_path, fast_path)
+
+    def test_lookup_with_bfp_input(self, rng):
+        config = BFPConfig(10)
+        x = rng.normal(0, 3, size=64)
+        out = SegmentedLUT("exp", config).lookup(x)
+        assert out.shape == x.shape
+
+
+class TestLUTNonlinear:
+    def test_rejects_non_block_format(self):
+        with pytest.raises(TypeError):
+            LUTNonlinear("fp16")
+
+    def test_unknown_function(self, rng):
+        lut = LUTNonlinear(BBFPConfig(10, 5))
+        with pytest.raises(ValueError):
+            lut.apply("arctan", rng.standard_normal(8))
+
+    @pytest.mark.parametrize("kind,reference", [("silu", silu), ("gelu", gelu),
+                                                ("sigmoid", sigmoid)])
+    def test_bbfp105_close_to_reference(self, rng, kind, reference):
+        lut = LUTNonlinear(BBFPConfig(10, 5), address_bits=7)
+        x = rng.normal(0, 4, size=256)
+        assert np.max(np.abs(lut.apply(kind, x) - reference(x))) < 0.2
+
+    def test_bfp10_worse_than_bbfp105_on_outlier_inputs(self, rng):
+        """The Table IV mechanism: max-aligned BFP starves moderate inputs of resolution."""
+        x = rng.normal(0, 3, size=512)
+        x[::64] *= 40.0  # outliers push the shared exponent up
+        bbfp_err = np.mean((LUTNonlinear(BBFPConfig(10, 5)).apply("silu", x) - silu(x)) ** 2)
+        bfp_err = np.mean((LUTNonlinear(BFPConfig(10)).apply("silu", x) - silu(x)) ** 2)
+        assert bfp_err > 3 * bbfp_err
+
+    def test_softmax_normalised(self, rng):
+        lut = LUTNonlinear(BBFPConfig(10, 5))
+        scores = rng.normal(0, 5, size=(4, 48))
+        probs = lut.softmax(scores, axis=-1)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-2)
+        assert np.all(probs >= 0)
+
+    def test_softmax_close_to_reference(self, rng):
+        lut = LUTNonlinear(BBFPConfig(10, 5))
+        scores = rng.normal(0, 5, size=(8, 64))
+        assert np.max(np.abs(lut.softmax(scores) - softmax(scores))) < 0.05
+
+    def test_softmax_respects_causal_mask(self, rng):
+        """Masked positions (very large negative scores) must get ~zero probability."""
+        lut = LUTNonlinear(BBFPConfig(10, 5))
+        scores = rng.normal(0, 3, size=(2, 16))
+        scores[:, 8:] = -1e9
+        probs = lut.softmax(scores, axis=-1)
+        assert np.all(probs[:, 8:] < 1e-4)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-2)
+
+    def test_requantize_output_flag(self, rng):
+        x = rng.normal(0, 2, size=128)
+        with_requant = LUTNonlinear(BBFPConfig(10, 5), requantize_output=True).apply("silu", x)
+        without = LUTNonlinear(BBFPConfig(10, 5), requantize_output=False).apply("silu", x)
+        # Both close to the reference, but not necessarily identical to each other.
+        assert np.max(np.abs(with_requant - silu(x))) < 0.2
+        assert np.max(np.abs(without - silu(x))) < 0.2
+
+    def test_address_width_controls_fidelity(self, rng):
+        x = rng.normal(0, 4, size=512)
+        coarse = LUTNonlinear(BBFPConfig(10, 5), address_bits=4).apply("silu", x)
+        fine = LUTNonlinear(BBFPConfig(10, 5), address_bits=8).apply("silu", x)
+        assert np.mean((fine - silu(x)) ** 2) < np.mean((coarse - silu(x)) ** 2)
+
+
+class TestSchemeAdapters:
+    def test_lut_softmax_factory(self, rng):
+        fn = lut_softmax(BBFPConfig(10, 5))
+        scores = rng.normal(0, 2, size=(3, 32))
+        assert np.allclose(fn(scores, axis=-1).sum(axis=-1), 1.0, atol=1e-2)
+
+    def test_lut_function_factory_relu_passthrough(self, rng):
+        fn = lut_function(BBFPConfig(10, 5))
+        x = rng.standard_normal(64)
+        assert np.array_equal(fn("relu", x), np.maximum(x, 0))
+        assert np.max(np.abs(fn("silu", x) - silu(x))) < 0.2

@@ -1,0 +1,112 @@
+"""Tests for the nonlinear unit hardware model and the Table V comparators."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.llm.activations import silu, softmax
+from repro.nonlinear.reference_designs import (
+    HIGH_PRECISION_INT27,
+    PSEUDO_SOFTMAX_INT8,
+    bbal_nonlinear_reference,
+    comparison_table,
+)
+from repro.nonlinear.unit import NonlinearUnit, NonlinearUnitConfig
+
+
+class TestNonlinearUnitConfig:
+    def test_defaults_match_paper(self):
+        config = NonlinearUnitConfig()
+        assert config.input_format == BBFPConfig(10, 5)
+        assert config.address_bits == 7
+        assert config.lanes == 16
+        assert config.subtables["softmax"] == 18
+        assert config.subtables["silu"] == 24
+        assert config.name == "BBFP(10,5,5)"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NonlinearUnitConfig(lanes=0)
+        with pytest.raises(ValueError):
+            NonlinearUnitConfig(address_bits=0)
+
+    def test_lut_sizes(self):
+        config = NonlinearUnitConfig()
+        assert config.lut_entries == 128
+        assert config.onchip_lut_bits() == 2 * 128 * 16
+
+
+class TestNonlinearUnit:
+    def test_numerics_softmax(self, rng):
+        unit = NonlinearUnit()
+        scores = rng.normal(0, 4, size=(4, 64))
+        assert np.max(np.abs(unit.softmax(scores) - softmax(scores))) < 0.05
+
+    def test_numerics_activation(self, rng):
+        unit = NonlinearUnit()
+        x = rng.normal(0, 4, size=256)
+        assert np.max(np.abs(unit.activation("silu", x) - silu(x))) < 0.2
+        assert np.array_equal(unit.activation("relu", x), np.maximum(x, 0))
+
+    def test_scheme_adapters(self, rng):
+        unit = NonlinearUnit()
+        softmax_fn = unit.softmax_fn()
+        nonlinear_fn = unit.nonlinear_fn()
+        scores = rng.normal(size=(2, 32))
+        assert np.allclose(softmax_fn(scores, axis=-1).sum(axis=-1), 1.0, atol=1e-2)
+        assert nonlinear_fn("silu", np.zeros(8)).shape == (8,)
+
+    def test_cost_fields(self):
+        cost = NonlinearUnit().cost()
+        assert cost.area_um2() > 0
+        assert cost.power_w() > 0
+        assert cost.lanes == 16
+        assert "silu" in ", ".join(cost.compatibility)
+
+    def test_latency_scales_with_vector_length(self):
+        cost = NonlinearUnit().cost()
+        assert cost.latency_cycles(2048) > cost.latency_cycles(128)
+        with pytest.raises(ValueError):
+            cost.latency_cycles(0)
+
+    def test_external_table_bits(self):
+        unit = NonlinearUnit()
+        assert unit.external_table_bits("softmax") == 18 * 128 * 16
+        assert unit.external_table_bits("silu") == 24 * 128 * 16
+        with pytest.raises(ValueError):
+            unit.external_table_bits("tan")
+
+    def test_more_lanes_increase_area_and_throughput(self):
+        small = NonlinearUnit(NonlinearUnitConfig(lanes=8)).cost()
+        big = NonlinearUnit(NonlinearUnitConfig(lanes=32)).cost()
+        assert big.area_um2() > small.area_um2()
+        assert big.throughput_elements_per_s() > small.throughput_elements_per_s()
+
+
+class TestTableVComparison:
+    def test_reference_designs_have_distinct_costs(self):
+        assert HIGH_PRECISION_INT27.area_um2() > 10 * PSEUDO_SOFTMAX_INT8.area_um2()
+
+    def test_ours_far_more_efficient_than_high_precision(self):
+        """The paper's headline: ~30x efficiency over the high-precision design [33]."""
+        ours = bbal_nonlinear_reference()
+        ratio = ours.efficiency() / HIGH_PRECISION_INT27.efficiency()
+        assert ratio > 10
+
+    def test_pseudo_softmax_wins_adp(self):
+        """The paper concedes ADP/EDP to the tiny approximate design [32]."""
+        ours = bbal_nonlinear_reference()
+        assert PSEUDO_SOFTMAX_INT8.adp() < ours.adp()
+
+    def test_only_ours_supports_silu(self):
+        rows = comparison_table()
+        ours = next(r for r in rows if "ours" in r["design"])
+        others = [r for r in rows if "ours" not in r["design"]]
+        assert "silu" in ours["compatibility"]
+        assert all("silu" not in r["compatibility"] for r in others)
+
+    def test_rows_complete(self):
+        rows = comparison_table(vector_length=512)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["adp"] > 0 and row["edp"] > 0 and row["efficiency"] > 0

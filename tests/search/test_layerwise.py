@@ -1,0 +1,96 @@
+"""Tests for the layer-kind-wise quantisation scheme (repro.search.layerwise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+from repro.search.layerwise import build_layerwise_scheme, layer_kind_of
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=2)
+
+
+class TestLayerKindOf:
+    @pytest.mark.parametrize(
+        "name, kind",
+        [
+            ("blocks.0.attention.q_proj", "q_proj"),
+            ("blocks.11.mlp.down_proj", "down_proj"),
+            ("lm_head", "lm_head"),
+        ],
+    )
+    def test_extraction(self, name, kind):
+        assert layer_kind_of(name) == kind
+
+
+class TestBuildLayerwiseScheme:
+    def test_assigned_kind_uses_its_format(self, rng):
+        scheme = build_layerwise_scheme({"q_proj": BBFPConfig(4, 2)}, default=BFPConfig(6))
+        w = rng.standard_normal((64, 32))
+        assigned = scheme.weight_fn("blocks.0.attention.q_proj", w)
+        np.testing.assert_allclose(assigned, bbfp_quantize_dequantize(w, BBFPConfig(4, 2), axis=0))
+
+    def test_unassigned_kind_uses_default(self, rng):
+        scheme = build_layerwise_scheme({"q_proj": BBFPConfig(4, 2)}, default=BFPConfig(6))
+        w = rng.standard_normal((64, 32))
+        fallback = scheme.weight_fn("blocks.0.mlp.up_proj", w)
+        np.testing.assert_allclose(fallback, bfp_quantize_dequantize(w, BFPConfig(6), axis=0))
+
+    def test_none_default_keeps_fp(self, rng):
+        scheme = build_layerwise_scheme({"q_proj": BBFPConfig(4, 2)})
+        w = rng.standard_normal((64, 32))
+        np.testing.assert_array_equal(scheme.weight_fn("blocks.0.mlp.up_proj", w), w)
+
+    def test_activation_dispatch_matches_weight_dispatch(self, rng):
+        scheme = build_layerwise_scheme({"fc1": BBFPConfig(3, 1)})
+        x = rng.standard_normal((4, 64))
+        np.testing.assert_allclose(
+            scheme.activation_fn("blocks.0.mlp.fc1", x),
+            bbfp_quantize_dequantize(x, BBFPConfig(3, 1), axis=-1),
+        )
+        np.testing.assert_array_equal(scheme.activation_fn("blocks.0.mlp.fc2", x), x)
+
+    def test_accepts_prebuilt_schemes(self, rng):
+        inner = QuantizationScheme.from_format(BFPConfig(4))
+        scheme = build_layerwise_scheme({"v_proj": inner})
+        w = rng.standard_normal((32, 32))
+        np.testing.assert_allclose(
+            scheme.weight_fn("blocks.0.attention.v_proj", w),
+            bfp_quantize_dequantize(w, BFPConfig(4), axis=0),
+        )
+
+    def test_default_name_lists_assignments(self):
+        scheme = build_layerwise_scheme({"q_proj": BBFPConfig(4, 2), "fc1": BFPConfig(6)})
+        assert "q_proj=BBFP(4,2)" in scheme.name
+        assert "fc1=BFP6" in scheme.name
+
+    def test_explicit_name_wins(self):
+        scheme = build_layerwise_scheme({"q_proj": BBFPConfig(4, 2)}, name="my-mix")
+        assert scheme.name == "my-mix"
+
+    def test_end_to_end_partial_quantisation_between_fp_and_full(self, tiny_inference_model,
+                                                                  small_corpus):
+        """Quantising only the attention projections should hurt no more than
+        quantising every linear layer with the same narrow format."""
+        model = tiny_inference_model
+        narrow = BBFPConfig(3, 1)
+
+        model.set_scheme(QuantizationScheme.fp_reference())
+        reference = evaluate_perplexity(model, small_corpus, _EVAL)
+
+        model.set_scheme(QuantizationScheme.from_format(narrow))
+        full = evaluate_perplexity(model, small_corpus, _EVAL)
+
+        partial_scheme = build_layerwise_scheme(
+            {"q_proj": narrow, "k_proj": narrow, "v_proj": narrow}, default=None
+        )
+        model.set_scheme(partial_scheme)
+        partial = evaluate_perplexity(model, small_corpus, _EVAL)
+        model.set_scheme(QuantizationScheme.fp_reference())
+
+        assert reference <= partial * 1.02
+        assert partial <= full * 1.02

@@ -1,0 +1,108 @@
+"""Tests for the mixed-precision search (repro.search.mixed_precision)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.llm.inference import QuantizationScheme
+from repro.llm.perplexity import EvalConfig
+from repro.search.mixed_precision import (
+    greedy_mixed_precision_search,
+    layer_kind_parameter_counts,
+    sensitivity_profile,
+)
+
+_EVAL = EvalConfig(batch_size=2, seq_len=24, max_batches=1)
+_CANDIDATES = [BBFPConfig(6, 3), BBFPConfig(4, 2), BBFPConfig(3, 1)]
+
+
+class TestParameterCounts:
+    def test_counts_cover_all_linear_kinds(self, tiny_inference_model):
+        counts = layer_kind_parameter_counts(tiny_inference_model)
+        config = tiny_inference_model.config
+        assert counts["q_proj"] == config.n_layers * config.d_model * config.d_model
+        assert counts["gate_proj"] == config.n_layers * config.d_model * config.d_ff
+        assert "lm_head" in counts
+        assert "token_embedding" not in counts
+
+    def test_counts_are_positive(self, tiny_inference_model):
+        assert all(v > 0 for v in layer_kind_parameter_counts(tiny_inference_model).values())
+
+
+class TestSensitivityProfile:
+    def test_profile_shape_and_reference(self, tiny_inference_model, small_corpus):
+        profile = sensitivity_profile(
+            tiny_inference_model, small_corpus, _CANDIDATES[:2],
+            kinds=["q_proj", "down_proj"], eval_config=_EVAL,
+        )
+        assert set(profile) == {"__reference__", "q_proj", "down_proj"}
+        assert np.isfinite(profile["__reference__"])
+        for kind in ("q_proj", "down_proj"):
+            assert set(profile[kind]) == {"BBFP(6,3)", "BBFP(4,2)"}
+            for ppl in profile[kind].values():
+                assert np.isfinite(ppl)
+
+    def test_single_kind_quantisation_close_to_reference(self, tiny_inference_model, small_corpus):
+        profile = sensitivity_profile(
+            tiny_inference_model, small_corpus, [BBFPConfig(6, 3)],
+            kinds=["q_proj"], eval_config=_EVAL,
+        )
+        reference = profile["__reference__"]
+        assert profile["q_proj"]["BBFP(6,3)"] <= reference * 1.1
+
+    def test_model_scheme_is_restored(self, tiny_inference_model, small_corpus):
+        original = QuantizationScheme.fp16()
+        tiny_inference_model.set_scheme(original)
+        sensitivity_profile(tiny_inference_model, small_corpus, [BBFPConfig(4, 2)],
+                            kinds=["q_proj"], eval_config=_EVAL)
+        assert tiny_inference_model.scheme is original
+        tiny_inference_model.set_scheme(QuantizationScheme.fp_reference())
+
+
+class TestGreedySearch:
+    def test_result_respects_budget_and_saves_footprint(self, tiny_inference_model, small_corpus):
+        result = greedy_mixed_precision_search(
+            tiny_inference_model, small_corpus, _CANDIDATES,
+            ppl_budget_ratio=1.10, eval_config=_EVAL,
+        )
+        assert result.perplexity <= result.reference_perplexity * 1.10 + 1e-9
+        assert result.footprint_bits <= result.uniform_footprint_bits
+        assert set(result.assignment) == set(layer_kind_parameter_counts(tiny_inference_model))
+        for fmt in result.assignment.values():
+            assert fmt in _CANDIDATES
+
+    def test_tight_budget_keeps_widest_format(self, tiny_inference_model, small_corpus):
+        result = greedy_mixed_precision_search(
+            tiny_inference_model, small_corpus, _CANDIDATES,
+            ppl_budget_ratio=1.0, eval_config=_EVAL,
+        )
+        assert all(fmt == _CANDIDATES[0] for fmt in result.assignment.values())
+        assert result.footprint_saving == pytest.approx(0.0)
+
+    def test_loose_budget_downgrades_at_least_one_kind(self, tiny_inference_model, small_corpus):
+        result = greedy_mixed_precision_search(
+            tiny_inference_model, small_corpus, _CANDIDATES,
+            ppl_budget_ratio=2.0, eval_config=_EVAL,
+        )
+        assert any(fmt != _CANDIDATES[0] for fmt in result.assignment.values())
+        assert result.footprint_saving > 0.0
+
+    def test_invalid_arguments_rejected(self, tiny_inference_model, small_corpus):
+        with pytest.raises(ValueError, match="candidate"):
+            greedy_mixed_precision_search(tiny_inference_model, small_corpus, [],
+                                          eval_config=_EVAL)
+        with pytest.raises(ValueError, match="ppl_budget_ratio"):
+            greedy_mixed_precision_search(tiny_inference_model, small_corpus, _CANDIDATES,
+                                          ppl_budget_ratio=0.9, eval_config=_EVAL)
+
+    def test_rows_report_bits_per_kind(self, tiny_inference_model, small_corpus):
+        result = greedy_mixed_precision_search(
+            tiny_inference_model, small_corpus, _CANDIDATES[:2],
+            ppl_budget_ratio=1.2, kinds=["q_proj", "down_proj"], eval_config=_EVAL,
+        )
+        rows = result.as_rows()
+        assert {row["kind"] for row in rows} == {"q_proj", "down_proj"}
+        for row in rows:
+            assert row["bits_per_element"] > 0

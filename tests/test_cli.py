@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import main, parse_format
+from repro.core.bbfp import BBFPConfig
+from repro.core.bie import BiEConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.floatspec import FloatSpec
+from repro.core.integer import IntQuantConfig
+from repro.core.microscaling import MXConfig
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text, expected_type",
+        [
+            ("BBFP(4,2)", BBFPConfig),
+            ("bbfp(6,3)", BBFPConfig),
+            ("BFP6", BFPConfig),
+            ("INT8", IntQuantConfig),
+            ("BiE4", BiEConfig),
+            ("MXFP8", MXConfig),
+            ("FP16", FloatSpec),
+        ],
+    )
+    def test_recognised_spellings(self, text, expected_type):
+        assert isinstance(parse_format(text), expected_type)
+
+    def test_bbfp_fields(self):
+        config = parse_format("BBFP(4,2)")
+        assert (config.mantissa_bits, config.overlap_bits) == (4, 2)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="unknown format"):
+            parse_format("FANCY13")
+
+
+class TestListCommand:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert "table2" in printed
+        assert "fig8" in printed
+        assert "ext_roofline" in printed
+
+
+class TestFormatsCommand:
+    def test_default_table_mentions_bbfp_and_fp16(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        assert "BBFP(4,2)" in out
+        assert "FP16" in out
+        assert "memory_efficiency" in out
+
+    def test_explicit_format_selection(self, capsys):
+        assert main(["formats", "--formats", "BBFP(6,3)", "BFP8"]) == 0
+        out = capsys.readouterr().out
+        assert "BBFP(6,3)" in out
+        assert "BFP8" in out
+        assert "FP16" not in out
+
+
+class TestQuantizeCommand:
+    def test_reports_error_metrics(self, capsys):
+        assert main(["quantize", "--format", "BBFP(4,2)", "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "sqnr_db" in out
+        assert "BBFP(4,2)" in out
+
+    def test_supports_extension_formats(self, capsys):
+        assert main(["quantize", "--format", "MXFP8", "--size", "256"]) == 0
+        assert "MXFP8" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_simulates_bbfp_prefill(self, capsys):
+        assert main(["simulate", "--strategy", "BBFP(4,2)", "--seq-len", "128",
+                     "--pe-rows", "16", "--pe-cols", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput_gmacs" in out
+        assert "BBFP(4,2)" in out
+
+    def test_simulates_named_baseline(self, capsys):
+        assert main(["simulate", "--strategy", "Oltron", "--seq-len", "128",
+                     "--pe-rows", "8", "--pe-cols", "8", "--phase", "decode"]) == 0
+        assert "Oltron" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_runs_a_cheap_experiment_and_saves_results(self, capsys, tmp_path):
+        assert main(["run", "table1", "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table1" in out or "table1" in out.lower()
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["rows"]
