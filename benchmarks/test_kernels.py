@@ -11,10 +11,14 @@ from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize, quantize_bbfp
 from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
 from repro.core.dotproduct import bbfp_matmul
 from repro.nonlinear.lut import LUTNonlinear
+from repro.quant import get_quantizer
 
 _RNG = np.random.default_rng(0)
 _ACTIVATION = _RNG.standard_normal((256, 512))
 _WEIGHT = _RNG.standard_normal((512, 256))
+#: Small enough that per-call dispatch overhead would dominate if the
+#: registry path re-parsed specs or re-built quantizers per call.
+_SMALL_BLOCK = _RNG.standard_normal(256)
 
 
 @pytest.mark.parametrize("config", [BBFPConfig(3, 1), BBFPConfig(4, 2), BBFPConfig(6, 3)],
@@ -39,3 +43,31 @@ def test_lut_softmax_throughput(benchmark):
     lut = LUTNonlinear(BBFPConfig(10, 5), address_bits=7)
     scores = _RNG.normal(0, 4, size=(64, 256))
     benchmark(lambda: lut.softmax(scores, axis=-1))
+
+
+# --------------------------------------------------------------------------
+# Registry dispatch vs direct free-function calls.  The three pairs below
+# share the same workload; compare their numbers to read off the overhead of
+# the memoized repro.quant path (spec parse + instance lookup per call).  On
+# the hot-loop-sized block the direct and registry rows should be within
+# noise of each other — the registry resolves "BBFP(4,2)" to a cached
+# quantizer, so per-call work is one dict lookup.
+
+_DIRECT_CONFIG = BBFPConfig(4, 2)
+
+
+def test_dispatch_direct_call_small_block(benchmark):
+    benchmark(lambda: bbfp_quantize_dequantize(_SMALL_BLOCK, _DIRECT_CONFIG, axis=-1))
+
+
+def test_dispatch_registry_by_spec_small_block(benchmark):
+    benchmark(lambda: get_quantizer("BBFP(4,2)").quantize_dequantize(_SMALL_BLOCK, axis=-1))
+
+
+def test_dispatch_registry_by_config_small_block(benchmark):
+    benchmark(lambda: get_quantizer(_DIRECT_CONFIG).quantize_dequantize(_SMALL_BLOCK, axis=-1))
+
+
+def test_dispatch_registry_large_tensor(benchmark):
+    quantizer = get_quantizer("BBFP(4,2)")
+    benchmark(lambda: quantizer.quantize_dequantize(_ACTIVATION, axis=-1))

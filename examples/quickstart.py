@@ -12,7 +12,9 @@ This walks through the paper's core idea on a synthetic activation tensor:
    small/moderate values;
 3. show that the integer MAC datapath (what the BBAL PE array executes)
    produces exactly the same dot product as the dequantised math;
-4. cost the two MAC units with the gate-level hardware model (Table I).
+4. cost the two MAC units with the gate-level hardware model (Table I);
+5. do the same comparison through the unified ``repro.quant`` registry,
+   where every format is one spec string away.
 """
 
 import numpy as np
@@ -21,6 +23,7 @@ from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize, quantize_bbfp
 from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
 from repro.core.dotproduct import bbfp_dot
 from repro.hardware.mac import mac_table
+from repro.quant import get_quantizer
 
 
 def main() -> None:
@@ -62,6 +65,17 @@ def main() -> None:
             f"  {row['datatype']:10s} area={row['area_um2']:8.1f} um^2  "
             f"equivalent bits={row['equivalent_bit_width']:5.2f}  "
             f"memory efficiency={row['memory_efficiency']:.2f}x"
+        )
+
+    # The same sweep through the unified registry: any registered format —
+    # BBFP, BFP, INT, minifloat, microscaling, BiE — is one spec string away.
+    print("\n== Spec-string sweep via repro.quant ==")
+    for spec in ("bfp4", "BBFP(4,2)", "int4", "fp8_e4m3", "mxfp4", "bie4"):
+        quantizer = get_quantizer(spec)
+        error = np.mean((activation - quantizer.quantize_dequantize(activation)) ** 2)
+        print(
+            f"  {quantizer.name:12s} spec={quantizer.spec:10s} "
+            f"bits/elem={quantizer.bits_per_element():5.2f}  mse={error:.5f}"
         )
 
 

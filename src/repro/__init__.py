@@ -9,6 +9,12 @@ Large Language Models"*.  It contains:
     strategies, the analytic quantisation-error model and the overlap-width
     search (the paper's primary algorithmic contribution).
 
+``repro.quant``
+    The unified quantizer API: a format registry, one spec-string grammar and
+    a single dispatch path (``parse_spec`` / ``get_quantizer``) used by the
+    CLI, the inference schemes, the mixed-precision search and every
+    experiment driver.
+
 ``repro.llm``
     A from-scratch numpy transformer substrate (autodiff, training, synthetic
     corpus, model zoo) plus a quantisation-aware inference path used for all
@@ -32,14 +38,62 @@ Large Language Models"*.  It contains:
 
 ``repro.analysis`` / ``repro.experiments``
     Drivers that regenerate every table and figure of the paper's evaluation.
+
+Formats and spec strings
+------------------------
+
+Every number format is addressable by a short, case-insensitive *spec
+string*; ``repro.quant.parse_spec`` is the single parser and
+``repro.quant.get_quantizer`` returns a memoized polymorphic quantizer
+(``quantize`` / ``dequantize`` / ``quantize_dequantize`` /
+``bits_per_element``).  One example per family:
+
+``"BBFP(4,2)"`` (bidirectional BFP, the paper's format)
+    >>> from repro.quant import get_quantizer
+    >>> get_quantizer("BBFP(4,2)").bits_per_element()
+    6.15625
+
+``"bfp8@b32"`` (vanilla block floating point; ``@b<N>`` sets the block size)
+    >>> get_quantizer("bfp8@b32").name
+    'BFP8'
+
+``"int8"`` (symmetric integer; ``@pc`` per-channel, ``@b<N>`` per-block)
+    >>> get_quantizer("int8").spec
+    'INT8'
+
+``"fp8_e4m3"`` (minifloat: ``fp16``, ``bf16``, ``fp4``, any ``fp<t>_e<E>m<M>``)
+    >>> get_quantizer("fp8_e4m3").name
+    'FP8_E4M3'
+
+``"mxfp4"`` (OCP microscaling: ``mxfp4`` / ``mxfp6_e2m3`` / ``mxfp6_e3m2`` / ``mxfp8``)
+    >>> get_quantizer("mxfp4").bits_per_element()
+    4.25
+
+``"bie4"`` (bi-exponent BFP; ``@k<N>`` sets the outlier budget)
+    >>> get_quantizer("bie4").name
+    'BiE4(k=2)'
+
+Optional ``@`` modifiers compose after any base spec: ``@b<N>`` block size,
+``@e<N>`` shared-exponent bits, ``@k<N>`` BiE outlier count, ``@s<N>`` MX
+scale bits, ``@c<R>`` INT clip ratio, ``@pc`` / ``@pt`` INT granularity.
+Configurations round-trip through ``config.spec`` (the canonical string) and
+through ``config.to_dict()`` / ``Config.from_dict()`` for JSON manifests; see
+:mod:`repro.quant` for the registry and the grammar in full.
 """
 
 from repro.core.bbfp import BBFPConfig, BBFPTensor, quantize_bbfp, bbfp_quantize_dequantize
 from repro.core.blockfp import BFPConfig, BFPTensor, quantize_bfp, bfp_quantize_dequantize
 from repro.core.integer import IntQuantConfig, int_quantize_dequantize
 from repro.core.fp_formats import FP4_E2M1, FP8_E4M3, FP8_E5M2, minifloat_quantize_dequantize
+from repro.quant import (
+    QuantizedTensor,
+    Quantizer,
+    UnknownFormatError,
+    get_quantizer,
+    parse_spec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BBFPConfig",
@@ -56,5 +110,10 @@ __all__ = [
     "FP8_E4M3",
     "FP8_E5M2",
     "minifloat_quantize_dequantize",
+    "Quantizer",
+    "QuantizedTensor",
+    "UnknownFormatError",
+    "parse_spec",
+    "get_quantizer",
     "__version__",
 ]

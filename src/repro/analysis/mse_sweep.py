@@ -12,11 +12,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.distributions import model_activation_samples
-from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
-from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
 from repro.core.exponent_selection import ExponentStrategy
 from repro.llm.dataset import SyntheticCorpus
 from repro.llm.inference import InferenceModel
+from repro.quant import get_quantizer
 
 __all__ = ["LAYER_KINDS_FIG3", "FIG3_STRATEGIES", "layer_activation_mse"]
 
@@ -71,10 +72,11 @@ def layer_activation_mse(model: InferenceModel, corpus: SyntheticCorpus,
         row = {"layer": label}
         for strategy_label, strategy in FIG3_STRATEGIES.items():
             if strategy is None:
-                x_hat = bfp_quantize_dequantize(activation, BFPConfig(mantissa_bits), axis=-1)
+                config = BFPConfig(mantissa_bits)
             else:
                 config = BBFPConfig(mantissa_bits, overlap_bits, exponent_strategy=strategy)
-                x_hat = bbfp_quantize_dequantize(activation, config, axis=-1)
+            # Registry dispatch: the memoized quantizer is shared across layers.
+            x_hat = get_quantizer(config).quantize_dequantize(activation, axis=-1)
             row[strategy_label] = _mse(activation, x_hat) / denom
             sums[strategy_label] += row[strategy_label]
         rows.append(row)

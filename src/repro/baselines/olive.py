@@ -24,13 +24,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.serializable import SerializableConfig
 from repro.llm.inference import QuantizationScheme
 
 __all__ = ["OliveConfig", "olive_quantize_dequantize", "build_olive_scheme"]
 
 
 @dataclass(frozen=True)
-class OliveConfig:
+class OliveConfig(SerializableConfig):
     """Parameters of the outlier-victim pair quantiser."""
 
     bits: int = 4

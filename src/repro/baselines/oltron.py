@@ -21,13 +21,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.fp_formats import fp16_round
+from repro.core.serializable import SerializableConfig
 from repro.llm.inference import QuantizationScheme
 
 __all__ = ["OltronConfig", "oltron_quantize_dequantize", "build_oltron_scheme"]
 
 
 @dataclass(frozen=True)
-class OltronConfig:
+class OltronConfig(SerializableConfig):
     """Parameters of the fixed-budget outlier-aware quantiser."""
 
     inlier_bits: int = 4

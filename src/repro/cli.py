@@ -28,32 +28,16 @@ __all__ = ["main", "build_parser", "parse_format"]
 
 
 def parse_format(name: str):
-    """Resolve a format name used on the command line into a format config.
+    """Resolve a command-line format spec into a format config.
 
-    Accepted spellings: ``BBFP(m,o)``, ``BFP<m>``, ``INT<b>``, ``BiE<m>``,
-    ``MXFP4`` / ``MXFP6`` / ``MXFP8``, ``FP16`` / ``FP8`` / ``FP4``.
+    Deprecated shim: this is now a one-line call into the single parser,
+    :func:`repro.quant.parse_spec` (grammar documented there).  Unknown specs
+    raise :class:`repro.quant.UnknownFormatError` — a ``ValueError``, which
+    ``argparse`` turns into a usage error — with a did-you-mean suggestion.
     """
-    from repro.core.bbfp import parse_bbfp_name
-    from repro.core.bie import BiEConfig
-    from repro.core.blockfp import BFPConfig
-    from repro.core.floatspec import FP4_E2M1, FP8_E4M3, FP16
-    from repro.core.integer import IntQuantConfig
-    from repro.core.microscaling import MXFP4, MXFP6_E3M2, MXFP8
+    from repro.quant import parse_spec
 
-    text = name.strip().upper().replace(" ", "")
-    if text.startswith("BBFP"):
-        return parse_bbfp_name(text)
-    if text.startswith("BFP"):
-        return BFPConfig(int(text[len("BFP"):]))
-    if text.startswith("BIE"):
-        return BiEConfig(int(text[len("BIE"):]))
-    if text.startswith("INT"):
-        return IntQuantConfig(int(text[len("INT"):]))
-    named = {"MXFP4": MXFP4, "MXFP6": MXFP6_E3M2, "MXFP8": MXFP8,
-             "FP16": FP16, "FP8": FP8_E4M3, "FP4": FP4_E2M1}
-    if text in named:
-        return named[text]
-    raise argparse.ArgumentTypeError(f"unknown format {name!r}")
+    return parse_spec(name)
 
 
 _DEFAULT_FORMATS = ("FP16", "INT8", "BFP8", "BFP6", "BFP4", "BBFP(6,3)", "BBFP(4,2)",
@@ -78,20 +62,20 @@ def _cmd_run(args) -> int:
 def _cmd_formats(args) -> int:
     from repro.hardware.mac import mac_unit_for_format
     from repro.hardware.pe import pe_for_strategy
+    from repro.quant import get_quantizer
 
     rows = []
     for name in args.formats:
-        config = parse_format(name)
-        row = {"format": getattr(config, "name", name)}
-        row["equivalent_bits"] = float(config.equivalent_bit_width()) \
-            if hasattr(config, "equivalent_bit_width") else float(config.total_bits)
-        row["memory_efficiency"] = 16.0 / row["equivalent_bits"]
+        quantizer = get_quantizer(name)
+        row = {"format": quantizer.name, "spec": quantizer.spec}
+        row["equivalent_bits"] = quantizer.bits_per_element()
+        row["memory_efficiency"] = quantizer.memory_efficiency()
         try:
-            row["mac_area_um2"] = mac_unit_for_format(config).area_um2()
+            row["mac_area_um2"] = mac_unit_for_format(quantizer.config).area_um2()
         except (TypeError, ValueError):
             row["mac_area_um2"] = float("nan")
         try:
-            row["pe_area_um2"] = pe_for_strategy(config).area_um2()
+            row["pe_area_um2"] = pe_for_strategy(quantizer.config).area_um2()
         except (TypeError, ValueError):
             row["pe_area_um2"] = float("nan")
         rows.append(row)
@@ -100,37 +84,25 @@ def _cmd_formats(args) -> int:
 
 
 def _cmd_quantize(args) -> int:
-    config = parse_format(args.format)
+    from repro.quant import get_quantizer
+
+    quantizer = get_quantizer(args.format)
     rng = np.random.default_rng(args.seed)
     x = rng.standard_normal(args.size)
     if args.outlier_stride > 0:
         x[:: args.outlier_stride] *= args.outlier_scale
 
-    from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
-    from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
-    from repro.core.floatspec import FloatSpec
-    from repro.core.fp_formats import minifloat_quantize_dequantize
-    from repro.core.integer import IntQuantConfig, int_quantize_dequantize
-
-    if isinstance(config, BBFPConfig):
-        x_hat = bbfp_quantize_dequantize(x, config)
-    elif isinstance(config, BFPConfig):
-        x_hat = bfp_quantize_dequantize(x, config)
-    elif isinstance(config, IntQuantConfig):
-        x_hat = int_quantize_dequantize(x, config)
-    elif isinstance(config, FloatSpec):
-        x_hat = minifloat_quantize_dequantize(x, config)
-    else:
-        x_hat = config.quantize_dequantize(x)
-
+    encoded = quantizer.quantize(x)
+    x_hat = encoded.dequantize()
     mse = float(np.mean((x - x_hat) ** 2))
     sqnr = 10.0 * np.log10(float(np.mean(x**2)) / mse) if mse > 0 else float("inf")
     rows = [{
-        "format": getattr(config, "name", args.format),
+        "format": quantizer.name,
         "elements": args.size,
         "mse": mse,
         "sqnr_db": sqnr,
         "max_abs_error": float(np.max(np.abs(x - x_hat))),
+        "memory_bits": encoded.memory_bits(),
     }]
     print(format_table(rows))
     return 0
@@ -176,11 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_formats = sub.add_parser("formats", help="compare number formats (bits, memory, MAC/PE area)")
-    p_formats.add_argument("--formats", nargs="+", default=list(_DEFAULT_FORMATS))
+    p_formats.add_argument("--formats", nargs="+", type=parse_format,
+                           default=list(_DEFAULT_FORMATS))
     p_formats.set_defaults(func=_cmd_formats)
 
     p_quant = sub.add_parser("quantize", help="quantise a synthetic tensor and report the error")
-    p_quant.add_argument("--format", required=True, help='e.g. "BBFP(4,2)", BFP6, INT8, MXFP8')
+    p_quant.add_argument("--format", required=True, type=parse_format,
+                         help='spec string, e.g. "BBFP(4,2)", bfp8@b32, int8, fp8_e4m3, mxfp4, bie4')
     p_quant.add_argument("--size", type=int, default=4096)
     p_quant.add_argument("--outlier-stride", type=int, default=128)
     p_quant.add_argument("--outlier-scale", type=float, default=30.0)

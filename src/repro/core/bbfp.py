@@ -39,12 +39,13 @@ from repro.core.exponent_selection import (
 )
 from repro.core.floatspec import exponent_of
 from repro.core.rounding import RoundingMode, round_magnitudes
+from repro.core.serializable import SerializableConfig
 
 __all__ = ["BBFPConfig", "BBFPTensor", "quantize_bbfp", "bbfp_quantize_dequantize"]
 
 
 @dataclass(frozen=True)
-class BBFPConfig:
+class BBFPConfig(SerializableConfig):
     """Configuration of a BBFP(m, o) format.
 
     Parameters

@@ -30,12 +30,13 @@ import numpy as np
 from repro.core.blocking import BlockLayout, from_blocks, to_blocks
 from repro.core.floatspec import exponent_of
 from repro.core.rounding import RoundingMode, round_magnitudes
+from repro.core.serializable import SerializableConfig
 
 __all__ = ["BiEConfig", "BiETensor", "quantize_bie", "bie_quantize_dequantize"]
 
 
 @dataclass(frozen=True)
-class BiEConfig:
+class BiEConfig(SerializableConfig):
     """Configuration of a BiE (bi-exponent BFP) format.
 
     Parameters

@@ -25,12 +25,13 @@ from repro.core.blocking import BlockLayout, from_blocks, to_blocks
 from repro.core.exponent_selection import ExponentStrategy, select_shared_exponent
 from repro.core.floatspec import exponent_of
 from repro.core.rounding import RoundingMode, round_magnitudes
+from repro.core.serializable import SerializableConfig
 
 __all__ = ["BFPConfig", "BFPTensor", "quantize_bfp", "bfp_quantize_dequantize"]
 
 
 @dataclass(frozen=True)
-class BFPConfig:
+class BFPConfig(SerializableConfig):
     """Configuration of a BFP format.
 
     Parameters

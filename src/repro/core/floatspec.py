@@ -9,9 +9,11 @@ baselines and conversion sources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.core.serializable import SerializableConfig
 
 __all__ = [
     "FloatSpec",
@@ -28,13 +30,15 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class FloatSpec:
+class FloatSpec(SerializableConfig):
     """Description of a sign/exponent/mantissa floating point format.
 
     Parameters
     ----------
     name:
-        Human readable name, e.g. ``"FP16"``.
+        Human readable name, e.g. ``"FP16"``.  Cosmetic only — two specs
+        with the same exponent/mantissa widths describe the same format and
+        compare equal regardless of how they are labelled.
     exponent_bits:
         Width of the exponent field.
     mantissa_bits:
@@ -42,7 +46,7 @@ class FloatSpec:
         implicit for normal numbers.
     """
 
-    name: str
+    name: str = field(compare=False)
     exponent_bits: int
     mantissa_bits: int
 

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.serializable import SerializableConfig
+
 __all__ = ["Granularity", "IntQuantConfig", "int_quantize", "int_quantize_dequantize"]
 
 
@@ -27,7 +29,7 @@ class Granularity(enum.Enum):
 
 
 @dataclass(frozen=True)
-class IntQuantConfig:
+class IntQuantConfig(SerializableConfig):
     """Configuration of a symmetric integer quantiser.
 
     Parameters

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.blocking import BlockLayout, from_blocks, to_blocks
 from repro.core.floatspec import FP8_E4M3, FloatSpec
 from repro.core.fp_formats import minifloat_quantize_dequantize
+from repro.core.serializable import SerializableConfig
 
 __all__ = [
     "MXConfig",
@@ -52,7 +53,7 @@ FP6_E3M2 = FloatSpec("FP6_E3M2", exponent_bits=3, mantissa_bits=2)
 
 
 @dataclass(frozen=True)
-class MXConfig:
+class MXConfig(SerializableConfig):
     """Configuration of a microscaling block format.
 
     Parameters
@@ -67,13 +68,15 @@ class MXConfig:
         Width of the shared power-of-two scale (8 in the OCP specification —
         an E8M0 exponent).
     name:
-        Display name; derived from the element format when omitted.
+        Display name; derived from the element format when omitted.  Cosmetic
+        only — two configurations with the same element/block/scale are equal
+        regardless of how they are labelled.
     """
 
     element: FloatSpec
     block_size: int = 32
     scale_bits: int = 8
-    name: str = ""
+    name: str = field(default="", compare=False)
 
     def __post_init__(self):
         if self.block_size < 1:

@@ -1,0 +1,64 @@
+"""Round-trip serialisation mixin shared by every format configuration.
+
+Every ``*Config`` dataclass in :mod:`repro.core` (and the registrable baseline
+configs) inherits :class:`SerializableConfig`, which gives it three things:
+
+``to_dict()``
+    A JSON-safe ``{"family": ..., **fields}`` dictionary (enums become their
+    string values, nested configs become nested dictionaries).  This is what
+    experiment manifests and sweep configurations persist.
+
+``from_dict(payload)``
+    The inverse; a classmethod so ``BBFPConfig.from_dict(d)`` type-checks the
+    result, while ``SerializableConfig.from_dict(d)`` accepts any family.
+
+``spec``
+    The canonical spec string of the configuration under the
+    :mod:`repro.quant` grammar (e.g. ``"BBFP(4,2)"``, ``"int8@pc"``), i.e.
+    ``repro.quant.parse_spec(config.spec) == config`` for every configuration
+    the grammar can express.  Fields outside the grammar (custom rounding
+    modes, exponent strategies) are carried by ``to_dict`` instead.
+
+The heavy lifting lives in :mod:`repro.quant.serialization` and
+:mod:`repro.quant.registry`; the imports are deferred so :mod:`repro.core`
+stays importable on its own and no import cycle forms (``repro.quant``
+imports the core modules at module level).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SerializableConfig"]
+
+
+class SerializableConfig:
+    """Mixin adding ``to_dict`` / ``from_dict`` / ``spec`` to a format config."""
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary representation (``{"family": ..., **fields}``)."""
+        from repro.quant.serialization import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict):
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Called on a concrete config class the result is type-checked; called
+        on :class:`SerializableConfig` itself any registered family is
+        accepted.
+        """
+        from repro.quant.serialization import config_from_dict
+
+        config = config_from_dict(payload)
+        if cls is not SerializableConfig and not isinstance(config, cls):
+            raise TypeError(
+                f"payload describes a {type(config).__name__}, not a {cls.__name__}"
+            )
+        return config
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string under the :mod:`repro.quant` grammar."""
+        from repro.quant.registry import spec_of
+
+        return spec_of(self)

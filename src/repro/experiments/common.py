@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import os
 
-from repro.core.bbfp import BBFPConfig
-from repro.core.blockfp import BFPConfig
 from repro.llm.perplexity import EvalConfig
 from repro.llm.zoo import LLAMA_FAMILY, NONLINEAR_FAMILY, OPT_FAMILY
+from repro.quant import parse_spec
 
 __all__ = [
     "is_fast_mode",
@@ -18,31 +17,32 @@ __all__ = [
     "FIG8_STRATEGIES",
 ]
 
-#: The linear-quantisation formats swept in Table II (besides the baselines).
-TABLE2_LINEAR_FORMATS = (
-    BFPConfig(6),
-    BFPConfig(4),
-    BBFPConfig(3, 1),
-    BBFPConfig(4, 2),
-    BBFPConfig(4, 3),
-    BBFPConfig(6, 3),
-    BBFPConfig(6, 4),
-)
+#: The linear-quantisation formats swept in Table II (besides the baselines),
+#: written as spec strings and resolved through the single parser.
+TABLE2_LINEAR_FORMATS = tuple(parse_spec(spec) for spec in (
+    "bfp6",
+    "bfp4",
+    "bbfp(3,1)",
+    "bbfp(4,2)",
+    "bbfp(4,3)",
+    "bbfp(6,3)",
+    "bbfp(6,4)",
+))
 
 #: The strategies compared under iso-area in Fig. 8 / costed in Table III / Fig. 9.
-FIG8_STRATEGIES = (
-    "Oltron",
-    "Olive",
-    BFPConfig(4),
-    BFPConfig(6),
-    BBFPConfig(3, 1),
-    BBFPConfig(3, 2),
-    BBFPConfig(4, 2),
-    BBFPConfig(4, 3),
-    BBFPConfig(6, 3),
-    BBFPConfig(6, 4),
-    BBFPConfig(6, 5),
-)
+#: "Oltron" / "Olive" name the accelerator baseline datapaths of
+#: :mod:`repro.hardware.pe`, not registrable tensor formats.
+FIG8_STRATEGIES = ("Oltron", "Olive") + tuple(parse_spec(spec) for spec in (
+    "bfp4",
+    "bfp6",
+    "bbfp(3,1)",
+    "bbfp(3,2)",
+    "bbfp(4,2)",
+    "bbfp(4,3)",
+    "bbfp(6,3)",
+    "bbfp(6,4)",
+    "bbfp(6,5)",
+))
 
 
 def is_fast_mode(fast=None) -> bool:

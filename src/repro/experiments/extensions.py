@@ -30,15 +30,13 @@ from repro.accelerator.generation import GenerationLatencyModel
 from repro.accelerator.roofline import analyze_workload
 from repro.accelerator.workloads import decoder_workload
 from repro.analysis.reporting import ExperimentResult
-from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
-from repro.core.bie import BiEConfig, bie_quantize_dequantize
-from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
-from repro.core.integer import IntQuantConfig, int_quantize_dequantize
-from repro.core.microscaling import MXFP4, MXFP6_E3M2, MXFP8, mx_quantize_dequantize
+from repro.core.bbfp import BBFPConfig
+from repro.core.blockfp import BFPConfig
 from repro.core.rounding import RoundingMode
 from repro.experiments.common import eval_config, is_fast_mode
 from repro.experiments.fig1_runtime import LLAMA_7B_DIMENSIONS
 from repro.hardware.multiplier_arch import multiplier_architecture_table
+from repro.quant import get_quantizer
 
 __all__ = [
     "rounding_mode_ablation",
@@ -66,16 +64,16 @@ def rounding_mode_ablation(fast=None) -> ExperimentResult:
     x = _synthetic_activation()
     denom = float(np.mean(x**2))
     formats = (
-        ("BFP4", lambda mode: BFPConfig(4, rounding=mode), bfp_quantize_dequantize),
-        ("BBFP(4,2)", lambda mode: BBFPConfig(4, 2, rounding=mode), bbfp_quantize_dequantize),
-        ("BBFP(6,3)", lambda mode: BBFPConfig(6, 3, rounding=mode), bbfp_quantize_dequantize),
+        ("BFP4", lambda mode: BFPConfig(4, rounding=mode)),
+        ("BBFP(4,2)", lambda mode: BBFPConfig(4, 2, rounding=mode)),
+        ("BBFP(6,3)", lambda mode: BBFPConfig(6, 3, rounding=mode)),
     )
     rows = []
-    for name, make_config, quantize in formats:
+    for name, make_config in formats:
         row = {"format": name}
         for mode in RoundingMode:
-            config = make_config(mode)
-            x_hat = quantize(x, config, rng=np.random.default_rng(1))
+            quantizer = get_quantizer(make_config(mode))
+            x_hat = quantizer.quantize_dequantize(x, rng=np.random.default_rng(1))
             row[f"{mode.value}_relative_mse"] = float(np.mean((x - x_hat) ** 2)) / denom
         rows.append(row)
     return ExperimentResult(
@@ -110,29 +108,17 @@ def format_family_ablation(fast=None) -> ExperimentResult:
     """BBFP against BFP, microscaling, BiE and INT at matched storage budgets."""
     x = _synthetic_activation()
     denom = float(np.mean(x**2))
-    entries = (
-        ("INT4", IntQuantConfig(4), int_quantize_dequantize),
-        ("INT8", IntQuantConfig(8), int_quantize_dequantize),
-        ("BFP4", BFPConfig(4), bfp_quantize_dequantize),
-        ("BFP6", BFPConfig(6), bfp_quantize_dequantize),
-        ("BBFP(4,2)", BBFPConfig(4, 2), bbfp_quantize_dequantize),
-        ("BBFP(6,3)", BBFPConfig(6, 3), bbfp_quantize_dequantize),
-        ("BiE4(k=2)", BiEConfig(4), bie_quantize_dequantize),
-        ("BiE6(k=2)", BiEConfig(6), bie_quantize_dequantize),
-        ("MXFP4", MXFP4, mx_quantize_dequantize),
-        ("MXFP6(E3M2)", MXFP6_E3M2, mx_quantize_dequantize),
-        ("MXFP8", MXFP8, mx_quantize_dequantize),
-    )
+    specs = ("int4", "int8", "bfp4", "bfp6", "bbfp(4,2)", "bbfp(6,3)",
+             "bie4", "bie6", "mxfp4", "mxfp6_e3m2", "mxfp8")
     rows = []
-    for name, config, quantize in entries:
-        x_hat = quantize(x, config)
+    for spec in specs:
+        quantizer = get_quantizer(spec)
+        x_hat = quantizer.quantize_dequantize(x)
         rows.append(
             {
-                "format": name,
-                "equivalent_bits": float(config.equivalent_bit_width()),
-                "memory_efficiency": float(config.memory_efficiency())
-                if hasattr(config, "memory_efficiency")
-                else 16.0 / float(config.equivalent_bit_width()),
+                "format": quantizer.name,
+                "equivalent_bits": quantizer.bits_per_element(),
+                "memory_efficiency": quantizer.memory_efficiency(),
                 "relative_mse": float(np.mean((x - x_hat) ** 2)) / denom,
             }
         )
@@ -170,14 +156,10 @@ def extended_format_ppl(fast=None) -> ExperimentResult:
     rows = []
     for spec in specs:
         model = load_inference_model(spec, corpus=corpus)
-        schemes = [
-            QuantizationScheme.fp16(),
-            QuantizationScheme.from_format(BBFPConfig(4, 2)),
-            QuantizationScheme.from_format(BBFPConfig(6, 3)),
-            QuantizationScheme.from_format(BiEConfig(4)),
-            QuantizationScheme.from_format(BiEConfig(6)),
-            QuantizationScheme.from_format(MXFP6_E3M2),
-            QuantizationScheme.from_format(MXFP8),
+        schemes = [QuantizationScheme.fp16()]
+        schemes += [QuantizationScheme.from_format(spec) for spec in
+                    ("bbfp(4,2)", "bbfp(6,3)", "bie4", "bie6", "mxfp6_e3m2", "mxfp8")]
+        schemes += [
             build_gptq_scheme(model, corpus, GPTQConfig(weight_bits=4), name="GPTQ-W4"),
             build_gptq_scheme(model, corpus, GPTQConfig(weight_bits=4, activation_bits=8),
                               name="GPTQ-W4A8"),
@@ -310,7 +292,7 @@ def mixed_precision_extension(model_name: str = "Llama-1B", fast=None) -> Experi
     fast_mode = is_fast_mode(fast)
     corpus = default_corpus(fast=fast)
     model = load_inference_model(model_name, corpus=corpus)
-    candidates = [BBFPConfig(6, 3), BBFPConfig(4, 2), BBFPConfig(3, 1)]
+    candidates = ["bbfp(6,3)", "bbfp(4,2)", "bbfp(3,1)"]
     result = greedy_mixed_precision_search(
         model, corpus, candidates,
         ppl_budget_ratio=1.05,
@@ -322,7 +304,7 @@ def mixed_precision_extension(model_name: str = "Llama-1B", fast=None) -> Experi
             "kind": "(total)",
             "format": f"{result.footprint_saving * 100:.1f}% footprint saved",
             "bits_per_element": result.footprint_bits / max(1.0, result.uniform_footprint_bits)
-            * candidates[0].equivalent_bit_width(),
+            * get_quantizer(candidates[0]).bits_per_element(),
         }
     )
     return ExperimentResult(

@@ -25,11 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
-from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
-from repro.core.floatspec import FloatSpec
-from repro.core.fp_formats import fp16_round, minifloat_quantize_dequantize
-from repro.core.integer import IntQuantConfig, int_quantize_dequantize
+from repro.core.fp_formats import fp16_round
 from repro.llm import activations as ref_act
 from repro.llm.attention import causal_mask
 from repro.llm.config import ModelConfig
@@ -107,38 +103,38 @@ class QuantizationScheme:
 
     @staticmethod
     def from_format(config, name: str = None) -> "QuantizationScheme":
-        """Quantise weights and activations with a core format config.
+        """Quantise weights and activations with any registered format.
 
-        ``config`` may be a :class:`BBFPConfig`, :class:`BFPConfig`,
-        :class:`IntQuantConfig`, :class:`FloatSpec` or any object exposing a
-        ``quantize_dequantize(x, axis)`` method (e.g. the MX and BiE formats
-        of :mod:`repro.core.microscaling` / :mod:`repro.core.bie`); weights
-        are blocked along the reduction axis and activations along their last
-        axis.
+        ``config`` may be a spec string (``"BBFP(4,2)"``, ``"int8"``, ...), a
+        format configuration, or a :class:`repro.quant.Quantizer` — everything
+        dispatches through the :mod:`repro.quant` registry, so a newly
+        registered format needs no edits here.  Objects of unregistered types
+        that expose a ``quantize_dequantize(x, axis)`` hook keep working as a
+        fallback.  Weights are blocked along the reduction axis (axis 0) and
+        activations along their last axis.  Formats without a blocking axis
+        keep their own convention: per-tensor/per-channel INT scales and
+        element-wise minifloat rounding are axis-independent (per-channel
+        means one scale per *last-axis* channel — the output channel of a
+        ``(in, out)`` weight — matching the usual per-output-channel rule).
         """
-        if isinstance(config, BBFPConfig):
-            weight = lambda _, w: bbfp_quantize_dequantize(w, config, axis=0)
-            act = lambda _, x: bbfp_quantize_dequantize(x, config, axis=-1)
-            default_name = config.name
-        elif isinstance(config, BFPConfig):
-            weight = lambda _, w: bfp_quantize_dequantize(w, config, axis=0)
-            act = lambda _, x: bfp_quantize_dequantize(x, config, axis=-1)
-            default_name = config.name
-        elif isinstance(config, IntQuantConfig):
-            weight = lambda _, w: int_quantize_dequantize(w, config)
-            act = lambda _, x: int_quantize_dequantize(x, config)
-            default_name = config.name
-        elif isinstance(config, FloatSpec):
-            weight = lambda _, w: minifloat_quantize_dequantize(w, config)
-            act = lambda _, x: minifloat_quantize_dequantize(x, config)
-            default_name = config.name
-        elif hasattr(config, "quantize_dequantize"):
+        from repro.quant import UnknownFormatError, get_quantizer
+
+        try:
+            quantizer = get_quantizer(config)
+        except UnknownFormatError:
+            if isinstance(config, str):
+                raise  # keep the registry's message (incl. did-you-mean)
+            if not hasattr(config, "quantize_dequantize"):
+                raise TypeError(f"unsupported format config {config!r}") from None
             weight = lambda _, w: config.quantize_dequantize(w, axis=0)
             act = lambda _, x: config.quantize_dequantize(x, axis=-1)
             default_name = getattr(config, "name", type(config).__name__)
-        else:
-            raise TypeError(f"unsupported format config {type(config)!r}")
-        return QuantizationScheme(name=name or default_name, weight_fn=weight, activation_fn=act)
+            return QuantizationScheme(name=name or default_name,
+                                      weight_fn=weight, activation_fn=act)
+        weight = lambda _, w: quantizer.quantize_dequantize(w, axis=0)
+        act = lambda _, x: quantizer.quantize_dequantize(x, axis=-1)
+        return QuantizationScheme(name=name or quantizer.name,
+                                  weight_fn=weight, activation_fn=act)
 
     def with_nonlinear(self, softmax_fn=None, nonlinear_fn=None, name: str = None) -> "QuantizationScheme":
         """Return a copy with the nonlinear operators replaced (Table IV experiments)."""

@@ -1,0 +1,84 @@
+"""Unified quantizer API: registry, spec strings, one dispatch path per format.
+
+Historically every number format in this repository exposed its own
+``*Config`` dataclass and ``*_quantize_dequantize`` free function, and each
+call site (the CLI, :class:`~repro.llm.inference.QuantizationScheme`, the
+mixed-precision search, the experiment drivers) re-implemented format
+dispatch with ``isinstance`` or string ladders.  This package collapses all
+of that into three entry points:
+
+>>> from repro.quant import parse_spec, get_quantizer
+>>> config = parse_spec("BBFP(4,2)")          # spec string -> config dataclass
+>>> quantizer = get_quantizer("BBFP(4,2)")    # memoized polymorphic quantizer
+>>> x_hat = quantizer.quantize_dequantize(x, axis=-1)   # doctest: +SKIP
+>>> encoded = quantizer.quantize(x)           # doctest: +SKIP
+>>> encoded.dequantize(); encoded.memory_bits()         # doctest: +SKIP
+
+**The spec-string grammar** (case- and whitespace-insensitive):
+
+=============  =====================================  =========================
+family         grammar                                examples
+=============  =====================================  =========================
+BBFP           ``BBFP(m,o)`` / ``BBFP(m,o,e)``        ``BBFP(4,2)``
+BFP            ``BFP<m>``                             ``bfp6``, ``bfp8@b32``
+INT            ``INT<b>``                             ``int8``, ``int8@pc``
+minifloat      ``FP<t>[_e<E>m<M>]`` / ``BF16``        ``fp16``, ``fp8_e4m3``
+microscaling   ``MXFP<t>[_e<E>m<M>]``                 ``mxfp4``, ``mxfp6_e3m2``
+BiE            ``BiE<m>[(k=<K>)]``                    ``bie4``, ``bie4@k3``
+Olive/Oltron   ``olive<b>`` / ``oltron<b>``           ``olive4``, ``oltron4``
+=============  =====================================  =========================
+
+Optional ``@`` modifiers compose after any base spec: ``@b<N>`` block size,
+``@e<N>`` shared-exponent bits, ``@k<N>`` BiE outlier count, ``@s<N>`` MX
+scale bits, ``@c<R>`` INT clip ratio, ``@pc`` / ``@pt`` INT granularity,
+``@g<N>`` Olive group size.
+
+**Registering a new format** costs one class::
+
+    @register_format("myfmt", MyConfig, example_specs=("myfmt8",))
+    class MyQuantizer(Quantizer):
+        @classmethod
+        def try_parse(cls, base, mods): ...
+        @classmethod
+        def format_spec(cls, config): ...
+        def quantize(self, x, axis=-1, rng=None): ...
+        def decode(self, payload): ...
+
+after which the CLI, ``QuantizationScheme.from_format``, the mixed-precision
+search and every experiment driver accept it — no call-site edits.
+
+Every configuration also round-trips through ``config.to_dict()`` /
+``Config.from_dict()`` (JSON-safe, for experiment manifests) and through its
+canonical ``config.spec`` string; see :mod:`repro.core.serializable`.
+"""
+
+from repro.quant import formats as _formats  # noqa: F401  (registers core families)
+from repro.quant.api import QuantizedTensor, Quantizer
+from repro.quant.registry import (
+    UnknownFormatError,
+    clear_cache,
+    family_of,
+    get_quantizer,
+    list_formats,
+    parse_spec,
+    register_format,
+    registered_families,
+    spec_of,
+)
+from repro.quant.serialization import config_from_dict, config_to_dict
+
+__all__ = [
+    "Quantizer",
+    "QuantizedTensor",
+    "UnknownFormatError",
+    "register_format",
+    "parse_spec",
+    "get_quantizer",
+    "spec_of",
+    "family_of",
+    "list_formats",
+    "registered_families",
+    "clear_cache",
+    "config_to_dict",
+    "config_from_dict",
+]

@@ -1,0 +1,104 @@
+"""Registry entries for the calibration-free baseline quantisers (Olive, Oltron).
+
+These live outside :mod:`repro.quant.formats` because the baseline modules
+import the LLM inference stack; the registry imports this module lazily on
+the first spec (or configuration type) the core families do not recognise,
+so ``import repro.quant`` stays lightweight.
+
+SmoothQuant, OmniQuant and GPTQ are *not* registrable: they need a model and
+a calibration corpus, so they remain scheme builders
+(:func:`repro.baselines.build_smoothquant_scheme` etc.) rather than pure
+number formats.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.baselines.olive import OliveConfig, olive_quantize_dequantize
+from repro.baselines.oltron import OltronConfig, oltron_quantize_dequantize
+from repro.quant.api import QuantizedTensor, Quantizer
+from repro.quant.formats import _int_mod
+from repro.quant.registry import UnknownFormatError, register_format
+
+__all__ = ["OliveQuantizer", "OltronQuantizer"]
+
+_OLIVE_RE = re.compile(r"^olive(\d+)?$")
+_OLTRON_RE = re.compile(r"^oltron(\d+)?$")
+
+
+class _FakeQuantOnly(Quantizer):
+    """Shared behaviour for baselines without a hardware-faithful container."""
+
+    def quantize(self, x, axis=-1, rng=None):
+        x = np.asarray(x, dtype=np.float64)
+        return QuantizedTensor(self, self.quantize_dequantize(x, axis=axis), x.shape)
+
+    def decode(self, payload):
+        return payload
+
+    def payload_memory_bits(self, payload):
+        # Round the *total*, not bits-per-element, so fractional overheads
+        # (Oltron's FP16 outlier side path) are not truncated away.
+        return int(round(np.size(payload) * self.bits_per_element()))
+
+
+@register_format("olive", OliveConfig, example_specs=("olive4", "olive8"))
+class OliveQuantizer(_FakeQuantOnly):
+    """Olive outlier-victim pairs (``olive<b>``; group size via ``@g<N>``)."""
+
+    @classmethod
+    def try_parse(cls, base, mods):
+        match = _OLIVE_RE.match(base)
+        if not match:
+            return None
+        kwargs = {}
+        if match.group(1) is not None:
+            kwargs["bits"] = int(match.group(1))
+        if "g" in mods:
+            kwargs["group_size"] = _int_mod(mods, "g", base)
+        if mods:
+            raise UnknownFormatError(base, f"unsupported modifiers {sorted(mods)}")
+        return OliveConfig(**kwargs)
+
+    @classmethod
+    def format_spec(cls, config) -> str:
+        spec = f"olive{config.bits}"
+        if config.group_size != 128:
+            spec += f"@g{config.group_size}"
+        return spec
+
+    def bits_per_element(self) -> float:
+        return float(self.config.bits)
+
+    def quantize_dequantize(self, x, axis=-1, rng=None):
+        return olive_quantize_dequantize(x, self.config)
+
+
+@register_format("oltron", OltronConfig, example_specs=("oltron4", "oltron8"))
+class OltronQuantizer(_FakeQuantOnly):
+    """Oltron fixed-budget outlier splitting (``oltron<b>``)."""
+
+    @classmethod
+    def try_parse(cls, base, mods):
+        match = _OLTRON_RE.match(base)
+        if not match:
+            return None
+        if mods:
+            raise UnknownFormatError(base, f"unsupported modifiers {sorted(mods)}")
+        if match.group(1) is not None:
+            return OltronConfig(inlier_bits=int(match.group(1)))
+        return OltronConfig()
+
+    @classmethod
+    def format_spec(cls, config) -> str:
+        return f"oltron{config.inlier_bits}"
+
+    def bits_per_element(self) -> float:
+        # The dense path plus the FP16 side path weighted by the outlier budget.
+        return self.config.inlier_bits + self.config.outlier_ratio * 16.0
+
+    def quantize_dequantize(self, x, axis=-1, rng=None):
+        return oltron_quantize_dequantize(x, self.config)

@@ -1,0 +1,82 @@
+"""JSON-safe ``to_dict`` / ``from_dict`` round-trips for format configurations.
+
+The dictionary form is ``{"family": <registry key>, **dataclass fields}``
+with every value JSON-serialisable: enums become their string values and
+nested configurations (the :class:`~repro.core.floatspec.FloatSpec` element
+of an MX format) become nested dictionaries.  This is what experiment
+manifests and reproducible sweep configurations persist — unlike spec
+strings, it captures *every* field, including ones outside the spec grammar
+(rounding modes, exponent-selection strategies, clip ratios).
+
+The generic implementation walks ``dataclasses.fields`` of the registered
+configuration type, so a newly registered format gets serialisation for free
+as long as its configuration is a dataclass of JSON-safe / enum / nested-
+config fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.quant.registry import (
+    UnknownFormatError,
+    _quantizer_class_for,
+    registered_families,
+)
+
+__all__ = ["config_to_dict", "config_from_dict"]
+
+
+def _encode_value(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return config_to_dict(value)
+    return value
+
+
+def config_to_dict(config) -> dict:
+    """Serialise a registered configuration into a JSON-safe dictionary."""
+    cls = _quantizer_class_for(type(config))
+    if not dataclasses.is_dataclass(config):
+        raise TypeError(f"{type(config).__name__} is not a dataclass configuration")
+    payload = {"family": cls.family}
+    for field in dataclasses.fields(config):
+        payload[field.name] = _encode_value(getattr(config, field.name))
+    return payload
+
+
+def _decode_value(hint, value):
+    if isinstance(value, dict) and "family" in value:
+        return config_from_dict(value)
+    if isinstance(hint, type) and issubclass(hint, enum.Enum) and isinstance(value, str):
+        return hint(value)
+    return value
+
+
+def config_from_dict(payload: dict):
+    """Rebuild a configuration from :func:`config_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected a config dictionary, got {payload!r}")
+    family = payload.get("family")
+    if family is None:
+        raise UnknownFormatError(payload, "missing 'family' key")
+    from repro.quant.registry import _FAMILIES
+
+    registered_families()  # force lazy registrations
+    cls = _FAMILIES.get(family)
+    if cls is None:
+        raise UnknownFormatError(family, "no such registered family")
+    config_type = cls.config_type
+    hints = typing.get_type_hints(config_type)
+    field_names = {field.name for field in dataclasses.fields(config_type)}
+    kwargs = {}
+    for key, value in payload.items():
+        if key == "family":
+            continue
+        if key not in field_names:
+            raise UnknownFormatError(family, f"unknown field {key!r} for {config_type.__name__}")
+        kwargs[key] = _decode_value(hints.get(key), value)
+    return config_type(**kwargs)

@@ -37,8 +37,9 @@ def build_layerwise_scheme(assignment: dict, default=None, name: str = None,
     ----------
     assignment:
         ``{layer_kind: format}`` where each format is anything accepted by
-        :meth:`QuantizationScheme.from_format` (BBFP/BFP/INT/MX/BiE configs, a
-        :class:`~repro.core.floatspec.FloatSpec`) or an already-built
+        :meth:`QuantizationScheme.from_format` — a spec string
+        (``"BBFP(4,2)"``), any registered format config or
+        :class:`repro.quant.Quantizer` — or an already-built
         :class:`QuantizationScheme`.
     default:
         Format used for kinds missing from ``assignment``; ``None`` keeps them

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from repro.llm.dataset import SyntheticCorpus
 from repro.llm.inference import InferenceModel, QuantizationScheme
 from repro.llm.perplexity import EvalConfig, evaluate_perplexity
+from repro.quant import get_quantizer
 from repro.search.layerwise import build_layerwise_scheme, layer_kind_of
 
 __all__ = [
@@ -57,7 +58,7 @@ def _footprint_bits(assignment: dict, parameter_counts: dict) -> float:
     """Total weight footprint (bits) of an assignment."""
     total = 0.0
     for kind, fmt in assignment.items():
-        total += parameter_counts.get(kind, 0) * float(fmt.equivalent_bit_width())
+        total += parameter_counts.get(kind, 0) * get_quantizer(fmt).bits_per_element()
     return total
 
 
@@ -75,20 +76,23 @@ def sensitivity_profile(model: InferenceModel, corpus: SyntheticCorpus, candidat
                         kinds=None, eval_config: EvalConfig = None) -> dict:
     """Perplexity with exactly one layer kind quantised, for every (kind, candidate).
 
-    Returns ``{kind: {candidate_name: perplexity}}`` plus the FP reference
-    under the key ``"__reference__"``.
+    ``candidates`` may mix spec strings, format configs and quantizers —
+    everything resolves through the :mod:`repro.quant` registry.  Returns
+    ``{kind: {candidate_name: perplexity}}`` plus the FP reference under the
+    key ``"__reference__"``.
     """
     eval_config = eval_config or EvalConfig()
+    quantizers = [get_quantizer(candidate) for candidate in candidates]
     if kinds is None:
         kinds = sorted(layer_kind_parameter_counts(model))
     reference = _evaluate(model, corpus, QuantizationScheme.fp_reference(), eval_config)
     profile = {"__reference__": reference}
     for kind in kinds:
         profile[kind] = {}
-        for candidate in candidates:
-            scheme = build_layerwise_scheme({kind: candidate}, default=None,
-                                            name=f"only-{kind}-{candidate.name}")
-            profile[kind][candidate.name] = _evaluate(model, corpus, scheme, eval_config)
+        for quantizer in quantizers:
+            scheme = build_layerwise_scheme({kind: quantizer}, default=None,
+                                            name=f"only-{kind}-{quantizer.name}")
+            profile[kind][quantizer.name] = _evaluate(model, corpus, scheme, eval_config)
     return profile
 
 
@@ -120,7 +124,8 @@ class MixedPrecisionResult:
 
     def as_rows(self) -> list:
         return [
-            {"kind": kind, "format": fmt.name, "bits_per_element": fmt.equivalent_bit_width()}
+            {"kind": kind, "format": get_quantizer(fmt).name,
+             "bits_per_element": get_quantizer(fmt).bits_per_element()}
             for kind, fmt in sorted(self.assignment.items())
         ]
 
@@ -135,9 +140,11 @@ def greedy_mixed_precision_search(model: InferenceModel, corpus: SyntheticCorpus
     model, corpus:
         The model under quantisation and the held-out corpus for evaluation.
     candidates:
-        Iterable of format configs (typically BBFP configs of decreasing
-        width); the *first* candidate is treated as the most accurate one and
-        is the starting assignment for every kind.
+        Iterable of formats — spec strings (``"BBFP(6,3)"``), format configs
+        or quantizers, resolved through the :mod:`repro.quant` registry
+        (typically BBFP configs of decreasing width); the *first* candidate
+        is treated as the most accurate one and is the starting assignment
+        for every kind.
     ppl_budget_ratio:
         The final perplexity must stay below
         ``reference_perplexity * ppl_budget_ratio``.
@@ -146,8 +153,8 @@ def greedy_mixed_precision_search(model: InferenceModel, corpus: SyntheticCorpus
     eval_config:
         Evaluation configuration (batch sizes / lengths) for all measurements.
     """
-    candidates = list(candidates)
-    if not candidates:
+    quantizers = [get_quantizer(candidate) for candidate in candidates]
+    if not quantizers:
         raise ValueError("need at least one candidate format")
     if ppl_budget_ratio < 1.0:
         raise ValueError("ppl_budget_ratio must be >= 1.0")
@@ -157,13 +164,13 @@ def greedy_mixed_precision_search(model: InferenceModel, corpus: SyntheticCorpus
         kinds = sorted(parameter_counts)
     kinds = [kind for kind in kinds if parameter_counts.get(kind, 0) > 0]
 
-    profile = sensitivity_profile(model, corpus, candidates, kinds=kinds, eval_config=eval_config)
+    profile = sensitivity_profile(model, corpus, quantizers, kinds=kinds, eval_config=eval_config)
     reference = profile["__reference__"]
     budget = reference * ppl_budget_ratio
 
-    assignment = {kind: candidates[0] for kind in kinds}
+    assignment = {kind: quantizers[0] for kind in kinds}
     predicted_overhead = sum(
-        max(0.0, profile[kind][candidates[0].name] - reference) for kind in kinds
+        max(0.0, profile[kind][quantizers[0].name] - reference) for kind in kinds
     )
     history = []
 
@@ -175,12 +182,12 @@ def greedy_mixed_precision_search(model: InferenceModel, corpus: SyntheticCorpus
         for kind in kinds:
             current = assignment[kind]
             current_delta = max(0.0, profile[kind][current.name] - reference)
-            for candidate in candidates:
-                if candidate.equivalent_bit_width() >= current.equivalent_bit_width():
+            for candidate in quantizers:
+                if candidate.bits_per_element() >= current.bits_per_element():
                     continue
                 extra_delta = max(0.0, profile[kind][candidate.name] - reference) - current_delta
                 saving = parameter_counts[kind] * (
-                    current.equivalent_bit_width() - candidate.equivalent_bit_width()
+                    current.bits_per_element() - candidate.bits_per_element()
                 )
                 if predicted_overhead + extra_delta > budget - reference:
                     continue
@@ -203,14 +210,14 @@ def greedy_mixed_precision_search(model: InferenceModel, corpus: SyntheticCorpus
     measured = _evaluate(model, corpus, build(assignment), eval_config)
     while measured > budget and history:
         reverted = history.pop()
-        assignment[reverted["kind"]] = candidates[0]
+        assignment[reverted["kind"]] = quantizers[0]
         measured = _evaluate(model, corpus, build(assignment), eval_config)
 
     uniform_footprint = sum(
-        parameter_counts[kind] * candidates[0].equivalent_bit_width() for kind in kinds
+        parameter_counts[kind] * quantizers[0].bits_per_element() for kind in kinds
     )
     return MixedPrecisionResult(
-        assignment=dict(assignment),
+        assignment={kind: quantizer.config for kind, quantizer in assignment.items()},
         perplexity=measured,
         reference_perplexity=reference,
         footprint_bits=_footprint_bits(assignment, parameter_counts),

@@ -26,9 +26,20 @@ class TestSchemeFactories:
     def test_from_format_names(self, config):
         assert QuantizationScheme.from_format(config).name == config.name
 
+    def test_from_format_accepts_spec_strings(self):
+        scheme = QuantizationScheme.from_format("int8")
+        assert scheme.name == "INT8"
+
     def test_from_format_rejects_unknown(self):
+        from repro.quant import UnknownFormatError
+
+        # Bad spec strings keep the registry's rich error (did-you-mean);
+        # unregistered objects without a quantize_dequantize hook are a
+        # TypeError as before.
+        with pytest.raises(UnknownFormatError, match="unknown format"):
+            QuantizationScheme.from_format("FANCY13")
         with pytest.raises(TypeError):
-            QuantizationScheme.from_format("INT8")
+            QuantizationScheme.from_format(object())
 
     def test_with_nonlinear_override(self):
         calls = []

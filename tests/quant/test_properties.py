@@ -1,0 +1,127 @@
+"""Property tests: spec and dict round-trips hold across the whole registry.
+
+For every registered family, randomly generated configurations must satisfy
+
+* ``parse_spec(config.spec) == config`` (the spec string is lossless for
+  every field the grammar expresses), and
+* ``config_from_dict(config.to_dict()) == config`` after a JSON round trip
+  (the dictionary form is lossless for *all* fields).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.bie import BiEConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.exponent_selection import ExponentStrategy
+from repro.core.floatspec import FloatSpec
+from repro.core.integer import Granularity, IntQuantConfig
+from repro.core.microscaling import MXConfig
+from repro.core.rounding import RoundingMode
+from repro.quant import config_from_dict, parse_spec
+
+_BLOCKS = st.sampled_from([1, 8, 16, 32, 64])
+_EXP_BITS = st.integers(min_value=2, max_value=8)
+#: Arbitrary clip ratios in (0, 1]; the spec grammar renders them with
+#: ``repr`` (shortest exact decimal), so every float round-trips losslessly.
+_CLIPS = st.floats(min_value=0.0, max_value=1.0, exclude_min=True, allow_nan=False)
+
+
+@st.composite
+def bbfp_configs(draw):
+    m = draw(st.integers(min_value=2, max_value=10))
+    return BBFPConfig(
+        mantissa_bits=m,
+        overlap_bits=draw(st.integers(min_value=0, max_value=m - 1)),
+        block_size=draw(_BLOCKS),
+        exponent_bits=draw(_EXP_BITS),
+    )
+
+
+@st.composite
+def bfp_configs(draw):
+    return BFPConfig(
+        mantissa_bits=draw(st.integers(min_value=1, max_value=10)),
+        block_size=draw(_BLOCKS),
+        exponent_bits=draw(_EXP_BITS),
+    )
+
+
+@st.composite
+def bie_configs(draw):
+    block = draw(_BLOCKS)
+    return BiEConfig(
+        mantissa_bits=draw(st.integers(min_value=1, max_value=10)),
+        outlier_count=draw(st.integers(min_value=0, max_value=block - 1)),
+        block_size=block,
+        exponent_bits=draw(_EXP_BITS),
+    )
+
+
+@st.composite
+def int_configs(draw):
+    granularity = draw(st.sampled_from(list(Granularity)))
+    # block_size only participates in PER_BLOCK quantisation, so the spec
+    # grammar only encodes it there; elsewhere keep the (irrelevant) default.
+    block = draw(_BLOCKS) if granularity is Granularity.PER_BLOCK else 32
+    return IntQuantConfig(
+        bits=draw(st.integers(min_value=2, max_value=16)),
+        granularity=granularity,
+        block_size=block,
+        clip_ratio=draw(_CLIPS),
+    )
+
+
+@st.composite
+def minifloat_specs(draw):
+    e = draw(st.integers(min_value=2, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=10))
+    return FloatSpec(f"FP{1 + e + m}_E{e}M{m}", exponent_bits=e, mantissa_bits=m)
+
+
+@st.composite
+def mx_configs(draw):
+    return MXConfig(
+        element=draw(minifloat_specs()),
+        block_size=draw(_BLOCKS),
+        scale_bits=draw(_EXP_BITS),
+    )
+
+
+ANY_CONFIG = st.one_of(bbfp_configs(), bfp_configs(), bie_configs(),
+                       int_configs(), minifloat_specs(), mx_configs())
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=ANY_CONFIG)
+def test_spec_string_round_trip(config):
+    assert parse_spec(config.spec) == config
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=ANY_CONFIG)
+def test_dict_round_trip_through_json(config):
+    payload = json.loads(json.dumps(config.to_dict()))
+    assert config_from_dict(payload) == config
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    config=bbfp_configs(),
+    strategy=st.sampled_from([s for s in ExponentStrategy if s is not ExponentStrategy.MAX_MINUS_K]),
+    rounding=st.sampled_from(list(RoundingMode)),
+)
+def test_dict_round_trip_keeps_fields_outside_the_grammar(config, strategy, rounding):
+    exotic = BBFPConfig(
+        config.mantissa_bits, config.overlap_bits, config.block_size,
+        config.exponent_bits, exponent_strategy=strategy, rounding=rounding,
+    )
+    rebuilt = config_from_dict(json.loads(json.dumps(exotic.to_dict())))
+    assert rebuilt == exotic
+    assert rebuilt.exponent_strategy is strategy
+    assert rebuilt.rounding is rounding

@@ -1,0 +1,117 @@
+"""Tests that registry dispatch is numerically identical to the legacy calls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bbfp import BBFPConfig, bbfp_quantize_dequantize
+from repro.core.bie import BiEConfig, bie_quantize_dequantize
+from repro.core.blockfp import BFPConfig, bfp_quantize_dequantize
+from repro.core.floatspec import FP8_E4M3
+from repro.core.fp_formats import minifloat_quantize_dequantize
+from repro.core.integer import Granularity, IntQuantConfig, int_quantize_dequantize
+from repro.core.microscaling import MXFP4, mx_quantize_dequantize
+from repro.core.rounding import RoundingMode
+from repro.quant import QuantizedTensor, get_quantizer
+
+
+@pytest.fixture
+def activation(rng):
+    x = rng.standard_normal((4, 128))
+    x[:, ::32] *= 25.0
+    return x
+
+
+LEGACY_EQUIVALENTS = [
+    (BBFPConfig(4, 2), lambda x: bbfp_quantize_dequantize(x, BBFPConfig(4, 2), axis=-1)),
+    (BFPConfig(6), lambda x: bfp_quantize_dequantize(x, BFPConfig(6), axis=-1)),
+    (BiEConfig(4), lambda x: bie_quantize_dequantize(x, BiEConfig(4), axis=-1)),
+    (IntQuantConfig(8), lambda x: int_quantize_dequantize(x, IntQuantConfig(8))),
+    (FP8_E4M3, lambda x: minifloat_quantize_dequantize(x, FP8_E4M3)),
+    (MXFP4, lambda x: mx_quantize_dequantize(x, MXFP4, axis=-1)),
+]
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("config, legacy", LEGACY_EQUIVALENTS,
+                             ids=lambda arg: getattr(arg, "name", ""))
+    def test_quantize_dequantize_matches_legacy_free_function(self, activation, config, legacy):
+        quantizer = get_quantizer(config)
+        assert np.array_equal(quantizer.quantize_dequantize(activation, axis=-1),
+                              legacy(activation))
+
+    @pytest.mark.parametrize("config, legacy", LEGACY_EQUIVALENTS,
+                             ids=lambda arg: getattr(arg, "name", ""))
+    def test_encode_decode_matches_fused_path(self, activation, config, legacy):
+        quantizer = get_quantizer(config)
+        encoded = quantizer.quantize(activation, axis=-1)
+        assert np.array_equal(encoded.dequantize(),
+                              quantizer.quantize_dequantize(activation, axis=-1))
+
+    def test_stochastic_rounding_threads_the_rng(self, activation):
+        config = BBFPConfig(4, 2, rounding=RoundingMode.STOCHASTIC)
+        quantizer = get_quantizer(config)
+        a = quantizer.quantize_dequantize(activation, rng=np.random.default_rng(7))
+        b = bbfp_quantize_dequantize(activation, config, rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestQuantizedTensor:
+    def test_container_reports_shape_spec_and_memory(self, activation):
+        encoded = get_quantizer("BBFP(4,2)").quantize(activation)
+        assert isinstance(encoded, QuantizedTensor)
+        assert encoded.shape == activation.shape
+        assert encoded.spec == "BBFP(4,2)"
+        # m + sign + flag per element plus a 5-bit exponent per block of 32.
+        elements = activation.size
+        assert encoded.memory_bits() == elements * 6 + (elements // 32) * 5
+
+    def test_int_payload_memory_accounts_for_scales(self, activation):
+        per_block = IntQuantConfig(4, granularity=Granularity.PER_BLOCK, block_size=32)
+        encoded = get_quantizer(per_block).quantize(activation, axis=-1)
+        # 4 bits per code plus one FP16 scale per block of 32 — not per
+        # element, even though int_quantize broadcasts the scale.
+        blocks = activation.size // 32
+        assert encoded.memory_bits() == activation.size * 4 + blocks * 16
+        assert np.max(np.abs(encoded.dequantize() - activation)) < np.max(np.abs(activation))
+
+    def test_per_tensor_int_stores_one_scale(self, activation):
+        encoded = get_quantizer("int8").quantize(activation)
+        assert encoded.memory_bits() == activation.size * 8 + 16
+
+    def test_minifloat_payload_memory(self, activation):
+        encoded = get_quantizer("fp8_e4m3").quantize(activation)
+        assert encoded.memory_bits() == activation.size * 8
+
+    def test_dequantize_restores_original_shape_along_any_axis(self, rng):
+        x = rng.standard_normal((6, 40))
+        for axis in (0, 1, -1):
+            encoded = get_quantizer("bfp4").quantize(x, axis=axis)
+            assert encoded.dequantize().shape == x.shape
+
+    def test_int_per_block_blocks_along_requested_axis(self, rng):
+        weight = rng.standard_normal((64, 8))
+        weight[::16, :] *= 50.0
+        per_block = IntQuantConfig(4, granularity=Granularity.PER_BLOCK, block_size=16)
+        quantizer = get_quantizer(per_block)
+        axis0 = quantizer.quantize_dequantize(weight, axis=0)
+        axis_last = quantizer.quantize_dequantize(weight, axis=-1)
+        assert np.array_equal(axis0, int_quantize_dequantize(weight.T, per_block).T)
+        assert not np.array_equal(axis0, axis_last)
+
+
+class TestSchemeIntegration:
+    def test_scheme_from_spec_string_quantizes_along_the_right_axes(self, rng):
+        from repro.llm.inference import QuantizationScheme
+
+        scheme = QuantizationScheme.from_format("bbfp(4,2)")
+        weight = rng.standard_normal((64, 8))
+        expected = bbfp_quantize_dequantize(weight, BBFPConfig(4, 2), axis=0)
+        assert np.array_equal(scheme.weight_fn("layer", weight), expected)
+
+    def test_layerwise_scheme_accepts_spec_strings(self):
+        from repro.search.layerwise import build_layerwise_scheme
+
+        scheme = build_layerwise_scheme({"q_proj": "bfp6", "down_proj": "int8"})
+        assert "BFP6" in scheme.name and "INT8" in scheme.name

@@ -1,0 +1,85 @@
+"""Tests for ``to_dict`` / ``from_dict`` round-trips across the registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.bbfp import BBFPConfig
+from repro.core.bie import BiEConfig
+from repro.core.blockfp import BFPConfig
+from repro.core.exponent_selection import ExponentStrategy
+from repro.core.floatspec import FloatSpec
+from repro.core.integer import Granularity, IntQuantConfig
+from repro.core.microscaling import MXConfig
+from repro.core.rounding import RoundingMode
+from repro.core.serializable import SerializableConfig
+from repro.quant import UnknownFormatError, config_from_dict, list_formats, parse_spec
+
+#: Every example spec of every registered family.
+ALL_EXAMPLE_SPECS = [
+    spec for entry in list_formats() for spec in entry["example_specs"]
+]
+
+#: Configs exercising fields the spec grammar cannot express.
+EXOTIC_CONFIGS = [
+    BBFPConfig(4, 2, exponent_strategy=ExponentStrategy.BBFP_PLUS_ONE,
+               rounding=RoundingMode.STOCHASTIC),
+    BFPConfig(6, rounding=RoundingMode.TRUNCATE),
+    IntQuantConfig(8, granularity=Granularity.PER_CHANNEL, clip_ratio=0.98),
+    BiEConfig(4, rounding=RoundingMode.TRUNCATE),
+    MXConfig(FloatSpec("FP5_E2M2", 2, 2), block_size=16, scale_bits=6),
+]
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_EXAMPLE_SPECS)
+    def test_every_registered_example_round_trips(self, spec):
+        config = parse_spec(spec)
+        payload = config.to_dict()
+        assert payload["family"]
+        assert config_from_dict(payload) == config
+
+    @pytest.mark.parametrize("config", EXOTIC_CONFIGS, ids=lambda c: type(c).__name__)
+    def test_fields_outside_the_spec_grammar_round_trip(self, config):
+        assert config_from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("spec", ALL_EXAMPLE_SPECS)
+    def test_payload_is_json_safe(self, spec):
+        config = parse_spec(spec)
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert config_from_dict(payload) == config
+
+    def test_typed_from_dict_checks_the_family(self):
+        payload = BBFPConfig(4, 2).to_dict()
+        assert BBFPConfig.from_dict(payload) == BBFPConfig(4, 2)
+        with pytest.raises(TypeError, match="BFPConfig"):
+            BFPConfig.from_dict(payload)
+
+    def test_untyped_from_dict_accepts_any_family(self):
+        payload = IntQuantConfig(8).to_dict()
+        assert SerializableConfig.from_dict(payload) == IntQuantConfig(8)
+
+    def test_nested_element_config_round_trips(self):
+        payload = parse_spec("mxfp4").to_dict()
+        assert payload["element"]["family"] == "minifloat"
+        assert config_from_dict(payload) == parse_spec("mxfp4")
+
+
+class TestDictErrors:
+    def test_missing_family_rejected(self):
+        with pytest.raises(UnknownFormatError, match="family"):
+            config_from_dict({"mantissa_bits": 4})
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(UnknownFormatError, match="unknown format"):
+            config_from_dict({"family": "fancy"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(UnknownFormatError, match="unknown field"):
+            config_from_dict({"family": "bfp", "mantissa_bits": 6, "bogus": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            config_from_dict("bfp6")

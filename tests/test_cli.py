@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import argparse
 import json
 
 import pytest
@@ -14,6 +13,7 @@ from repro.core.blockfp import BFPConfig
 from repro.core.floatspec import FloatSpec
 from repro.core.integer import IntQuantConfig
 from repro.core.microscaling import MXConfig
+from repro.quant import UnknownFormatError, parse_spec
 
 
 class TestParseFormat:
@@ -36,9 +36,18 @@ class TestParseFormat:
         config = parse_format("BBFP(4,2)")
         assert (config.mantissa_bits, config.overlap_bits) == (4, 2)
 
+    def test_is_a_shim_over_parse_spec(self):
+        assert parse_format("BBFP(4,2)") == parse_spec("BBFP(4,2)")
+
     def test_unknown_format_raises(self):
-        with pytest.raises(argparse.ArgumentTypeError, match="unknown format"):
+        # UnknownFormatError is a ValueError, so argparse type= callables turn
+        # it into a clean usage error.
+        with pytest.raises(UnknownFormatError, match="unknown format"):
             parse_format("FANCY13")
+
+    def test_unknown_format_suggests_close_spec(self):
+        with pytest.raises(UnknownFormatError, match="did you mean"):
+            parse_format("bffp(4,2)")
 
 
 class TestListCommand:

@@ -1,0 +1,46 @@
+"""Make-free smoke target: run the real ``python -m repro`` entry point.
+
+These tests exercise the packaging path (``__main__`` -> ``cli`` ->
+``repro.quant``) in a subprocess, exactly as a user would, so a broken
+console entry point or import cycle fails tier-1 rather than only the
+published wheel.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _run_repro(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300, cwd=REPO_ROOT, env=env,
+    )
+
+
+class TestPythonDashMRepro:
+    def test_formats_table(self):
+        result = _run_repro("formats")
+        assert result.returncode == 0, result.stderr
+        assert "BBFP(4,2)" in result.stdout
+        assert "memory_efficiency" in result.stdout
+
+    def test_quantize_synthetic_tensor(self):
+        result = _run_repro("quantize", "--format", "BBFP(4,2)", "--size", "256")
+        assert result.returncode == 0, result.stderr
+        assert "sqnr_db" in result.stdout
+        assert "BBFP(4,2)" in result.stdout
+
+    def test_unknown_format_is_a_clean_usage_error(self):
+        result = _run_repro("quantize", "--format", "FANCY13", "--size", "64")
+        assert result.returncode != 0
+        assert "unknown format" in result.stderr
+        assert "Traceback" not in result.stderr
