@@ -39,6 +39,12 @@ Large Language Models"*.  It contains:
 ``repro.analysis`` / ``repro.experiments``
     Drivers that regenerate every table and figure of the paper's evaluation.
 
+``repro.pipeline``
+    The parallel, cached experiment pipeline behind ``repro run``: a
+    dependency-aware process-pool scheduler (model-zoo training is a shared
+    upstream stage), a content-addressed result cache keyed on the source
+    tree, and a resumable JSON run manifest.
+
 Formats and spec strings
 ------------------------
 

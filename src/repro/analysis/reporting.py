@@ -14,7 +14,9 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["ExperimentResult", "format_table", "save_result"]
+from repro.core.ioutils import atomic_write_text
+
+__all__ = ["ExperimentResult", "format_table", "save_result", "load_result"]
 
 
 def _format_value(value) -> str:
@@ -66,9 +68,22 @@ class ExperimentResult:
             "experiment_id": self.experiment_id,
             "title": self.title,
             "rows": self.rows,
+            "columns": self.columns,
             "notes": self.notes,
             "metadata": self.metadata,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (tolerates older payloads without columns)."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload.get("title", ""),
+            rows=payload.get("rows", []),
+            columns=payload.get("columns"),
+            notes=payload.get("notes", ""),
+            metadata=payload.get("metadata", {}),
+        )
 
 
 def save_result(result: ExperimentResult, directory) -> Path:
@@ -77,6 +92,13 @@ def save_result(result: ExperimentResult, directory) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     stem = result.experiment_id.lower().replace(" ", "_")
     json_path = directory / f"{stem}.json"
-    json_path.write_text(json.dumps(result.to_dict(), indent=2, default=float))
-    (directory / f"{stem}.txt").write_text(result.to_text() + "\n")
+    # atomic writes: a killed or concurrent run must never leave a torn file
+    # that a later --resume or cache lookup would trust
+    atomic_write_text(json_path, json.dumps(result.to_dict(), indent=2, default=float))
+    atomic_write_text(directory / f"{stem}.txt", result.to_text() + "\n")
     return json_path
+
+
+def load_result(path) -> ExperimentResult:
+    """Load an :class:`ExperimentResult` previously written by :func:`save_result`."""
+    return ExperimentResult.from_dict(json.loads(Path(path).read_text()))

@@ -3,16 +3,18 @@
 The CLI wraps the pieces a user touches most often so nothing requires writing
 Python for a first look at the library::
 
-    python -m repro list                       # available experiments
+    python -m repro list                       # experiment catalog
     python -m repro run table1 fig3 --fast     # regenerate selected artefacts
+    python -m repro run --fast --jobs 4        # parallel, cached, resumable
     python -m repro formats                    # format comparison table
     python -m repro formats --formats "BBFP(4,2)" BFP6 INT8
     python -m repro quantize --format "BBFP(4,2)" --size 4096
     python -m repro simulate --strategy "BBFP(4,2)" --seq-len 1024
 
-``run`` delegates to :mod:`repro.experiments.runner`; the other subcommands
-are thin, dependency-free views over :mod:`repro.core`, :mod:`repro.hardware`
-and :mod:`repro.accelerator`.
+``run`` delegates to the parallel cached pipeline (:mod:`repro.pipeline`,
+argument handling shared with :mod:`repro.experiments.runner`); the other
+subcommands are thin, dependency-free views over :mod:`repro.core`,
+:mod:`repro.hardware` and :mod:`repro.accelerator`.
 """
 
 from __future__ import annotations
@@ -45,18 +47,16 @@ _DEFAULT_FORMATS = ("FP16", "INT8", "BFP8", "BFP6", "BFP4", "BBFP(6,3)", "BBFP(4
 
 
 def _cmd_list(args) -> int:
-    from repro.experiments.runner import EXPERIMENTS
+    from repro.experiments.runner import print_catalog
 
-    for name in EXPERIMENTS:
-        print(name)
+    print_catalog()
     return 0
 
 
 def _cmd_run(args) -> int:
-    from repro.experiments.runner import run_all
+    from repro.pipeline.cli import run_from_args
 
-    run_all(args.experiments or None, fast=args.fast or None, output_dir=args.output_dir)
-    return 0
+    return run_from_args(args)
 
 
 def _cmd_formats(args) -> int:
@@ -141,10 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list available experiments")
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = sub.add_parser("run", help="regenerate paper tables/figures")
-    p_run.add_argument("experiments", nargs="*", help="experiment names (default: all)")
-    p_run.add_argument("--fast", action="store_true", help="reduced model set / fewer batches")
-    p_run.add_argument("--output-dir", default="results")
+    p_run = sub.add_parser("run", help="regenerate paper tables/figures (parallel, cached)")
+    from repro.pipeline.cli import add_run_arguments
+
+    add_run_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_formats = sub.add_parser("formats", help="compare number formats (bits, memory, MAC/PE area)")

@@ -1,0 +1,42 @@
+"""Atomic file-write helpers shared by every on-disk artefact writer.
+
+Result files, cache entries, run manifests and model checkpoints are all
+read back by later runs (``--resume``, cache lookups) or by concurrent
+worker processes, so none of them may ever be observed half-written.  The
+pattern is the classic write-to-sibling-then-``os.replace``: the temporary
+name carries the writer's PID so concurrent writers of the same target
+cannot clobber each other's scratch file, and the rename is atomic on POSIX.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_writer"]
+
+
+@contextmanager
+def atomic_writer(path, mode: str = "wb"):
+    """Context manager yielding a file handle whose content appears atomically.
+
+    On clean exit the temporary file is renamed over ``path``; on error it is
+    removed and ``path`` is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, mode) as fh:
+            yield fh
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    path = Path(path)
+    with atomic_writer(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -13,6 +13,9 @@ __all__ = [
     "eval_config",
     "table2_model_specs",
     "table4_model_specs",
+    "fig8_model_specs",
+    "format_ppl_model_specs",
+    "experiment_model_specs",
     "TABLE2_LINEAR_FORMATS",
     "FIG8_STRATEGIES",
 ]
@@ -68,3 +71,46 @@ def table4_model_specs(fast=None):
     if is_fast_mode(fast):
         return (NONLINEAR_FAMILY[0],)
     return NONLINEAR_FAMILY
+
+
+def fig8_model_specs(fast=None):
+    """The Fig. 8 accuracy-half model list: the full zoo, or the 1B/3B tiers in fast mode."""
+    if is_fast_mode(fast):
+        return LLAMA_FAMILY[:2] + OPT_FAMILY[:2]
+    return LLAMA_FAMILY + OPT_FAMILY
+
+
+def format_ppl_model_specs(fast=None):
+    """The ext_format_ppl model pair: one Llama-like and one OPT-like checkpoint."""
+    if is_fast_mode(fast):
+        return (LLAMA_FAMILY[0], OPT_FAMILY[0])
+    return (LLAMA_FAMILY[2], OPT_FAMILY[2])
+
+
+def experiment_model_specs(name, fast=None) -> tuple:
+    """Paper names of the zoo checkpoints experiment ``name`` evaluates.
+
+    This is the dependency declaration the pipeline scheduler consumes: every
+    listed model becomes a shared upstream ``zoo:<model>`` training task, so
+    concurrent experiments wait for (and never duplicate) the same training
+    run.  Hardware-only experiments return an empty tuple.  Multi-model
+    selections come from the same ``*_model_specs`` helpers the drivers call,
+    and single-model entries are the drivers' ``model_name`` defaults
+    (pinned by a consistency test in ``tests/pipeline/test_run.py``).
+    """
+    fast = is_fast_mode(fast)
+    if name in ("fig1a", "fig3"):
+        return ("OPT-6.7B",)
+    if name == "fig4":
+        return ("Llama-7B",)
+    if name == "table2":
+        return tuple(spec.paper_name for spec in table2_model_specs(fast))
+    if name == "table4":
+        return tuple(spec.paper_name for spec in table4_model_specs(fast))
+    if name == "fig8":
+        return tuple(spec.paper_name for spec in fig8_model_specs(fast))
+    if name == "ext_format_ppl":
+        return tuple(spec.paper_name for spec in format_ppl_model_specs(fast))
+    if name == "ext_mixed_precision":
+        return ("Llama-1B",)
+    return ()

@@ -146,10 +146,10 @@ def extended_format_ppl(fast=None) -> ExperimentResult:
     from repro.baselines.gptq import GPTQConfig, build_gptq_scheme
     from repro.llm.inference import QuantizationScheme
     from repro.llm.perplexity import evaluate_perplexity
-    from repro.llm.zoo import LLAMA_FAMILY, OPT_FAMILY, default_corpus, load_inference_model
+    from repro.experiments.common import format_ppl_model_specs
+    from repro.llm.zoo import default_corpus, load_inference_model
 
-    fast_mode = is_fast_mode(fast)
-    specs = (LLAMA_FAMILY[0], OPT_FAMILY[0]) if fast_mode else (LLAMA_FAMILY[2], OPT_FAMILY[2])
+    specs = format_ppl_model_specs(fast)
     corpus = default_corpus(fast=fast)
     evaluation = eval_config(fast)
 
@@ -181,7 +181,7 @@ def extended_format_ppl(fast=None) -> ExperimentResult:
             "BiE tracks BBFP at equal mantissa width; MXFP8 is safe, MXFP6 starts to "
             "degrade on the outlier-heavy Llama-like model."
         ),
-        metadata={"fast": fast_mode, "models": [s.paper_name for s in specs]},
+        metadata={"fast": is_fast_mode(fast), "models": [s.paper_name for s in specs]},
     )
 
 

@@ -7,10 +7,10 @@ from repro.analysis.reporting import ExperimentResult
 from repro.baselines import build_olive_scheme, build_oltron_scheme
 from repro.core.bbfp import BBFPConfig
 from repro.core.blockfp import BFPConfig
-from repro.experiments.common import FIG8_STRATEGIES, eval_config, is_fast_mode
+from repro.experiments.common import FIG8_STRATEGIES, eval_config, fig8_model_specs, is_fast_mode
 from repro.llm.inference import QuantizationScheme
 from repro.llm.perplexity import evaluate_perplexity
-from repro.llm.zoo import LLAMA_FAMILY, OPT_FAMILY, default_corpus, load_inference_model
+from repro.llm.zoo import default_corpus, load_inference_model
 
 __all__ = ["run"]
 
@@ -52,12 +52,9 @@ def run(fast=None, strategies=FIG8_STRATEGIES) -> ExperimentResult:
     """
     corpus = default_corpus()
     evaluation = eval_config(fast)
-    if is_fast_mode(fast):
-        llama_specs = LLAMA_FAMILY[:2]
-        opt_specs = OPT_FAMILY[:2]
-    else:
-        llama_specs = LLAMA_FAMILY
-        opt_specs = OPT_FAMILY
+    specs = fig8_model_specs(fast)
+    llama_specs = tuple(s for s in specs if s.family == "llama")
+    opt_specs = tuple(s for s in specs if s.family == "opt")
 
     points = {p.strategy_name: p for p in iso_area_design_points(strategies)}
     llama_ppl = _family_average_ppl(strategies, llama_specs, corpus, evaluation)

@@ -2,21 +2,24 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # full run, writes results/
-    REPRO_FAST=1 python -m repro.experiments.runner --fast
+    python -m repro.experiments.runner                # full run, writes results/
+    python -m repro.experiments.runner --fast --jobs 4
+    python -m repro.experiments.runner --list         # catalog with descriptions
 
-The first invocation trains the model zoo (cached under ``.cache/models``);
-subsequent runs reuse the cache and complete in a few minutes.
+Execution is delegated to :mod:`repro.pipeline`: independent experiments run
+concurrently (``--jobs``), model-zoo training is a shared upstream stage,
+results are served from a content-addressed cache when neither the code nor
+the configuration changed (``--no-cache`` opts out), and an interrupted run
+can be continued with ``--resume`` thanks to the JSON run manifest written
+alongside the results.  :func:`run_all` remains as the serial, uncached
+compatibility entry point.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from pathlib import Path
 
-from repro.analysis.reporting import ExperimentResult, save_result
 from repro.experiments import (
     ablations,
     extensions,
@@ -33,7 +36,7 @@ from repro.experiments import (
     table5_nonlinear_eff,
 )
 
-__all__ = ["EXPERIMENTS", "run_all", "main"]
+__all__ = ["EXPERIMENTS", "experiment_descriptions", "run_all", "print_catalog", "main"]
 
 #: Ordered registry of every experiment driver.
 EXPERIMENTS = {
@@ -62,40 +65,48 @@ EXPERIMENTS = {
 }
 
 
-def run_all(names=None, fast=None, output_dir="results", verbose: bool = True) -> dict:
-    """Run the selected experiments (all by default); returns ``{name: ExperimentResult}``."""
-    names = list(names) if names else list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}")
+def experiment_descriptions() -> dict:
+    """``{name: one-line description}`` pulled from each driver's docstring."""
+    descriptions = {}
+    for name, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip()
+        descriptions[name] = doc.splitlines()[0].rstrip(".") if doc else ""
+    return descriptions
 
-    results = {}
-    for name in names:
-        start = time.time()
-        result: ExperimentResult = EXPERIMENTS[name](fast=fast)
-        results[name] = result
-        if output_dir is not None:
-            save_result(result, Path(output_dir))
-        if verbose:
-            print(result.to_text())
-            print(f"[{name}] completed in {time.time() - start:.1f}s\n")
-    return results
+
+def run_all(names=None, fast=None, output_dir="results", verbose: bool = True) -> dict:
+    """Run the selected experiments (all by default); returns ``{name: ExperimentResult}``.
+
+    Compatibility shim over :func:`repro.pipeline.run_experiments`: serial
+    (one in-process worker) and cache disabled, so every driver executes,
+    in registry order, like the historical ``for`` loop.  One behavioural
+    difference: a failing driver no longer aborts the run mid-way — the
+    remaining experiments still execute and a
+    :class:`~repro.pipeline.PipelineError` (chained from the first driver
+    exception) is raised at the end.  Use the pipeline (or ``repro run``)
+    for parallelism, caching and resumable manifests.
+    """
+    from repro.pipeline import run_experiments
+
+    return run_experiments(names, fast=fast, output_dir=output_dir, jobs=1,
+                           use_cache=False, verbose=verbose)
+
+
+def print_catalog(stream=None) -> None:
+    """Print every experiment name with its one-line description."""
+    stream = stream or sys.stdout
+    descriptions = experiment_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:<{width}}  {description}", file=stream)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("experiments", nargs="*", help="subset of experiments to run (default: all)")
-    parser.add_argument("--fast", action="store_true", help="small models / fewer eval batches")
-    parser.add_argument("--output-dir", default="results", help="directory for JSON/text results")
-    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
-    args = parser.parse_args(argv)
+    from repro.pipeline.cli import add_run_arguments, run_from_args
 
-    if args.list:
-        for name in EXPERIMENTS:
-            print(name)
-        return 0
-    run_all(args.experiments or None, fast=args.fast or None, output_dir=args.output_dir)
-    return 0
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_run_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

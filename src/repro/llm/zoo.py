@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.ioutils import atomic_writer
 from repro.llm.config import ModelConfig
 from repro.llm.dataset import CorpusConfig, SyntheticCorpus
 from repro.llm.inference import InferenceModel, QuantizationScheme
@@ -188,7 +189,13 @@ def load_state_dict(spec: ModelSpec, corpus: SyntheticCorpus = None, cache_dir: 
     else:
         result = train_model(config, corpus, training)
         state = result.state_dict
-        np.savez_compressed(cache_file, **state)
+        # Write-then-rename so concurrent trainers of the same spec (pipeline
+        # workers racing before the shared zoo stage existed, or two parallel
+        # runs sharing a cache dir) can never leave a torn .npz behind: each
+        # writer produces an identical deterministic artefact, so
+        # last-writer-wins is safe.
+        with atomic_writer(cache_file) as fh:
+            np.savez_compressed(fh, **state)
 
     if with_outliers:
         state = inject_outliers(config, state, spec.outlier_profile)

@@ -1,0 +1,50 @@
+"""Parallel, cached experiment pipeline.
+
+The experiment runner used to be a serial ``for`` loop: every invocation
+re-ran all 22 tables/figures from scratch, one after another, even when
+nothing had changed since the previous run.  This package replaces that loop
+with a small build system for experiments:
+
+* :mod:`repro.pipeline.scheduler` — a dependency-aware task scheduler that
+  runs independent tasks concurrently on a :class:`~concurrent.futures.
+  ProcessPoolExecutor` (model-zoo training is declared as a shared upstream
+  stage, so two experiments needing ``Llama-7B`` never train it twice in
+  parallel);
+* :mod:`repro.pipeline.fingerprint` — content fingerprints over the source
+  tree, so results are keyed by the code that produced them;
+* :mod:`repro.pipeline.cache` — a content-addressed result cache keyed on
+  (experiment name, fast flag, code/config fingerprint): re-running an
+  unchanged experiment is a cache hit that only rewrites the result files;
+* :mod:`repro.pipeline.manifest` — a structured JSON run manifest recording
+  per-experiment status, wall time, cache hits and worker, which makes
+  interrupted runs resumable (``repro run --resume``);
+* :mod:`repro.pipeline.run` — the orchestration layer gluing the above
+  together behind :func:`run_experiments`.
+
+The public entry points are ``repro run`` (CLI) and :func:`run_experiments`;
+:func:`repro.experiments.runner.run_all` survives as a thin serial shim.
+"""
+
+from repro.pipeline.cache import ResultCache, default_result_cache_dir
+from repro.pipeline.fingerprint import code_fingerprint, experiment_cache_key, fingerprint_paths
+from repro.pipeline.manifest import MANIFEST_NAME, RunManifest, TaskRecord
+from repro.pipeline.run import PipelineError, run_experiments
+from repro.pipeline.scheduler import DependencyError, Task, TaskOutcome, run_tasks, topological_order
+
+__all__ = [
+    "run_experiments",
+    "PipelineError",
+    "Task",
+    "TaskOutcome",
+    "run_tasks",
+    "topological_order",
+    "DependencyError",
+    "ResultCache",
+    "default_result_cache_dir",
+    "fingerprint_paths",
+    "code_fingerprint",
+    "experiment_cache_key",
+    "RunManifest",
+    "TaskRecord",
+    "MANIFEST_NAME",
+]

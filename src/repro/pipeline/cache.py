@@ -1,0 +1,78 @@
+"""Content-addressed result cache for experiment runs.
+
+Each cache entry is one JSON file named after its
+:func:`~repro.pipeline.fingerprint.experiment_cache_key`, holding the
+serialized :class:`~repro.analysis.reporting.ExperimentResult` plus a small
+metadata header (experiment name, fast flag, creation time).  Because the key
+already encodes the code fingerprint, invalidation is automatic: editing any
+source file changes every key, and stale entries are simply never looked up
+again (``prune`` deletes them).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import ExperimentResult
+from repro.core.ioutils import atomic_write_text
+
+__all__ = ["ResultCache", "default_result_cache_dir"]
+
+
+def default_result_cache_dir() -> Path:
+    """Directory holding cached experiment results (``REPRO_RESULT_CACHE_DIR`` overrides)."""
+    root = os.environ.get("REPRO_RESULT_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".cache" / "results"
+
+
+class ResultCache:
+    """Store and look up :class:`ExperimentResult` objects by content key."""
+
+    def __init__(self, directory=None):
+        self.directory = Path(directory) if directory is not None else default_result_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, key: str):
+        """Return the cached :class:`ExperimentResult` for ``key``, or ``None``."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return ExperimentResult.from_dict(payload["result"])
+        except (ValueError, KeyError, OSError):
+            return None  # corrupt entry: treat as a miss, it will be overwritten
+
+    def store(self, key: str, result: ExperimentResult, name: str = None, fast: bool = None) -> Path:
+        """Write ``result`` under ``key`` atomically; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        payload = {
+            "name": name if name is not None else result.experiment_id,
+            "fast": fast,
+            "created": time.time(),
+            "result": result.to_dict(),
+        }
+        return atomic_write_text(path, json.dumps(payload, indent=2, default=float))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def prune(self, keep=()) -> int:
+        """Delete every entry whose key is not in ``keep``; returns the count removed."""
+        keep = set(keep)
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.glob("*.json"):
+            if path.stem not in keep:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

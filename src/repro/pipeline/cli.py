@@ -1,0 +1,49 @@
+"""Shared ``run`` argument handling for the two command-line entry points.
+
+``python -m repro run`` and ``python -m repro.experiments.runner`` accept the
+same arguments and behave identically; both build their parser with
+:func:`add_run_arguments` and execute with :func:`run_from_args`.  This lives
+in the pipeline package (not the runner) so that building the CLI parser does
+not import every experiment driver — the heavy imports happen only when a
+run (or ``--list``) is actually requested.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["add_run_arguments", "run_from_args"]
+
+
+def add_run_arguments(parser) -> None:
+    """Attach the shared ``run`` arguments to an argparse parser."""
+    parser.add_argument("experiments", nargs="*", help="subset of experiments to run (default: all)")
+    parser.add_argument("--fast", action="store_true", help="small models / fewer eval batches")
+    parser.add_argument("--output-dir", default="results", help="directory for JSON/text results")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (1 = serial in-process)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments the previous run's manifest marked completed")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the content-addressed result cache")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+
+
+def run_from_args(args) -> int:
+    """Execute a parsed ``run`` invocation; returns a process exit code."""
+    if args.list:
+        from repro.experiments.runner import print_catalog
+
+        print_catalog()
+        return 0
+
+    from repro.pipeline.run import PipelineError, run_experiments
+
+    try:
+        run_experiments(args.experiments or None, fast=args.fast or None,
+                        output_dir=args.output_dir, jobs=args.jobs,
+                        use_cache=not args.no_cache, resume=args.resume)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0

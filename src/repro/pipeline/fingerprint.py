@@ -1,0 +1,87 @@
+"""Content fingerprints keying the experiment result cache.
+
+A cached experiment result is only valid while the code that produced it is
+unchanged, so cache keys mix three ingredients:
+
+* the experiment name and the resolved fast flag,
+* a fingerprint of the ``repro`` source tree (:func:`code_fingerprint`),
+* an optional JSON-safe ``extra`` mapping for run configuration that affects
+  the output (e.g. an overridden model list).
+
+Everything is plain SHA-256 over file contents — no mtimes, so the
+fingerprint is stable across checkouts and CI machines with identical code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["fingerprint_paths", "code_fingerprint", "experiment_cache_key"]
+
+
+def fingerprint_paths(paths, root: Path = None) -> str:
+    """SHA-256 over the (relative path, content) pairs of ``paths``.
+
+    ``paths`` are sorted by their path relative to ``root`` (or their string
+    form when no root is given), so the fingerprint does not depend on
+    filesystem iteration order.  Changing any file's content or renaming a
+    file changes the fingerprint.
+    """
+    digest = hashlib.sha256()
+    keyed = []
+    for path in paths:
+        path = Path(path)
+        label = str(path.relative_to(root)) if root is not None else str(path)
+        keyed.append((label, path))
+    for label, path in sorted(keyed):
+        digest.update(label.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+_CODE_FINGERPRINT_CACHE = {}
+
+
+def code_fingerprint(package_root: Path = None) -> str:
+    """Fingerprint of every ``*.py`` file under the ``repro`` package.
+
+    Memoized per process (the source tree does not change mid-run); pass an
+    explicit ``package_root`` to fingerprint a different tree (tests do).
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[1]
+    package_root = Path(package_root)
+    key = str(package_root)
+    if key not in _CODE_FINGERPRINT_CACHE:
+        files = sorted(package_root.rglob("*.py"))
+        _CODE_FINGERPRINT_CACHE[key] = fingerprint_paths(files, root=package_root)
+    return _CODE_FINGERPRINT_CACHE[key]
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop memoized code fingerprints (tests that mutate a tree need this)."""
+    _CODE_FINGERPRINT_CACHE.clear()
+
+
+def experiment_cache_key(name: str, fast: bool, code_fp: str = None, extra: dict = None) -> str:
+    """Content-addressed cache key for one experiment run.
+
+    >>> key = experiment_cache_key("table1", fast=True, code_fp="abc")
+    >>> key == experiment_cache_key("table1", fast=True, code_fp="abc")
+    True
+    >>> key != experiment_cache_key("table1", fast=False, code_fp="abc")
+    True
+    >>> key != experiment_cache_key("table1", fast=True, code_fp="abc", extra={"seq": 1})
+    True
+    """
+    if code_fp is None:
+        code_fp = code_fingerprint()
+    payload = json.dumps(
+        {"name": name, "fast": bool(fast), "code": code_fp, "extra": extra or {}},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,115 @@
+"""Structured run manifest: what ran, how long it took, and how it ended.
+
+The pipeline writes ``manifest.json`` into the output directory and rewrites
+it after *every* task completion, so an interrupted run (crash, Ctrl-C, a
+failing experiment) always leaves an accurate record behind.  ``repro run
+--resume`` reads that record and skips every experiment that already
+completed, re-running only what failed or never started.
+
+Statuses:
+
+========== ==========================================================
+status     meaning
+========== ==========================================================
+pending    scheduled but not finished (only seen in crashed manifests)
+completed  driver ran in this invocation and succeeded
+cached     result served from the content-addressed cache
+resumed    skipped because a previous manifest marked it done
+failed     driver raised; ``error`` holds the message
+skipped    not run because an upstream dependency failed
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.ioutils import atomic_write_text
+
+__all__ = ["TaskRecord", "RunManifest", "MANIFEST_NAME"]
+
+#: File name of the manifest inside the run's output directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Statuses that mean "this experiment's result exists and is current".
+DONE_STATUSES = ("completed", "cached", "resumed")
+
+
+@dataclass
+class TaskRecord:
+    """Outcome of one experiment (or upstream stage) within a run."""
+
+    name: str
+    status: str = "pending"
+    wall_time_s: float = 0.0
+    cache_hit: bool = False
+    worker: str = ""
+    error: str = ""
+    result_path: str = ""
+
+    def is_done(self) -> bool:
+        return self.status in DONE_STATUSES
+
+
+@dataclass
+class RunManifest:
+    """Everything recorded about one ``repro run`` invocation."""
+
+    created: float = field(default_factory=time.time)
+    fast: bool = False
+    jobs: int = 1
+    code_fingerprint: str = ""
+    experiments: dict = field(default_factory=dict)  # name -> TaskRecord
+
+    def record(self, record: TaskRecord) -> TaskRecord:
+        self.experiments[record.name] = record
+        return record
+
+    def get(self, name: str):
+        return self.experiments.get(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "created": self.created,
+            "fast": self.fast,
+            "jobs": self.jobs,
+            "code_fingerprint": self.code_fingerprint,
+            "experiments": {name: asdict(rec) for name, rec in self.experiments.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        manifest = cls(
+            created=payload.get("created", 0.0),
+            fast=bool(payload.get("fast", False)),
+            jobs=int(payload.get("jobs", 1)),
+            code_fingerprint=payload.get("code_fingerprint", ""),
+        )
+        for name, rec in payload.get("experiments", {}).items():
+            known = {f: rec.get(f) for f in TaskRecord.__dataclass_fields__ if f in rec}
+            manifest.experiments[name] = TaskRecord(**{"name": name, **known})
+        return manifest
+
+    def save(self, path) -> Path:
+        """Atomically (re)write the manifest; called after every task event."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def try_load(cls, path):
+        """Load a manifest if present and parseable, else ``None``."""
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            return cls.load(path)
+        except (ValueError, OSError):
+            return None

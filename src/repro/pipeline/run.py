@@ -1,0 +1,249 @@
+"""Orchestration: cache pre-pass, zoo pre-training stage, scheduling, manifest.
+
+:func:`run_experiments` is the engine behind ``repro run`` and the
+compatibility shim :func:`repro.experiments.runner.run_all`.  One invocation:
+
+1. resolves the requested experiment names against the registry;
+2. (``resume=True``) reloads the previous run's manifest and marks every
+   experiment it already completed as ``resumed``;
+3. looks each remaining experiment up in the content-addressed result cache
+   — hits are rewritten into the output directory without running anything;
+4. builds a task graph for the misses: one task per experiment plus one
+   shared upstream ``zoo:<model>`` training task per model checkpoint any of
+   them needs, so concurrent experiments never train the same model twice;
+5. runs the graph (serially for ``jobs=1``, on a process pool otherwise),
+   emitting a progress line and rewriting ``manifest.json`` after every
+   completion so the run is resumable at any point.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.reporting import ExperimentResult, load_result, save_result
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.fingerprint import code_fingerprint, experiment_cache_key
+from repro.pipeline.manifest import MANIFEST_NAME, RunManifest, TaskRecord
+from repro.pipeline.scheduler import Task, run_tasks
+
+__all__ = ["run_experiments", "PipelineError"]
+
+
+class PipelineError(RuntimeError):
+    """At least one experiment failed; ``failures`` maps name -> error string."""
+
+    def __init__(self, failures: dict):
+        self.failures = dict(failures)
+        detail = "; ".join(f"{name}: {err}" for name, err in sorted(self.failures.items()))
+        super().__init__(f"{len(self.failures)} experiment(s) failed: {detail}")
+
+
+def _apply_fast_env(fast) -> None:
+    """Pin ``REPRO_FAST`` so env-driven helpers agree with the explicit flag.
+
+    Several shared resources (the evaluation corpus, model subsets) fall back
+    to ``REPRO_FAST`` when no explicit flag reaches them; worker processes
+    must see the same value as the parent or the zoo pre-training stage would
+    train models the experiments then ignore.
+    """
+    if fast is not None:
+        os.environ["REPRO_FAST"] = "1" if fast else "0"
+
+
+def _experiment_worker(name: str, fast) -> ExperimentResult:
+    """Run one experiment driver (executed in a pool worker or inline)."""
+    from repro.experiments.runner import EXPERIMENTS
+
+    _apply_fast_env(fast)
+    return EXPERIMENTS[name](fast=fast)
+
+
+def _train_model_worker(paper_name: str, fast) -> str:
+    """Shared upstream stage: ensure one zoo checkpoint is trained and cached."""
+    from repro.llm.zoo import default_corpus, get_spec, load_state_dict
+
+    _apply_fast_env(fast)
+    load_state_dict(get_spec(paper_name), corpus=default_corpus())
+    return paper_name
+
+
+def _default_model_deps(name: str, fast) -> tuple:
+    from repro.experiments.common import experiment_model_specs
+
+    return experiment_model_specs(name, fast)
+
+
+def run_experiments(names=None, fast=None, output_dir="results", jobs: int = 1,
+                    use_cache: bool = True, resume: bool = False, verbose: bool = True,
+                    cache_dir=None, cache_extra: dict = None, registry=None,
+                    model_deps=None, executor: str = None,
+                    raise_on_error: bool = True) -> dict:
+    """Run the selected experiments; returns ``{name: ExperimentResult}``.
+
+    Parameters mirror the ``repro run`` CLI: ``jobs`` sets the worker count
+    (1 = serial in-process), ``use_cache=False`` forces every driver to run,
+    ``resume=True`` trusts the previous manifest in ``output_dir``.
+    ``registry``/``model_deps``/``executor`` exist for tests: an injected
+    ``{name: driver}`` mapping, a ``(name, fast) -> model names`` hook, and
+    the scheduler executor kind.
+    """
+    if registry is None:
+        from repro.experiments.runner import EXPERIMENTS as registry
+        if model_deps is None:
+            model_deps = _default_model_deps
+    if model_deps is None:
+        model_deps = lambda name, fast: ()  # noqa: E731
+
+    names = list(names) if names else list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; known: {sorted(registry)}")
+
+    from repro.experiments.common import is_fast_mode
+
+    effective_fast = is_fast_mode(fast)
+    output_dir = Path(output_dir) if output_dir is not None else None
+    manifest_path = output_dir / MANIFEST_NAME if output_dir is not None else None
+    cache = ResultCache(cache_dir) if use_cache else None
+    code_fp = code_fingerprint()
+    manifest = RunManifest(fast=effective_fast, jobs=jobs, code_fingerprint=code_fp)
+
+    previous = RunManifest.try_load(manifest_path) if (resume and manifest_path) else None
+    if previous is not None and (previous.fast != effective_fast
+                                 or previous.code_fingerprint != code_fp):
+        # A manifest from a different fast mode or a different source tree
+        # describes different results — trusting it would serve wrong data.
+        if verbose:
+            print("[resume] previous manifest is from a different configuration "
+                  "(fast flag or source tree changed); re-running everything", flush=True)
+        previous = None
+
+    results, pending = {}, []
+    total = len(names)
+
+    def announce(index, name, status, wall, suffix=""):
+        if verbose:
+            print(f"[{index:>{len(str(total))}}/{total}] {name:<22} {status:<9} "
+                  f"{wall:6.1f}s{suffix}", flush=True)
+
+    def finish(name, result, record):
+        if result is not None and output_dir is not None:
+            record.result_path = str(save_result(result, output_dir))
+        manifest.record(record)
+        if manifest_path is not None:
+            manifest.save(manifest_path)
+        if result is not None:
+            results[name] = result
+
+    # --- pre-pass: resume, then cache ------------------------------------
+    for name in names:
+        old = previous.get(name) if previous else None
+        if old is not None and old.is_done() and old.result_path and Path(old.result_path).exists():
+            try:
+                result = load_result(old.result_path)
+            except (ValueError, OSError):
+                result = None  # torn/corrupt result file: fall through and re-run
+            if result is not None:
+                record = TaskRecord(name=name, status="resumed", cache_hit=old.cache_hit,
+                                    worker="main", result_path=old.result_path)
+                manifest.record(record)
+                if manifest_path is not None:
+                    manifest.save(manifest_path)
+                results[name] = result
+                announce(len(results), name, "resumed", 0.0)
+                continue
+        key = experiment_cache_key(name, effective_fast, code_fp, cache_extra)
+        cached = cache.lookup(key) if cache is not None else None
+        if cached is not None:
+            record = TaskRecord(name=name, status="cached", cache_hit=True, worker="main")
+            finish(name, cached, record)
+            announce(len(results), name, "cached", 0.0)
+            continue
+        pending.append((name, key))
+
+    # --- task graph for the misses ---------------------------------------
+    tasks = {}
+    for name, _key in pending:
+        deps = []
+        for model_name in model_deps(name, fast):
+            task_name = f"zoo:{model_name}"
+            if task_name not in tasks:
+                tasks[task_name] = Task(name=task_name, fn=_train_model_worker,
+                                        args=(model_name, fast))
+            deps.append(task_name)
+        if _uses_default_registry(registry):
+            # dispatch by name: the worker re-imports the registry, so the
+            # task payload stays a pair of plain strings (always picklable)
+            tasks[name] = Task(name=name, fn=_experiment_worker, args=(name, fast),
+                               deps=tuple(deps))
+        else:
+            tasks[name] = Task(name=name, fn=registry[name], kwargs={"fast": fast},
+                               deps=tuple(deps))
+
+    keys = dict(pending)
+    done_counter = [len(results)]
+    first_exception = []
+
+    def on_complete(outcome):
+        if outcome.name.startswith("zoo:"):
+            if outcome.status == "failed":
+                # a broken upstream stage is the run's root cause: keep its
+                # exception for PipelineError chaining and record it in the
+                # manifest so the error survives the process
+                if outcome.exception is not None and not first_exception:
+                    first_exception.append(outcome.exception)
+                manifest.record(TaskRecord(name=outcome.name, status="failed",
+                                           wall_time_s=outcome.wall_time_s,
+                                           worker=outcome.worker, error=outcome.error))
+                if manifest_path is not None:
+                    manifest.save(manifest_path)
+            if verbose:
+                status = "trained" if outcome.status == "completed" else outcome.status
+                detail = f"  ({outcome.error})" if outcome.error else ""
+                print(f"[zoo] {outcome.name[4:]:<22} {status:<9} {outcome.wall_time_s:6.1f}s"
+                      f"{detail}", flush=True)
+            return
+        name = outcome.name
+        done_counter[0] += 1
+        record = TaskRecord(name=name, status=outcome.status, wall_time_s=outcome.wall_time_s,
+                            worker=outcome.worker, error=outcome.error)
+        if outcome.status == "completed":
+            result = outcome.result
+            if cache is not None:
+                cache.store(keys[name], result, name=name, fast=effective_fast)
+            finish(name, result, record)
+            if verbose:
+                print(result.to_text(), flush=True)
+        else:
+            if outcome.exception is not None and not first_exception:
+                first_exception.append(outcome.exception)
+            finish(name, None, record)
+        announce(done_counter[0], name, outcome.status, outcome.wall_time_s)
+
+    if tasks:
+        saved_fast_env = os.environ.get("REPRO_FAST")
+        _apply_fast_env(fast)
+        try:
+            run_tasks(tasks, jobs=jobs, executor=executor, on_complete=on_complete)
+        finally:
+            if fast is not None:  # restore the caller's environment (inline runs mutate it)
+                if saved_fast_env is None:
+                    os.environ.pop("REPRO_FAST", None)
+                else:
+                    os.environ["REPRO_FAST"] = saved_fast_env
+
+    failures = {name: rec.error for name, rec in manifest.experiments.items()
+                if rec.status in ("failed", "skipped")}
+    if failures and raise_on_error:
+        # chain the first driver exception so its traceback stays debuggable
+        raise PipelineError(failures) from (first_exception[0] if first_exception else None)
+    return results
+
+
+def _uses_default_registry(registry) -> bool:
+    try:
+        from repro.experiments.runner import EXPERIMENTS
+    except ImportError:  # pragma: no cover - runner is always importable
+        return False
+    return registry is EXPERIMENTS

@@ -1,0 +1,189 @@
+"""Dependency-aware task scheduler over :mod:`concurrent.futures`.
+
+The scheduler takes a set of named :class:`Task` objects with declared
+dependencies and runs them as eagerly as the dependency graph allows:
+
+* ``jobs=1`` (or ``executor="inline"``) runs everything in the calling
+  process in deterministic topological order — the serial runner, unchanged;
+* ``jobs>1`` submits every ready task to a :class:`ProcessPoolExecutor`
+  (``executor="thread"`` swaps in threads, used by tests and useful for
+  IO-bound tasks) and submits newly unblocked tasks the moment their last
+  dependency finishes — there is no per-level barrier.
+
+Failure containment: a raising task is recorded as ``failed`` and all of its
+transitive dependents are marked ``skipped``; independent branches keep
+running.  The scheduler never raises for task errors — callers inspect the
+returned :class:`TaskOutcome` map.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+__all__ = ["Task", "TaskOutcome", "DependencyError", "topological_order", "run_tasks"]
+
+
+class DependencyError(ValueError):
+    """The task graph references an unknown task or contains a cycle."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a picklable callable plus its dependencies.
+
+    ``fn`` must be importable from the worker process (a module-level
+    function) when the process executor is used; the inline and thread
+    executors accept any callable.
+    """
+
+    name: str
+    fn: object
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    deps: tuple = ()
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task: status, payload or error, timing, worker."""
+
+    name: str
+    status: str  # "completed" | "failed" | "skipped"
+    result: object = None
+    error: str = ""
+    exception: object = None  # the original exception of a failed task
+    wall_time_s: float = 0.0
+    worker: str = "main"
+
+
+def topological_order(tasks) -> list:
+    """Kahn's algorithm, stable in task insertion order; validates the graph.
+
+    ``tasks`` maps name -> :class:`Task`.  Raises :class:`DependencyError`
+    on unknown dependencies or cycles.
+    """
+    for task in tasks.values():
+        for dep in task.deps:
+            if dep not in tasks:
+                raise DependencyError(f"task {task.name!r} depends on unknown task {dep!r}")
+    remaining = {name: set(task.deps) for name, task in tasks.items()}
+    order = []
+    while remaining:
+        ready = [name for name, deps in remaining.items() if not deps]
+        if not ready:
+            cycle = sorted(remaining)
+            raise DependencyError(f"dependency cycle among tasks {cycle}")
+        for name in ready:
+            order.append(name)
+            del remaining[name]
+        for deps in remaining.values():
+            deps.difference_update(ready)
+    return order
+
+
+def _call_task(fn, args, kwargs) -> dict:
+    """Worker-side wrapper recording which process executed the task."""
+    start = time.time()
+    value = fn(*args, **kwargs)
+    return {"value": value, "worker": f"pid:{os.getpid()}", "wall_time_s": time.time() - start}
+
+
+def _skip_dependents(name, tasks, outcomes, reason) -> None:
+    """Transitively mark every dependent of ``name`` as skipped."""
+    frontier = [name]
+    while frontier:
+        blocked = frontier.pop()
+        for task in tasks.values():
+            if blocked in task.deps and task.name not in outcomes:
+                outcomes[task.name] = TaskOutcome(
+                    name=task.name, status="skipped",
+                    error=f"upstream task {reason!r} failed",
+                )
+                frontier.append(task.name)
+
+
+def _run_inline(tasks, order, on_complete) -> dict:
+    outcomes = {}
+    for name in order:
+        if name in outcomes:  # already skipped through a failed upstream
+            if on_complete:
+                on_complete(outcomes[name])
+            continue
+        task = tasks[name]
+        start = time.time()
+        try:
+            value = task.fn(*task.args, **task.kwargs)
+            outcome = TaskOutcome(name=name, status="completed", result=value,
+                                  wall_time_s=time.time() - start, worker="main")
+        except Exception as exc:  # noqa: BLE001 — contain any task failure
+            outcome = TaskOutcome(name=name, status="failed", error=f"{type(exc).__name__}: {exc}",
+                                  exception=exc, wall_time_s=time.time() - start, worker="main")
+            _skip_dependents(name, tasks, outcomes, reason=name)
+        outcomes[name] = outcome
+        if on_complete:
+            on_complete(outcome)
+    return outcomes
+
+
+def run_tasks(tasks, jobs: int = 1, executor: str = None, on_complete=None) -> dict:
+    """Run a task graph; returns ``{name: TaskOutcome}``.
+
+    ``on_complete`` (if given) is called in the parent with each task's
+    :class:`TaskOutcome` as soon as it settles — the hook behind live
+    progress lines and incremental manifest writes.
+    """
+    tasks = dict(tasks)
+    order = topological_order(tasks)  # validates even for the pool path
+    if executor is None:
+        executor = "inline" if jobs <= 1 else "process"
+    if executor == "inline" or jobs <= 1:
+        return _run_inline(tasks, order, on_complete)
+
+    pool_cls = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}.get(executor)
+    if pool_cls is None:
+        raise ValueError(f"unknown executor {executor!r}; use 'inline', 'thread' or 'process'")
+
+    outcomes = {}
+    waiting = {name: set(task.deps) for name, task in tasks.items()}
+    starts, futures = {}, {}
+    with pool_cls(max_workers=jobs) as pool:
+
+        def submit_ready():
+            for name in [n for n, deps in waiting.items() if not deps]:
+                task = tasks[name]
+                del waiting[name]
+                starts[name] = time.time()
+                futures[pool.submit(_call_task, task.fn, task.args, task.kwargs)] = name
+
+        submit_ready()
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                name = futures.pop(future)
+                elapsed = time.time() - starts[name]
+                try:
+                    payload = future.result()
+                    outcome = TaskOutcome(name=name, status="completed", result=payload["value"],
+                                          wall_time_s=payload["wall_time_s"],
+                                          worker=payload["worker"])
+                except Exception as exc:  # noqa: BLE001 — contain any task failure
+                    outcome = TaskOutcome(name=name, status="failed",
+                                          error=f"{type(exc).__name__}: {exc}",
+                                          exception=exc, wall_time_s=elapsed)
+                    _skip_dependents(name, tasks, outcomes, reason=name)
+                    for skipped in [n for n in outcomes if n in waiting]:
+                        del waiting[skipped]
+                outcomes[name] = outcome
+                if on_complete:
+                    on_complete(outcome)
+                for deps in waiting.values():
+                    deps.discard(name)
+            submit_ready()
+    # report skipped tasks that never reached the pool
+    for name, outcome in outcomes.items():
+        if outcome.status == "skipped" and on_complete:
+            on_complete(outcome)
+    return outcomes

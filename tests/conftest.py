@@ -16,6 +16,17 @@ from repro.llm.outliers import LLAMA_PROFILE, inject_outliers
 from repro.llm.training import TrainingConfig, train_model
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the pipeline's result cache at a per-test directory.
+
+    Without this, a test running ``repro run`` (directly or through the CLI)
+    would read and write the repository's ``.cache/results/``: stale entries
+    from a developer's earlier run could mask a driver regression.
+    """
+    monkeypatch.setenv("REPRO_RESULT_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

@@ -1,0 +1,39 @@
+"""Tests for the shared atomic-write helpers (repro.core.ioutils)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ioutils import atomic_write_text, atomic_writer
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, '{"a": 1}') == target
+        assert target.read_text() == '{"a": 1}'
+        assert list(tmp_path.iterdir()) == [target]  # no scratch file left behind
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+
+class TestAtomicWriter:
+    def test_binary_writes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        with atomic_writer(target) as fh:
+            fh.write(b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("intact")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target, "w") as fh:
+                fh.write("half-")
+                raise RuntimeError("writer died mid-stream")
+        assert target.read_text() == "intact"
+        assert list(tmp_path.iterdir()) == [target]  # scratch file cleaned up

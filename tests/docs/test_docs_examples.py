@@ -1,0 +1,48 @@
+"""Execute every example in the documentation so the docs cannot rot.
+
+All ``>>>`` examples in ``README.md`` and ``docs/*.md`` are run through
+doctest.  A documentation page with examples that stop matching the
+implementation fails tier-1, exactly like a broken unit test.
+"""
+
+from __future__ import annotations
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+#: Pages that must carry runnable examples (a regression guard: deleting all
+#: examples from these pages should be a deliberate act, not silent rot).
+REQUIRE_EXAMPLES = {"quant-formats.md", "README.md"}
+
+OPTIONFLAGS = doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_documentation_examples_execute(path):
+    assert path.exists(), f"documented file {path} is missing"
+    results = doctest.testfile(str(path), module_relative=False, optionflags=OPTIONFLAGS,
+                               verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {path.name}"
+    if path.name in REQUIRE_EXAMPLES:
+        assert results.attempted > 0, f"{path.name} lost all of its runnable examples"
+
+
+def test_experiment_catalog_is_complete():
+    """docs/experiments.md must mention every registered experiment by name."""
+    from repro.experiments.runner import EXPERIMENTS
+
+    text = (REPO_ROOT / "docs" / "experiments.md").read_text()
+    missing = [name for name in EXPERIMENTS if f"`{name}`" not in text]
+    assert not missing, f"docs/experiments.md is missing experiments: {missing}"
+
+
+def test_readme_points_at_the_docs():
+    """The README's pointer map must reference every page under docs/."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in (REPO_ROOT / "docs").glob("*.md"):
+        assert f"docs/{page.name}" in readme, f"README does not link docs/{page.name}"

@@ -1,0 +1,67 @@
+"""Tests for the result cache and the run manifest."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.manifest import MANIFEST_NAME, RunManifest, TaskRecord
+
+
+def _result(name="T1"):
+    return ExperimentResult(
+        experiment_id=name, title="demo", rows=[{"x": 1, "y": 2.5}],
+        columns=["x", "y"], notes="n", metadata={"seed": 7},
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup("k" * 64) is None
+        cache.store("k" * 64, _result(), name="t1", fast=True)
+        loaded = cache.lookup("k" * 64)
+        assert loaded.experiment_id == "T1"
+        assert loaded.rows == [{"x": 1, "y": 2.5}]
+        assert loaded.columns == ["x", "y"]
+        assert loaded.metadata == {"seed": 7}
+        assert ("k" * 64) in cache
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", _result())
+        (tmp_path / "abc.json").write_text("{not json")
+        assert cache.lookup("abc") is None
+
+    def test_prune_keeps_only_requested_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("keep", _result())
+        cache.store("drop", _result())
+        assert cache.prune(keep=["keep"]) == 1
+        assert "keep" in cache and "drop" not in cache
+
+
+class TestRunManifest:
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = RunManifest(fast=True, jobs=4, code_fingerprint="fp")
+        manifest.record(TaskRecord(name="table1", status="completed", wall_time_s=1.5,
+                                   worker="pid:7", result_path="r/table1.json"))
+        manifest.record(TaskRecord(name="table2", status="failed", error="boom"))
+        path = manifest.save(tmp_path / MANIFEST_NAME)
+
+        loaded = RunManifest.load(path)
+        assert loaded.fast is True and loaded.jobs == 4
+        assert loaded.get("table1").is_done()
+        assert loaded.get("table1").wall_time_s == 1.5
+        assert not loaded.get("table2").is_done()
+        assert loaded.get("table2").error == "boom"
+
+    def test_done_statuses(self):
+        for status in ("completed", "cached", "resumed"):
+            assert TaskRecord(name="x", status=status).is_done()
+        for status in ("pending", "failed", "skipped"):
+            assert not TaskRecord(name="x", status=status).is_done()
+
+    def test_try_load_tolerates_missing_and_corrupt(self, tmp_path):
+        assert RunManifest.try_load(tmp_path / "nope.json") is None
+        (tmp_path / "bad.json").write_text("{")
+        assert RunManifest.try_load(tmp_path / "bad.json") is None

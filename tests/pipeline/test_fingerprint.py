@@ -1,0 +1,68 @@
+"""Tests for content fingerprints and cache keys (repro.pipeline.fingerprint)."""
+
+from __future__ import annotations
+
+from repro.pipeline.fingerprint import (
+    clear_fingerprint_cache,
+    code_fingerprint,
+    experiment_cache_key,
+    fingerprint_paths,
+)
+
+
+def _tree(tmp_path, files):
+    for name, content in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return sorted(tmp_path.rglob("*.py"))
+
+
+class TestFingerprintPaths:
+    def test_deterministic_and_order_independent(self, tmp_path):
+        files = _tree(tmp_path, {"a.py": "x = 1\n", "b.py": "y = 2\n"})
+        fp = fingerprint_paths(files, root=tmp_path)
+        assert fp == fingerprint_paths(list(reversed(files)), root=tmp_path)
+        assert len(fp) == 64
+
+    def test_changes_when_content_changes(self, tmp_path):
+        files = _tree(tmp_path, {"a.py": "x = 1\n"})
+        before = fingerprint_paths(files, root=tmp_path)
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert fingerprint_paths(files, root=tmp_path) != before
+
+    def test_changes_when_file_renamed(self, tmp_path):
+        before = fingerprint_paths(_tree(tmp_path, {"a.py": "x = 1\n"}), root=tmp_path)
+        (tmp_path / "a.py").rename(tmp_path / "b.py")
+        after = fingerprint_paths(sorted(tmp_path.rglob("*.py")), root=tmp_path)
+        assert after != before
+
+
+class TestCodeFingerprint:
+    def test_covers_the_repro_package_and_memoizes(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_tracks_source_edits(self, tmp_path):
+        _tree(tmp_path, {"pkg/mod.py": "a = 1\n"})
+        first = code_fingerprint(tmp_path)
+        clear_fingerprint_cache()
+        (tmp_path / "pkg" / "mod.py").write_text("a = 2\n")
+        assert code_fingerprint(tmp_path) != first
+        clear_fingerprint_cache()
+
+
+class TestExperimentCacheKey:
+    def test_stable_for_identical_inputs(self):
+        assert (experiment_cache_key("table1", True, "fp") ==
+                experiment_cache_key("table1", True, "fp"))
+
+    def test_varies_with_every_ingredient(self):
+        base = experiment_cache_key("table1", True, "fp")
+        assert experiment_cache_key("table2", True, "fp") != base
+        assert experiment_cache_key("table1", False, "fp") != base
+        assert experiment_cache_key("table1", True, "other") != base
+        assert experiment_cache_key("table1", True, "fp", extra={"models": ["a"]}) != base
+
+    def test_extra_dict_ordering_is_irrelevant(self):
+        assert (experiment_cache_key("t", True, "fp", extra={"a": 1, "b": 2}) ==
+                experiment_cache_key("t", True, "fp", extra={"b": 2, "a": 1}))

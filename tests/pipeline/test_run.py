@@ -1,0 +1,267 @@
+"""End-to-end tests of the pipeline orchestration (repro.pipeline.run).
+
+These inject a tiny registry of fake experiment drivers so they exercise the
+real cache / manifest / scheduling machinery without training any models.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult
+from repro.pipeline import MANIFEST_NAME, PipelineError, RunManifest, run_experiments
+from repro.pipeline.manifest import TaskRecord
+
+
+def _make_registry(counters, failing=()):
+    """Registry of cheap drivers that count invocations; ``failing`` names raise."""
+
+    def driver(name):
+        def run(fast=None):
+            counters[name] = counters.get(name, 0) + 1
+            if name in failing:
+                raise RuntimeError(f"{name} exploded")
+            return ExperimentResult(experiment_id=name.title(), title=f"demo {name}",
+                                    rows=[{"name": name, "value": counters[name] * 0 + 1.5}])
+        return run
+
+    return {name: driver(name) for name in ("alpha", "beta", "gamma")}
+
+
+class TestRunExperiments:
+    def test_runs_all_and_writes_results_and_manifest(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        results = run_experiments(output_dir=tmp_path, jobs=1, use_cache=False,
+                                  verbose=False, registry=registry)
+        assert sorted(results) == ["alpha", "beta", "gamma"]
+        assert counters == {"alpha": 1, "beta": 1, "gamma": 1}
+        assert (tmp_path / "alpha.json").exists()
+        manifest = RunManifest.load(tmp_path / MANIFEST_NAME)
+        for name in registry:
+            record = manifest.get(name)
+            assert record.status == "completed"
+            assert record.worker == "main"
+            assert record.result_path.endswith(f"{name}.json")
+
+    def test_unknown_experiment_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiments(["nope"], output_dir=tmp_path, verbose=False,
+                            registry=_make_registry({}))
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_experiments(output_dir=tmp_path / "ser", jobs=1, use_cache=False,
+                                 verbose=False, registry=_make_registry({}))
+        parallel = run_experiments(output_dir=tmp_path / "par", jobs=3, executor="thread",
+                                   use_cache=False, verbose=False,
+                                   registry=_make_registry({}))
+        assert {n: r.to_dict() for n, r in serial.items()} == \
+               {n: r.to_dict() for n, r in parallel.items()}
+        for name in serial:
+            ser = json.loads((tmp_path / "ser" / f"{name}.json").read_text())
+            par = json.loads((tmp_path / "par" / f"{name}.json").read_text())
+            assert ser == par
+
+
+class TestCaching:
+    def test_second_run_hits_cache_without_executing(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        kwargs = dict(output_dir=tmp_path / "out", cache_dir=tmp_path / "cache",
+                      verbose=False, registry=registry)
+        first = run_experiments(**kwargs)
+        assert counters == {"alpha": 1, "beta": 1, "gamma": 1}
+        second = run_experiments(**kwargs)
+        assert counters == {"alpha": 1, "beta": 1, "gamma": 1}  # nothing re-ran
+        assert {n: r.to_dict() for n, r in first.items()} == \
+               {n: r.to_dict() for n, r in second.items()}
+        manifest = RunManifest.load(tmp_path / "out" / MANIFEST_NAME)
+        assert all(manifest.get(n).status == "cached" for n in registry)
+        assert all(manifest.get(n).cache_hit for n in registry)
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        kwargs = dict(output_dir=tmp_path / "out", cache_dir=tmp_path / "cache",
+                      verbose=False, registry=registry)
+        run_experiments(cache_extra={"seq_len": 128}, **kwargs)
+        run_experiments(cache_extra={"seq_len": 128}, **kwargs)
+        assert counters == {"alpha": 1, "beta": 1, "gamma": 1}
+        run_experiments(cache_extra={"seq_len": 512}, **kwargs)  # config changed
+        assert counters == {"alpha": 2, "beta": 2, "gamma": 2}
+
+    def test_fast_flag_is_part_of_the_key(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        kwargs = dict(output_dir=tmp_path / "out", cache_dir=tmp_path / "cache",
+                      verbose=False, registry=registry)
+        run_experiments(fast=True, **kwargs)
+        run_experiments(fast=False, **kwargs)
+        assert counters == {"alpha": 2, "beta": 2, "gamma": 2}
+
+    def test_no_cache_always_executes(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        kwargs = dict(output_dir=tmp_path / "out", cache_dir=tmp_path / "cache",
+                      use_cache=False, verbose=False, registry=registry)
+        run_experiments(**kwargs)
+        run_experiments(**kwargs)
+        assert counters == {"alpha": 2, "beta": 2, "gamma": 2}
+
+
+class TestFailureAndResume:
+    def test_failure_is_recorded_and_raises_by_default(self, tmp_path):
+        registry = _make_registry({}, failing={"beta"})
+        with pytest.raises(PipelineError, match="beta"):
+            run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                            registry=registry)
+        manifest = RunManifest.load(tmp_path / MANIFEST_NAME)
+        assert manifest.get("beta").status == "failed"
+        assert "exploded" in manifest.get("beta").error
+        assert manifest.get("alpha").status == "completed"
+        assert manifest.get("gamma").status == "completed"
+
+    def test_resume_after_simulated_failure(self, tmp_path):
+        counters = {}
+        broken = _make_registry(counters, failing={"beta"})
+        results = run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                                  registry=broken, raise_on_error=False)
+        assert sorted(results) == ["alpha", "gamma"]
+        assert counters == {"alpha": 1, "beta": 1, "gamma": 1}
+
+        fixed = _make_registry(counters)  # "beta" no longer raises
+        resumed = run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                                  registry=fixed, resume=True)
+        assert sorted(resumed) == ["alpha", "beta", "gamma"]
+        # alpha/gamma were NOT re-executed, only the previously failed beta ran
+        assert counters == {"alpha": 1, "beta": 2, "gamma": 1}
+        manifest = RunManifest.load(tmp_path / MANIFEST_NAME)
+        assert manifest.get("alpha").status == "resumed"
+        assert manifest.get("gamma").status == "resumed"
+        assert manifest.get("beta").status == "completed"
+
+    def test_failure_chains_the_original_driver_exception(self, tmp_path):
+        registry = _make_registry({}, failing={"beta"})
+        with pytest.raises(PipelineError) as excinfo:
+            run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                            registry=registry)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "beta exploded" in str(excinfo.value.__cause__)
+
+    def test_resume_rejects_manifest_from_a_different_fast_mode(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        run_experiments(fast=True, output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry)
+        run_experiments(fast=False, output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry, resume=True)
+        # the fast=True manifest must not satisfy a fast=False resume
+        assert counters == {"alpha": 2, "beta": 2, "gamma": 2}
+
+    def test_resume_rejects_manifest_from_a_different_source_tree(self, tmp_path, monkeypatch):
+        counters = {}
+        registry = _make_registry(counters)
+        run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry)
+        monkeypatch.setattr("repro.pipeline.run.code_fingerprint", lambda *a: "different-tree")
+        run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry, resume=True)
+        assert counters == {"alpha": 2, "beta": 2, "gamma": 2}
+
+    def test_resume_reruns_experiments_with_corrupt_result_files(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry)
+        (tmp_path / "alpha.json").write_text("{torn mid-write")  # simulate a killed writer
+        resumed = run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                                  registry=registry, resume=True)
+        assert counters == {"alpha": 2, "beta": 1, "gamma": 1}
+        assert resumed["alpha"].rows  # the re-run produced a fresh, loadable result
+
+    def test_resume_ignores_stale_records_with_missing_files(self, tmp_path):
+        counters = {}
+        registry = _make_registry(counters)
+        manifest = RunManifest()
+        manifest.record(TaskRecord(name="alpha", status="completed",
+                                   result_path=str(tmp_path / "gone.json")))
+        manifest.save(tmp_path / MANIFEST_NAME)
+        run_experiments(["alpha"], output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry, resume=True)
+        assert counters == {"alpha": 1}  # stale manifest entry did not suppress the run
+
+
+class TestZooStage:
+    def test_model_deps_become_shared_upstream_tasks(self, tmp_path, monkeypatch):
+        trained = []
+        monkeypatch.setattr("repro.pipeline.run._train_model_worker",
+                            lambda name, fast: trained.append(name))
+        order = []
+        registry = {
+            "exp1": lambda fast=None: (order.append("exp1"),
+                                       ExperimentResult("Exp1", "t", [{"v": 1}]))[1],
+            "exp2": lambda fast=None: (order.append("exp2"),
+                                       ExperimentResult("Exp2", "t", [{"v": 1}]))[1],
+        }
+        deps = {"exp1": ("Llama-7B",), "exp2": ("Llama-7B", "OPT-6.7B")}
+        run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                        registry=registry, model_deps=lambda name, fast: deps[name])
+        # each model trained exactly once even though Llama-7B is needed twice
+        assert sorted(trained) == ["Llama-7B", "OPT-6.7B"]
+        assert order == ["exp1", "exp2"]
+
+
+    def test_failed_zoo_stage_surfaces_its_error(self, tmp_path, monkeypatch):
+        def broken_trainer(name, fast):
+            raise OSError(f"disk full while writing {name}")
+
+        monkeypatch.setattr("repro.pipeline.run._train_model_worker", broken_trainer)
+        registry = {"exp1": lambda fast=None: ExperimentResult("Exp1", "t", [{"v": 1}])}
+        with pytest.raises(PipelineError) as excinfo:
+            run_experiments(output_dir=tmp_path, use_cache=False, verbose=False,
+                            registry=registry,
+                            model_deps=lambda name, fast: ("Llama-7B",))
+        # the training error is both chained and recorded, not swallowed
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert "disk full" in str(excinfo.value.__cause__)
+        manifest = RunManifest.load(tmp_path / MANIFEST_NAME)
+        assert manifest.get("zoo:Llama-7B").status == "failed"
+        assert "disk full" in manifest.get("zoo:Llama-7B").error
+        assert manifest.get("exp1").status == "skipped"
+
+
+class TestExperimentModelSpecs:
+    def test_dependency_declarations_mirror_the_drivers(self):
+        from repro.experiments.common import experiment_model_specs
+
+        assert experiment_model_specs("table1", fast=True) == ()
+        assert experiment_model_specs("fig1a", fast=True) == ("OPT-6.7B",)
+        assert len(experiment_model_specs("table2", fast=True)) == 4
+        assert len(experiment_model_specs("table2", fast=False)) == 12
+        assert experiment_model_specs("table4", fast=True) == ("Llama-7B",)
+        assert len(experiment_model_specs("fig8", fast=False)) == 12
+        assert experiment_model_specs("ext_mixed_precision", fast=True) == ("Llama-1B",)
+
+    def test_single_model_declarations_match_the_driver_defaults(self):
+        """The scheduler's zoo deps must name the checkpoints the drivers load.
+
+        Multi-model experiments share ``common.*_model_specs`` helpers with
+        their drivers, so they cannot drift; the single-model experiments use
+        the drivers' ``model_name`` keyword defaults, pinned here.
+        """
+        import inspect
+
+        from repro.experiments import extensions, fig1_distribution, fig3_shared_exponent, fig4_overlap
+        from repro.experiments.common import experiment_model_specs
+
+        def default_model(fn):
+            return inspect.signature(fn).parameters["model_name"].default
+
+        for fast in (True, False):
+            assert experiment_model_specs("fig1a", fast) == (default_model(fig1_distribution.run),)
+            assert experiment_model_specs("fig3", fast) == (default_model(fig3_shared_exponent.run),)
+            assert experiment_model_specs("fig4", fast) == (default_model(fig4_overlap.run),)
+            assert experiment_model_specs("ext_mixed_precision", fast) == (
+                default_model(extensions.mixed_precision_extension),)

@@ -1,0 +1,140 @@
+"""Tests for the dependency-aware scheduler (repro.pipeline.scheduler)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.scheduler import DependencyError, Task, run_tasks, topological_order
+
+
+def _graph(edges):
+    """Build ``{name: Task}`` from ``{name: deps}`` with no-op callables."""
+    return {name: Task(name=name, fn=lambda: None, deps=tuple(deps))
+            for name, deps in edges.items()}
+
+
+class TestTopologicalOrder:
+    def test_dependencies_come_first(self):
+        order = topological_order(_graph({"c": ("b",), "b": ("a",), "a": ()}))
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_stable_in_insertion_order_for_independent_tasks(self):
+        assert topological_order(_graph({"x": (), "y": (), "z": ()})) == ["x", "y", "z"]
+
+    def test_unknown_dependency_raises(self):
+        with pytest.raises(DependencyError, match="unknown task"):
+            topological_order(_graph({"a": ("ghost",)}))
+
+    def test_cycle_raises(self):
+        with pytest.raises(DependencyError, match="cycle"):
+            topological_order(_graph({"a": ("b",), "b": ("a",)}))
+
+
+class TestInlineExecution:
+    def test_runs_in_dependency_order_and_passes_results(self):
+        calls = []
+        tasks = {
+            "train": Task(name="train", fn=lambda: calls.append("train"), deps=()),
+            "eval": Task(name="eval", fn=lambda: calls.append("eval"), deps=("train",)),
+        }
+        outcomes = run_tasks(tasks, jobs=1)
+        assert calls == ["train", "eval"]
+        assert all(o.status == "completed" for o in outcomes.values())
+        assert outcomes["train"].worker == "main"
+
+    def test_failure_skips_dependents_but_not_siblings(self):
+        calls = []
+
+        def boom():
+            raise RuntimeError("bad stage")
+
+        tasks = {
+            "bad": Task(name="bad", fn=boom),
+            "child": Task(name="child", fn=lambda: calls.append("child"), deps=("bad",)),
+            "grandchild": Task(name="grandchild", fn=lambda: calls.append("gc"),
+                               deps=("child",)),
+            "independent": Task(name="independent", fn=lambda: calls.append("ind")),
+        }
+        outcomes = run_tasks(tasks, jobs=1)
+        assert outcomes["bad"].status == "failed"
+        assert "bad stage" in outcomes["bad"].error
+        assert outcomes["child"].status == "skipped"
+        assert outcomes["grandchild"].status == "skipped"
+        assert outcomes["independent"].status == "completed"
+        assert calls == ["ind"]
+
+    def test_on_complete_sees_every_task_once(self):
+        seen = []
+        tasks = _graph({"a": (), "b": ("a",)})
+        run_tasks(tasks, jobs=1, on_complete=lambda o: seen.append(o.name))
+        assert sorted(seen) == ["a", "b"]
+
+
+class TestThreadExecution:
+    def test_dependency_completes_before_dependent_starts(self):
+        events = {}
+        lock = threading.Lock()
+
+        def stamp(name, delay):
+            with lock:
+                events[f"{name}:start"] = time.monotonic()
+            time.sleep(delay)
+            with lock:
+                events[f"{name}:end"] = time.monotonic()
+
+        tasks = {
+            "up": Task(name="up", fn=stamp, args=("up", 0.05)),
+            "down": Task(name="down", fn=stamp, args=("down", 0.0), deps=("up",)),
+            "side": Task(name="side", fn=stamp, args=("side", 0.0)),
+        }
+        outcomes = run_tasks(tasks, jobs=2, executor="thread")
+        assert all(o.status == "completed" for o in outcomes.values())
+        assert events["up:end"] <= events["down:start"]
+
+    def test_independent_tasks_overlap(self):
+        barrier = threading.Barrier(2, timeout=5)
+        tasks = {
+            "a": Task(name="a", fn=barrier.wait),
+            "b": Task(name="b", fn=barrier.wait),
+        }
+        # both tasks must be in flight at once to pass the barrier
+        outcomes = run_tasks(tasks, jobs=2, executor="thread")
+        assert all(o.status == "completed" for o in outcomes.values())
+
+    def test_failure_skips_dependents(self):
+        def boom():
+            raise ValueError("nope")
+
+        tasks = {
+            "bad": Task(name="bad", fn=boom),
+            "child": Task(name="child", fn=lambda: None, deps=("bad",)),
+            "ok": Task(name="ok", fn=lambda: 42),
+        }
+        outcomes = run_tasks(tasks, jobs=2, executor="thread")
+        assert outcomes["bad"].status == "failed"
+        assert outcomes["child"].status == "skipped"
+        assert outcomes["ok"].status == "completed"
+        assert outcomes["ok"].result == 42
+
+
+def _square(x):
+    return x * x
+
+
+class TestProcessExecution:
+    def test_results_come_back_from_worker_processes(self):
+        tasks = {
+            "a": Task(name="a", fn=_square, args=(3,)),
+            "b": Task(name="b", fn=_square, args=(4,)),
+        }
+        outcomes = run_tasks(tasks, jobs=2, executor="process")
+        assert outcomes["a"].result == 9
+        assert outcomes["b"].result == 16
+        assert all(o.worker.startswith("pid:") for o in outcomes.values())
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_tasks(_graph({"a": ()}), jobs=2, executor="carrier-pigeon")

@@ -58,6 +58,20 @@ class TestListCommand:
         assert "fig8" in printed
         assert "ext_roofline" in printed
 
+    def test_each_experiment_carries_a_description(self, capsys):
+        assert main(["list"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) >= 22
+        for line in lines:
+            name, _, description = line.partition(" ")
+            assert description.strip(), f"experiment {name!r} has no description"
+
+    def test_run_dash_dash_list_prints_the_same_catalog(self, capsys):
+        assert main(["list"]) == 0
+        catalog = capsys.readouterr().out
+        assert main(["run", "--list"]) == 0
+        assert capsys.readouterr().out == catalog
+
 
 class TestFormatsCommand:
     def test_default_table_mentions_bbfp_and_fp16(self, capsys):
@@ -108,3 +122,29 @@ class TestRunCommand:
         assert "Table1" in out or "table1" in out.lower()
         payload = json.loads((tmp_path / "table1.json").read_text())
         assert payload["rows"]
+
+    def test_second_invocation_is_served_from_the_cache(self, capsys, tmp_path):
+        assert main(["run", "table1", "--output-dir", str(tmp_path / "a")]) == 0
+        capsys.readouterr()
+        assert main(["run", "table1", "--output-dir", str(tmp_path / "b")]) == 0
+        assert "cached" in capsys.readouterr().out
+        a = json.loads((tmp_path / "a" / "table1.json").read_text())
+        b = json.loads((tmp_path / "b" / "table1.json").read_text())
+        assert a == b
+
+    def test_no_cache_forces_execution(self, capsys, tmp_path):
+        assert main(["run", "table1", "--no-cache", "--output-dir", str(tmp_path)]) == 0
+        assert "completed" in capsys.readouterr().out
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["experiments"]["table1"]["status"] == "completed"
+
+    def test_parallel_jobs_match_serial_results(self, capsys, tmp_path):
+        assert main(["run", "table1", "table3", "--no-cache", "--jobs", "2",
+                     "--output-dir", str(tmp_path / "par")]) == 0
+        assert main(["run", "table1", "table3", "--no-cache",
+                     "--output-dir", str(tmp_path / "ser")]) == 0
+        capsys.readouterr()
+        for name in ("table1", "table3"):
+            par = json.loads((tmp_path / "par" / f"{name}.json").read_text())
+            ser = json.loads((tmp_path / "ser" / f"{name}.json").read_text())
+            assert par == ser
