@@ -20,6 +20,13 @@ Large Language Models"*.  It contains:
     corpus, model zoo) plus a quantisation-aware inference path used for all
     perplexity experiments.
 
+``repro.serve``
+    The online serving layer: a per-layer KV cache with optional quantised
+    storage (any registered spec string), the incremental
+    ``InferenceModel.forward_step`` decode path, a continuous-batching
+    engine with FIFO admission under a KV token budget, and the
+    ``serve_bench`` benchmark (``repro serve-bench``).
+
 ``repro.baselines``
     Simplified but faithful re-implementations of the comparator quantisation
     schemes: SmoothQuant, OmniQuant, Olive and Oltron.

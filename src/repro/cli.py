@@ -10,6 +10,7 @@ Python for a first look at the library::
     python -m repro formats --formats "BBFP(4,2)" BFP6 INT8
     python -m repro quantize --format "BBFP(4,2)" --size 4096
     python -m repro simulate --strategy "BBFP(4,2)" --seq-len 1024
+    python -m repro serve-bench --fast         # continuous-batching serve benchmark
 
 ``run`` delegates to the parallel cached pipeline (:mod:`repro.pipeline`,
 argument handling shared with :mod:`repro.experiments.runner`); the other
@@ -133,6 +134,36 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _parse_kv_spec(name: str):
+    """CLI type for ``--kv-specs``: ``fp16``/``none`` (unquantised) or any spec string.
+
+    Returns ``None`` for the unquantised baseline, otherwise the validated
+    spec string; unknown specs become clean argparse usage errors like every
+    other format option.
+    """
+    if name.lower() in ("fp16", "none"):
+        return None
+    from repro.quant import parse_spec
+
+    parse_spec(name)  # raises UnknownFormatError (an ArgumentTypeError) if bad
+    return name
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.analysis.reporting import save_result
+    from repro.serve.bench import run as serve_bench_run
+
+    # same driver the pipeline registers; the flags are keyword overrides, so
+    # ad-hoc traces keep the full row shape (incl. the kv_perplexity column)
+    result = serve_bench_run(fast=args.fast or None, kv_specs=args.kv_specs,
+                             num_requests=args.num_requests,
+                             arrival_rate=args.arrival_rate)
+    print(result.to_text())
+    if args.output_dir:
+        save_result(result, args.output_dir)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -170,6 +201,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--pe-cols", type=int, default=32)
     p_sim.add_argument("--nonlinear", choices=("bbal", "fp32"), default="bbal")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="continuous-batching serve benchmark (KV cache formats, TTFT/latency/tokens-per-s)")
+    p_serve.add_argument("--fast", action="store_true",
+                         help="small zoo model and short request trace")
+    p_serve.add_argument("--kv-specs", nargs="+", default=None, type=_parse_kv_spec,
+                         help='KV storage formats to compare, e.g. fp16 "bfp8@b32" int8')
+    p_serve.add_argument("--num-requests", type=int, default=None,
+                         help="length of the synthetic request trace")
+    p_serve.add_argument("--arrival-rate", type=float, default=None,
+                         help="offered load in requests per second (Poisson arrivals)")
+    p_serve.add_argument("--output-dir", default=None,
+                         help="also save the result as JSON + text under this directory")
+    p_serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

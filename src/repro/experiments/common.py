@@ -113,4 +113,8 @@ def experiment_model_specs(name, fast=None) -> tuple:
         return tuple(spec.paper_name for spec in format_ppl_model_specs(fast))
     if name == "ext_mixed_precision":
         return ("Llama-1B",)
+    if name == "serve_bench":
+        from repro.serve.bench import serve_model_name
+
+        return (serve_model_name(fast),)
     return ()

@@ -35,6 +35,7 @@ from repro.experiments import (
     table4_nonlinear_ppl,
     table5_nonlinear_eff,
 )
+from repro.serve import bench as serve_bench_driver
 
 __all__ = ["EXPERIMENTS", "experiment_descriptions", "run_all", "print_catalog", "main"]
 
@@ -62,6 +63,7 @@ EXPERIMENTS = {
     "ext_dataflow": extensions.dataflow_extension,
     "ext_generation": extensions.generation_latency_extension,
     "ext_mixed_precision": extensions.mixed_precision_extension,
+    "serve_bench": serve_bench_driver.run,
 }
 
 

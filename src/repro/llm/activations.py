@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["softmax", "silu", "gelu", "sigmoid", "relu", "exponential", "ACTIVATIONS"]
+__all__ = ["softmax", "log_softmax", "silu", "gelu", "sigmoid", "relu", "exponential",
+           "ACTIVATIONS"]
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -18,6 +19,20 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     shifted = x - x.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable log-softmax along ``axis``.
+
+    The single shared helper behind every log-probability in the library:
+    :meth:`~repro.llm.inference.InferenceModel.negative_log_likelihood` (and
+    therefore perplexity), sequence scoring, and the samplers of
+    :mod:`repro.llm.sampling` / :mod:`repro.serve`.  Entries of ``-inf``
+    (masked-out candidates) stay ``-inf`` without poisoning the finite ones.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:

@@ -9,10 +9,15 @@ module provides greedy and temperature/top-k sampling on top of
 :class:`~repro.llm.inference.QuantizationScheme` (BBFP, BFP, baselines,
 layer-wise mixes) can be compared on the same prompt.
 
-The decoder re-runs the full forward pass for every generated token (the
-miniature zoo models are small enough that a KV cache would be over-
-engineering here); the *hardware* cost of cached decode is modelled separately
-by :mod:`repro.accelerator.generation`.
+The decode loop is a thin single-sequence wrapper over the KV-cached
+incremental path (:meth:`~repro.llm.inference.InferenceModel.forward_step` +
+:class:`repro.serve.KVCache`): the prompt is prefilled once and each new
+token costs one token's forward.  Only when the context outgrows the model's
+positional window does the loop fall back to the historical full recompute
+over the truncated context (a sliding window shifts every cached position, so
+the cache cannot be reused there).  Multi-request serving lives in
+:mod:`repro.serve`; the *hardware* cost of cached decode is modelled
+separately by :mod:`repro.accelerator.generation`.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import numpy as np
 
 from repro.llm.dataset import SyntheticCorpus
 from repro.llm.inference import InferenceModel
+from repro.llm.sampling import sample_token
 
 __all__ = ["GenerationConfig", "generate_tokens", "generate_text", "sequence_log_likelihood"]
 
@@ -58,49 +64,61 @@ class GenerationConfig:
             raise ValueError("top_k must be >= 0")
 
 
-def _next_token(logits: np.ndarray, config: GenerationConfig, rng: np.random.Generator) -> int:
-    """Pick the next token id from the last-position logits."""
-    logits = np.asarray(logits, dtype=np.float64)
-    if config.temperature == 0.0:
-        return int(np.argmax(logits))
-    scaled = logits / config.temperature
-    if config.top_k > 0 and config.top_k < scaled.size:
-        cutoff = np.partition(scaled, -config.top_k)[-config.top_k]
-        scaled = np.where(scaled >= cutoff, scaled, -np.inf)
-    scaled = scaled - scaled.max()
-    probabilities = np.exp(scaled)
-    probabilities /= probabilities.sum()
-    return int(rng.choice(probabilities.size, p=probabilities))
-
-
 def generate_tokens(model: InferenceModel, prompt_tokens,
-                    config: GenerationConfig = GenerationConfig()) -> np.ndarray:
+                    config: GenerationConfig = None) -> np.ndarray:
     """Generate ``config.max_new_tokens`` continuation tokens after ``prompt_tokens``.
 
-    The context is truncated to the model's ``max_seq_len - 1`` most recent
-    tokens at every step, so arbitrarily long generations are possible on the
-    fixed-length positional embedding.
+    While the context fits the positional window the continuation is decoded
+    incrementally over a KV cache (prompt prefilled once, then one token per
+    forward step).  Beyond the window the context is truncated to the
+    ``max_seq_len - 1`` most recent tokens and recomputed in full each step,
+    so arbitrarily long generations remain possible on the fixed-length
+    positional embedding.
+
+    Greedy decoding is token-identical to the historical full-recompute loop
+    for the reference scheme and for schemes whose activation quantisers
+    scale within one position (BBFP/BFP/MX blocked along the feature axis).
+    A scheme with *per-tensor* activation scales (plain INT) sees each
+    decode step's activations quantised on their own rather than alongside
+    the whole context — the semantics a serving system actually has — so its
+    tokens may differ slightly from a full recompute.
 
     Returns the full token sequence (prompt + continuation) as an int64 array.
     """
+    # default built per call: a shared module-level dataclass instance would
+    # leak between callers that introspect or compare configs
+    config = config or GenerationConfig()
     prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64).ravel()
     if prompt_tokens.size == 0:
         raise ValueError("prompt_tokens must contain at least one token")
     if np.any(prompt_tokens < 0) or np.any(prompt_tokens >= model.config.vocab_size):
         raise ValueError("prompt contains token ids outside the model vocabulary")
 
+    from repro.serve.kv_cache import KVCache  # serve layers above llm; import lazily
+
     rng = np.random.default_rng(config.seed)
     window = model.config.max_seq_len - 1
     tokens = list(prompt_tokens)
+    cache = None
     for _ in range(config.max_new_tokens):
-        context = np.array(tokens[-window:], dtype=np.int64)
-        logits = model.forward(context[None, :])[0, -1]
-        tokens.append(_next_token(logits, config, rng))
+        if len(tokens) <= window:
+            if cache is None:
+                cache = KVCache(model.config, batch_size=1)
+                new_tokens = np.array(tokens, dtype=np.int64)  # prefill the whole prefix
+            else:
+                new_tokens = np.array(tokens[-1:], dtype=np.int64)
+            logits = model.forward_step(new_tokens[None, :], cache)[0, -1]
+        else:
+            # sliding window: every cached position would shift — full recompute
+            context = np.array(tokens[-window:], dtype=np.int64)
+            logits = model.forward(context[None, :])[0, -1]
+        tokens.append(sample_token(logits, temperature=config.temperature,
+                                   top_k=config.top_k, rng=rng))
     return np.array(tokens, dtype=np.int64)
 
 
 def generate_text(model: InferenceModel, corpus: SyntheticCorpus, prompt: str,
-                  config: GenerationConfig = GenerationConfig()) -> str:
+                  config: GenerationConfig = None) -> str:
     """Generate a text continuation of ``prompt`` using the corpus tokenizer."""
     prompt_tokens = corpus.tokenizer.encode(prompt)
     tokens = generate_tokens(model, prompt_tokens, config)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.fp_formats import fp16_round
 from repro.llm import activations as ref_act
+from repro.llm.activations import log_softmax
 from repro.llm.attention import causal_mask
 from repro.llm.config import ModelConfig
 
@@ -229,24 +230,63 @@ class InferenceModel:
         var = np.mean((x - mu) ** 2, axis=-1, keepdims=True)
         return (x - mu) / np.sqrt(var + 1e-5) * gain + bias
 
-    def _attention(self, index: int, x: np.ndarray) -> np.ndarray:
+    def _qkv_heads(self, prefix: str, x: np.ndarray) -> tuple:
+        """Project ``x`` to per-head Q/K/V, each ``(batch, heads, seq, head_dim)``."""
         cfg = self.config
         batch, seq_len, _ = x.shape
-        prefix = f"blocks.{index}.attention"
-        q = self._linear(f"{prefix}.q_proj", x)
-        k = self._linear(f"{prefix}.k_proj", x)
-        v = self._linear(f"{prefix}.v_proj", x)
 
         def split(t):
             return t.reshape(batch, seq_len, cfg.n_heads, cfg.head_dim).transpose(0, 2, 1, 3)
 
-        q, k, v = split(q), split(k), split(v)
-        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(cfg.head_dim)
-        scores = scores + causal_mask(seq_len)
+        return (split(self._linear(f"{prefix}.q_proj", x)),
+                split(self._linear(f"{prefix}.k_proj", x)),
+                split(self._linear(f"{prefix}.v_proj", x)))
+
+    def _attend(self, prefix: str, scores: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Masked scores -> softmax -> context -> merged heads -> out_proj."""
         attn = self.scheme.softmax_fn(scores, axis=-1)
         context = attn @ v
-        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, cfg.d_model)
+        batch, _, seq_len, _ = context.shape
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.config.d_model)
         return self._linear(f"{prefix}.out_proj", context)
+
+    def _attention(self, index: int, x: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        _, seq_len, _ = x.shape
+        prefix = f"blocks.{index}.attention"
+        q, k, v = self._qkv_heads(prefix, x)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(cfg.head_dim)
+        scores = scores + causal_mask(seq_len)
+        return self._attend(prefix, scores, v)
+
+    def _attention_step(self, index: int, x: np.ndarray, cache, rows: np.ndarray,
+                        start: np.ndarray) -> np.ndarray:
+        """Attention over cached K/V plus the new positions in ``x``.
+
+        ``start[b]`` is the number of already-cached positions of row
+        ``rows[b]`` before this step; the new keys/values are appended to the
+        cache (where the cache's quantiser, if any, is applied) and the new
+        queries attend over the full cached context.  With ``start == 0`` and
+        an unquantised cache this computes exactly :meth:`_attention`
+        (equivalence pinned by ``tests/serve/test_forward_step.py``).
+        """
+        cfg = self.config
+        _, n_new, _ = x.shape
+        prefix = f"blocks.{index}.attention"
+        q, k, v = self._qkv_heads(prefix, x)
+        cache.append(index, rows, k, v)
+        context_len = int((start + n_new).max())
+        k_ctx, v_ctx = cache.context(index, rows, context_len)
+        scores = q @ k_ctx.transpose(0, 1, 3, 2) / np.sqrt(cfg.head_dim)
+        # Causal mask generalised to a cached context: key at absolute
+        # position j is visible to the query at absolute position p iff
+        # j <= p.  The same 0 / -1e9 additive values as causal_mask, so the
+        # start == 0 full-prefix case reproduces the forward() numerics.
+        key_pos = np.arange(context_len)
+        query_pos = start[:, None] + np.arange(n_new)[None, :]
+        mask = (key_pos[None, None, :] > query_pos[:, :, None]) * -1e9
+        scores = scores + mask[:, None, :, :]
+        return self._attend(prefix, scores, v_ctx)
 
     def _mlp(self, index: int, x: np.ndarray) -> np.ndarray:
         prefix = f"blocks.{index}.mlp"
@@ -279,6 +319,58 @@ class InferenceModel:
         x = self._norm("final_norm", x)
         return self._linear("lm_head", x)
 
+    def forward_step(self, tokens: np.ndarray, cache, rows=None) -> np.ndarray:
+        """Incremental forward: embed only the new ``tokens``, attend over ``cache``.
+
+        ``tokens`` is ``(batch, n_new)`` (or 1-D for a single sequence) of new
+        token ids; ``cache`` is a :class:`repro.serve.KVCache` holding the
+        already-processed context of each sequence.  ``rows`` selects which
+        cache slots the batch rows correspond to (all slots by default), so a
+        continuous-batching engine can prefill one request and batch-decode
+        another set in interleaved calls.  Keys/values of the new positions
+        are appended to the cache — through the cache's quantiser when one is
+        configured — and the cache lengths advance by ``n_new``.
+
+        Returns logits ``(batch, n_new, vocab)`` for the new positions only.
+        A fresh cache plus one call over a whole prompt computes exactly
+        :meth:`forward`; subsequent single-token calls continue it in O(1)
+        forward cost per token instead of re-running the full prefix.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        batch, n_new = tokens.shape
+        if n_new == 0:
+            raise ValueError("forward_step needs at least one new token")
+        if rows is None:
+            if batch != cache.batch_size:
+                raise ValueError(
+                    f"token batch ({batch}) does not match the cache batch "
+                    f"({cache.batch_size}); pass rows= to address a subset of slots"
+                )
+            rows = np.arange(cache.batch_size)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+            if rows.size != batch:
+                raise ValueError(f"rows ({rows.size}) must match the token batch ({batch})")
+        start = cache.lengths[rows].copy()
+        limit = min(cache.max_seq_len, self.config.max_seq_len)
+        if np.any(start + n_new > limit):
+            raise ValueError(
+                f"cached context plus {n_new} new token(s) exceeds max_seq_len {limit}"
+            )
+        positions = start[:, None] + np.arange(n_new)[None, :]
+        x = self.state["token_embedding.weight"][tokens] + \
+            self.state["position_embedding.weight"][positions]
+        for i in range(self.config.n_layers):
+            x = x + self._attention_step(i, self._norm(f"blocks.{i}.attn_norm", x),
+                                         cache, rows, start)
+            x = x + self._mlp(i, self._norm(f"blocks.{i}.mlp_norm", x))
+        x = self._norm("final_norm", x)
+        logits = self._linear("lm_head", x)
+        cache.advance(rows, n_new)
+        return logits
+
     def negative_log_likelihood(self, tokens: np.ndarray) -> float:
         """Mean next-token NLL (nats) of a batch of ``(batch, seq+1)`` token windows."""
         tokens = np.asarray(tokens, dtype=np.int64)
@@ -286,7 +378,6 @@ class InferenceModel:
             tokens = tokens[None, :]
         logits = self.forward(tokens[:, :-1])
         targets = tokens[:, 1:]
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        log_probs = log_softmax(logits, axis=-1)
         picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)[..., 0]
         return float(-picked.mean())

@@ -23,14 +23,21 @@ class EvalConfig:
 
 
 def evaluate_perplexity(model: InferenceModel, corpus: SyntheticCorpus,
-                        eval_config: EvalConfig = EvalConfig()) -> float:
-    """Teacher-forced perplexity ``exp(mean NLL)`` on deterministic held-out batches."""
+                        eval_config: EvalConfig = EvalConfig(), nll_fn=None) -> float:
+    """Teacher-forced perplexity ``exp(mean NLL)`` on deterministic held-out batches.
+
+    ``nll_fn`` optionally replaces the per-batch scorer (default:
+    ``model.negative_log_likelihood``); alternative scorers — e.g. the
+    quantised-KV path of :func:`repro.serve.kv_cached_perplexity` — share
+    this loop so their numbers stay comparable to the Table II columns.
+    """
+    nll_fn = nll_fn or model.negative_log_likelihood
     seq_len = min(eval_config.seq_len, model.config.max_seq_len - 1)
     nlls = []
     for batch in corpus.sequential_batches(
         eval_config.split, eval_config.batch_size, seq_len, max_batches=eval_config.max_batches
     ):
-        nlls.append(model.negative_log_likelihood(batch))
+        nlls.append(nll_fn(batch))
     if not nlls:
         raise ValueError("no evaluation batches produced; corpus too small for the eval shape")
     return float(np.exp(np.mean(nlls)))

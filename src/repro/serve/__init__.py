@@ -1,0 +1,54 @@
+"""Serving layer: KV-cached incremental decoding and continuous batching.
+
+The experiment drivers evaluate quantisation offline (perplexity over fixed
+windows); this package is the online counterpart — the subsystem a deployment
+would actually run:
+
+* a pre-allocated per-layer K/V cache with optional quantised storage
+  (:mod:`repro.serve.kv_cache`), feeding the incremental
+  :meth:`~repro.llm.inference.InferenceModel.forward_step` path so decoding
+  one token costs one token's forward instead of the whole prefix;
+* a continuous-batching engine (:mod:`repro.serve.engine`): FIFO admission
+  under a KV token budget, per-step batched prefill + decode, per-request
+  sampling state and stop conditions, deterministic under a virtual clock;
+* synthetic Poisson request traces (:mod:`repro.serve.workload`) and the
+  ``serve_bench`` experiment driver (:mod:`repro.serve.bench`) reporting
+  TTFT/latency percentiles, tokens/s and quantised-KV perplexity per format.
+
+See ``docs/serving.md`` for the architecture and benchmark interpretation.
+"""
+
+from repro.serve.bench import (
+    DEFAULT_KV_SPECS,
+    kv_cached_negative_log_likelihood,
+    kv_cached_perplexity,
+    serve_bench,
+)
+from repro.serve.engine import (
+    CompletedRequest,
+    EngineConfig,
+    Request,
+    ServeEngine,
+    ServeReport,
+    VirtualClock,
+    WallClock,
+)
+from repro.serve.kv_cache import KVCache
+from repro.serve.workload import WorkloadConfig, generate_requests
+
+__all__ = [
+    "KVCache",
+    "Request",
+    "CompletedRequest",
+    "EngineConfig",
+    "ServeEngine",
+    "ServeReport",
+    "WallClock",
+    "VirtualClock",
+    "WorkloadConfig",
+    "generate_requests",
+    "DEFAULT_KV_SPECS",
+    "kv_cached_negative_log_likelihood",
+    "kv_cached_perplexity",
+    "serve_bench",
+]

@@ -1,0 +1,370 @@
+"""Continuous-batching inference engine over the KV-cached forward path.
+
+One :class:`ServeEngine` owns an :class:`~repro.llm.inference.InferenceModel`,
+a :class:`~repro.serve.kv_cache.KVCache` with one slot per concurrent request,
+and a FIFO arrival queue.  Every :meth:`~ServeEngine.step`:
+
+1. **admits** queued requests whose arrival time has passed, in strict
+   arrival order (head-of-line blocking — a large request cannot be starved
+   by smaller ones overtaking it), while a free slot exists and the projected
+   KV footprint stays within the token budget;
+2. **prefills** each admitted request (one ``forward_step`` over its whole
+   prompt) and samples its first token — the time-to-first-token moment;
+3. **decodes** every active request in a single batched ``forward_step`` of
+   one token per request, samples the next tokens, and
+4. **retires** finished requests (length limit or stop token), freeing their
+   slot and cache rows for the next admission.
+
+Time comes from a pluggable clock: :class:`WallClock` measures real compute
+time (and fast-forwards over idle gaps instead of sleeping, so light traffic
+finishes instantly), while :class:`VirtualClock` advances deterministically
+with the number of processed tokens — scheduling decisions, metrics and
+sampled tokens are then exactly reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llm.inference import InferenceModel
+from repro.llm.sampling import sample_token
+from repro.serve.kv_cache import KVCache
+
+__all__ = ["Request", "CompletedRequest", "EngineConfig", "ServeEngine", "ServeReport",
+           "WallClock", "VirtualClock"]
+
+
+# --------------------------------------------------------------------- clocks
+class WallClock:
+    """Real elapsed time, with idle gaps fast-forwarded instead of slept."""
+
+    def __init__(self):
+        self._origin = time.perf_counter()
+        self._offset = 0.0
+
+    def now(self) -> float:
+        return time.perf_counter() - self._origin + self._offset
+
+    def wait_until(self, t: float) -> None:
+        """Jump to ``t`` if it is in the future (simulated waiting, no sleep)."""
+        gap = t - self.now()
+        if gap > 0:
+            self._offset += gap
+
+    def on_tokens(self, n: int) -> None:
+        """Compute time is observed directly; nothing to account."""
+
+
+class VirtualClock:
+    """Deterministic clock: time advances only with processed tokens."""
+
+    def __init__(self, time_per_token: float = 1e-3):
+        self.time_per_token = float(time_per_token)
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def wait_until(self, t: float) -> None:
+        self._now = max(self._now, t)
+
+    def on_tokens(self, n: int) -> None:
+        self._now += n * self.time_per_token
+
+
+# ------------------------------------------------------------------- requests
+@dataclass(frozen=True)
+class Request:
+    """One generation request as it enters the queue.
+
+    ``prompt_tokens`` are model-vocabulary token ids; ``max_new_tokens``
+    bounds the continuation; ``arrival_time`` is the submission instant on
+    the engine clock (0 = available immediately).  Sampling parameters
+    mirror :class:`~repro.llm.generation.GenerationConfig`; ``stop_token``
+    optionally terminates generation early when sampled.
+    """
+
+    request_id: int
+    prompt_tokens: tuple
+    max_new_tokens: int = 16
+    arrival_time: float = 0.0
+    temperature: float = 0.0
+    top_k: int = 0
+    seed: int = 0
+    stop_token: int = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "prompt_tokens",
+                           tuple(int(t) for t in np.asarray(self.prompt_tokens).ravel()))
+        if not self.prompt_tokens:
+            raise ValueError("prompt_tokens must contain at least one token")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.temperature < 0 or self.top_k < 0:
+            raise ValueError("temperature and top_k must be >= 0")
+
+    @property
+    def projected_tokens(self) -> int:
+        """KV positions this request may occupy: prompt plus continuation."""
+        return len(self.prompt_tokens) + self.max_new_tokens
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A finished request with its tokens and per-request latency metrics."""
+
+    request: Request
+    generated_tokens: tuple
+    finish_reason: str  # "length" or "stop_token"
+    arrival_time: float
+    admitted_time: float
+    first_token_time: float
+    finish_time: float
+
+    @property
+    def tokens(self) -> np.ndarray:
+        """Full sequence (prompt + continuation) as an int64 array."""
+        return np.array(self.request.prompt_tokens + self.generated_tokens, dtype=np.int64)
+
+    @property
+    def time_to_first_token_s(self) -> float:
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_time - self.arrival_time
+
+
+class _ActiveRequest:
+    """Mutable per-slot decoding state."""
+
+    def __init__(self, request: Request, slot: int, admitted_time: float):
+        self.request = request
+        self.slot = slot
+        self.admitted_time = admitted_time
+        self.generated = []
+        self.rng = (np.random.default_rng(request.seed)
+                    if request.temperature > 0 else None)
+        self.first_token_time = None
+        self.finish_reason = None
+
+    @property
+    def last_token(self) -> int:
+        return self.generated[-1]
+
+    def sample(self, logits: np.ndarray) -> int:
+        token = sample_token(logits, temperature=self.request.temperature,
+                             top_k=self.request.top_k, rng=self.rng)
+        self.generated.append(token)
+        if token == self.request.stop_token:
+            self.finish_reason = "stop_token"
+        elif len(self.generated) >= self.request.max_new_tokens:
+            self.finish_reason = "length"
+        return token
+
+
+# --------------------------------------------------------------------- engine
+@dataclass(frozen=True)
+class EngineConfig:
+    """Scheduling shape of a :class:`ServeEngine`.
+
+    ``max_batch_size`` bounds concurrent requests (one KV slot each);
+    ``token_budget`` bounds the *projected* KV occupancy — the sum of
+    ``prompt + max_new_tokens`` over admitted requests — so admission can
+    never overcommit cache memory (default: every slot full).  ``kv_spec``
+    selects the KV-cache quantiser; ``max_seq_len`` shrinks the per-slot
+    capacity below the model's limit.
+    """
+
+    max_batch_size: int = 8
+    token_budget: int = None
+    kv_spec: str = None
+    max_seq_len: int = None
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.token_budget is not None and self.token_budget < 1:
+            raise ValueError("token_budget must be >= 1")
+
+
+@dataclass
+class ServeReport:
+    """Outcome of an engine run: completed requests plus aggregate counters."""
+
+    completed: list
+    elapsed_s: float
+    steps: int
+    prefill_tokens: int
+    decode_tokens: int
+    kv_spec: str
+    peak_active: int = 0
+
+    def summary(self) -> dict:
+        """Aggregate latency/throughput metrics (the serve-bench row shape)."""
+        ttft = np.array([c.time_to_first_token_s for c in self.completed])
+        latency = np.array([c.latency_s for c in self.completed])
+        elapsed = max(self.elapsed_s, 1e-12)
+        return {
+            "requests": len(self.completed),
+            "elapsed_s": self.elapsed_s,
+            "prefill_tokens": self.prefill_tokens,
+            "decode_tokens": self.decode_tokens,
+            "decode_tokens_per_s": self.decode_tokens / elapsed,
+            "total_tokens_per_s": (self.prefill_tokens + self.decode_tokens) / elapsed,
+            "ttft_p50_ms": float(np.percentile(ttft, 50)) * 1e3 if ttft.size else float("nan"),
+            "ttft_p95_ms": float(np.percentile(ttft, 95)) * 1e3 if ttft.size else float("nan"),
+            "latency_p50_ms": float(np.percentile(latency, 50)) * 1e3 if latency.size else float("nan"),
+            "latency_p95_ms": float(np.percentile(latency, 95)) * 1e3 if latency.size else float("nan"),
+            "peak_active": self.peak_active,
+        }
+
+
+class ServeEngine:
+    """Continuous-batching scheduler over one model and one KV cache."""
+
+    def __init__(self, model: InferenceModel, config: EngineConfig = None, clock=None):
+        self.model = model
+        self.config = config or EngineConfig()
+        max_seq_len = (self.config.max_seq_len if self.config.max_seq_len is not None
+                       else model.config.max_seq_len)
+        self.cache = KVCache(model.config, self.config.max_batch_size,
+                             max_seq_len=max_seq_len, kv_spec=self.config.kv_spec)
+        self.clock = clock or WallClock()
+        self.token_budget = (self.config.token_budget
+                             if self.config.token_budget is not None
+                             else self.config.max_batch_size * self.cache.max_seq_len)
+        self._queue = []  # heap of (arrival_time, submit_seq, Request)
+        self._submit_seq = 0
+        self._active = {}  # slot -> _ActiveRequest
+        self._free_slots = sorted(range(self.config.max_batch_size), reverse=True)
+        self._completed = []
+        self._steps = 0
+        self._prefill_tokens = 0
+        self._decode_tokens = 0
+        self._peak_active = 0
+
+    # ------------------------------------------------------------ submission
+    def submit(self, request: Request) -> None:
+        """Queue a request (validated against the model and cache limits)."""
+        prompt = np.asarray(request.prompt_tokens)
+        if prompt.min() < 0 or prompt.max() >= self.model.config.vocab_size:
+            raise ValueError("prompt contains token ids outside the model vocabulary")
+        if request.projected_tokens > self.cache.max_seq_len:
+            raise ValueError(
+                f"request {request.request_id}: prompt + max_new_tokens "
+                f"({request.projected_tokens}) exceeds the per-slot capacity "
+                f"({self.cache.max_seq_len})"
+            )
+        if request.projected_tokens > self.token_budget:
+            raise ValueError(
+                f"request {request.request_id}: projected tokens "
+                f"({request.projected_tokens}) exceed the engine token budget "
+                f"({self.token_budget})"
+            )
+        heapq.heappush(self._queue, (request.arrival_time, self._submit_seq, request))
+        self._submit_seq += 1
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue or self._active)
+
+    @property
+    def active_projected_tokens(self) -> int:
+        """Projected KV occupancy of the currently admitted requests."""
+        return sum(state.request.projected_tokens for state in self._active.values())
+
+    # -------------------------------------------------------------- stepping
+    def step(self) -> list:
+        """One scheduling iteration; returns the requests completed by it."""
+        completed_now = []
+        if not self._active and self._queue:
+            # idle engine: fast-forward to the next arrival instead of spinning
+            self.clock.wait_until(self._queue[0][0])
+
+        # admission + prefill, in strict arrival order; the clock is re-read
+        # per admission so a request arriving while an earlier prefill ran is
+        # admitted this step and timestamps reflect the real admission instant
+        while self._queue and self._free_slots:
+            now = self.clock.now()
+            arrival, _seq, request = self._queue[0]
+            if arrival > now:
+                break
+            if self.active_projected_tokens + request.projected_tokens > self.token_budget:
+                break  # head-of-line blocks until budget frees up: no starvation
+            heapq.heappop(self._queue)
+            slot = self._free_slots.pop()
+            state = _ActiveRequest(request, slot, admitted_time=now)
+            self._active[slot] = state
+            prompt = np.array(request.prompt_tokens, dtype=np.int64)
+            logits = self.model.forward_step(prompt[None, :], self.cache, rows=[slot])
+            self._prefill_tokens += prompt.size
+            self.clock.on_tokens(prompt.size)
+            state.sample(logits[0, -1])
+            state.first_token_time = self.clock.now()
+            if state.finish_reason is not None:
+                completed_now.append(self._retire(state))
+        self._peak_active = max(self._peak_active, len(self._active))
+
+        # batched decode: one new token for every active request
+        if self._active:
+            slots = sorted(self._active)
+            last_tokens = np.array([[self._active[s].last_token] for s in slots],
+                                   dtype=np.int64)
+            logits = self.model.forward_step(last_tokens, self.cache, rows=slots)
+            self._decode_tokens += len(slots)
+            self.clock.on_tokens(len(slots))
+            finish_time = self.clock.now()
+            for index, slot in enumerate(slots):
+                state = self._active[slot]
+                state.sample(logits[index, -1])
+                if state.finish_reason is not None:
+                    completed_now.append(self._retire(state, finish_time))
+        self._steps += 1
+        return completed_now
+
+    def _retire(self, state: _ActiveRequest, finish_time: float = None) -> CompletedRequest:
+        done = CompletedRequest(
+            request=state.request,
+            generated_tokens=tuple(state.generated),
+            finish_reason=state.finish_reason,
+            arrival_time=state.request.arrival_time,
+            admitted_time=state.admitted_time,
+            first_token_time=state.first_token_time,
+            finish_time=finish_time if finish_time is not None else self.clock.now(),
+        )
+        del self._active[state.slot]
+        self.cache.reset(rows=[state.slot])
+        self._free_slots.append(state.slot)
+        self._free_slots.sort(reverse=True)
+        self._completed.append(done)
+        return done
+
+    # ------------------------------------------------------------------- run
+    def run(self, requests=None, max_steps: int = None) -> ServeReport:
+        """Drive the engine until the queue drains; returns the report."""
+        for request in requests or ():
+            self.submit(request)
+        while self.has_work:
+            if max_steps is not None and self._steps >= max_steps:
+                raise RuntimeError(
+                    f"engine did not drain within {max_steps} steps "
+                    f"({len(self._active)} active, {len(self._queue)} queued)"
+                )
+            self.step()
+        return self.report()
+
+    def report(self) -> ServeReport:
+        return ServeReport(
+            completed=list(self._completed),
+            elapsed_s=self.clock.now(),
+            steps=self._steps,
+            prefill_tokens=self._prefill_tokens,
+            decode_tokens=self._decode_tokens,
+            kv_spec=self.cache.kv_spec,
+            peak_active=self._peak_active,
+        )

@@ -1,0 +1,165 @@
+"""Pre-allocated per-layer K/V cache with optional quantised storage.
+
+The cache backs :meth:`repro.llm.inference.InferenceModel.forward_step`: each
+decoder layer appends the keys/values of newly processed positions and reads
+back the full cached context for attention, so decoding one token costs one
+token's worth of linear layers instead of re-running the whole prefix.
+
+KV storage is where a serving system's memory goes (the weights are shared
+across requests, the cache is per request), so the cache optionally pushes
+every appended key/value through a :mod:`repro.quant` quantiser — any spec
+string the registry understands (``"bfp8@b32"``, ``"int8"``, ``"mxfp4"``...).
+Like everywhere else in the reproduction this is fake quantisation: the
+arrays hold the dequantised values while :meth:`bits_per_token` /
+:meth:`memory_bits` account for the encoded footprint, so the accuracy cost
+and the memory saving of a KV format are both measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+
+__all__ = ["KVCache"]
+
+#: Bits per stored element when no quantiser is configured: serving systems
+#: keep the KV cache in half precision, so FP16 is the memory baseline the
+#: quantised specs are compared against.
+UNQUANTIZED_KV_BITS = 16.0
+
+
+class KVCache:
+    """Per-layer K/V storage for up to ``batch_size`` concurrent sequences.
+
+    Layout: one ``(batch, n_heads, max_seq_len, head_dim)`` array per layer
+    and per K/V side — the shape attention consumes, so reads need no
+    transpose.  ``lengths[row]`` tracks how many positions of slot ``row``
+    are valid; slots are independent, so a continuous-batching engine can
+    prefill, decode and recycle them in any interleaving.
+
+    Parameters
+    ----------
+    config:
+        Architecture of the model the cache serves (layer/head geometry).
+    batch_size:
+        Number of concurrent sequence slots.
+    max_seq_len:
+        Capacity per slot; defaults to the model's ``max_seq_len``.
+    kv_spec:
+        Optional :mod:`repro.quant` spec string (or config/quantizer) applied
+        to every appended key/value block along the ``head_dim`` axis.
+        ``None`` stores exact values and accounts memory at FP16.
+    """
+
+    def __init__(self, config: ModelConfig, batch_size: int, max_seq_len: int = None,
+                 kv_spec=None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.config = config
+        self.batch_size = int(batch_size)
+        self.max_seq_len = int(max_seq_len) if max_seq_len is not None else config.max_seq_len
+        if self.max_seq_len < 1 or self.max_seq_len > config.max_seq_len:
+            raise ValueError(
+                f"max_seq_len must be in [1, {config.max_seq_len}], got {self.max_seq_len}"
+            )
+        if kv_spec is None:
+            self.quantizer = None
+        else:
+            from repro.quant import get_quantizer
+
+            self.quantizer = get_quantizer(kv_spec)
+        shape = (self.batch_size, config.n_heads, self.max_seq_len, config.head_dim)
+        self._k = [np.zeros(shape) for _ in range(config.n_layers)]
+        self._v = [np.zeros(shape) for _ in range(config.n_layers)]
+        self._lengths = np.zeros(self.batch_size, dtype=np.int64)
+
+    # -------------------------------------------------------------- identity
+    @property
+    def kv_spec(self) -> str:
+        """Canonical spec of the KV quantiser, or ``"fp16"`` when unquantised."""
+        return self.quantizer.spec if self.quantizer is not None else "fp16"
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Valid positions per slot (do not mutate; use append/advance/reset)."""
+        return self._lengths
+
+    def __repr__(self) -> str:
+        return (f"KVCache(batch_size={self.batch_size}, max_seq_len={self.max_seq_len}, "
+                f"kv_spec={self.kv_spec!r}, cached_tokens={int(self._lengths.sum())})")
+
+    # ------------------------------------------------------------ read/write
+    def append(self, layer: int, rows, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Store new K/V positions for ``rows`` starting at their current lengths.
+
+        ``k_new`` / ``v_new`` have shape ``(len(rows), n_heads, n_new,
+        head_dim)``.  The write offset is ``lengths[row]`` — every layer of
+        one forward step appends at the same offset; :meth:`advance` moves the
+        offsets once the step has run all layers.  When a quantiser is
+        configured the values are quantise-dequantised along ``head_dim``
+        before storage, one row (sequence) at a time: co-batched sequences
+        never share a quantisation scale, so a request's cached K/V does not
+        depend on which requests happen to decode alongside it.  (For block
+        formats this is a no-op split — their scales live within one
+        position; for per-tensor INT the scale spans each row's appended
+        block.)
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        n_new = k_new.shape[2]
+        starts = self._lengths[rows]
+        if np.any(starts + n_new > self.max_seq_len):
+            raise ValueError(
+                f"append of {n_new} position(s) overflows the cache capacity "
+                f"{self.max_seq_len}"
+            )
+        for index, row in enumerate(rows):
+            k_row, v_row = k_new[index], v_new[index]
+            if self.quantizer is not None:
+                k_row = self.quantizer.quantize_dequantize(k_row, axis=-1)
+                v_row = self.quantizer.quantize_dequantize(v_row, axis=-1)
+            stop = starts[index] + n_new
+            self._k[layer][row, :, starts[index]:stop] = k_row
+            self._v[layer][row, :, starts[index]:stop] = v_row
+
+    def context(self, layer: int, rows, context_len: int) -> tuple:
+        """Return ``(k, v)`` of shape ``(len(rows), n_heads, context_len, head_dim)``.
+
+        ``context_len`` covers positions appended this step but not yet
+        advanced; rows shorter than ``context_len`` carry stale tail values
+        the caller must mask (the causal mask of ``forward_step`` does).
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        return self._k[layer][rows, :, :context_len], self._v[layer][rows, :, :context_len]
+
+    def advance(self, rows, n_new: int) -> None:
+        """Commit ``n_new`` appended positions of ``rows`` (once per forward step)."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        if np.any(self._lengths[rows] + n_new > self.max_seq_len):
+            raise ValueError("advance past the cache capacity")
+        self._lengths[rows] += n_new
+
+    def reset(self, rows=None) -> None:
+        """Invalidate ``rows`` (all slots by default) so they can be reused."""
+        if rows is None:
+            self._lengths[:] = 0
+        else:
+            rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+            self._lengths[rows] = 0
+
+    # --------------------------------------------------------------- costing
+    def bits_per_token(self) -> float:
+        """Storage bits one cached token position costs (K and V, all layers)."""
+        element_bits = (self.quantizer.bits_per_element() if self.quantizer is not None
+                        else UNQUANTIZED_KV_BITS)
+        return 2.0 * self.config.n_layers * self.config.d_model * element_bits
+
+    def memory_bits(self) -> float:
+        """Footprint of the currently cached tokens at the configured format."""
+        return float(self._lengths.sum()) * self.bits_per_token()
+
+    def memory_efficiency(self) -> float:
+        """KV memory density improvement relative to FP16 storage."""
+        if self.quantizer is None:
+            return 1.0
+        return UNQUANTIZED_KV_BITS / self.quantizer.bits_per_element()

@@ -1,0 +1,183 @@
+"""Scheduling invariants of the continuous-batching engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.generation import GenerationConfig, generate_tokens
+from repro.serve.engine import EngineConfig, Request, ServeEngine, VirtualClock
+from repro.serve.workload import WorkloadConfig, generate_requests
+
+
+def make_engine(model, clock=None, **kwargs):
+    return ServeEngine(model, EngineConfig(**kwargs), clock=clock or VirtualClock())
+
+
+class TestCorrectness:
+    def test_single_greedy_request_matches_generate_tokens(self, tiny_inference_model):
+        request = Request(request_id=0, prompt_tokens=(3, 5, 7), max_new_tokens=10)
+        report = make_engine(tiny_inference_model, max_batch_size=1).run([request])
+        (done,) = report.completed
+        expected = generate_tokens(tiny_inference_model, [3, 5, 7],
+                                   GenerationConfig(max_new_tokens=10))
+        np.testing.assert_array_equal(done.tokens, expected)
+        assert done.finish_reason == "length"
+
+    def test_concurrent_greedy_requests_each_match_their_solo_decode(self, tiny_inference_model):
+        prompts = ((1, 2, 3), (9, 8, 7, 6), (4, 4), (2, 6, 10, 14, 18))
+        requests = [Request(request_id=i, prompt_tokens=p, max_new_tokens=8)
+                    for i, p in enumerate(prompts)]
+        report = make_engine(tiny_inference_model, max_batch_size=4).run(requests)
+        assert len(report.completed) == len(prompts)
+        for done in report.completed:
+            solo = generate_tokens(tiny_inference_model,
+                                   np.array(done.request.prompt_tokens),
+                                   GenerationConfig(max_new_tokens=8))
+            np.testing.assert_array_equal(done.tokens, solo)
+
+    def test_sampled_requests_reproduce_generate_tokens_with_same_seed(self, tiny_inference_model):
+        request = Request(request_id=0, prompt_tokens=(1, 2, 3), max_new_tokens=12,
+                          temperature=1.0, top_k=8, seed=42)
+        report = make_engine(tiny_inference_model, max_batch_size=1).run([request])
+        expected = generate_tokens(
+            tiny_inference_model, [1, 2, 3],
+            GenerationConfig(max_new_tokens=12, temperature=1.0, top_k=8, seed=42))
+        np.testing.assert_array_equal(report.completed[0].tokens, expected)
+
+    def test_stop_token_terminates_early(self, tiny_inference_model):
+        # discover the greedy continuation, then stop on its second new token
+        greedy = generate_tokens(tiny_inference_model, [3, 5, 7],
+                                 GenerationConfig(max_new_tokens=10))
+        stop = int(greedy[4])  # second generated token
+        request = Request(request_id=0, prompt_tokens=(3, 5, 7), max_new_tokens=10,
+                          stop_token=stop)
+        report = make_engine(tiny_inference_model, max_batch_size=1).run([request])
+        (done,) = report.completed
+        assert done.finish_reason == "stop_token"
+        assert done.generated_tokens[-1] == stop
+        assert len(done.generated_tokens) <= 10
+
+
+class TestScheduling:
+    def test_deterministic_under_fixed_seed_and_virtual_clock(self, tiny_inference_model):
+        workload = WorkloadConfig(num_requests=12, arrival_rate=200.0,
+                                  prompt_tokens=(3, 9), new_tokens=(2, 6),
+                                  temperature=0.8, seed=11)
+        outcomes = []
+        for _ in range(2):
+            requests = generate_requests(tiny_inference_model.config.vocab_size, workload)
+            report = make_engine(tiny_inference_model, max_batch_size=3,
+                                 token_budget=48).run(requests)
+            outcomes.append([
+                (d.request.request_id, d.generated_tokens, d.first_token_time, d.finish_time)
+                for d in report.completed
+            ])
+        assert outcomes[0] == outcomes[1]
+
+    def test_token_budget_respected_at_every_step(self, tiny_inference_model):
+        budget = 30
+        engine = make_engine(tiny_inference_model, max_batch_size=4, token_budget=budget)
+        for i in range(8):
+            engine.submit(Request(request_id=i, prompt_tokens=(1, 2, 3, 4, 5, 6),
+                                  max_new_tokens=6))
+        while engine.has_work:
+            engine.step()
+            assert engine.active_projected_tokens <= budget
+        assert len(engine.report().completed) == 8
+
+    def test_no_starvation_under_heavy_load(self, tiny_inference_model):
+        # far more requests than slots, mixed sizes: everything must finish,
+        # and admission must follow arrival order (FIFO, head-of-line blocking)
+        workload = WorkloadConfig(num_requests=20, arrival_rate=500.0,
+                                  prompt_tokens=(2, 12), new_tokens=(1, 8), seed=3)
+        requests = generate_requests(tiny_inference_model.config.vocab_size, workload)
+        engine = make_engine(tiny_inference_model, max_batch_size=2, token_budget=40)
+        report = engine.run(requests, max_steps=1000)
+        assert sorted(d.request.request_id for d in report.completed) == list(range(20))
+        # pairwise FIFO: an earlier arrival is never admitted after a later one
+        # (admissions within one step share a timestamp, hence <=)
+        done = report.completed
+        for a in done:
+            for b in done:
+                if a.request.arrival_time < b.request.arrival_time:
+                    assert a.admitted_time <= b.admitted_time
+
+    def test_idle_engine_fast_forwards_to_next_arrival(self, tiny_inference_model):
+        clock = VirtualClock(time_per_token=1e-3)
+        engine = make_engine(tiny_inference_model, clock=clock, max_batch_size=2)
+        engine.submit(Request(request_id=0, prompt_tokens=(1, 2), max_new_tokens=2,
+                              arrival_time=5.0))
+        report = engine.run()
+        assert report.completed[0].first_token_time >= 5.0
+        assert report.completed[0].time_to_first_token_s < 1.0
+
+    def test_slots_are_recycled(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model, max_batch_size=1)
+        requests = [Request(request_id=i, prompt_tokens=(1 + i, 2), max_new_tokens=3)
+                    for i in range(5)]
+        report = engine.run(requests)
+        assert len(report.completed) == 5
+        assert report.peak_active == 1
+
+    def test_report_counts_prefill_and_decode_tokens(self, tiny_inference_model):
+        request = Request(request_id=0, prompt_tokens=(1, 2, 3, 4), max_new_tokens=5)
+        report = make_engine(tiny_inference_model, max_batch_size=1).run([request])
+        assert report.prefill_tokens == 4
+        # first token comes from prefill; the remaining 4 from decode steps
+        assert report.decode_tokens == 4
+        summary = report.summary()
+        assert summary["requests"] == 1
+        assert summary["decode_tokens_per_s"] > 0
+
+
+class TestValidation:
+    def test_prompt_outside_vocabulary_rejected(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model)
+        with pytest.raises(ValueError, match="vocabulary"):
+            engine.submit(Request(request_id=0, prompt_tokens=(10_000,), max_new_tokens=2))
+
+    def test_request_larger_than_slot_capacity_rejected(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model, max_seq_len=8)
+        with pytest.raises(ValueError, match="capacity"):
+            engine.submit(Request(request_id=0, prompt_tokens=tuple(range(1, 7)),
+                                  max_new_tokens=4))
+
+    def test_request_larger_than_token_budget_rejected(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model, token_budget=6)
+        with pytest.raises(ValueError, match="budget"):
+            engine.submit(Request(request_id=0, prompt_tokens=(1, 2, 3, 4), max_new_tokens=4))
+
+    def test_invalid_request_fields_rejected(self):
+        with pytest.raises(ValueError, match="at least one token"):
+            Request(request_id=0, prompt_tokens=(), max_new_tokens=2)
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            Request(request_id=0, prompt_tokens=(1,), max_new_tokens=0)
+
+    def test_per_tensor_kv_quantisation_is_isolated_per_request(self, tiny_inference_model):
+        """A request's tokens must not depend on who shares its decode batch.
+
+        Per-tensor INT scales are computed per cache row, so an outlier-heavy
+        co-batched request cannot coarsen another request's stored K/V.
+        """
+        target = Request(request_id=0, prompt_tokens=(3, 5, 7, 9), max_new_tokens=8)
+        noisy = Request(request_id=1, prompt_tokens=(1, 1, 2, 2, 3, 3), max_new_tokens=8)
+        solo = make_engine(tiny_inference_model, max_batch_size=1,
+                           kv_spec="int8").run([target])
+        together = make_engine(tiny_inference_model, max_batch_size=2,
+                               kv_spec="int8").run([target, noisy])
+        solo_tokens = solo.completed[0].generated_tokens
+        batched_tokens = next(d for d in together.completed
+                              if d.request.request_id == 0).generated_tokens
+        assert solo_tokens == batched_tokens
+
+    def test_quantised_kv_engine_still_terminates_and_is_valid(self, tiny_inference_model):
+        requests = [Request(request_id=i, prompt_tokens=(1, 2, 3), max_new_tokens=6)
+                    for i in range(3)]
+        report = make_engine(tiny_inference_model, max_batch_size=3,
+                             kv_spec="bfp8@b32").run(requests)
+        assert report.kv_spec != "fp16"
+        vocab = tiny_inference_model.config.vocab_size
+        for done in report.completed:
+            assert len(done.generated_tokens) == 6
+            assert all(0 <= t < vocab for t in done.generated_tokens)
