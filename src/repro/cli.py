@@ -11,6 +11,7 @@ Python for a first look at the library::
     python -m repro quantize --format "BBFP(4,2)" --size 4096
     python -m repro simulate --strategy "BBFP(4,2)" --seq-len 1024
     python -m repro serve-bench --fast         # continuous-batching serve benchmark
+    python -m repro cluster-bench --fast       # multi-replica fleet benchmark
 
 ``run`` delegates to the parallel cached pipeline (:mod:`repro.pipeline`,
 argument handling shared with :mod:`repro.experiments.runner`); the other
@@ -157,7 +158,37 @@ def _cmd_serve_bench(args) -> int:
     # ad-hoc traces keep the full row shape (incl. the kv_perplexity column)
     result = serve_bench_run(fast=args.fast or None, kv_specs=args.kv_specs,
                              num_requests=args.num_requests,
-                             arrival_rate=args.arrival_rate)
+                             arrival_rate=args.arrival_rate,
+                             virtual_clock=True if args.virtual_clock else None)
+    print(result.to_text())
+    if args.output_dir:
+        save_result(result, args.output_dir)
+    return 0
+
+
+def _parse_policy(name: str) -> str:
+    """CLI type for ``--policies``: validated routing-policy name."""
+    from repro.cluster import get_policy
+
+    return get_policy(name).name  # raises UnknownPolicyError (usage error) if bad
+
+
+def _parse_replica_count(text: str) -> int:
+    """CLI type for ``--replicas``: a positive fleet size."""
+    count = int(text)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"fleet size must be >= 1, got {count}")
+    return count
+
+
+def _cmd_cluster_bench(args) -> int:
+    from repro.analysis.reporting import save_result
+    from repro.cluster.bench import run as cluster_bench_run
+
+    result = cluster_bench_run(fast=args.fast or None, policies=args.policies,
+                               replica_counts=args.replicas, kv_specs=args.kv_specs,
+                               num_requests=args.num_requests,
+                               arrival_rate=args.arrival_rate)
     print(result.to_text())
     if args.output_dir:
         save_result(result, args.output_dir)
@@ -213,9 +244,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="length of the synthetic request trace")
     p_serve.add_argument("--arrival-rate", type=float, default=None,
                          help="offered load in requests per second (Poisson arrivals)")
+    p_serve.add_argument("--virtual-clock", action="store_true",
+                         help="deterministic token-rate clock instead of wall time "
+                              "(the default in fast mode)")
     p_serve.add_argument("--output-dir", default=None,
                          help="also save the result as JSON + text under this directory")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_cluster = sub.add_parser(
+        "cluster-bench",
+        help="multi-replica fleet benchmark (routing policies, SLO attainment, imbalance)")
+    p_cluster.add_argument("--fast", action="store_true",
+                           help="small zoo model, small fleets and a short trace")
+    p_cluster.add_argument("--policies", nargs="+", default=None, type=_parse_policy,
+                           help="routing policies to sweep, e.g. round_robin least_loaded")
+    p_cluster.add_argument("--replicas", nargs="+", default=None, type=_parse_replica_count,
+                           help="fleet sizes to sweep, e.g. 1 2 4 8")
+    p_cluster.add_argument("--kv-specs", nargs="+", default=None, type=_parse_kv_spec,
+                           help='KV storage formats per fleet, e.g. fp16 "bfp8@b32" int8')
+    p_cluster.add_argument("--num-requests", type=int, default=None,
+                           help="length of the synthetic request trace")
+    p_cluster.add_argument("--arrival-rate", type=float, default=None,
+                           help="offered load in requests per second "
+                                "(default: derived from the roofline cost model)")
+    p_cluster.add_argument("--output-dir", default=None,
+                           help="also save the result as JSON + text under this directory")
+    p_cluster.set_defaults(func=_cmd_cluster_bench)
     return parser
 
 

@@ -1,0 +1,62 @@
+"""Multi-replica serving cluster: routing, autoscaling, fleet simulation.
+
+One :class:`~repro.serve.engine.ServeEngine` is a single machine; this
+package is the fleet layer a deployment serving heavy traffic needs:
+
+* :mod:`repro.cluster.replica` — a :class:`Replica` wrapping an engine with
+  per-replica KV/weight quantisation specs and a
+  :class:`~repro.serve.engine.VirtualClock` whose token rate comes from the
+  :mod:`repro.accelerator.roofline` cost model, so heterogeneous replicas
+  run at genuinely different simulated speeds;
+* :mod:`repro.cluster.router` — a decorator registry of routing policies
+  (``round_robin``, ``least_loaded``, ``join_shortest_queue``,
+  ``power_of_two``, ``prefix_affinity``), mirroring the
+  :mod:`repro.quant` registry pattern;
+* :mod:`repro.cluster.autoscaler` — SLO-aware scale-up/down on queue depth
+  and rolling TTFT p95, with drain-then-retire semantics;
+* :mod:`repro.cluster.simulation` — a deterministic event-driven
+  co-simulation of the fleet on a shared virtual timeline, producing a
+  :class:`ClusterReport` (goodput, SLO attainment, load imbalance,
+  per-replica breakdowns);
+* :mod:`repro.cluster.bench` — the ``cluster_bench`` experiment sweeping
+  policy x fleet size x KV format over one replayed Poisson trace.
+
+See ``docs/cluster.md`` for the architecture and benchmark interpretation.
+"""
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.bench import cluster_bench
+from repro.cluster.replica import Replica, ReplicaConfig, decode_time_per_token
+from repro.cluster.router import (
+    RoutingPolicy,
+    UnknownPolicyError,
+    get_policy,
+    list_policies,
+    register_policy,
+)
+from repro.cluster.simulation import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterSimulation,
+    SLOConfig,
+    homogeneous_fleet,
+)
+
+__all__ = [
+    "Replica",
+    "ReplicaConfig",
+    "decode_time_per_token",
+    "RoutingPolicy",
+    "UnknownPolicyError",
+    "register_policy",
+    "get_policy",
+    "list_policies",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "SLOConfig",
+    "ClusterConfig",
+    "ClusterSimulation",
+    "ClusterReport",
+    "homogeneous_fleet",
+    "cluster_bench",
+]

@@ -1,0 +1,106 @@
+"""SLO-aware fleet autoscaling on queue depth and rolling TTFT p95.
+
+The :class:`Autoscaler` is a pure decision function over fleet observations:
+the simulation feeds it every completion (:meth:`Autoscaler.observe`) and
+asks for a verdict at control points (:meth:`Autoscaler.decide`).  It scales
+**up** when the fleet is falling behind — queued requests per replica exceed
+the target, or the rolling time-to-first-token p95 breaches the SLO — and
+**down** when the fleet is demonstrably idle: empty queues and a rolling p95
+comfortably inside the SLO.  A cooldown suppresses flapping between
+consecutive decisions.  The autoscaler never touches replicas itself; the
+simulation owns the fleet and implements "down" as *drain then retire*
+(stop routing to the victim, let it finish its admitted work), so scale-down
+can never drop an in-flight request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.stats import percentile_summary
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Scaling targets and guardrails.
+
+    ``target_queue_per_replica`` is the backlog (waiting requests per
+    routable replica) above which the fleet scales up.  ``ttft_slo_s``
+    optionally adds a latency trigger: rolling TTFT p95 above the SLO scales
+    up, p95 under ``downscale_margin`` of the SLO (with empty queues)
+    permits scale-down.  ``window`` bounds the rolling sample;
+    ``cooldown_s`` is the minimum (virtual) time between scaling actions.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    target_queue_per_replica: float = 4.0
+    ttft_slo_s: float = None
+    downscale_margin: float = 0.5
+    window: int = 32
+    cooldown_s: float = 0.0
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.target_queue_per_replica <= 0:
+            raise ValueError("target_queue_per_replica must be positive")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive")
+        if not 0.0 < self.downscale_margin <= 1.0:
+            raise ValueError("downscale_margin must be in (0, 1]")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+class Autoscaler:
+    """Rolling-window scaling decisions for one simulation run."""
+
+    def __init__(self, config: AutoscalerConfig = None, ttft_slo_s: float = None):
+        self.config = config or AutoscalerConfig()
+        # an explicit SLO in the config wins; otherwise inherit the cluster's
+        self.ttft_slo_s = (self.config.ttft_slo_s
+                           if self.config.ttft_slo_s is not None else ttft_slo_s)
+        self._ttft = deque(maxlen=self.config.window)
+        self._last_action_time = None
+
+    def observe(self, completed) -> None:
+        """Feed one completed request into the rolling TTFT window."""
+        self._ttft.append(completed.time_to_first_token_s)
+
+    def rolling_ttft_p95_s(self) -> float:
+        """TTFT p95 over the rolling window (``nan`` before any completion)."""
+        return percentile_summary(self._ttft, "ttft", percentiles=(95,))["ttft_p95"]
+
+    def decide(self, now: float, queue_depth: int, num_replicas: int):
+        """``"up"``, ``"down"`` or ``None`` for the current fleet state.
+
+        ``queue_depth`` counts waiting (not yet admitted) requests across the
+        routable fleet; ``num_replicas`` is the routable replica count.  A
+        non-``None`` verdict starts the cooldown — the caller is expected to
+        act on it.
+        """
+        config = self.config
+        if (self._last_action_time is not None
+                and now - self._last_action_time < config.cooldown_s):
+            return None
+        p95 = self.rolling_ttft_p95_s()
+        backlog = queue_depth / max(1, num_replicas)
+        slo_breached = self.ttft_slo_s is not None and p95 > self.ttft_slo_s
+        if num_replicas < config.max_replicas and (
+                backlog > config.target_queue_per_replica or slo_breached):
+            self._last_action_time = now
+            return "up"
+        slo_comfortable = (self.ttft_slo_s is None
+                           or p95 <= config.downscale_margin * self.ttft_slo_s)
+        if num_replicas > config.min_replicas and queue_depth == 0 and slo_comfortable:
+            self._last_action_time = now
+            return "down"
+        return None

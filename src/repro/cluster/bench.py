@@ -1,0 +1,237 @@
+"""The ``cluster_bench`` experiment: routing policy x fleet size x KV format.
+
+One driver run replays the *same* Poisson trace through a simulated fleet
+once per (policy, replica count, KV spec) combination and reports fleet
+goodput, SLO attainment, load imbalance and latency percentiles per row.
+Every quantity is derived on virtual clocks priced by the roofline cost
+model (:func:`repro.cluster.replica.decode_time_per_token`), so rows are
+deterministic, machine-independent, and reflect hardware cost: a denser KV
+format makes every replica faster *and* admits more concurrent context.
+
+The offered load and the SLO thresholds are derived from the same roofline:
+the trace arrives at ``utilization`` times what one FP16 replica can sustain,
+and the SLO allows ``slo_slack`` times the no-queueing service time.  Small
+fleets are therefore overloaded (low attainment, high queueing), large
+fleets comfortable — the sweep shows where each policy's goodput curve
+saturates.
+
+Registered as ``cluster_bench`` in the experiment runner (cached parallel
+pipeline, ``repro run cluster_bench --fast``) and reachable directly as
+``repro cluster-bench``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.reporting import ExperimentResult
+from repro.cluster.replica import ReplicaConfig, decode_time_per_token
+from repro.cluster.simulation import (
+    ClusterConfig,
+    ClusterSimulation,
+    SLOConfig,
+    homogeneous_fleet,
+)
+from repro.serve.workload import WorkloadConfig, generate_requests
+
+__all__ = ["DEFAULT_POLICIES", "DEFAULT_REPLICA_COUNTS", "DEFAULT_KV_SPECS",
+           "cluster_model_name", "default_workload", "default_replica",
+           "saturating_arrival_rate", "derived_slo", "cluster_bench", "run"]
+
+#: Routing policies compared by default (full mode sweeps the whole registry).
+DEFAULT_POLICIES = ("round_robin", "least_loaded", "join_shortest_queue",
+                    "power_of_two", "prefix_affinity")
+
+#: Fleet sizes compared by default.
+DEFAULT_REPLICA_COUNTS = (1, 2, 4)
+
+#: KV storage formats compared by default (``None`` = FP16 baseline).
+DEFAULT_KV_SPECS = (None, "int8")
+
+
+def cluster_model_name(fast: bool) -> str:
+    """The zoo checkpoint the fleet serves (shared with ``serve_bench``).
+
+    Single source of truth for :func:`run`, the ``repro cluster-bench`` CLI
+    and the pipeline dependency declaration
+    (``experiment_model_specs("cluster_bench")``); sharing the serve-bench
+    checkpoint means one ``zoo:<model>`` stage feeds both benchmarks.
+    """
+    from repro.serve.bench import serve_model_name
+
+    return serve_model_name(fast)
+
+
+def default_workload(fast: bool) -> WorkloadConfig:
+    """The benchmark's trace shape (the arrival rate is derived separately)."""
+    if fast:
+        return WorkloadConfig(num_requests=16, prompt_tokens=(4, 12),
+                              new_tokens=(3, 8), seed=0)
+    return WorkloadConfig(num_requests=64, prompt_tokens=(12, 32),
+                          new_tokens=(6, 16), seed=0)
+
+
+def default_replica(fast: bool) -> ReplicaConfig:
+    """The replica template every fleet of the sweep is built from."""
+    return ReplicaConfig(max_batch_size=4 if fast else 8)
+
+
+def _mean_tokens(workload: WorkloadConfig) -> tuple:
+    """(mean prompt tokens, mean total tokens) of a trace shape."""
+    prompt = sum(workload.prompt_tokens) / 2.0
+    total = prompt + sum(workload.new_tokens) / 2.0
+    return prompt, total
+
+
+def saturating_arrival_rate(model_config, replica: ReplicaConfig,
+                            workload: WorkloadConfig, utilization: float = 3.0) -> float:
+    """Offered load (requests/s) at ``utilization`` x one replica's capacity.
+
+    One replica sustains roughly ``1 / (time_per_token * mean tokens per
+    request)`` requests per second on its roofline-priced clock; the trace is
+    generated at a multiple of that, so the single-replica row of the sweep
+    queues heavily while a ``>= utilization``-replica fleet keeps up.
+    """
+    if utilization <= 0:
+        raise ValueError("utilization must be positive")
+    time_per_token = decode_time_per_token(model_config, replica)
+    _, mean_total = _mean_tokens(workload)
+    return utilization / (time_per_token * mean_total)
+
+
+def derived_slo(model_config, replica: ReplicaConfig, workload: WorkloadConfig,
+                slo_slack: float = 4.0) -> SLOConfig:
+    """SLOs at ``slo_slack`` x the no-queueing service time of a mean request.
+
+    TTFT must beat ``slack x`` the pure prefill time of a mean prompt;
+    end-to-end latency must beat ``slack x`` the full service time.  Both are
+    priced on the template replica's roofline clock, so attainment measures
+    queueing and placement quality, not the absolute hardware speed.
+    """
+    if slo_slack <= 0:
+        raise ValueError("slo_slack must be positive")
+    time_per_token = decode_time_per_token(model_config, replica)
+    mean_prompt, mean_total = _mean_tokens(workload)
+    return SLOConfig(ttft_s=slo_slack * time_per_token * mean_prompt,
+                     latency_s=slo_slack * time_per_token * mean_total)
+
+
+#: Summary columns copied into each benchmark row, in display order.
+_ROW_METRICS = ("requests", "goodput_rps", "slo_attainment", "load_imbalance",
+                "decode_tokens_per_s", "total_tokens_per_s",
+                "ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms")
+
+
+def cluster_bench(model, policies=DEFAULT_POLICIES, replica_counts=DEFAULT_REPLICA_COUNTS,
+                  kv_specs=DEFAULT_KV_SPECS, workload: WorkloadConfig = None,
+                  replica: ReplicaConfig = None, utilization: float = 3.0,
+                  slo_slack: float = 4.0, arrival_rate: float = None,
+                  seed: int = 0) -> list:
+    """Sweep policy x fleet size x KV spec over one replayed trace; returns rows.
+
+    The trace (arrivals, prompts, per-request seeds) is generated once —
+    every fleet of the sweep replays it identically, so row differences
+    isolate the policy, the fleet size and the KV format.  ``arrival_rate``
+    overrides the roofline-derived offered load
+    (:func:`saturating_arrival_rate`) for ad-hoc traces.
+    """
+    workload = workload or WorkloadConfig()
+    template = replica or ReplicaConfig()
+    baseline = dataclasses.replace(template, kv_spec=None, weight_spec=None)
+    if arrival_rate is None:
+        arrival_rate = saturating_arrival_rate(model.config, baseline, workload,
+                                               utilization=utilization)
+    workload = dataclasses.replace(workload, arrival_rate=arrival_rate)
+    slo = derived_slo(model.config, baseline, workload, slo_slack=slo_slack)
+    requests = generate_requests(model.config.vocab_size, workload)
+    rows = []
+    for kv_spec in kv_specs:
+        for policy in policies:
+            for count in replica_counts:
+                fleet = tuple(dataclasses.replace(template, kv_spec=kv_spec)
+                              for _ in range(count))
+                simulation = ClusterSimulation(
+                    model, ClusterConfig(replicas=fleet, policy=policy, slo=slo,
+                                         seed=seed))
+                report = simulation.run(requests)
+                summary = report.summary()
+                row = {
+                    "policy": summary["policy"],
+                    "replicas": count,
+                    "kv_cache": report.replicas[0]["kv_spec"],
+                }
+                row.update((key, summary[key]) for key in _ROW_METRICS)
+                rows.append(row)
+    return rows
+
+
+def run(fast=None, policies=None, replica_counts=None, kv_specs=None,
+        num_requests=None, arrival_rate=None) -> ExperimentResult:
+    """Multi-replica cluster serving: routing policy x fleet size x KV format under one trace.
+
+    The registered ``cluster_bench`` experiment driver (the pipeline calls
+    it with ``fast`` only).  Fast mode simulates small fleets of the
+    Llama-1B zoo model over a short trace; the full run sweeps every
+    registered routing policy over larger Llama-7B fleets.  The keyword
+    overrides back the ``repro cluster-bench`` CLI flags.
+    """
+    from repro.experiments.common import is_fast_mode
+    from repro.llm.zoo import default_corpus, load_inference_model
+
+    fast_mode = is_fast_mode(fast)
+    model_name = cluster_model_name(fast_mode)
+    corpus = default_corpus(fast=fast)
+    model = load_inference_model(model_name, corpus=corpus)
+    if policies is None:
+        policies = ("round_robin", "least_loaded") if fast_mode else DEFAULT_POLICIES
+    if replica_counts is None:
+        replica_counts = (1, 4) if fast_mode else DEFAULT_REPLICA_COUNTS
+    if kv_specs is None:
+        kv_specs = DEFAULT_KV_SPECS
+    overrides = {}
+    if num_requests is not None:
+        overrides["num_requests"] = num_requests
+    workload = dataclasses.replace(default_workload(fast_mode), **overrides)
+    template = default_replica(fast_mode)
+    if arrival_rate is None:
+        arrival_rate = saturating_arrival_rate(
+            model.config, dataclasses.replace(template, kv_spec=None, weight_spec=None),
+            workload)
+    rows = cluster_bench(model, policies=tuple(policies),
+                         replica_counts=tuple(replica_counts),
+                         kv_specs=tuple(kv_specs), workload=workload,
+                         replica=template, arrival_rate=arrival_rate)
+    return ExperimentResult(
+        experiment_id="Cluster-Bench",
+        title=f"Multi-replica serving of {model_name}: policy x fleet size x KV format",
+        rows=rows,
+        columns=["policy", "replicas", "kv_cache"] + list(_ROW_METRICS),
+        notes=(
+            "Every row replays the identical Poisson trace through a simulated fleet on "
+            "roofline-priced virtual clocks.  The offered load is a fixed multiple of one "
+            "FP16 replica's capacity, so single-replica rows queue heavily (low "
+            "slo_attainment, high ttft_p95) while larger fleets saturate their goodput.  "
+            "Load-aware policies (least_loaded, join_shortest_queue, power_of_two) "
+            "balance *projected* work at each arrival; load_imbalance measures "
+            "*realised* decode tokens, so on short uniform traces blind rotation can "
+            "look tighter, while hash-based prefix_affinity trades balance for "
+            "placement locality.  Quantised KV makes every replica faster (denser "
+            "formats lift the memory roof of the decode roofline), which shows up "
+            "directly in goodput."
+        ),
+        metadata={
+            "fast": fast_mode,
+            "model": model_name,
+            "policies": list(policies),
+            "replica_counts": list(replica_counts),
+            "kv_specs": [spec or "fp16" for spec in kv_specs],
+            "workload": {"num_requests": workload.num_requests,
+                         "prompt_tokens": list(workload.prompt_tokens),
+                         "new_tokens": list(workload.new_tokens),
+                         "seed": workload.seed},
+            "arrival_rate": arrival_rate,
+            "replica": {"max_batch_size": template.max_batch_size,
+                        "pe_rows": template.pe_rows, "pe_cols": template.pe_cols,
+                        "dram_gbytes_per_s": template.dram_gbytes_per_s},
+        },
+    )

@@ -1,0 +1,268 @@
+"""Deterministic event-driven co-simulation of a multi-replica fleet.
+
+The simulation steps every replica on a shared virtual timeline: each
+replica's :class:`~repro.serve.engine.VirtualClock` is its own busy-time
+axis, and the event loop always advances whichever pending event is earliest
+— the next trace arrival, or the lagging replica's next engine step
+(:attr:`~repro.serve.engine.ServeEngine.next_event_time`).  Dispatching an
+arrival therefore happens only once every busy replica has simulated past
+the arrival instant, so routing policies observe the fleet load *as of the
+arrival time*, and two runs with the same trace and seed replay the exact
+same interleaving — the :class:`ClusterReport` is bit-for-bit reproducible.
+
+Arrivals are routed by a registered policy (:mod:`repro.cluster.router`),
+optionally under an SLO-aware autoscaler (:mod:`repro.cluster.autoscaler`):
+scale-up clones the first replica template at the current instant, scale-down
+drains the least-loaded replica (no new routing, admitted work finishes)
+and retires it once empty.  The report aggregates fleet goodput, SLO
+attainment, load imbalance and per-replica breakdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.stats import load_imbalance, percentile_summary
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.replica import Replica, ReplicaConfig
+from repro.cluster.router import get_policy
+
+__all__ = ["SLOConfig", "ClusterConfig", "ClusterSimulation", "ClusterReport",
+           "homogeneous_fleet"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objectives a completed request is graded against.
+
+    ``None`` disables a bound.  A request *attains* the SLO when its
+    time-to-first-token and end-to-end latency are both within bounds;
+    fleet goodput counts only attaining requests.
+    """
+
+    ttft_s: float = None
+    latency_s: float = None
+
+    def __post_init__(self):
+        if self.ttft_s is not None and self.ttft_s <= 0:
+            raise ValueError("ttft_s must be positive")
+        if self.latency_s is not None and self.latency_s <= 0:
+            raise ValueError("latency_s must be positive")
+
+    def attained(self, completed) -> bool:
+        if self.ttft_s is not None and completed.time_to_first_token_s > self.ttft_s:
+            return False
+        if self.latency_s is not None and completed.latency_s > self.latency_s:
+            return False
+        return True
+
+
+def homogeneous_fleet(num_replicas: int, **replica_kwargs) -> tuple:
+    """``num_replicas`` identical :class:`ReplicaConfig` entries."""
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    return tuple(ReplicaConfig(**replica_kwargs) for _ in range(num_replicas))
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One fleet: initial replicas, routing policy, SLOs, optional autoscaler.
+
+    ``replicas`` is the starting fleet (heterogeneous configs welcome); the
+    autoscaler, when present, clones ``replicas[0]`` for every scale-up.
+    ``seed`` feeds the routing policy's RNG.
+    """
+
+    replicas: tuple
+    policy: str = "round_robin"
+    slo: SLOConfig = field(default_factory=SLOConfig)
+    autoscaler: AutoscalerConfig = None
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "replicas", tuple(self.replicas))
+        if not self.replicas:
+            raise ValueError("a cluster needs at least one replica")
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one fleet run: completions, per-replica rows, scale events."""
+
+    policy: str
+    completed: list  # (replica_id, CompletedRequest)
+    elapsed_s: float
+    steps: int
+    slo: SLOConfig
+    replicas: list  # per-replica breakdown dicts (Replica.describe())
+    scale_events: list  # {"time_s", "action", "replica_id"}
+
+    def summary(self) -> dict:
+        """The fleet-level row: goodput, SLO attainment, imbalance, latencies.
+
+        ``replicas`` counts every replica that ever existed (autoscaled runs
+        include scaled-up and retired ones — ``scale_ups``/``scale_downs``
+        say how the fleet got there), and ``load_imbalance`` compares total
+        decode tokens across that same set, so a late-started replica
+        legitimately shows as under-loaded.  For fixed fleets both match the
+        configured size and the instantaneous balance.
+        """
+        done = [c for _, c in self.completed]
+        attained = [c for c in done if self.slo.attained(c)]
+        elapsed = max(self.elapsed_s, 1e-12)
+        decode_tokens = sum(r["decode_tokens"] for r in self.replicas)
+        prefill_tokens = sum(r["prefill_tokens"] for r in self.replicas)
+        return {
+            "policy": self.policy,
+            "replicas": len(self.replicas),
+            "requests": len(done),
+            "elapsed_s": self.elapsed_s,
+            "prefill_tokens": prefill_tokens,
+            "decode_tokens": decode_tokens,
+            "decode_tokens_per_s": decode_tokens / elapsed,
+            "total_tokens_per_s": (prefill_tokens + decode_tokens) / elapsed,
+            "goodput_rps": len(attained) / elapsed,
+            "slo_attainment": (len(attained) / len(done)) if done else float("nan"),
+            "load_imbalance": load_imbalance(r["decode_tokens"] for r in self.replicas),
+            **percentile_summary((c.time_to_first_token_s for c in done),
+                                 "ttft", scale=1e3, unit="ms"),
+            **percentile_summary((c.latency_s for c in done),
+                                 "latency", scale=1e3, unit="ms"),
+            "scale_ups": sum(1 for e in self.scale_events if e["action"] == "up"),
+            "scale_downs": sum(1 for e in self.scale_events if e["action"] == "down"),
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serialisable dump (exact-reproduction comparisons)."""
+        return {
+            "policy": self.policy,
+            "elapsed_s": self.elapsed_s,
+            "steps": self.steps,
+            "slo": {"ttft_s": self.slo.ttft_s, "latency_s": self.slo.latency_s},
+            "completed": [
+                {
+                    "replica_id": replica_id,
+                    "request_id": c.request.request_id,
+                    "generated_tokens": list(c.generated_tokens),
+                    "finish_reason": c.finish_reason,
+                    "arrival_time": c.arrival_time,
+                    "admitted_time": c.admitted_time,
+                    "first_token_time": c.first_token_time,
+                    "finish_time": c.finish_time,
+                }
+                for replica_id, c in self.completed
+            ],
+            "replicas": list(self.replicas),
+            "scale_events": list(self.scale_events),
+            "summary": self.summary(),
+        }
+
+
+class ClusterSimulation:
+    """Drive one fleet over one request trace, deterministically."""
+
+    def __init__(self, model, config: ClusterConfig):
+        self.model = model
+        self.config = config
+        self.policy = get_policy(config.policy, seed=config.seed)
+        self.replicas = [Replica(index, model, replica_config)
+                         for index, replica_config in enumerate(config.replicas)]
+        self.retired = []
+        self.autoscaler = (Autoscaler(config.autoscaler, ttft_slo_s=config.slo.ttft_s)
+                           if config.autoscaler is not None else None)
+        self.scale_events = []
+        self.completed = []
+        self._next_replica_id = len(self.replicas)
+        self._steps = 0
+
+    # ------------------------------------------------------------ event loop
+    def run(self, requests, max_steps: int = None) -> ClusterReport:
+        """Replay ``requests`` (any order) through the fleet; returns the report."""
+        arrivals = deque(sorted(requests,
+                                key=lambda r: (r.arrival_time, r.request_id)))
+        while arrivals or self._has_work():
+            if max_steps is not None and self._steps >= max_steps:
+                raise RuntimeError(
+                    f"cluster did not drain within {max_steps} steps "
+                    f"({len(arrivals)} arrivals pending)"
+                )
+            self._advance(arrivals)
+        return self.report()
+
+    def _has_work(self) -> bool:
+        return any(replica.has_work for replica in self.replicas)
+
+    def _advance(self, arrivals) -> None:
+        """Process the earliest pending event: one arrival or one engine step."""
+        next_arrival = arrivals[0].arrival_time if arrivals else math.inf
+        busy = [replica for replica in self.replicas if replica.has_work]
+        if busy:
+            replica = min(busy, key=lambda r: (r.next_event_time, r.replica_id))
+            if next_arrival <= replica.next_event_time:
+                self._dispatch(arrivals.popleft())
+            else:
+                self._step(replica)
+        else:
+            self._dispatch(arrivals.popleft())
+        self._retire_drained()
+
+    def _step(self, replica: Replica) -> None:
+        for done in replica.step():
+            self.completed.append((replica.replica_id, done))
+            if self.autoscaler is not None:
+                self.autoscaler.observe(done)
+        self._steps += 1
+
+    def _dispatch(self, request) -> None:
+        if self.autoscaler is not None:
+            self._autoscale(request.arrival_time)
+        candidates = [replica for replica in self.replicas if not replica.draining]
+        self.policy.choose(request, candidates).submit(request)
+
+    # ------------------------------------------------------------- autoscale
+    def _routable(self) -> list:
+        return [replica for replica in self.replicas if not replica.draining]
+
+    def _autoscale(self, now: float) -> None:
+        routable = self._routable()
+        action = self.autoscaler.decide(
+            now,
+            queue_depth=sum(replica.queue_depth for replica in routable),
+            num_replicas=len(routable),
+        )
+        if action == "up":
+            replica = Replica(self._next_replica_id, self.model,
+                              self.config.replicas[0], start_time=now)
+            self._next_replica_id += 1
+            self.replicas.append(replica)
+            self.scale_events.append(
+                {"time_s": now, "action": "up", "replica_id": replica.replica_id})
+        elif action == "down":
+            # drain the least-loaded routable replica: admitted work finishes,
+            # nothing new is routed to it, retired once empty
+            victim = min(routable, key=lambda r: (r.projected_load, -r.replica_id))
+            victim.draining = True
+            self.scale_events.append(
+                {"time_s": now, "action": "down", "replica_id": victim.replica_id})
+
+    def _retire_drained(self) -> None:
+        for replica in [r for r in self.replicas if r.draining and not r.has_work]:
+            replica.retired = True
+            self.replicas.remove(replica)
+            self.retired.append(replica)
+
+    # ------------------------------------------------------------- reporting
+    def report(self) -> ClusterReport:
+        fleet = sorted(self.replicas + self.retired, key=lambda r: r.replica_id)
+        elapsed = max((replica.now for replica in fleet), default=0.0)
+        return ClusterReport(
+            policy=self.policy.name,
+            completed=list(self.completed),
+            elapsed_s=elapsed,
+            steps=self._steps,
+            slo=self.config.slo,
+            replicas=[replica.describe() for replica in fleet],
+            scale_events=list(self.scale_events),
+        )

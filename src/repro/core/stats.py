@@ -1,0 +1,47 @@
+"""Small shared statistics helpers for report summaries.
+
+The serving and cluster reports both summarise latency samples as scaled
+percentiles (``ttft_p50_ms``, ``latency_p95_ms``...).  :func:`percentile_summary`
+is the one implementation of that row shape, so every report computes and
+names its percentiles identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["percentile_summary", "load_imbalance"]
+
+
+def percentile_summary(values, prefix: str, percentiles=(50, 95), scale: float = 1.0,
+                       unit: str = "") -> dict:
+    """Named percentiles of a sample: ``{f"{prefix}_p{p}[_{unit}]": value}``.
+
+    ``scale`` converts units on the way out (``1e3`` for seconds -> ms);
+    an empty sample yields ``nan`` for every percentile so report rows keep
+    a stable shape even when nothing completed.
+    """
+    sample = np.asarray(list(values), dtype=float)
+    summary = {}
+    for p in percentiles:
+        key = f"{prefix}_p{int(p)}" + (f"_{unit}" if unit else "")
+        summary[key] = float(np.percentile(sample, p)) * scale if sample.size else float("nan")
+    return summary
+
+
+def load_imbalance(loads) -> float:
+    """Max-over-mean load ratio across workers: 1.0 = perfectly balanced.
+
+    The standard fleet imbalance metric (the makespan penalty of the current
+    placement): a value of 2.0 means the busiest worker carries twice the
+    mean load, so the fleet finishes half as fast as a perfectly balanced
+    assignment of the same work.  A fleet with no load at all is balanced by
+    definition (1.0); an empty fleet has no defined imbalance (``nan``).
+    """
+    sample = np.asarray(list(loads), dtype=float)
+    if sample.size == 0:
+        return float("nan")
+    mean = float(sample.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(sample.max()) / mean

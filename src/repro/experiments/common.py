@@ -117,4 +117,8 @@ def experiment_model_specs(name, fast=None) -> tuple:
         from repro.serve.bench import serve_model_name
 
         return (serve_model_name(fast),)
+    if name == "cluster_bench":
+        from repro.cluster.bench import cluster_model_name
+
+        return (cluster_model_name(fast),)
     return ()

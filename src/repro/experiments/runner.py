@@ -35,6 +35,7 @@ from repro.experiments import (
     table4_nonlinear_ppl,
     table5_nonlinear_eff,
 )
+from repro.cluster import bench as cluster_bench_driver
 from repro.serve import bench as serve_bench_driver
 
 __all__ = ["EXPERIMENTS", "experiment_descriptions", "run_all", "print_catalog", "main"]
@@ -64,6 +65,7 @@ EXPERIMENTS = {
     "ext_generation": extensions.generation_latency_extension,
     "ext_mixed_precision": extensions.mixed_precision_extension,
     "serve_bench": serve_bench_driver.run,
+    "cluster_bench": cluster_bench_driver.run,
 }
 
 

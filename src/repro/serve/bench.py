@@ -20,12 +20,13 @@ import numpy as np
 from repro.analysis.reporting import ExperimentResult
 from repro.llm.activations import log_softmax
 from repro.llm.inference import InferenceModel
-from repro.serve.engine import EngineConfig, ServeEngine
+from repro.serve.engine import EngineConfig, ServeEngine, VirtualClock, WallClock
 from repro.serve.kv_cache import KVCache
 from repro.serve.workload import WorkloadConfig, generate_requests
 
 __all__ = ["DEFAULT_KV_SPECS", "serve_model_name", "default_workload",
-           "default_engine_config", "kv_cached_negative_log_likelihood",
+           "default_engine_config", "clock_factory",
+           "kv_cached_negative_log_likelihood",
            "kv_cached_perplexity", "serve_bench", "run"]
 
 #: KV storage formats compared by default: the FP16 baseline plus one block
@@ -57,6 +58,26 @@ def default_engine_config(fast: bool) -> EngineConfig:
     if fast:
         return EngineConfig(max_batch_size=4, token_budget=96)
     return EngineConfig(max_batch_size=8, token_budget=512)
+
+
+def clock_factory(clock):
+    """Resolve a clock option into a zero-argument clock constructor.
+
+    ``None`` / ``"wall"`` measure real compute time (:class:`WallClock`,
+    machine-dependent rows); ``"virtual"`` advances deterministically with
+    processed tokens (:class:`VirtualClock`, byte-identical rows across runs
+    and machines).  A callable is returned as-is, so callers can inject a
+    custom clock (e.g. a :class:`VirtualClock` with a roofline-derived token
+    rate).  One fresh clock is constructed per engine run, which is why this
+    resolves to a factory rather than an instance.
+    """
+    if clock is None or clock == "wall":
+        return WallClock
+    if clock == "virtual":
+        return VirtualClock
+    if callable(clock):
+        return clock
+    raise ValueError(f"unknown clock {clock!r}; expected 'wall', 'virtual' or a factory")
 
 
 # ----------------------------------------------------------- KV-quant quality
@@ -103,14 +124,17 @@ def kv_cached_perplexity(model: InferenceModel, corpus, kv_spec=None,
 # ------------------------------------------------------------------ benchmark
 def serve_bench(model: InferenceModel, kv_specs=DEFAULT_KV_SPECS,
                 workload: WorkloadConfig = None, engine: EngineConfig = None,
-                corpus=None, eval_config=None) -> list:
+                corpus=None, eval_config=None, clock=None) -> list:
     """Replay one trace per KV spec; returns the result rows.
 
     Every spec sees the identical request trace (same seeds, same arrivals),
     so differences between rows isolate the KV format: storage density,
     throughput, and — when ``corpus`` is given — quantised-KV perplexity.
+    ``clock`` selects the engine clock per :func:`clock_factory`:
+    ``"virtual"`` makes every latency/throughput column deterministic.
     """
     workload = workload or WorkloadConfig()
+    make_clock = clock_factory(clock)
     requests = generate_requests(model.config.vocab_size, workload)
     rows = []
     for spec in kv_specs:
@@ -122,7 +146,7 @@ def serve_bench(model: InferenceModel, kv_specs=DEFAULT_KV_SPECS,
                 kv_spec=spec,
                 max_seq_len=engine_config.max_seq_len,
             )
-        runner = ServeEngine(model, engine_config)
+        runner = ServeEngine(model, engine_config, clock=make_clock())
         report = runner.run(requests)
         summary = report.summary()
         row = {
@@ -141,14 +165,18 @@ def serve_bench(model: InferenceModel, kv_specs=DEFAULT_KV_SPECS,
     return rows
 
 
-def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None) -> ExperimentResult:
+def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None,
+        virtual_clock=None) -> ExperimentResult:
     """Continuous-batching serve benchmark: TTFT/latency/throughput per KV-cache format.
 
     The registered ``serve_bench`` experiment driver (the pipeline calls it
     with ``fast`` only).  Fast mode serves a short trace against the Llama-1B
     zoo model; the full run uses Llama-7B and a longer, heavier trace.  The
     keyword overrides back the ``repro serve-bench`` CLI flags: alternative
-    KV specs (``None`` entries mean unquantised) and ad-hoc trace shapes.
+    KV specs (``None`` entries mean unquantised), ad-hoc trace shapes, and
+    the clock.  ``virtual_clock`` defaults to the fast flag: fast/CI rows are
+    deterministic (machine-independent) under :class:`VirtualClock`, full
+    runs keep measuring real compute time unless asked otherwise.
     """
     import dataclasses
 
@@ -167,8 +195,12 @@ def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None) -> Exper
     workload = dataclasses.replace(default_workload(fast_mode), **overrides)
     engine = default_engine_config(fast_mode)
     kv_specs = tuple(kv_specs) if kv_specs else DEFAULT_KV_SPECS
+    if virtual_clock is None:
+        virtual_clock = fast_mode
+    clock = "virtual" if virtual_clock else "wall"
     rows = serve_bench(model, kv_specs=kv_specs, workload=workload,
-                       engine=engine, corpus=corpus, eval_config=eval_config(fast))
+                       engine=engine, corpus=corpus, eval_config=eval_config(fast),
+                       clock=clock)
     return ExperimentResult(
         experiment_id="Serve-Bench",
         title=f"Continuous-batching serving of {model_name}: KV-cache formats under one trace",
@@ -182,7 +214,8 @@ def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None) -> Exper
             "at a small perplexity cost — the serving-side analogue of the paper's Table II "
             "weight/activation sweep.  Throughput differences between rows are within "
             "measurement noise here because the fake-quantised cache stores dequantised "
-            "values; the memory column is what a deployment trades against kv_perplexity."
+            "values (and vanish entirely under the deterministic virtual clock); the "
+            "memory column is what a deployment trades against kv_perplexity."
         ),
         metadata={
             "fast": fast_mode,
@@ -194,6 +227,7 @@ def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None) -> Exper
                          "seed": workload.seed},
             "engine": {"max_batch_size": engine.max_batch_size,
                        "token_budget": engine.token_budget},
+            "clock": clock,
             "kv_specs": [spec or "fp16" for spec in kv_specs],
         },
     )

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.stats import percentile_summary
 from repro.llm.inference import InferenceModel
 from repro.llm.sampling import sample_token
 from repro.serve.kv_cache import KVCache
@@ -206,8 +207,6 @@ class ServeReport:
 
     def summary(self) -> dict:
         """Aggregate latency/throughput metrics (the serve-bench row shape)."""
-        ttft = np.array([c.time_to_first_token_s for c in self.completed])
-        latency = np.array([c.latency_s for c in self.completed])
         elapsed = max(self.elapsed_s, 1e-12)
         return {
             "requests": len(self.completed),
@@ -216,10 +215,10 @@ class ServeReport:
             "decode_tokens": self.decode_tokens,
             "decode_tokens_per_s": self.decode_tokens / elapsed,
             "total_tokens_per_s": (self.prefill_tokens + self.decode_tokens) / elapsed,
-            "ttft_p50_ms": float(np.percentile(ttft, 50)) * 1e3 if ttft.size else float("nan"),
-            "ttft_p95_ms": float(np.percentile(ttft, 95)) * 1e3 if ttft.size else float("nan"),
-            "latency_p50_ms": float(np.percentile(latency, 50)) * 1e3 if latency.size else float("nan"),
-            "latency_p95_ms": float(np.percentile(latency, 95)) * 1e3 if latency.size else float("nan"),
+            **percentile_summary((c.time_to_first_token_s for c in self.completed),
+                                 "ttft", scale=1e3, unit="ms"),
+            **percentile_summary((c.latency_s for c in self.completed),
+                                 "latency", scale=1e3, unit="ms"),
             "peak_active": self.peak_active,
         }
 
@@ -274,9 +273,47 @@ class ServeEngine:
         return bool(self._queue or self._active)
 
     @property
+    def queue_depth(self) -> int:
+        """Requests submitted but not yet admitted (the waiting line)."""
+        return len(self._queue)
+
+    @property
+    def num_active(self) -> int:
+        """Requests currently holding a cache slot (prefilled, decoding)."""
+        return len(self._active)
+
+    @property
     def active_projected_tokens(self) -> int:
         """Projected KV occupancy of the currently admitted requests."""
         return sum(state.request.projected_tokens for state in self._active.values())
+
+    @property
+    def projected_load(self) -> int:
+        """Projected KV tokens of everything on this engine: active plus queued.
+
+        The load signal routing policies compare replicas by — unlike
+        ``queue_depth`` it weighs a queued 500-token document more than a
+        queued 10-token chat turn.
+        """
+        return self.active_projected_tokens + sum(
+            request.projected_tokens for _, _, request in self._queue
+        )
+
+    @property
+    def next_event_time(self) -> float:
+        """Engine-clock instant the next :meth:`step` would act at.
+
+        ``now`` while requests are decoding, the head-of-queue arrival when
+        the engine is idle with queued work, ``inf`` when fully drained.  An
+        external driver co-simulating several engines on virtual clocks (the
+        cluster simulator) steps whichever engine's event time is earliest,
+        so cross-engine event order is deterministic.
+        """
+        if self._active:
+            return self.clock.now()
+        if self._queue:
+            return max(self.clock.now(), self._queue[0][0])
+        return float("inf")
 
     # -------------------------------------------------------------- stepping
     def step(self) -> list:

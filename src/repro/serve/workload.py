@@ -42,6 +42,10 @@ class WorkloadConfig:
             raise ValueError("num_requests must be >= 1")
         if self.arrival_rate < 0:
             raise ValueError("arrival_rate must be >= 0")
+        if self.temperature < 0:
+            raise ValueError("temperature must be >= 0 (0 = greedy decoding)")
+        if self.top_k < 0:
+            raise ValueError("top_k must be >= 0 (0 = no top-k truncation)")
         for name in ("prompt_tokens", "new_tokens"):
             lo, hi = getattr(self, name)
             if lo < 1 or hi < lo:

@@ -1,0 +1,87 @@
+"""Autoscaler decisions: backlog and SLO triggers, guardrails, cooldown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+
+
+class FakeCompletion:
+    def __init__(self, ttft_s):
+        self.time_to_first_token_s = ttft_s
+
+
+def observe(autoscaler, *ttfts):
+    for ttft in ttfts:
+        autoscaler.observe(FakeCompletion(ttft))
+
+
+class TestTriggers:
+    def test_scales_up_on_backlog(self):
+        scaler = Autoscaler(AutoscalerConfig(target_queue_per_replica=2.0))
+        assert scaler.decide(0.0, queue_depth=9, num_replicas=4) == "up"
+
+    def test_holds_when_backlog_is_at_target(self):
+        scaler = Autoscaler(AutoscalerConfig(target_queue_per_replica=2.0, min_replicas=2))
+        assert scaler.decide(0.0, queue_depth=8, num_replicas=4) is None
+
+    def test_scales_up_on_ttft_slo_breach(self):
+        scaler = Autoscaler(AutoscalerConfig(ttft_slo_s=0.1))
+        observe(scaler, 0.2, 0.3, 0.25)
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=2) == "up"
+
+    def test_inherits_the_cluster_slo_when_config_has_none(self):
+        scaler = Autoscaler(AutoscalerConfig(), ttft_slo_s=0.1)
+        observe(scaler, 0.5)
+        assert scaler.ttft_slo_s == 0.1
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=2) == "up"
+
+    def test_scales_down_when_idle_and_comfortable(self):
+        scaler = Autoscaler(AutoscalerConfig(ttft_slo_s=0.1, downscale_margin=0.5))
+        observe(scaler, 0.01, 0.02)
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=3) == "down"
+
+    def test_no_downscale_while_p95_is_near_the_slo(self):
+        scaler = Autoscaler(AutoscalerConfig(ttft_slo_s=0.1, downscale_margin=0.5))
+        observe(scaler, 0.08, 0.09)
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=3) is None
+
+    def test_no_downscale_before_any_completion_when_slo_set(self):
+        scaler = Autoscaler(AutoscalerConfig(ttft_slo_s=0.1))
+        assert np.isnan(scaler.rolling_ttft_p95_s())
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=3) is None
+
+    def test_downscale_without_slo_needs_only_empty_queues(self):
+        scaler = Autoscaler(AutoscalerConfig())
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=2) == "down"
+
+
+class TestGuardrails:
+    def test_never_exceeds_max_replicas(self):
+        scaler = Autoscaler(AutoscalerConfig(max_replicas=4, target_queue_per_replica=1.0))
+        assert scaler.decide(0.0, queue_depth=100, num_replicas=4) is None
+
+    def test_never_drops_below_min_replicas(self):
+        scaler = Autoscaler(AutoscalerConfig(min_replicas=2))
+        assert scaler.decide(0.0, queue_depth=0, num_replicas=2) is None
+
+    def test_cooldown_suppresses_consecutive_actions(self):
+        scaler = Autoscaler(AutoscalerConfig(target_queue_per_replica=1.0, cooldown_s=1.0))
+        assert scaler.decide(0.0, queue_depth=10, num_replicas=1) == "up"
+        assert scaler.decide(0.5, queue_depth=10, num_replicas=2) is None
+        assert scaler.decide(1.5, queue_depth=10, num_replicas=2) == "up"
+
+    def test_rolling_window_forgets_old_samples(self):
+        scaler = Autoscaler(AutoscalerConfig(ttft_slo_s=0.1, window=4))
+        observe(scaler, 5.0, 5.0, 5.0, 5.0)   # terrible early TTFTs
+        observe(scaler, 0.01, 0.01, 0.01, 0.01)  # window now holds only these
+        assert scaler.rolling_ttft_p95_s() == pytest.approx(0.01)
+
+    def test_config_validation(self):
+        for kwargs in ({"min_replicas": 0}, {"max_replicas": 0},
+                       {"target_queue_per_replica": 0.0}, {"ttft_slo_s": -1.0},
+                       {"downscale_margin": 0.0}, {"window": 0}, {"cooldown_s": -1.0}):
+            with pytest.raises(ValueError):
+                AutoscalerConfig(**kwargs)

@@ -1,0 +1,160 @@
+"""The cluster_bench driver: rows, derived load/SLO, pipeline and CLI wiring."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.bench import (
+    cluster_bench,
+    derived_slo,
+    saturating_arrival_rate,
+)
+from repro.cluster.replica import ReplicaConfig
+from repro.serve.workload import WorkloadConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_WORKLOAD = WorkloadConfig(num_requests=10, prompt_tokens=(3, 8), new_tokens=(2, 5), seed=0)
+
+
+class TestDerivedLoadAndSLO:
+    def test_arrival_rate_scales_with_utilization(self, tiny_model_config):
+        one = saturating_arrival_rate(tiny_model_config, ReplicaConfig(), _WORKLOAD,
+                                      utilization=1.0)
+        three = saturating_arrival_rate(tiny_model_config, ReplicaConfig(), _WORKLOAD,
+                                        utilization=3.0)
+        assert three == pytest.approx(3 * one)
+        with pytest.raises(ValueError):
+            saturating_arrival_rate(tiny_model_config, ReplicaConfig(), _WORKLOAD,
+                                    utilization=0)
+
+    def test_slo_tracks_the_roofline_service_time(self, tiny_model_config):
+        slo = derived_slo(tiny_model_config, ReplicaConfig(), _WORKLOAD, slo_slack=4.0)
+        assert 0 < slo.ttft_s < slo.latency_s
+        tighter = derived_slo(tiny_model_config, ReplicaConfig(), _WORKLOAD, slo_slack=2.0)
+        assert tighter.ttft_s == pytest.approx(slo.ttft_s / 2)
+        with pytest.raises(ValueError):
+            derived_slo(tiny_model_config, ReplicaConfig(), _WORKLOAD, slo_slack=0)
+
+
+class TestClusterBenchRows:
+    def test_rows_cover_the_sweep_with_all_metrics(self, tiny_inference_model):
+        rows = cluster_bench(
+            tiny_inference_model,
+            policies=("round_robin", "least_loaded"),
+            replica_counts=(1, 2),
+            kv_specs=(None, "int8"),
+            workload=_WORKLOAD,
+            replica=ReplicaConfig(max_batch_size=2),
+        )
+        assert len(rows) == 8
+        assert {(row["policy"], row["replicas"], row["kv_cache"]) for row in rows} == {
+            (policy, count, spec)
+            for policy in ("round_robin", "least_loaded")
+            for count in (1, 2)
+            for spec in ("fp16", "INT8")
+        }
+        for row in rows:
+            assert row["requests"] == 10
+            assert 0.0 <= row["slo_attainment"] <= 1.0
+            assert row["load_imbalance"] >= 1.0
+            for key in ("goodput_rps", "decode_tokens_per_s", "total_tokens_per_s",
+                        "ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms"):
+                assert np.isfinite(row[key]), key
+
+    def test_single_replica_is_overloaded_and_fleets_recover(self, tiny_inference_model):
+        rows = cluster_bench(
+            tiny_inference_model,
+            policies=("least_loaded",),
+            replica_counts=(1, 4),
+            kv_specs=(None,),
+            workload=_WORKLOAD,
+            replica=ReplicaConfig(max_batch_size=2),
+            utilization=3.0,
+        )
+        single, fleet = rows
+        assert single["slo_attainment"] < fleet["slo_attainment"]
+        assert single["ttft_p95_ms"] > fleet["ttft_p95_ms"]
+        assert fleet["decode_tokens_per_s"] > single["decode_tokens_per_s"]
+
+    def test_rows_are_deterministic(self, tiny_inference_model):
+        kwargs = dict(policies=("power_of_two",), replica_counts=(2,),
+                      kv_specs=("int8",), workload=_WORKLOAD,
+                      replica=ReplicaConfig(max_batch_size=2), seed=5)
+        assert cluster_bench(tiny_inference_model, **kwargs) == \
+            cluster_bench(tiny_inference_model, **kwargs)
+
+    def test_explicit_arrival_rate_overrides_the_derivation(self, tiny_inference_model):
+        rows = cluster_bench(tiny_inference_model, policies=("round_robin",),
+                             replica_counts=(1,), kv_specs=(None,),
+                             workload=_WORKLOAD, arrival_rate=1e6)
+        assert rows[0]["requests"] == 10
+
+
+class TestPipelineIntegration:
+    def test_cluster_bench_runs_under_the_cached_pipeline(self, tmp_path):
+        """`repro run cluster_bench` works: cached, manifest-tracked, resumable."""
+        from repro.pipeline.run import run_experiments
+
+        output_dir = tmp_path / "results"
+        results = run_experiments(["cluster_bench"], fast=True, output_dir=str(output_dir),
+                                  jobs=1, verbose=False)
+        result = results["cluster_bench"]
+        for column in ("policy", "replicas", "kv_cache", "goodput_rps",
+                       "slo_attainment", "load_imbalance"):
+            assert column in result.columns
+            assert all(column in row for row in result.rows)
+        assert (output_dir / "cluster-bench.json").exists()
+        assert (output_dir / "manifest.json").exists()
+        # second invocation must be served from the content-addressed cache
+        second = run_experiments(["cluster_bench"], fast=True,
+                                 output_dir=str(tmp_path / "results2"), jobs=1,
+                                 verbose=False)
+        assert second["cluster_bench"].rows == result.rows
+
+    def test_model_dependency_is_declared_for_the_scheduler(self):
+        from repro.experiments.common import experiment_model_specs
+
+        assert experiment_model_specs("cluster_bench", fast=True) == ("Llama-1B",)
+        assert experiment_model_specs("cluster_bench", fast=False) == ("Llama-7B",)
+
+    def test_driver_is_registered_in_the_catalog(self):
+        from repro.experiments.runner import EXPERIMENTS, experiment_descriptions
+
+        assert "cluster_bench" in EXPERIMENTS
+        assert experiment_descriptions()["cluster_bench"]
+
+
+class TestCLISmoke:
+    def _run_repro(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_FAST"] = "1"
+        return subprocess.run([sys.executable, "-m", "repro", *args],
+                              capture_output=True, text=True, timeout=300,
+                              cwd=REPO_ROOT, env=env)
+
+    def test_cluster_bench_fast_subprocess(self, tmp_path):
+        result = self._run_repro("cluster-bench", "--fast", "--num-requests", "8",
+                                 "--policies", "round_robin", "least-loaded",
+                                 "--replicas", "1", "2", "--kv-specs", "fp16", "int8",
+                                 "--output-dir", str(tmp_path / "out"))
+        assert result.returncode == 0, result.stderr
+        assert "Cluster-Bench" in result.stdout
+        assert "slo_attainment" in result.stdout
+        assert "load_imbalance" in result.stdout
+        assert "least_loaded" in result.stdout
+        assert (tmp_path / "out" / "cluster-bench.json").exists()
+
+    def test_unknown_policy_is_a_clean_usage_error(self):
+        result = self._run_repro("cluster-bench", "--fast", "--policies", "least_loded")
+        assert result.returncode != 0
+        assert "unknown routing policy" in result.stderr
+        assert "least_loaded" in result.stderr  # the did-you-mean suggestion
+        assert "Traceback" not in result.stderr

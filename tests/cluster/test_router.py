@@ -1,0 +1,135 @@
+"""Routing-policy registry and the behaviour of every built-in policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import (
+    RoutingPolicy,
+    UnknownPolicyError,
+    get_policy,
+    list_policies,
+    register_policy,
+)
+
+
+class FakeReplica:
+    """Just the load surface policies read, no engine underneath."""
+
+    def __init__(self, replica_id, projected_load=0, queue_depth=0, num_active=0):
+        self.replica_id = replica_id
+        self.projected_load = projected_load
+        self.queue_depth = queue_depth
+        self.num_active = num_active
+
+
+class FakeRequest:
+    def __init__(self, prompt_tokens=(1, 2, 3)):
+        self.prompt_tokens = tuple(prompt_tokens)
+
+
+class TestRegistry:
+    def test_all_policies_are_registered(self):
+        assert list_policies() == ("round_robin", "least_loaded", "join_shortest_queue",
+                                   "power_of_two", "prefix_affinity")
+
+    def test_get_policy_normalises_names(self):
+        assert get_policy("Least-Loaded").name == "least_loaded"
+        assert get_policy(" ROUND_ROBIN ").name == "round_robin"
+
+    def test_get_policy_passes_instances_through(self):
+        policy = get_policy("round_robin")
+        assert get_policy(policy) is policy
+
+    def test_unknown_policy_has_a_did_you_mean_suggestion(self):
+        with pytest.raises(UnknownPolicyError, match="least_loaded"):
+            get_policy("least_loded")
+
+    def test_unknown_policy_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            get_policy("definitely_not_a_policy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("round_robin")(type("P", (RoutingPolicy,), {}))
+
+    def test_non_policy_class_rejected(self):
+        with pytest.raises(TypeError):
+            register_policy("not_a_policy")(object)
+
+    def test_fresh_instance_per_lookup(self):
+        assert get_policy("round_robin") is not get_policy("round_robin")
+
+
+class TestPolicies:
+    def test_round_robin_cycles_in_order(self):
+        policy = get_policy("round_robin")
+        replicas = [FakeReplica(i) for i in range(3)]
+        picks = [policy.choose(FakeRequest(), replicas).replica_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_survives_fleet_resizes(self):
+        policy = get_policy("round_robin")
+        policy.choose(FakeRequest(), [FakeReplica(i) for i in range(4)])
+        # fleet shrank under the rotation counter: modulo keeps it in range
+        assert policy.choose(FakeRequest(), [FakeReplica(0)]).replica_id == 0
+
+    def test_least_loaded_weighs_projected_tokens(self):
+        policy = get_policy("least_loaded")
+        replicas = [FakeReplica(0, projected_load=500, queue_depth=1),
+                    FakeReplica(1, projected_load=20, queue_depth=3)]
+        # more queued requests but far fewer projected tokens: 1 wins
+        assert policy.choose(FakeRequest(), replicas).replica_id == 1
+
+    def test_join_shortest_queue_counts_requests(self):
+        policy = get_policy("join_shortest_queue")
+        replicas = [FakeReplica(0, projected_load=20, queue_depth=1, num_active=3),
+                    FakeReplica(1, projected_load=500, queue_depth=0, num_active=1)]
+        assert policy.choose(FakeRequest(), replicas).replica_id == 1
+
+    def test_ties_break_by_replica_id(self):
+        for name in ("least_loaded", "join_shortest_queue"):
+            replicas = [FakeReplica(2), FakeReplica(0), FakeReplica(1)]
+            assert get_policy(name).choose(FakeRequest(), replicas).replica_id == 0
+
+    def test_power_of_two_prefers_the_less_loaded_sample(self):
+        policy = get_policy("power_of_two", seed=0)
+        replicas = [FakeReplica(0, projected_load=100), FakeReplica(1, projected_load=0)]
+        # with two replicas both are always sampled: the idle one always wins
+        picks = {policy.choose(FakeRequest(), replicas).replica_id for _ in range(8)}
+        assert picks == {1}
+
+    def test_power_of_two_is_deterministic_under_a_seed(self):
+        replicas = [FakeReplica(i, projected_load=i) for i in range(8)]
+        runs = []
+        for _ in range(2):
+            policy = get_policy("power_of_two", seed=7)
+            runs.append([policy.choose(FakeRequest(), replicas).replica_id
+                         for _ in range(16)])
+        assert runs[0] == runs[1]
+
+    def test_power_of_two_single_replica_shortcut(self):
+        replica = FakeReplica(0)
+        assert get_policy("power_of_two").choose(FakeRequest(), [replica]) is replica
+
+    def test_prefix_affinity_is_sticky_per_prefix(self):
+        policy = get_policy("prefix_affinity")
+        replicas = [FakeReplica(i) for i in range(4)]
+        shared = tuple(range(8))
+        picks = {policy.choose(FakeRequest(shared + (tail,)), replicas).replica_id
+                 for tail in range(10)}
+        assert len(picks) == 1  # same prefix -> same replica, whatever follows
+
+    def test_prefix_affinity_spreads_distinct_prefixes(self):
+        policy = get_policy("prefix_affinity")
+        replicas = [FakeReplica(i) for i in range(4)]
+        picks = {policy.choose(FakeRequest((p, p + 1, p + 2)), replicas).replica_id
+                 for p in range(32)}
+        assert len(picks) > 1
+
+    def test_prefix_affinity_is_stable_across_instances(self):
+        replicas = [FakeReplica(i) for i in range(5)]
+        request = FakeRequest((3, 1, 4, 1, 5))
+        first = get_policy("prefix_affinity", seed=2).choose(FakeRequest((3, 1, 4, 1, 5)), replicas)
+        second = get_policy("prefix_affinity", seed=2).choose(request, replicas)
+        assert first.replica_id == second.replica_id

@@ -1,0 +1,58 @@
+"""The shared percentile/imbalance helpers behind the serve and cluster reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stats import load_imbalance, percentile_summary
+
+
+class TestPercentileSummary:
+    def test_names_scale_and_values(self):
+        summary = percentile_summary([0.010, 0.020, 0.030, 0.040], "ttft",
+                                     scale=1e3, unit="ms")
+        assert set(summary) == {"ttft_p50_ms", "ttft_p95_ms"}
+        assert summary["ttft_p50_ms"] == pytest.approx(25.0)
+        assert summary["ttft_p95_ms"] == pytest.approx(
+            float(np.percentile([10.0, 20.0, 30.0, 40.0], 95)))
+
+    def test_no_unit_omits_the_suffix(self):
+        assert set(percentile_summary([1.0], "latency")) == {"latency_p50", "latency_p95"}
+
+    def test_custom_percentiles(self):
+        summary = percentile_summary(range(101), "x", percentiles=(10, 50, 99))
+        assert summary == {"x_p10": 10.0, "x_p50": 50.0, "x_p99": 99.0}
+
+    def test_empty_sample_keeps_the_row_shape_with_nans(self):
+        summary = percentile_summary([], "ttft", scale=1e3, unit="ms")
+        assert set(summary) == {"ttft_p50_ms", "ttft_p95_ms"}
+        assert all(np.isnan(v) for v in summary.values())
+
+    def test_accepts_generators(self):
+        assert percentile_summary((x for x in (2.0, 2.0)), "v")["v_p50"] == 2.0
+
+    def test_matches_the_serve_report_shape(self, tiny_inference_model):
+        """ServeReport.summary must keep its historical key names and values."""
+        from repro.serve import EngineConfig, Request, ServeEngine, VirtualClock
+
+        engine = ServeEngine(tiny_inference_model, EngineConfig(max_batch_size=2),
+                             clock=VirtualClock())
+        engine.submit(Request(request_id=0, prompt_tokens=(1, 2, 3), max_new_tokens=4))
+        summary = engine.run().summary()
+        for key in ("ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms"):
+            assert np.isfinite(summary[key])
+
+
+class TestLoadImbalance:
+    def test_balanced_fleet_is_one(self):
+        assert load_imbalance([10, 10, 10]) == 1.0
+
+    def test_max_over_mean(self):
+        assert load_imbalance([30, 10, 20]) == pytest.approx(30 / 20)
+
+    def test_idle_fleet_is_balanced(self):
+        assert load_imbalance([0, 0]) == 1.0
+
+    def test_empty_fleet_is_nan(self):
+        assert np.isnan(load_imbalance([]))

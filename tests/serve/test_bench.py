@@ -11,8 +11,8 @@ import numpy as np
 import pytest
 
 from repro.llm.perplexity import EvalConfig, evaluate_perplexity
-from repro.serve.bench import kv_cached_perplexity, serve_bench
-from repro.serve.engine import EngineConfig
+from repro.serve.bench import clock_factory, kv_cached_perplexity, serve_bench
+from repro.serve.engine import EngineConfig, VirtualClock, WallClock
 from repro.serve.workload import WorkloadConfig
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -72,6 +72,57 @@ class TestServeBenchRows:
                            workload=workload, engine=EngineConfig(max_batch_size=2))
         assert rows[0]["requests"] == rows[1]["requests"]
         assert rows[0]["kv_cache"] == rows[1]["kv_cache"] == "fp16"
+
+
+class TestDeterministicClock:
+    """The serve-bench clock option: virtual rows are machine-independent."""
+
+    _WORKLOAD = WorkloadConfig(num_requests=6, arrival_rate=200.0,
+                               prompt_tokens=(3, 8), new_tokens=(2, 5),
+                               temperature=0.8, top_k=8, seed=2)
+
+    def test_clock_factory_resolves_names_and_callables(self):
+        assert clock_factory(None) is WallClock
+        assert clock_factory("wall") is WallClock
+        assert clock_factory("virtual") is VirtualClock
+        factory = clock_factory(lambda: VirtualClock(2e-3))
+        assert factory().time_per_token == 2e-3
+        with pytest.raises(ValueError, match="unknown clock"):
+            clock_factory("sundial")
+
+    def test_virtual_clock_rows_are_identical_across_runs(self, tiny_inference_model):
+        """Same seed + trace => byte-identical summary rows, run to run."""
+        runs = [serve_bench(tiny_inference_model, kv_specs=(None, "int8"),
+                            workload=self._WORKLOAD,
+                            engine=EngineConfig(max_batch_size=3), clock="virtual")
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_trace_replay_is_invariant_across_kv_specs(self, tiny_inference_model):
+        """Scheduling/latency columns depend only on the trace, not the KV spec.
+
+        The fake-quantised cache stores dequantised values, so the virtual
+        clock charges every spec the same token count: all scheduling-side
+        columns must be bit-identical between specs, isolating the KV format
+        to the memory/accuracy columns.
+        """
+        rows = serve_bench(tiny_inference_model, kv_specs=(None, "int8", "bfp8@b32"),
+                           workload=self._WORKLOAD,
+                           engine=EngineConfig(max_batch_size=3), clock="virtual")
+        scheduling_keys = ("requests", "decode_tokens_per_s", "total_tokens_per_s",
+                           "ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms",
+                           "latency_p95_ms", "peak_active")
+        for row in rows[1:]:
+            for key in scheduling_keys:
+                assert row[key] == rows[0][key], key
+
+    def test_driver_defaults_to_virtual_clock_in_fast_mode(self):
+        from repro.serve.bench import run as serve_bench_run
+
+        results = [serve_bench_run(fast=True, kv_specs=(None,), num_requests=4,
+                                   arrival_rate=500.0) for _ in range(2)]
+        assert results[0].metadata["clock"] == "virtual"
+        assert results[0].rows == results[1].rows
 
 
 class TestPipelineIntegration:

@@ -181,3 +181,54 @@ class TestValidation:
         for done in report.completed:
             assert len(done.generated_tokens) == 6
             assert all(0 <= t < vocab for t in done.generated_tokens)
+
+
+class TestExternalDriveHooks:
+    """The introspection surface an external co-simulator (repro.cluster) steps by."""
+
+    def test_queue_depth_and_num_active_track_the_lifecycle(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model, max_batch_size=2)
+        assert engine.queue_depth == 0 and engine.num_active == 0
+        engine.submit(Request(request_id=0, prompt_tokens=(1, 2), max_new_tokens=3))
+        engine.submit(Request(request_id=1, prompt_tokens=(4, 5), max_new_tokens=3))
+        assert engine.queue_depth == 2 and engine.num_active == 0
+        engine.step()  # admits + prefills both, first decode
+        assert engine.queue_depth == 0 and engine.num_active == 2
+        while engine.has_work:
+            engine.step()
+        assert engine.queue_depth == 0 and engine.num_active == 0
+
+    def test_projected_load_counts_active_and_queued_tokens(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model, max_batch_size=1)
+        engine.submit(Request(request_id=0, prompt_tokens=(1, 2, 3), max_new_tokens=4))
+        engine.submit(Request(request_id=1, prompt_tokens=(5, 6), max_new_tokens=2))
+        assert engine.projected_load == 7 + 4
+        engine.step()  # request 0 admitted (slot limit keeps 1 queued)
+        assert engine.active_projected_tokens == 7
+        assert engine.projected_load == 7 + 4
+
+    def test_next_event_time_drives_event_ordering(self, tiny_inference_model):
+        engine = make_engine(tiny_inference_model, max_batch_size=1)
+        assert engine.next_event_time == float("inf")
+        engine.submit(Request(request_id=0, prompt_tokens=(1, 2), max_new_tokens=6,
+                              arrival_time=0.5))
+        assert engine.next_event_time == 0.5  # idle: the head-of-queue arrival
+        engine.step()
+        assert engine.next_event_time == engine.clock.now()  # decoding: now
+        while engine.has_work:
+            engine.step()
+        assert engine.next_event_time == float("inf")
+
+
+class TestWorkloadValidation:
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError, match="temperature"):
+            WorkloadConfig(temperature=-0.1)
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValueError, match="top_k"):
+            WorkloadConfig(top_k=-1)
+
+    def test_zero_sampling_parameters_stay_valid(self):
+        config = WorkloadConfig(temperature=0.0, top_k=0)
+        assert config.temperature == 0.0 and config.top_k == 0
