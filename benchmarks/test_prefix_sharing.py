@@ -1,0 +1,150 @@
+"""End-to-end throughput of radix prefix sharing (the paged-KV speedup).
+
+The dense cache prefills every request's whole prompt, even when 80 % of the
+trace's prompt tokens are one of two shared prefixes; the paged cache serves
+every full page of a cached prefix from the radix index and prefills only
+the unique suffix.  This suite replays one 80 %-shared-prefix trace through
+both backends at the *same* KV memory budget and asserts the paged engine
+reaches at least 2x the dense decode tokens/s — the acceptance bar for
+prefix sharing being a real optimisation rather than bookkeeping — and that
+with pages at least as large as ``max_seq_len`` (one page per slot, nothing
+shareable) the paged engine reproduces the dense report bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult
+from repro.llm.config import ModelConfig
+from repro.llm.inference import InferenceModel
+from repro.llm.transformer import TransformerLM
+from repro.serve.engine import EngineConfig, ServeEngine, VirtualClock
+from repro.serve.workload import SharedPrefixConfig, generate_shared_prefix_requests
+
+from conftest import emit
+
+PAGE_SIZE = 8
+MAX_SEQ_LEN = 160
+SPEEDUP_BAR = 2.0
+
+#: Every request draws one of two 96-token shared prefixes plus a unique
+#: suffix: 80 % of the trace's prompt tokens are shared prefix.
+WORKLOAD = SharedPrefixConfig(num_requests=48, arrival_rate=0.0, num_prefixes=2,
+                              prefix_tokens=96, unique_tokens=(16, 32),
+                              new_tokens=(2, 3), shared_fraction=1.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bench_model():
+    """A fast-model-sized random-weight checkpoint (throughput only, untrained)."""
+    config = ModelConfig(name="prefix-bench", vocab_size=64, d_model=128, n_heads=4,
+                         n_layers=3, d_ff=384, max_seq_len=MAX_SEQ_LEN,
+                         arch="llama", seed=0)
+    return InferenceModel(config, TransformerLM(config).state_dict())
+
+
+@pytest.fixture(scope="module")
+def trace(bench_model):
+    requests = generate_shared_prefix_requests(bench_model.config.vocab_size, WORKLOAD)
+    shared = WORKLOAD.prefix_tokens * WORKLOAD.num_requests
+    total = sum(len(r.prompt_tokens) for r in requests)
+    assert 0.78 <= shared / total <= 0.82  # the trace is really ~80 % shared prefix
+    return requests
+
+
+def _engine_config(backend, page_size=PAGE_SIZE):
+    # equal memory budget: the paged pool defaults to max_batch_size *
+    # ceil(max_seq_len / page_size) pages — exactly the dense pre-allocation
+    return EngineConfig(max_batch_size=4, kv_backend=backend, kv_page_size=page_size)
+
+
+def _timed_run(model, trace, backend, clock=None, repeats=1):
+    """Best-of-``repeats`` wall time (one fresh engine each), plus one report."""
+    report, best = None, float("inf")
+    for _ in range(repeats):
+        engine = ServeEngine(model, _engine_config(backend), clock=clock)
+        start = time.perf_counter()
+        report = engine.run(trace)
+        best = min(best, time.perf_counter() - start)
+    return report, best
+
+
+def test_shared_prefix_trace_doubles_decode_throughput(bench_model, trace):
+    # alternate backends across repeats so both see the same machine state,
+    # then keep the best of each — robust to scheduling noise on a loaded
+    # CI box, like the best-of measurement in test_serve_throughput.py
+    dense_s = paged_s = float("inf")
+    for _ in range(3):
+        dense_report, elapsed = _timed_run(bench_model, trace, "contiguous")
+        dense_s = min(dense_s, elapsed)
+        paged_report, elapsed = _timed_run(bench_model, trace, "paged")
+        paged_s = min(paged_s, elapsed)
+    dense, paged = dense_report.summary(), paged_report.summary()
+
+    # both backends complete the identical trace with identical greedy tokens
+    tokens = lambda report: {c.request.request_id: c.generated_tokens
+                             for c in report.completed}
+    assert tokens(paged_report) == tokens(dense_report)
+    assert paged_report.decode_tokens == dense_report.decode_tokens
+
+    # identical decode-token counts over best-of wall times: the end-to-end
+    # throughput ratio, insulated from one-off scheduling hiccups
+    dense_tps = dense_report.decode_tokens / dense_s
+    paged_tps = paged_report.decode_tokens / paged_s
+    speedup = paged_tps / dense_tps
+    emit(ExperimentResult(
+        experiment_id="Bench-Prefix-Sharing",
+        title="Paged KV prefix sharing vs dense prefill on an 80%-shared-prefix trace",
+        rows=[
+            {"kv_cache_layout": "contiguous", "kv_hit_rate": dense["kv_hit_rate"],
+             "decode_tokens_per_s": dense_tps,
+             "prefill_tokens": dense_report.prefill_tokens,
+             "wall_time_s": dense_s, "speedup": 1.0},
+            {"kv_cache_layout": f"paged (page={PAGE_SIZE})",
+             "kv_hit_rate": paged["kv_hit_rate"],
+             "decode_tokens_per_s": paged_tps,
+             "prefill_tokens": paged_report.prefill_tokens,
+             "wall_time_s": paged_s, "speedup": speedup},
+        ],
+        columns=["kv_cache_layout", "kv_hit_rate", "decode_tokens_per_s",
+                 "prefill_tokens", "wall_time_s", "speedup"],
+        notes=(
+            "Identical trace, identical greedy tokens, equal KV memory budget; the "
+            "only difference is that the paged engine serves cached prefix pages "
+            "from the radix index instead of re-prefilling them.  decode_tokens_per_s "
+            "divides the same decode-token count by the best-of-3 wall time of the "
+            "whole run, so skipped prefill shows up directly as end-to-end speedup."
+        ),
+        metadata={"workload": {"num_requests": WORKLOAD.num_requests,
+                               "num_prefixes": WORKLOAD.num_prefixes,
+                               "prefix_tokens": WORKLOAD.prefix_tokens,
+                               "shared_fraction": WORKLOAD.shared_fraction},
+                  "page_size": PAGE_SIZE, "speedup_bar": SPEEDUP_BAR},
+    ))
+    assert paged_report.reused_tokens > 0
+    assert speedup >= SPEEDUP_BAR, (
+        f"prefix sharing speedup {speedup:.2f}x below the {SPEEDUP_BAR}x bar "
+        f"(dense {dense_tps:.1f} tok/s, paged {paged_tps:.1f} tok/s)"
+    )
+
+
+def test_page_size_of_max_seq_len_reproduces_the_dense_report(bench_model, trace):
+    """One page per slot leaves nothing shareable: paged == dense, bit for bit."""
+    dense_report, _ = _timed_run(bench_model, trace, "contiguous",
+                                 clock=VirtualClock(), repeats=1)
+    engine = ServeEngine(bench_model, _engine_config("paged", page_size=MAX_SEQ_LEN),
+                         clock=VirtualClock())
+    paged_report = engine.run(trace)
+    assert paged_report.reused_tokens == 0
+    paging_keys = ("peak_pages_in_use", "kv_peak_memory_mib")
+    dense = {k: v for k, v in dense_report.summary().items() if k not in paging_keys}
+    paged = {k: v for k, v in paged_report.summary().items() if k not in paging_keys}
+    assert paged == dense
+    for d, p in zip(dense_report.completed, paged_report.completed):
+        assert d.request.request_id == p.request.request_id
+        assert d.generated_tokens == p.generated_tokens
+        assert (d.arrival_time, d.admitted_time, d.first_token_time, d.finish_time) == \
+            (p.arrival_time, p.admitted_time, p.first_token_time, p.finish_time)

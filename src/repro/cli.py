@@ -159,11 +159,21 @@ def _cmd_serve_bench(args) -> int:
     result = serve_bench_run(fast=args.fast or None, kv_specs=args.kv_specs,
                              num_requests=args.num_requests,
                              arrival_rate=args.arrival_rate,
-                             virtual_clock=True if args.virtual_clock else None)
+                             virtual_clock=True if args.virtual_clock else None,
+                             kv_page_size=args.kv_page_size,
+                             kv_backend=args.kv_backend)
     print(result.to_text())
     if args.output_dir:
         save_result(result, args.output_dir)
     return 0
+
+
+def _parse_page_size(text: str) -> int:
+    """CLI type for ``--kv-page-size``: a positive page length in tokens."""
+    size = int(text)
+    if size < 1:
+        raise argparse.ArgumentTypeError(f"KV page size must be >= 1, got {size}")
+    return size
 
 
 def _parse_policy(name: str) -> str:
@@ -188,7 +198,9 @@ def _cmd_cluster_bench(args) -> int:
     result = cluster_bench_run(fast=args.fast or None, policies=args.policies,
                                replica_counts=args.replicas, kv_specs=args.kv_specs,
                                num_requests=args.num_requests,
-                               arrival_rate=args.arrival_rate)
+                               arrival_rate=args.arrival_rate,
+                               workload_kind=args.workload.replace("-", "_"),
+                               kv_page_size=args.kv_page_size)
     print(result.to_text())
     if args.output_dir:
         save_result(result, args.output_dir)
@@ -247,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--virtual-clock", action="store_true",
                          help="deterministic token-rate clock instead of wall time "
                               "(the default in fast mode)")
+    p_serve.add_argument("--kv-backend", choices=("paged", "contiguous"), default=None,
+                         help="KV cache layout: paged (block pool + radix prefix "
+                              "sharing, the default) or contiguous (dense fallback)")
+    p_serve.add_argument("--kv-page-size", type=_parse_page_size, default=None,
+                         help="tokens per KV page under the paged backend "
+                              "(fast mode defaults to a small page so paging "
+                              "paths are exercised)")
     p_serve.add_argument("--output-dir", default=None,
                          help="also save the result as JSON + text under this directory")
     p_serve.set_defaults(func=_cmd_serve_bench)
@@ -267,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--arrival-rate", type=float, default=None,
                            help="offered load in requests per second "
                                 "(default: derived from the roofline cost model)")
+    p_cluster.add_argument("--workload", choices=("poisson", "shared-prefix"),
+                           default="poisson",
+                           help="trace shape: independent Poisson prompts, or "
+                                "shared-prefix traffic that exercises radix "
+                                "prefix sharing and prefix_affinity routing")
+    p_cluster.add_argument("--kv-page-size", type=_parse_page_size, default=None,
+                           help="tokens per KV page on every replica")
     p_cluster.add_argument("--output-dir", default=None,
                            help="also save the result as JSON + text under this directory")
     p_cluster.set_defaults(func=_cmd_cluster_bench)

@@ -32,11 +32,17 @@ from repro.cluster.simulation import (
     SLOConfig,
     homogeneous_fleet,
 )
-from repro.serve.workload import WorkloadConfig, generate_requests
+from repro.serve.workload import (
+    MultiTurnConfig,
+    SharedPrefixConfig,
+    WorkloadConfig,
+    generate_trace,
+)
 
 __all__ = ["DEFAULT_POLICIES", "DEFAULT_REPLICA_COUNTS", "DEFAULT_KV_SPECS",
-           "cluster_model_name", "default_workload", "default_replica",
-           "saturating_arrival_rate", "derived_slo", "cluster_bench", "run"]
+           "WORKLOAD_KINDS", "cluster_model_name", "default_workload",
+           "default_replica", "saturating_arrival_rate", "derived_slo",
+           "cluster_bench", "run"]
 
 #: Routing policies compared by default (full mode sweeps the whole registry).
 DEFAULT_POLICIES = ("round_robin", "least_loaded", "join_shortest_queue",
@@ -47,6 +53,9 @@ DEFAULT_REPLICA_COUNTS = (1, 2, 4)
 
 #: KV storage formats compared by default (``None`` = FP16 baseline).
 DEFAULT_KV_SPECS = (None, "int8")
+
+#: Trace shapes the benchmark can sweep under (see :mod:`repro.serve.workload`).
+WORKLOAD_KINDS = ("poisson", "shared_prefix")
 
 
 def cluster_model_name(fast: bool) -> str:
@@ -62,8 +71,25 @@ def cluster_model_name(fast: bool) -> str:
     return serve_model_name(fast)
 
 
-def default_workload(fast: bool) -> WorkloadConfig:
-    """The benchmark's trace shape (the arrival rate is derived separately)."""
+def default_workload(fast: bool, kind: str = "poisson"):
+    """The benchmark's trace shape for a workload kind (arrival rate derived
+    separately).
+
+    ``"poisson"`` is the classic independent-prompt mix;
+    ``"shared_prefix"`` opens 80 % of the prompts with one of a few shared
+    prefixes, the workload class prefix-sharing caches (and the
+    ``prefix_affinity`` policy's measured-reuse routing) exist for.
+    """
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(f"workload kind must be one of {WORKLOAD_KINDS}, got {kind!r}")
+    if kind == "shared_prefix":
+        if fast:
+            return SharedPrefixConfig(num_requests=16, num_prefixes=2,
+                                      prefix_tokens=16, unique_tokens=(2, 6),
+                                      new_tokens=(3, 8), shared_fraction=0.8, seed=0)
+        return SharedPrefixConfig(num_requests=64, num_prefixes=4,
+                                  prefix_tokens=32, unique_tokens=(4, 12),
+                                  new_tokens=(6, 16), shared_fraction=0.8, seed=0)
     if fast:
         return WorkloadConfig(num_requests=16, prompt_tokens=(4, 12),
                               new_tokens=(3, 8), seed=0)
@@ -72,19 +98,33 @@ def default_workload(fast: bool) -> WorkloadConfig:
 
 
 def default_replica(fast: bool) -> ReplicaConfig:
-    """The replica template every fleet of the sweep is built from."""
-    return ReplicaConfig(max_batch_size=4 if fast else 8)
+    """The replica template every fleet of the sweep is built from.
+
+    Fast mode shrinks the KV page so short CI prompts still span several
+    pages and the paged admission/sharing paths run for real.
+    """
+    return ReplicaConfig(max_batch_size=4 if fast else 8,
+                         kv_page_size=4 if fast else 16)
 
 
-def _mean_tokens(workload: WorkloadConfig) -> tuple:
+def _mean_tokens(workload) -> tuple:
     """(mean prompt tokens, mean total tokens) of a trace shape."""
-    prompt = sum(workload.prompt_tokens) / 2.0
+    if isinstance(workload, SharedPrefixConfig):
+        prompt = workload.prefix_tokens + sum(workload.unique_tokens) / 2.0
+    elif isinstance(workload, MultiTurnConfig):
+        # turn t's prompt is system + t user messages; averaged over the
+        # turns of a mean-length conversation
+        mean_turns = sum(workload.turns) / 2.0
+        mean_user = sum(workload.user_tokens) / 2.0
+        prompt = workload.system_tokens + mean_user * (mean_turns + 1) / 2.0
+    else:
+        prompt = sum(workload.prompt_tokens) / 2.0
     total = prompt + sum(workload.new_tokens) / 2.0
     return prompt, total
 
 
 def saturating_arrival_rate(model_config, replica: ReplicaConfig,
-                            workload: WorkloadConfig, utilization: float = 3.0) -> float:
+                            workload, utilization: float = 3.0) -> float:
     """Offered load (requests/s) at ``utilization`` x one replica's capacity.
 
     One replica sustains roughly ``1 / (time_per_token * mean tokens per
@@ -99,7 +139,7 @@ def saturating_arrival_rate(model_config, replica: ReplicaConfig,
     return utilization / (time_per_token * mean_total)
 
 
-def derived_slo(model_config, replica: ReplicaConfig, workload: WorkloadConfig,
+def derived_slo(model_config, replica: ReplicaConfig, workload,
                 slo_slack: float = 4.0) -> SLOConfig:
     """SLOs at ``slo_slack`` x the no-queueing service time of a mean request.
 
@@ -118,12 +158,13 @@ def derived_slo(model_config, replica: ReplicaConfig, workload: WorkloadConfig,
 
 #: Summary columns copied into each benchmark row, in display order.
 _ROW_METRICS = ("requests", "goodput_rps", "slo_attainment", "load_imbalance",
+                "prefix_hit_rate", "peak_pages_in_use",
                 "decode_tokens_per_s", "total_tokens_per_s",
                 "ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms")
 
 
 def cluster_bench(model, policies=DEFAULT_POLICIES, replica_counts=DEFAULT_REPLICA_COUNTS,
-                  kv_specs=DEFAULT_KV_SPECS, workload: WorkloadConfig = None,
+                  kv_specs=DEFAULT_KV_SPECS, workload=None,
                   replica: ReplicaConfig = None, utilization: float = 3.0,
                   slo_slack: float = 4.0, arrival_rate: float = None,
                   seed: int = 0) -> list:
@@ -131,9 +172,10 @@ def cluster_bench(model, policies=DEFAULT_POLICIES, replica_counts=DEFAULT_REPLI
 
     The trace (arrivals, prompts, per-request seeds) is generated once —
     every fleet of the sweep replays it identically, so row differences
-    isolate the policy, the fleet size and the KV format.  ``arrival_rate``
-    overrides the roofline-derived offered load
-    (:func:`saturating_arrival_rate`) for ad-hoc traces.
+    isolate the policy, the fleet size and the KV format.  ``workload`` may
+    be any :mod:`repro.serve.workload` config (Poisson, shared-prefix,
+    multi-turn); ``arrival_rate`` overrides the roofline-derived offered
+    load (:func:`saturating_arrival_rate`) for ad-hoc traces.
     """
     workload = workload or WorkloadConfig()
     template = replica or ReplicaConfig()
@@ -143,7 +185,7 @@ def cluster_bench(model, policies=DEFAULT_POLICIES, replica_counts=DEFAULT_REPLI
                                                utilization=utilization)
     workload = dataclasses.replace(workload, arrival_rate=arrival_rate)
     slo = derived_slo(model.config, baseline, workload, slo_slack=slo_slack)
-    requests = generate_requests(model.config.vocab_size, workload)
+    requests = generate_trace(model.config.vocab_size, workload)
     rows = []
     for kv_spec in kv_specs:
         for policy in policies:
@@ -166,14 +208,17 @@ def cluster_bench(model, policies=DEFAULT_POLICIES, replica_counts=DEFAULT_REPLI
 
 
 def run(fast=None, policies=None, replica_counts=None, kv_specs=None,
-        num_requests=None, arrival_rate=None) -> ExperimentResult:
+        num_requests=None, arrival_rate=None, workload_kind: str = "poisson",
+        kv_page_size=None) -> ExperimentResult:
     """Multi-replica cluster serving: routing policy x fleet size x KV format under one trace.
 
     The registered ``cluster_bench`` experiment driver (the pipeline calls
     it with ``fast`` only).  Fast mode simulates small fleets of the
     Llama-1B zoo model over a short trace; the full run sweeps every
     registered routing policy over larger Llama-7B fleets.  The keyword
-    overrides back the ``repro cluster-bench`` CLI flags.
+    overrides back the ``repro cluster-bench`` CLI flags: ``workload_kind``
+    selects the trace shape (``shared_prefix`` makes the prefix-hit-rate
+    column meaningful) and ``kv_page_size`` resizes the replicas' KV pages.
     """
     from repro.experiments.common import is_fast_mode
     from repro.llm.zoo import default_corpus, load_inference_model
@@ -191,8 +236,11 @@ def run(fast=None, policies=None, replica_counts=None, kv_specs=None,
     overrides = {}
     if num_requests is not None:
         overrides["num_requests"] = num_requests
-    workload = dataclasses.replace(default_workload(fast_mode), **overrides)
+    workload = dataclasses.replace(default_workload(fast_mode, workload_kind),
+                                   **overrides)
     template = default_replica(fast_mode)
+    if kv_page_size is not None:
+        template = dataclasses.replace(template, kv_page_size=kv_page_size)
     if arrival_rate is None:
         arrival_rate = saturating_arrival_rate(
             model.config, dataclasses.replace(template, kv_spec=None, weight_spec=None),
@@ -214,10 +262,13 @@ def run(fast=None, policies=None, replica_counts=None, kv_specs=None,
             "Load-aware policies (least_loaded, join_shortest_queue, power_of_two) "
             "balance *projected* work at each arrival; load_imbalance measures "
             "*realised* decode tokens, so on short uniform traces blind rotation can "
-            "look tighter, while hash-based prefix_affinity trades balance for "
-            "placement locality.  Quantised KV makes every replica faster (denser "
-            "formats lift the memory roof of the decode roofline), which shows up "
-            "directly in goodput."
+            "look tighter, while prefix_affinity routes each request to the replica "
+            "whose paged KV cache measurably holds the longest prompt prefix "
+            "(prefix_hit_rate shows the reuse it wins, especially under the "
+            "shared_prefix workload), trading balance for placement locality.  "
+            "Quantised KV makes every replica faster (denser formats lift the "
+            "memory roof of the decode roofline), which shows up directly in "
+            "goodput."
         ),
         metadata={
             "fast": fast_mode,
@@ -225,12 +276,11 @@ def run(fast=None, policies=None, replica_counts=None, kv_specs=None,
             "policies": list(policies),
             "replica_counts": list(replica_counts),
             "kv_specs": [spec or "fp16" for spec in kv_specs],
-            "workload": {"num_requests": workload.num_requests,
-                         "prompt_tokens": list(workload.prompt_tokens),
-                         "new_tokens": list(workload.new_tokens),
-                         "seed": workload.seed},
+            "workload": {"kind": workload_kind, **dataclasses.asdict(workload)},
             "arrival_rate": arrival_rate,
             "replica": {"max_batch_size": template.max_batch_size,
+                        "kv_backend": template.kv_backend,
+                        "kv_page_size": template.kv_page_size,
                         "pe_rows": template.pe_rows, "pe_cols": template.pe_cols,
                         "dram_gbytes_per_s": template.dram_gbytes_per_s},
         },

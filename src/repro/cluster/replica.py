@@ -39,8 +39,10 @@ class ReplicaConfig:
     (``None`` = unquantised FP16): the KV spec quantises the replica's cache
     storage, the weight spec re-wraps the model with a
     :meth:`~repro.llm.inference.QuantizationScheme.from_format` scheme.
-    ``max_batch_size`` / ``token_budget`` / ``max_seq_len`` mirror
-    :class:`~repro.serve.engine.EngineConfig`.  The remaining fields
+    ``max_batch_size`` / ``token_budget`` / ``max_seq_len`` /
+    ``kv_backend`` / ``kv_page_size`` / ``num_kv_blocks`` mirror
+    :class:`~repro.serve.engine.EngineConfig` (paged KV with radix prefix
+    sharing by default).  The remaining fields
     parameterise the roofline that prices this replica's decode tokens:
     PE-array geometry, DRAM bandwidth, and the KV context length one decode
     token is priced at.
@@ -51,6 +53,9 @@ class ReplicaConfig:
     max_batch_size: int = 4
     token_budget: int = None
     max_seq_len: int = None
+    kv_backend: str = "paged"
+    kv_page_size: int = 16
+    num_kv_blocks: int = None
     pe_rows: int = 32
     pe_cols: int = 32
     dram_gbytes_per_s: float = 25.6
@@ -68,7 +73,10 @@ class ReplicaConfig:
         return EngineConfig(max_batch_size=self.max_batch_size,
                             token_budget=self.token_budget,
                             kv_spec=self.kv_spec,
-                            max_seq_len=self.max_seq_len)
+                            max_seq_len=self.max_seq_len,
+                            kv_backend=self.kv_backend,
+                            kv_page_size=self.kv_page_size,
+                            num_kv_blocks=self.num_kv_blocks)
 
 
 def _storage_bits(spec) -> float:
@@ -155,6 +163,21 @@ class Replica:
     def next_event_time(self) -> float:
         return self.engine.next_event_time
 
+    def cached_prefix_tokens(self, request) -> int:
+        """Measured reuse: prompt tokens this replica's cache would serve.
+
+        A radix-index peek (no pages are claimed), 0 under the contiguous
+        backend — the signal ``prefix_affinity`` routes on, so placement
+        follows where a prefix is *actually* cached rather than where a hash
+        says it should be.
+        """
+        return self.engine.cache.match_prefix(request.prompt_tokens)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from cached prefixes so far."""
+        return self.engine.kv_hit_rate
+
     @property
     def now(self) -> float:
         return self.clock.now()
@@ -187,6 +210,10 @@ class Replica:
             "prefill_tokens": report.prefill_tokens,
             "decode_tokens": report.decode_tokens,
             "peak_active": report.peak_active,
+            "reused_prefix_tokens": report.reused_tokens,
+            "prefix_hit_rate": report.kv_hit_rate,
+            "peak_pages_in_use": report.peak_pages_in_use,
+            "kv_peak_memory_mib": report.kv_peak_memory_bits / 8.0 / 2**20,
             "status": ("retired" if self.retired
                        else "draining" if self.draining else "active"),
         }

@@ -18,9 +18,10 @@ The built-in policies span the classic load-balancing trade-offs:
   textbook JSQ policy, blind to request sizes.
 * ``power_of_two`` — samples two replicas and takes the less loaded; nearly
   JSQ quality at O(1) state probes (the power-of-two-choices result).
-* ``prefix_affinity`` — hashes the prompt prefix so identical prefixes land
-  on the same replica (the KV-reuse-friendly placement), at the price of
-  load blindness.
+* ``prefix_affinity`` — routes to the replica whose paged KV cache measurably
+  holds the longest prefix of the prompt (falling back to a stable prefix
+  hash while caches are cold), so shared system prompts land where their
+  pages already live, at the price of load blindness.
 """
 
 from __future__ import annotations
@@ -171,14 +172,20 @@ class PowerOfTwo(RoutingPolicy):
 
 @register_policy("prefix_affinity")
 class PrefixAffinity(RoutingPolicy):
-    """Hash the prompt prefix so shared prefixes co-locate on one replica.
+    """Route to the replica whose cache holds the longest prefix of the prompt.
 
-    The hash is a stable digest of the first ``prefix_tokens`` token ids
-    (not Python's randomised ``hash``), so placement is reproducible across
-    processes.  Prefix-affine placement is what a prefix-caching serving
-    system wants — repeated system prompts hit the same replica's cache —
-    but it ignores load entirely, which the benchmark's imbalance column
-    makes visible.
+    Replicas that expose ``cached_prefix_tokens(request)`` (a radix-index
+    peek, see :meth:`repro.cluster.replica.Replica.cached_prefix_tokens`)
+    are probed for *measured* reuse: the request goes to the replica that
+    would actually serve the most prompt tokens from its paged KV cache,
+    ties broken by replica id.  When no replica holds any of the prefix
+    (cold caches, or a contiguous-backend fleet) placement falls back to a
+    stable digest of the first ``prefix_tokens`` token ids (not Python's
+    randomised ``hash``), so identical prefixes still co-locate — the first
+    request of a prefix group seeds exactly one replica's cache and every
+    follower then measures a hit there.  Placement is reproducible across
+    processes either way.  The policy ignores load entirely, which the
+    benchmark's imbalance column makes visible.
     """
 
     def __init__(self, seed: int = 0, prefix_tokens: int = 8):
@@ -186,6 +193,16 @@ class PrefixAffinity(RoutingPolicy):
         self.prefix_tokens = int(prefix_tokens)
 
     def choose(self, request, replicas):
+        best, best_cached = None, 0
+        for replica in replicas:  # stable replica_id order: first max wins ties
+            probe = getattr(replica, "cached_prefix_tokens", None)
+            if probe is None:
+                continue
+            cached = probe(request)
+            if cached > best_cached:
+                best, best_cached = replica, cached
+        if best is not None:
+            return best
         prefix = np.asarray(request.prompt_tokens[: self.prefix_tokens], dtype=np.int64)
         digest = hashlib.blake2s(prefix.tobytes(), digest_size=8,
                                  key=self.seed.to_bytes(8, "little", signed=True)).digest()

@@ -114,6 +114,8 @@ class ClusterReport:
         elapsed = max(self.elapsed_s, 1e-12)
         decode_tokens = sum(r["decode_tokens"] for r in self.replicas)
         prefill_tokens = sum(r["prefill_tokens"] for r in self.replicas)
+        reused_tokens = sum(r.get("reused_prefix_tokens", 0) for r in self.replicas)
+        prompt_tokens = reused_tokens + prefill_tokens
         return {
             "policy": self.policy,
             "replicas": len(self.replicas),
@@ -126,6 +128,11 @@ class ClusterReport:
             "goodput_rps": len(attained) / elapsed,
             "slo_attainment": (len(attained) / len(done)) if done else float("nan"),
             "load_imbalance": load_imbalance(r["decode_tokens"] for r in self.replicas),
+            "prefix_hit_rate": (reused_tokens / prompt_tokens) if prompt_tokens else 0.0,
+            "peak_pages_in_use": sum(r.get("peak_pages_in_use", 0)
+                                     for r in self.replicas),
+            "kv_peak_memory_mib": sum(r.get("kv_peak_memory_mib", 0.0)
+                                      for r in self.replicas),
             **percentile_summary((c.time_to_first_token_s for c in done),
                                  "ttft", scale=1e3, unit="ms"),
             **percentile_summary((c.latency_s for c in done),

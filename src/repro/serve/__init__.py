@@ -4,16 +4,22 @@ The experiment drivers evaluate quantisation offline (perplexity over fixed
 windows); this package is the online counterpart — the subsystem a deployment
 would actually run:
 
-* a pre-allocated per-layer K/V cache with optional quantised storage
-  (:mod:`repro.serve.kv_cache`), feeding the incremental
-  :meth:`~repro.llm.inference.InferenceModel.forward_step` path so decoding
-  one token costs one token's forward instead of the whole prefix;
+* paged K/V storage with radix-tree prefix sharing
+  (:mod:`repro.serve.paging`, :mod:`repro.serve.kv_cache`): fixed-size
+  refcounted pages with copy-on-write, a radix index that lets a request
+  adopt every full page of the longest cached prompt prefix instead of
+  re-prefilling it, LRU eviction of unreferenced chains, and optional
+  quantised storage — the dense pre-allocated :class:`KVCache` remains as
+  the ``contiguous`` fallback;
 * a continuous-batching engine (:mod:`repro.serve.engine`): FIFO admission
-  under a KV token budget, per-step batched prefill + decode, per-request
-  sampling state and stop conditions, deterministic under a virtual clock;
-* synthetic Poisson request traces (:mod:`repro.serve.workload`) and the
+  under a KV token budget plus free-block accounting, per-step batched
+  prefill (with cached-prefix skipping) + decode, per-request sampling
+  state and stop conditions, deterministic under a virtual clock;
+* synthetic request traces (:mod:`repro.serve.workload`): Poisson,
+  shared-prefix and multi-turn conversation shapes — and the
   ``serve_bench`` experiment driver (:mod:`repro.serve.bench`) reporting
-  TTFT/latency percentiles, tokens/s and quantised-KV perplexity per format.
+  TTFT/latency percentiles, tokens/s, prefix-hit rate, pages in use and
+  quantised-KV perplexity per format.
 
 See ``docs/serving.md`` for the architecture and benchmark interpretation.
 """
@@ -33,11 +39,24 @@ from repro.serve.engine import (
     VirtualClock,
     WallClock,
 )
-from repro.serve.kv_cache import KVCache
-from repro.serve.workload import WorkloadConfig, generate_requests
+from repro.serve.kv_cache import KVCache, PagedKVCache
+from repro.serve.paging import BlockPool, PoolExhaustedError, RadixIndex
+from repro.serve.workload import (
+    MultiTurnConfig,
+    SharedPrefixConfig,
+    WorkloadConfig,
+    generate_multi_turn_requests,
+    generate_requests,
+    generate_shared_prefix_requests,
+    generate_trace,
+)
 
 __all__ = [
     "KVCache",
+    "PagedKVCache",
+    "BlockPool",
+    "RadixIndex",
+    "PoolExhaustedError",
     "Request",
     "CompletedRequest",
     "EngineConfig",
@@ -46,7 +65,12 @@ __all__ = [
     "WallClock",
     "VirtualClock",
     "WorkloadConfig",
+    "SharedPrefixConfig",
+    "MultiTurnConfig",
     "generate_requests",
+    "generate_shared_prefix_requests",
+    "generate_multi_turn_requests",
+    "generate_trace",
     "DEFAULT_KV_SPECS",
     "kv_cached_negative_log_likelihood",
     "kv_cached_perplexity",

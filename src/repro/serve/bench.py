@@ -22,7 +22,7 @@ from repro.llm.activations import log_softmax
 from repro.llm.inference import InferenceModel
 from repro.serve.engine import EngineConfig, ServeEngine, VirtualClock, WallClock
 from repro.serve.kv_cache import KVCache
-from repro.serve.workload import WorkloadConfig, generate_requests
+from repro.serve.workload import WorkloadConfig, generate_trace
 
 __all__ = ["DEFAULT_KV_SPECS", "serve_model_name", "default_workload",
            "default_engine_config", "clock_factory",
@@ -54,9 +54,14 @@ def default_workload(fast: bool) -> WorkloadConfig:
 
 
 def default_engine_config(fast: bool) -> EngineConfig:
-    """The benchmark's standard engine shape for the given mode."""
+    """The benchmark's standard engine shape for the given mode.
+
+    Fast mode uses a deliberately small KV page size so prompts span several
+    pages and the paging paths (block tables, radix sharing, free-block
+    admission) are genuinely exercised by CI, not just configured.
+    """
     if fast:
-        return EngineConfig(max_batch_size=4, token_budget=96)
+        return EngineConfig(max_batch_size=4, token_budget=96, kv_page_size=4)
     return EngineConfig(max_batch_size=8, token_budget=512)
 
 
@@ -123,29 +128,28 @@ def kv_cached_perplexity(model: InferenceModel, corpus, kv_spec=None,
 
 # ------------------------------------------------------------------ benchmark
 def serve_bench(model: InferenceModel, kv_specs=DEFAULT_KV_SPECS,
-                workload: WorkloadConfig = None, engine: EngineConfig = None,
+                workload=None, engine: EngineConfig = None,
                 corpus=None, eval_config=None, clock=None) -> list:
     """Replay one trace per KV spec; returns the result rows.
 
     Every spec sees the identical request trace (same seeds, same arrivals),
     so differences between rows isolate the KV format: storage density,
     throughput, and — when ``corpus`` is given — quantised-KV perplexity.
-    ``clock`` selects the engine clock per :func:`clock_factory`:
-    ``"virtual"`` makes every latency/throughput column deterministic.
+    ``workload`` may be any :mod:`repro.serve.workload` config (Poisson,
+    shared-prefix, multi-turn); ``clock`` selects the engine clock per
+    :func:`clock_factory`: ``"virtual"`` makes every latency/throughput
+    column deterministic.
     """
+    import dataclasses
+
     workload = workload or WorkloadConfig()
     make_clock = clock_factory(clock)
-    requests = generate_requests(model.config.vocab_size, workload)
+    requests = generate_trace(model.config.vocab_size, workload)
     rows = []
     for spec in kv_specs:
         engine_config = engine or EngineConfig()
         if engine_config.kv_spec != spec:
-            engine_config = EngineConfig(
-                max_batch_size=engine_config.max_batch_size,
-                token_budget=engine_config.token_budget,
-                kv_spec=spec,
-                max_seq_len=engine_config.max_seq_len,
-            )
+            engine_config = dataclasses.replace(engine_config, kv_spec=spec)
         runner = ServeEngine(model, engine_config, clock=make_clock())
         report = runner.run(requests)
         summary = report.summary()
@@ -159,14 +163,15 @@ def serve_bench(model: InferenceModel, kv_specs=DEFAULT_KV_SPECS,
                                                         eval_config=eval_config)
         for key in ("requests", "decode_tokens_per_s", "total_tokens_per_s",
                     "ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms",
-                    "peak_active"):
+                    "peak_active", "kv_hit_rate", "peak_pages_in_use",
+                    "kv_peak_memory_mib"):
             row[key] = summary[key]
         rows.append(row)
     return rows
 
 
 def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None,
-        virtual_clock=None) -> ExperimentResult:
+        virtual_clock=None, kv_page_size=None, kv_backend=None) -> ExperimentResult:
     """Continuous-batching serve benchmark: TTFT/latency/throughput per KV-cache format.
 
     The registered ``serve_bench`` experiment driver (the pipeline calls it
@@ -194,6 +199,13 @@ def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None,
         overrides["arrival_rate"] = arrival_rate
     workload = dataclasses.replace(default_workload(fast_mode), **overrides)
     engine = default_engine_config(fast_mode)
+    engine_overrides = {}
+    if kv_page_size is not None:
+        engine_overrides["kv_page_size"] = kv_page_size
+    if kv_backend is not None:
+        engine_overrides["kv_backend"] = kv_backend
+    if engine_overrides:
+        engine = dataclasses.replace(engine, **engine_overrides)
     kv_specs = tuple(kv_specs) if kv_specs else DEFAULT_KV_SPECS
     if virtual_clock is None:
         virtual_clock = fast_mode
@@ -207,7 +219,8 @@ def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None,
         rows=rows,
         columns=["kv_cache", "kv_bits_per_token", "kv_memory_efficiency", "kv_perplexity",
                  "requests", "decode_tokens_per_s", "total_tokens_per_s", "ttft_p50_ms",
-                 "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms", "peak_active"],
+                 "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms", "peak_active",
+                 "kv_hit_rate", "peak_pages_in_use", "kv_peak_memory_mib"],
         notes=(
             "Every row replays the identical Poisson trace; only the KV-cache storage format "
             "changes.  Quantised KV shrinks the dominant per-request memory (kv_bits_per_token) "
@@ -226,7 +239,9 @@ def run(fast=None, kv_specs=None, num_requests=None, arrival_rate=None,
                          "new_tokens": list(workload.new_tokens),
                          "seed": workload.seed},
             "engine": {"max_batch_size": engine.max_batch_size,
-                       "token_budget": engine.token_budget},
+                       "token_budget": engine.token_budget,
+                       "kv_backend": engine.kv_backend,
+                       "kv_page_size": engine.kv_page_size},
             "clock": clock,
             "kv_specs": [spec or "fp16" for spec in kv_specs],
         },

@@ -1,15 +1,23 @@
 """Continuous-batching inference engine over the KV-cached forward path.
 
 One :class:`ServeEngine` owns an :class:`~repro.llm.inference.InferenceModel`,
-a :class:`~repro.serve.kv_cache.KVCache` with one slot per concurrent request,
+a KV cache with one slot per concurrent request (a
+:class:`~repro.serve.kv_cache.PagedKVCache` by default, or the dense
+:class:`~repro.serve.kv_cache.KVCache` under the ``contiguous`` backend),
 and a FIFO arrival queue.  Every :meth:`~ServeEngine.step`:
 
 1. **admits** queued requests whose arrival time has passed, in strict
    arrival order (head-of-line blocking — a large request cannot be starved
-   by smaller ones overtaking it), while a free slot exists and the projected
-   KV footprint stays within the token budget;
-2. **prefills** each admitted request (one ``forward_step`` over its whole
-   prompt) and samples its first token — the time-to-first-token moment;
+   by smaller ones overtaking it), while a free slot exists, the projected
+   KV footprint stays within the token budget, and — under the paged
+   backend — the request's worst-case page need plus what the already-active
+   requests may still allocate fits the reclaimable page supply (free pages
+   plus LRU-evictable cached prefix chains), so decode can never run the
+   pool dry mid-request;
+2. **prefills** each admitted request (one ``forward_step`` over the part of
+   its prompt not already covered by a cached prefix — a radix-index hit
+   skips straight past every shared full page) and samples its first token —
+   the time-to-first-token moment;
 3. **decodes** every active request in a single batched ``forward_step`` of
    one token per request, samples the next tokens, and
 4. **retires** finished requests (length limit or stop token), freeing their
@@ -33,7 +41,7 @@ import numpy as np
 from repro.core.stats import percentile_summary
 from repro.llm.inference import InferenceModel
 from repro.llm.sampling import sample_token
-from repro.serve.kv_cache import KVCache
+from repro.serve.kv_cache import KVCache, PagedKVCache
 
 __all__ = ["Request", "CompletedRequest", "EngineConfig", "ServeEngine", "ServeReport",
            "WallClock", "VirtualClock"]
@@ -179,18 +187,38 @@ class EngineConfig:
     never overcommit cache memory (default: every slot full).  ``kv_spec``
     selects the KV-cache quantiser; ``max_seq_len`` shrinks the per-slot
     capacity below the model's limit.
+
+    ``kv_backend`` picks the cache layout: ``"paged"`` (the default) stores
+    K/V in ``kv_page_size``-token pages with radix-tree prefix sharing and
+    free-block admission accounting; ``"contiguous"`` is the dense
+    worst-case pre-allocation.  ``num_kv_blocks`` sizes the paged pool
+    (default ``max_batch_size * ceil(max_seq_len / kv_page_size)`` — the
+    same budget the dense layout reserves, so paged admission is never more
+    restrictive than the slot and token-budget checks unless the pool is
+    shrunk explicitly).
     """
 
     max_batch_size: int = 8
     token_budget: int = None
     kv_spec: str = None
     max_seq_len: int = None
+    kv_backend: str = "paged"
+    kv_page_size: int = 16
+    num_kv_blocks: int = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.token_budget is not None and self.token_budget < 1:
             raise ValueError("token_budget must be >= 1")
+        if self.kv_backend not in ("paged", "contiguous"):
+            raise ValueError(
+                f"kv_backend must be 'paged' or 'contiguous', got {self.kv_backend!r}"
+            )
+        if self.kv_page_size < 1:
+            raise ValueError("kv_page_size must be >= 1")
+        if self.num_kv_blocks is not None and self.num_kv_blocks < 1:
+            raise ValueError("num_kv_blocks must be >= 1")
 
 
 @dataclass
@@ -204,6 +232,21 @@ class ServeReport:
     decode_tokens: int
     kv_spec: str
     peak_active: int = 0
+    reused_tokens: int = 0
+    kv_backend: str = "contiguous"
+    kv_page_size: int = None
+    peak_pages_in_use: int = 0
+    kv_peak_memory_bits: float = 0.0
+
+    @property
+    def kv_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from cached prefixes (not prefilled).
+
+        ``reused + prefill`` is the total prompt tokens the engine saw
+        (``prefill_tokens`` counts only positions actually processed).
+        """
+        seen = self.reused_tokens + self.prefill_tokens
+        return self.reused_tokens / seen if seen else 0.0
 
     def summary(self) -> dict:
         """Aggregate latency/throughput metrics (the serve-bench row shape)."""
@@ -220,6 +263,9 @@ class ServeReport:
             **percentile_summary((c.latency_s for c in self.completed),
                                  "latency", scale=1e3, unit="ms"),
             "peak_active": self.peak_active,
+            "kv_hit_rate": self.kv_hit_rate,
+            "peak_pages_in_use": self.peak_pages_in_use,
+            "kv_peak_memory_mib": self.kv_peak_memory_bits / 8.0 / 2**20,
         }
 
 
@@ -231,8 +277,14 @@ class ServeEngine:
         self.config = config or EngineConfig()
         max_seq_len = (self.config.max_seq_len if self.config.max_seq_len is not None
                        else model.config.max_seq_len)
-        self.cache = KVCache(model.config, self.config.max_batch_size,
-                             max_seq_len=max_seq_len, kv_spec=self.config.kv_spec)
+        if self.config.kv_backend == "contiguous":
+            self.cache = KVCache(model.config, self.config.max_batch_size,
+                                 max_seq_len=max_seq_len, kv_spec=self.config.kv_spec)
+        else:
+            self.cache = PagedKVCache(model.config, self.config.max_batch_size,
+                                      max_seq_len=max_seq_len, kv_spec=self.config.kv_spec,
+                                      page_size=self.config.kv_page_size,
+                                      num_blocks=self.config.num_kv_blocks)
         self.clock = clock or WallClock()
         self.token_budget = (self.config.token_budget
                              if self.config.token_budget is not None
@@ -245,6 +297,7 @@ class ServeEngine:
         self._steps = 0
         self._prefill_tokens = 0
         self._decode_tokens = 0
+        self._reused_tokens = 0
         self._peak_active = 0
 
     # ------------------------------------------------------------ submission
@@ -253,6 +306,13 @@ class ServeEngine:
         prompt = np.asarray(request.prompt_tokens)
         if prompt.min() < 0 or prompt.max() >= self.model.config.vocab_size:
             raise ValueError("prompt contains token ids outside the model vocabulary")
+        window = min(self.cache.max_seq_len, self.model.config.max_seq_len)
+        if len(request.prompt_tokens) > window:
+            raise ValueError(
+                f"request {request.request_id}: prompt length "
+                f"({len(request.prompt_tokens)}) exceeds the engine's positional "
+                f"window ({window}); truncate the prompt or raise max_seq_len"
+            )
         if request.projected_tokens > self.cache.max_seq_len:
             raise ValueError(
                 f"request {request.request_id}: prompt + max_new_tokens "
@@ -300,6 +360,12 @@ class ServeEngine:
         )
 
     @property
+    def kv_hit_rate(self) -> float:
+        """Running fraction of prompt tokens served from cached prefixes."""
+        seen = self._reused_tokens + self._prefill_tokens
+        return self._reused_tokens / seen if seen else 0.0
+
+    @property
     def next_event_time(self) -> float:
         """Engine-clock instant the next :meth:`step` would act at.
 
@@ -314,6 +380,26 @@ class ServeEngine:
         if self._queue:
             return max(self.clock.now(), self._queue[0][0])
         return float("inf")
+
+    def _kv_capacity_ok(self, request: Request) -> bool:
+        """Free-block admission check (always true for the contiguous backend).
+
+        The request's worst-case page consumption plus the pages every active
+        request may still allocate must fit the reclaimable supply (free pages
+        plus evictable cached chains) — the invariant that keeps mid-decode
+        allocation from ever exhausting the pool.  The supply scan is O(pool)
+        per admission attempt, which is noise next to one model forward at
+        this simulator's scale.
+        """
+        if self.cache.page_size is None:
+            return True  # contiguous backend: admission is slot/budget-bound
+        cost = self.cache.admission_block_cost(request.prompt_tokens,
+                                               request.projected_tokens)
+        outstanding = sum(
+            self.cache.blocks_outstanding(state.slot, state.request.projected_tokens)
+            for state in self._active.values()
+        )
+        return cost + outstanding <= self.cache.available_blocks
 
     # -------------------------------------------------------------- stepping
     def step(self) -> list:
@@ -333,14 +419,23 @@ class ServeEngine:
                 break
             if self.active_projected_tokens + request.projected_tokens > self.token_budget:
                 break  # head-of-line blocks until budget frees up: no starvation
+            if not self._kv_capacity_ok(request):
+                break  # head-of-line blocks until pages retire or become evictable
             heapq.heappop(self._queue)
             slot = self._free_slots.pop()
             state = _ActiveRequest(request, slot, admitted_time=now)
             self._active[slot] = state
             prompt = np.array(request.prompt_tokens, dtype=np.int64)
-            logits = self.model.forward_step(prompt[None, :], self.cache, rows=[slot])
-            self._prefill_tokens += prompt.size
-            self.clock.on_tokens(prompt.size)
+            # adopt the longest cached prefix (paged backend) and prefill the rest
+            reused = self.cache.begin_request(slot, request.prompt_tokens)
+            suffix = prompt[reused:]
+            logits = self.model.forward_step(suffix[None, :], self.cache, rows=[slot])
+            # the prompt's K/V is complete: index its full pages now so
+            # same-prefix requests admitted this very step already hit
+            self.cache.commit_prefix(slot, request.prompt_tokens)
+            self._prefill_tokens += suffix.size
+            self._reused_tokens += reused
+            self.clock.on_tokens(suffix.size)
             state.sample(logits[0, -1])
             state.first_token_time = self.clock.now()
             if state.finish_reason is not None:
@@ -375,7 +470,8 @@ class ServeEngine:
             finish_time=finish_time if finish_time is not None else self.clock.now(),
         )
         del self._active[state.slot]
-        self.cache.reset(rows=[state.slot])
+        self.cache.retire_request(
+            state.slot, state.request.prompt_tokens + tuple(state.generated))
         self._free_slots.append(state.slot)
         self._free_slots.sort(reverse=True)
         self._completed.append(done)
@@ -404,4 +500,9 @@ class ServeEngine:
             decode_tokens=self._decode_tokens,
             kv_spec=self.cache.kv_spec,
             peak_active=self._peak_active,
+            reused_tokens=self._reused_tokens,
+            kv_backend=self.config.kv_backend,
+            kv_page_size=self.cache.page_size,
+            peak_pages_in_use=self.cache.peak_pages_in_use,
+            kv_peak_memory_bits=self.cache.peak_memory_bits(),
         )

@@ -1,12 +1,26 @@
-"""Pre-allocated per-layer K/V cache with optional quantised storage.
+"""Per-layer K/V caches (paged and contiguous) with optional quantised storage.
 
-The cache backs :meth:`repro.llm.inference.InferenceModel.forward_step`: each
+The caches back :meth:`repro.llm.inference.InferenceModel.forward_step`: each
 decoder layer appends the keys/values of newly processed positions and reads
 back the full cached context for attention, so decoding one token costs one
 token's worth of linear layers instead of re-running the whole prefix.
 
+Two storage layouts share one interface (``append`` / ``context`` /
+``advance`` / ``reset`` / ``bits_per_token`` plus the request lifecycle hooks
+``match_prefix`` / ``begin_request`` / ``retire_request``):
+
+* :class:`PagedKVCache` — the default.  Storage is a :class:`~repro.serve.
+  paging.BlockPool` of fixed-size pages addressed through per-slot block
+  tables, with a :class:`~repro.serve.paging.RadixIndex` mapping token
+  prefixes to page chains: a request whose prompt starts with an
+  already-cached prefix adopts those pages and skips their prefill entirely,
+  shared pages are refcounted and copied on write when sequences diverge,
+  and unreferenced chains are LRU-evicted when the pool runs dry.
+* :class:`KVCache` — the ``contiguous`` fallback: one dense ``(batch,
+  max_seq_len)`` pre-allocation per layer, worst-case memory, no sharing.
+
 KV storage is where a serving system's memory goes (the weights are shared
-across requests, the cache is per request), so the cache optionally pushes
+across requests, the cache is per request), so both caches optionally push
 every appended key/value through a :mod:`repro.quant` quantiser — any spec
 string the registry understands (``"bfp8@b32"``, ``"int8"``, ``"mxfp4"``...).
 Like everywhere else in the reproduction this is fake quantisation: the
@@ -20,8 +34,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.llm.config import ModelConfig
+from repro.serve.paging import BlockPool, PoolExhaustedError, RadixIndex
 
-__all__ = ["KVCache"]
+__all__ = ["KVCache", "PagedKVCache"]
 
 #: Bits per stored element when no quantiser is configured: serving systems
 #: keep the KV cache in half precision, so FP16 is the memory baseline the
@@ -29,28 +44,8 @@ __all__ = ["KVCache"]
 UNQUANTIZED_KV_BITS = 16.0
 
 
-class KVCache:
-    """Per-layer K/V storage for up to ``batch_size`` concurrent sequences.
-
-    Layout: one ``(batch, n_heads, max_seq_len, head_dim)`` array per layer
-    and per K/V side — the shape attention consumes, so reads need no
-    transpose.  ``lengths[row]`` tracks how many positions of slot ``row``
-    are valid; slots are independent, so a continuous-batching engine can
-    prefill, decode and recycle them in any interleaving.
-
-    Parameters
-    ----------
-    config:
-        Architecture of the model the cache serves (layer/head geometry).
-    batch_size:
-        Number of concurrent sequence slots.
-    max_seq_len:
-        Capacity per slot; defaults to the model's ``max_seq_len``.
-    kv_spec:
-        Optional :mod:`repro.quant` spec string (or config/quantizer) applied
-        to every appended key/value block along the ``head_dim`` axis.
-        ``None`` stores exact values and accounts memory at FP16.
-    """
+class _KVCacheBase:
+    """Shared quantiser plumbing and costing of both cache layouts."""
 
     def __init__(self, config: ModelConfig, batch_size: int, max_seq_len: int = None,
                  kv_spec=None):
@@ -69,9 +64,6 @@ class KVCache:
             from repro.quant import get_quantizer
 
             self.quantizer = get_quantizer(kv_spec)
-        shape = (self.batch_size, config.n_heads, self.max_seq_len, config.head_dim)
-        self._k = [np.zeros(shape) for _ in range(config.n_layers)]
-        self._v = [np.zeros(shape) for _ in range(config.n_layers)]
         self._lengths = np.zeros(self.batch_size, dtype=np.int64)
 
     # -------------------------------------------------------------- identity
@@ -84,6 +76,71 @@ class KVCache:
     def lengths(self) -> np.ndarray:
         """Valid positions per slot (do not mutate; use append/advance/reset)."""
         return self._lengths
+
+    def _quantize_row(self, k_row: np.ndarray, v_row: np.ndarray) -> tuple:
+        """Fake-quantise one sequence's appended K/V along ``head_dim``.
+
+        Applied one row (sequence) at a time: co-batched sequences never
+        share a quantisation scale, so a request's cached K/V does not depend
+        on which requests happen to decode alongside it.  (For block formats
+        this is a no-op split — their scales live within one position; for
+        per-tensor INT the scale spans each row's appended chunk.)
+        """
+        if self.quantizer is None:
+            return k_row, v_row
+        return (self.quantizer.quantize_dequantize(k_row, axis=-1),
+                self.quantizer.quantize_dequantize(v_row, axis=-1))
+
+    # --------------------------------------------------------------- costing
+    def bits_per_token(self) -> float:
+        """Storage bits one cached token position costs (K and V, all layers)."""
+        element_bits = (self.quantizer.bits_per_element() if self.quantizer is not None
+                        else UNQUANTIZED_KV_BITS)
+        return 2.0 * self.config.n_layers * self.config.d_model * element_bits
+
+    def memory_efficiency(self) -> float:
+        """KV memory density improvement relative to FP16 storage."""
+        if self.quantizer is None:
+            return 1.0
+        return UNQUANTIZED_KV_BITS / self.quantizer.bits_per_element()
+
+
+class KVCache(_KVCacheBase):
+    """Contiguous per-layer K/V storage for up to ``batch_size`` sequences.
+
+    Layout: one ``(batch, n_heads, max_seq_len, head_dim)`` array per layer
+    and per K/V side — the shape attention consumes, so reads need no
+    transpose.  ``lengths[row]`` tracks how many positions of slot ``row``
+    are valid; slots are independent, so a continuous-batching engine can
+    prefill, decode and recycle them in any interleaving.  This is the
+    ``contiguous`` backend of :class:`~repro.serve.engine.EngineConfig`:
+    worst-case pre-allocation, no prefix sharing (every lifecycle hook below
+    degenerates to a slot reset).
+
+    Parameters
+    ----------
+    config:
+        Architecture of the model the cache serves (layer/head geometry).
+    batch_size:
+        Number of concurrent sequence slots.
+    max_seq_len:
+        Capacity per slot; defaults to the model's ``max_seq_len``.
+    kv_spec:
+        Optional :mod:`repro.quant` spec string (or config/quantizer) applied
+        to every appended key/value block along the ``head_dim`` axis.
+        ``None`` stores exact values and accounts memory at FP16.
+    """
+
+    #: Contiguous storage has no pages; reported as such by the engine.
+    page_size = None
+
+    def __init__(self, config: ModelConfig, batch_size: int, max_seq_len: int = None,
+                 kv_spec=None):
+        super().__init__(config, batch_size, max_seq_len=max_seq_len, kv_spec=kv_spec)
+        shape = (self.batch_size, config.n_heads, self.max_seq_len, config.head_dim)
+        self._k = [np.zeros(shape) for _ in range(config.n_layers)]
+        self._v = [np.zeros(shape) for _ in range(config.n_layers)]
+        self._peak_tokens = 0
 
     def __repr__(self) -> str:
         return (f"KVCache(batch_size={self.batch_size}, max_seq_len={self.max_seq_len}, "
@@ -98,12 +155,7 @@ class KVCache:
         one forward step appends at the same offset; :meth:`advance` moves the
         offsets once the step has run all layers.  When a quantiser is
         configured the values are quantise-dequantised along ``head_dim``
-        before storage, one row (sequence) at a time: co-batched sequences
-        never share a quantisation scale, so a request's cached K/V does not
-        depend on which requests happen to decode alongside it.  (For block
-        formats this is a no-op split — their scales live within one
-        position; for per-tensor INT the scale spans each row's appended
-        block.)
+        before storage (see :meth:`_KVCacheBase._quantize_row`).
         """
         rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
         n_new = k_new.shape[2]
@@ -114,10 +166,7 @@ class KVCache:
                 f"{self.max_seq_len}"
             )
         for index, row in enumerate(rows):
-            k_row, v_row = k_new[index], v_new[index]
-            if self.quantizer is not None:
-                k_row = self.quantizer.quantize_dequantize(k_row, axis=-1)
-                v_row = self.quantizer.quantize_dequantize(v_row, axis=-1)
+            k_row, v_row = self._quantize_row(k_new[index], v_new[index])
             stop = starts[index] + n_new
             self._k[layer][row, :, starts[index]:stop] = k_row
             self._v[layer][row, :, starts[index]:stop] = v_row
@@ -138,6 +187,7 @@ class KVCache:
         if np.any(self._lengths[rows] + n_new > self.max_seq_len):
             raise ValueError("advance past the cache capacity")
         self._lengths[rows] += n_new
+        self._peak_tokens = max(self._peak_tokens, int(self._lengths.sum()))
 
     def reset(self, rows=None) -> None:
         """Invalidate ``rows`` (all slots by default) so they can be reused."""
@@ -147,19 +197,319 @@ class KVCache:
             rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
             self._lengths[rows] = 0
 
-    # --------------------------------------------------------------- costing
-    def bits_per_token(self) -> float:
-        """Storage bits one cached token position costs (K and V, all layers)."""
-        element_bits = (self.quantizer.bits_per_element() if self.quantizer is not None
-                        else UNQUANTIZED_KV_BITS)
-        return 2.0 * self.config.n_layers * self.config.d_model * element_bits
+    # --------------------------------------------- request lifecycle (no-ops)
+    def match_prefix(self, tokens) -> int:
+        """Contiguous storage caches nothing across requests: no prefix hits."""
+        return 0
 
+    def begin_request(self, row: int, tokens) -> int:
+        """Claim ``row`` for a new request; returns the reused prefix length (0)."""
+        self.reset(rows=[row])
+        return 0
+
+    def commit_prefix(self, row: int, tokens) -> None:
+        """Contiguous storage shares nothing: committing a prefix is a no-op."""
+
+    def retire_request(self, row: int, tokens=None) -> None:
+        """Free ``row``; the dense layout keeps nothing for future requests."""
+        self.reset(rows=[row])
+
+    def admission_block_cost(self, prompt_tokens, projected_tokens: int) -> int:
+        """Pages a request would consume — always 0 (admission is slot-bound)."""
+        return 0
+
+    def blocks_outstanding(self, row: int, projected_tokens: int) -> int:
+        """Pages an active request may still allocate — always 0."""
+        return 0
+
+    @property
+    def available_blocks(self) -> int:
+        return 0
+
+    @property
+    def pages_in_use(self) -> int:
+        return 0
+
+    @property
+    def peak_pages_in_use(self) -> int:
+        return 0
+
+    # --------------------------------------------------------------- costing
     def memory_bits(self) -> float:
         """Footprint of the currently cached tokens at the configured format."""
         return float(self._lengths.sum()) * self.bits_per_token()
 
-    def memory_efficiency(self) -> float:
-        """KV memory density improvement relative to FP16 storage."""
-        if self.quantizer is None:
-            return 1.0
-        return UNQUANTIZED_KV_BITS / self.quantizer.bits_per_element()
+    def peak_memory_bits(self) -> float:
+        """High-water mark of :meth:`memory_bits` over the cache's lifetime."""
+        return float(self._peak_tokens) * self.bits_per_token()
+
+
+class PagedKVCache(_KVCacheBase):
+    """Paged K/V storage with radix-tree prefix sharing (the default backend).
+
+    Every slot addresses its K/V through a *block table* — a list of page ids
+    into one shared :class:`~repro.serve.paging.BlockPool` — so memory is
+    allocated on demand at ``page_size``-token granularity instead of
+    reserved for the worst case.  The request lifecycle threads through the
+    :class:`~repro.serve.paging.RadixIndex`:
+
+    * :meth:`begin_request` matches the prompt against cached prefixes and
+      adopts every full page of the longest hit (the engine then prefills
+      only the remaining suffix);
+    * :meth:`retire_request` inserts the finished sequence's full pages into
+      the index for future reuse before releasing the slot's references;
+    * allocation evicts least-recently-used unreferenced chains when the
+      pool runs dry, and :meth:`fork` / copy-on-write let sequences share
+      pages until they diverge.
+
+    Greedy decode is token-identical to :class:`KVCache` on the same trace:
+    pages hold exactly the values the dense layout would, sharing reuses
+    positions whose K/V depend only on the shared tokens, and gathers
+    preserve order.
+
+    Parameters mirror :class:`KVCache` plus ``page_size`` (tokens per page)
+    and ``num_blocks`` (pool capacity; default ``batch_size *
+    ceil(max_seq_len / page_size)`` — enough for a full fleet of worst-case
+    requests, the same budget the dense layout reserves up front).
+    """
+
+    def __init__(self, config: ModelConfig, batch_size: int, max_seq_len: int = None,
+                 kv_spec=None, page_size: int = 16, num_blocks: int = None):
+        super().__init__(config, batch_size, max_seq_len=max_seq_len, kv_spec=kv_spec)
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        self.page_size = int(page_size)
+        blocks_per_slot = -(-self.max_seq_len // self.page_size)
+        self.num_blocks = (int(num_blocks) if num_blocks is not None
+                           else self.batch_size * blocks_per_slot)
+        if self.num_blocks < blocks_per_slot:
+            raise ValueError(
+                f"num_blocks ({self.num_blocks}) cannot hold even one full "
+                f"sequence ({blocks_per_slot} pages of {self.page_size})"
+            )
+        self.pool = BlockPool(config, self.num_blocks, self.page_size)
+        self.index = RadixIndex(self.pool)
+        self._tables = [[] for _ in range(self.batch_size)]
+
+    def __repr__(self) -> str:
+        return (f"PagedKVCache(batch_size={self.batch_size}, max_seq_len={self.max_seq_len}, "
+                f"page_size={self.page_size}, blocks={self.pool.pages_in_use}"
+                f"/{self.num_blocks}, kv_spec={self.kv_spec!r}, "
+                f"cached_prefix_pages={len(self.index)})")
+
+    # ------------------------------------------------------------ allocation
+    def _alloc_block(self) -> int:
+        """One fresh page, evicting LRU unreferenced prefix chains if needed."""
+        block = self.pool.try_alloc()
+        while block is None:
+            if not self.index.evict_one():
+                raise PoolExhaustedError(
+                    f"KV block pool exhausted: all {self.num_blocks} pages are "
+                    f"referenced by active requests"
+                )
+            block = self.pool.try_alloc()
+        return block
+
+    def _ensure_capacity(self, row: int, upto: int) -> None:
+        """Grow ``row``'s block table to cover positions ``[0, upto)``."""
+        table = self._tables[row]
+        while len(table) * self.page_size < upto:
+            table.append(self._alloc_block())
+
+    def _ensure_writable(self, row: int, start: int, n_new: int) -> None:
+        """Copy-on-write: privatise every shared page the write will touch.
+
+        Engine-driven writes start at a page boundary (prefix matches are
+        page-aligned), so they only touch fresh pages; forked sequences
+        (:meth:`fork`) diverge mid-page and trigger a real copy here.
+        """
+        table = self._tables[row]
+        for page in range(start // self.page_size,
+                          -(-(start + n_new) // self.page_size)):
+            if self.pool.refcount(table[page]) > 1:
+                clone = self.pool.copy_block(table[page])
+                self.pool.release(table[page])
+                table[page] = clone
+
+    # ------------------------------------------------------------ read/write
+    def append(self, layer: int, rows, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Store new K/V positions for ``rows`` across their block tables.
+
+        Same contract as :meth:`KVCache.append`; pages are allocated on
+        demand when the first layer of a step writes past the table's
+        coverage (all layers of one step share the same offsets, so the
+        allocation happens exactly once).
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        n_new = k_new.shape[2]
+        starts = self._lengths[rows]
+        if np.any(starts + n_new > self.max_seq_len):
+            raise ValueError(
+                f"append of {n_new} position(s) overflows the cache capacity "
+                f"{self.max_seq_len}"
+            )
+        for index, row in enumerate(rows):
+            row = int(row)
+            start = int(starts[index])
+            self._ensure_capacity(row, start + n_new)
+            self._ensure_writable(row, start, n_new)
+            k_row, v_row = self._quantize_row(k_new[index], v_new[index])
+            table = self._tables[row]
+            offset = 0
+            while offset < n_new:
+                position = start + offset
+                page, within = divmod(position, self.page_size)
+                take = min(self.page_size - within, n_new - offset)
+                block = table[page]
+                self.pool.k_store[layer][block][:, within:within + take] = \
+                    k_row[:, offset:offset + take]
+                self.pool.v_store[layer][block][:, within:within + take] = \
+                    v_row[:, offset:offset + take]
+                offset += take
+
+    def context(self, layer: int, rows, context_len: int) -> tuple:
+        """Gather ``(k, v)`` of shape ``(len(rows), n_heads, context_len, head_dim)``.
+
+        Pages are gathered in table order into a dense array — the shape
+        attention consumes.  Positions past a row's coverage come back as
+        zeros; like the dense cache's stale tail they are masked by the
+        caller's causal mask.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        config = self.config
+        shape = (len(rows), config.n_heads, context_len, config.head_dim)
+        k_out = np.zeros(shape)
+        v_out = np.zeros(shape)
+        pages = -(-context_len // self.page_size)
+        for index, row in enumerate(rows):
+            table = self._tables[int(row)][:pages]
+            if not table:
+                continue
+            take = min(len(table) * self.page_size, context_len)
+            # one fancy-index gather per side: (n_pages, heads, page, hd) ->
+            # (heads, n_pages * page, hd), then trim to the context window
+            k_pages = self.pool.k_store[layer][table]
+            v_pages = self.pool.v_store[layer][table]
+            k_out[index, :, :take] = k_pages.transpose(1, 0, 2, 3).reshape(
+                config.n_heads, -1, config.head_dim)[:, :take]
+            v_out[index, :, :take] = v_pages.transpose(1, 0, 2, 3).reshape(
+                config.n_heads, -1, config.head_dim)[:, :take]
+        return k_out, v_out
+
+    def advance(self, rows, n_new: int) -> None:
+        """Commit ``n_new`` appended positions of ``rows`` (once per forward step)."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        if np.any(self._lengths[rows] + n_new > self.max_seq_len):
+            raise ValueError("advance past the cache capacity")
+        self._lengths[rows] += n_new
+
+    def reset(self, rows=None) -> None:
+        """Release ``rows``' pages (all slots by default) without indexing them."""
+        targets = (range(self.batch_size) if rows is None
+                   else np.atleast_1d(np.asarray(rows, dtype=np.int64)))
+        for row in targets:
+            row = int(row)
+            for block in self._tables[row]:
+                self.pool.release(block)
+            self._tables[row] = []
+            self._lengths[row] = 0
+
+    # --------------------------------------------------- request lifecycle
+    def match_prefix(self, tokens) -> int:
+        """Reusable prefix length (tokens) a prompt would hit, without claiming it.
+
+        Full pages only, and capped at ``len(tokens) - 1`` so at least one
+        prompt token remains to prefill (the logits that sample the first
+        generated token).
+        """
+        return len(self.index.match(tokens, max_tokens=len(tokens) - 1)) * self.page_size
+
+    def begin_request(self, row: int, tokens) -> int:
+        """Claim ``row`` and adopt the longest cached prefix of ``tokens``.
+
+        The matched chain's pages are retained and become the head of the
+        slot's block table with ``lengths[row]`` set past them, so the
+        engine's prefill covers only ``tokens[matched:]``.  Returns the
+        number of reused prefix tokens (0 on a miss).
+        """
+        if self._tables[row]:
+            self.reset(rows=[row])
+        matched = self.index.match(tokens, max_tokens=len(tokens) - 1)
+        self._tables[row] = self.index.acquire(matched)
+        self._lengths[row] = len(matched) * self.page_size
+        return len(matched) * self.page_size
+
+    def commit_prefix(self, row: int, tokens) -> None:
+        """Index a just-prefilled prompt's full pages for immediate reuse.
+
+        Called by the engine right after prefill: the prompt's K/V is
+        complete from that moment on, so a same-prefix request admitted in
+        the very same step already hits — without this, concurrent members
+        of a prefix group would all miss until the first one retired.  The
+        indexed pages are full and never rewritten by the running request
+        (its decode appends past the prompt), and copy-on-write guards the
+        partial tail page, which is not indexed.
+        """
+        cached = int(self._lengths[row])
+        self.index.insert(tuple(tokens)[:cached], self._tables[row])
+
+    def retire_request(self, row: int, tokens) -> None:
+        """Index the finished sequence's full pages, then release the slot.
+
+        ``tokens`` is the full sequence (prompt + generated); the cache holds
+        K/V for its first ``lengths[row]`` positions.  Full pages go into the
+        radix index (which takes its own references), so a later request with
+        the same prefix skips their prefill; partial pages are just freed.
+        """
+        cached = int(self._lengths[row])
+        self.index.insert(tuple(tokens)[:cached], self._tables[row])
+        self.reset(rows=[row])
+
+    def fork(self, src_row: int, dst_row: int) -> None:
+        """Share ``src_row``'s pages with ``dst_row`` (copy-on-write on divergence)."""
+        if self._tables[dst_row]:
+            self.reset(rows=[dst_row])
+        self._tables[dst_row] = [self.pool.retain(block)
+                                 for block in self._tables[src_row]]
+        self._lengths[dst_row] = self._lengths[src_row]
+
+    # -------------------------------------------------- admission accounting
+    def admission_block_cost(self, prompt_tokens, projected_tokens: int) -> int:
+        """Pages admitting this request consumes from the reclaimable supply.
+
+        Fresh pages it must allocate (worst case, ``projected_tokens``
+        positions beyond the matched prefix) plus matched index pages that
+        would leave the evictable pool once acquired — both reduce what
+        other requests can still claim, so admission compares their sum
+        against :attr:`available_blocks`.
+        """
+        matched = self.index.match(prompt_tokens, max_tokens=len(prompt_tokens) - 1)
+        need_new = -(-projected_tokens // self.page_size) - len(matched)
+        pinned = sum(1 for node in matched if self.pool.refcount(node.block) == 1)
+        return need_new + pinned
+
+    def blocks_outstanding(self, row: int, projected_tokens: int) -> int:
+        """Pages an active request may still allocate before finishing."""
+        return max(0, -(-projected_tokens // self.page_size) - len(self._tables[row]))
+
+    @property
+    def available_blocks(self) -> int:
+        """Reclaimable pages: free now plus evictable from the prefix index."""
+        return self.pool.num_free + self.index.evictable_blocks()
+
+    @property
+    def pages_in_use(self) -> int:
+        return self.pool.pages_in_use
+
+    @property
+    def peak_pages_in_use(self) -> int:
+        return self.pool.peak_pages_in_use
+
+    # --------------------------------------------------------------- costing
+    def memory_bits(self) -> float:
+        """Footprint of the allocated pages (page-granular, shared pages once)."""
+        return float(self.pool.pages_in_use * self.page_size) * self.bits_per_token()
+
+    def peak_memory_bits(self) -> float:
+        """High-water mark of :meth:`memory_bits` over the cache's lifetime."""
+        return float(self.pool.peak_pages_in_use * self.page_size) * self.bits_per_token()

@@ -158,3 +158,72 @@ class TestCLISmoke:
         assert "unknown routing policy" in result.stderr
         assert "least_loaded" in result.stderr  # the did-you-mean suggestion
         assert "Traceback" not in result.stderr
+
+
+class TestSharedPrefixScenario:
+    """The prefix-sharing sweep: hit-rate columns and measured-reuse routing."""
+
+    def _rows(self, model, policies):
+        from repro.cluster.bench import default_workload
+
+        return cluster_bench(
+            model,
+            policies=policies,
+            replica_counts=(4,),
+            kv_specs=(None,),
+            workload=default_workload(True, "shared_prefix"),
+            replica=ReplicaConfig(max_batch_size=2, kv_page_size=4),
+        )
+
+    def test_rows_carry_hit_rate_and_paging_columns(self, tiny_inference_model):
+        rows = self._rows(tiny_inference_model, ("round_robin",))
+        for row in rows:
+            assert 0.0 <= row["prefix_hit_rate"] <= 1.0
+            assert row["peak_pages_in_use"] > 0
+
+    def test_prefix_affinity_beats_round_robin_on_hit_rate(self, tiny_inference_model):
+        rows = {row["policy"]: row
+                for row in self._rows(tiny_inference_model,
+                                      ("round_robin", "prefix_affinity"))}
+        assert rows["prefix_affinity"]["prefix_hit_rate"] > \
+            rows["round_robin"]["prefix_hit_rate"]
+
+    def test_shared_prefix_rows_are_deterministic(self, tiny_inference_model):
+        first = self._rows(tiny_inference_model, ("prefix_affinity",))
+        second = self._rows(tiny_inference_model, ("prefix_affinity",))
+        assert first == second
+
+    def test_unknown_workload_kind_rejected(self):
+        from repro.cluster.bench import default_workload
+
+        with pytest.raises(ValueError, match="workload kind"):
+            default_workload(True, "fractal")
+
+    def test_default_workload_kinds_have_the_documented_shape(self):
+        from repro.cluster.bench import default_workload
+        from repro.serve.workload import SharedPrefixConfig, WorkloadConfig
+
+        assert isinstance(default_workload(True, "poisson"), WorkloadConfig)
+        shared = default_workload(False, "shared_prefix")
+        assert isinstance(shared, SharedPrefixConfig)
+        assert shared.shared_fraction == pytest.approx(0.8)
+
+
+class TestMultiTurnWorkload:
+    def test_cluster_bench_accepts_a_multi_turn_trace(self, tiny_inference_model):
+        from repro.serve.workload import MultiTurnConfig
+
+        rows = cluster_bench(
+            tiny_inference_model,
+            policies=("prefix_affinity",),
+            replica_counts=(2,),
+            kv_specs=(None,),
+            workload=MultiTurnConfig(num_conversations=3, turns=(2, 3),
+                                     system_tokens=8, user_tokens=(2, 4),
+                                     new_tokens=(2, 3), seed=0),
+            replica=ReplicaConfig(max_batch_size=2, kv_page_size=4),
+        )
+        (row,) = rows
+        assert row["requests"] >= 6  # >= 2 turns per conversation
+        assert row["prefix_hit_rate"] > 0  # later turns reuse the history
+        assert np.isfinite(row["goodput_rps"])

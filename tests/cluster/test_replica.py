@@ -92,3 +92,32 @@ class TestReplica:
         replica.submit(Request(request_id=0, prompt_tokens=(1, 2), max_new_tokens=1,
                                arrival_time=0.25))
         assert replica.next_event_time == 0.25  # idle engine: head-of-queue arrival
+
+
+class TestPagedReplicaSurface:
+    def test_describe_carries_prefix_and_paging_columns(self, tiny_inference_model):
+        replica = Replica(0, tiny_inference_model, ReplicaConfig(kv_page_size=4))
+        prefix = tuple(range(1, 13))
+        for index, tail in enumerate(((21, 22), (23, 24))):
+            replica.submit(Request(request_id=index, prompt_tokens=prefix + tail,
+                                   max_new_tokens=3))
+        while replica.has_work:
+            replica.step()
+        row = replica.describe()
+        assert row["reused_prefix_tokens"] == 12  # the second request hit 3 pages
+        assert 0 < row["prefix_hit_rate"] < 1
+        assert row["peak_pages_in_use"] > 0
+        assert row["kv_peak_memory_mib"] > 0
+        assert row["prefix_hit_rate"] == pytest.approx(replica.prefix_hit_rate)
+
+    def test_contiguous_backend_reports_zero_reuse(self, tiny_inference_model):
+        replica = Replica(0, tiny_inference_model,
+                          ReplicaConfig(kv_backend="contiguous"))
+        replica.submit(Request(request_id=0, prompt_tokens=(1, 2, 3), max_new_tokens=2))
+        while replica.has_work:
+            replica.step()
+        row = replica.describe()
+        assert row["reused_prefix_tokens"] == 0 and row["prefix_hit_rate"] == 0.0
+        assert row["peak_pages_in_use"] == 0
+        assert replica.cached_prefix_tokens(
+            Request(request_id=1, prompt_tokens=(1, 2, 3), max_new_tokens=2)) == 0

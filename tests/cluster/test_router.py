@@ -133,3 +133,58 @@ class TestPolicies:
         first = get_policy("prefix_affinity", seed=2).choose(FakeRequest((3, 1, 4, 1, 5)), replicas)
         second = get_policy("prefix_affinity", seed=2).choose(request, replicas)
         assert first.replica_id == second.replica_id
+
+
+class CachingFakeReplica(FakeReplica):
+    """A replica whose cache reports a fixed measured prefix hit."""
+
+    def __init__(self, replica_id, cached=0, **kwargs):
+        super().__init__(replica_id, **kwargs)
+        self._cached = cached
+        self.probed = 0
+
+    def cached_prefix_tokens(self, request):
+        self.probed += 1
+        return self._cached
+
+
+class TestPrefixAffinityMeasuredReuse:
+    def test_routes_to_the_replica_with_the_longest_cached_prefix(self):
+        policy = get_policy("prefix_affinity")
+        replicas = [CachingFakeReplica(0, cached=4), CachingFakeReplica(1, cached=16),
+                    CachingFakeReplica(2, cached=8)]
+        assert policy.choose(FakeRequest(tuple(range(20))), replicas).replica_id == 1
+        assert all(replica.probed == 1 for replica in replicas)
+
+    def test_ties_break_by_replica_id(self):
+        policy = get_policy("prefix_affinity")
+        replicas = [CachingFakeReplica(i, cached=8) for i in range(3)]
+        assert policy.choose(FakeRequest(), replicas).replica_id == 0
+
+    def test_cold_caches_fall_back_to_the_stable_hash(self):
+        request = FakeRequest((3, 1, 4, 1, 5))
+        cold = [CachingFakeReplica(i, cached=0) for i in range(5)]
+        plain = [FakeReplica(i) for i in range(5)]
+        chosen_cold = get_policy("prefix_affinity", seed=2).choose(request, cold)
+        chosen_plain = get_policy("prefix_affinity", seed=2).choose(request, plain)
+        assert chosen_cold.replica_id == chosen_plain.replica_id
+
+    def test_measured_reuse_on_real_replicas(self, tiny_inference_model):
+        """After one replica serves a prompt, its followers route to it."""
+        from repro.cluster.replica import Replica, ReplicaConfig
+        from repro.serve.engine import Request
+
+        config = ReplicaConfig(kv_page_size=4)
+        replicas = [Replica(i, tiny_inference_model, config) for i in range(3)]
+        prefix = tuple(range(1, 17))
+        first = Request(request_id=0, prompt_tokens=prefix + (30, 31), max_new_tokens=3)
+        policy = get_policy("prefix_affinity")
+        seeded = policy.choose(first, replicas)
+        seeded.submit(first)
+        while seeded.has_work:
+            seeded.step()
+        assert seeded.prefix_hit_rate == 0.0  # the seeding request itself missed
+        follower = Request(request_id=1, prompt_tokens=prefix + (40, 41),
+                           max_new_tokens=3)
+        assert replicas[seeded.replica_id].cached_prefix_tokens(follower) == 16
+        assert policy.choose(follower, replicas) is seeded

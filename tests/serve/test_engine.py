@@ -220,6 +220,123 @@ class TestExternalDriveHooks:
         assert engine.next_event_time == float("inf")
 
 
+class TestPagedEngine:
+    """The paged KV backend: token identity, prefix reuse, block admission."""
+
+    def _shared_prefix_requests(self, prefix_len=20, count=6, max_new=5):
+        prefix = tuple(range(1, prefix_len + 1))
+        return [Request(request_id=i, prompt_tokens=prefix + (30 + i, 31 + i),
+                        max_new_tokens=max_new) for i in range(count)]
+
+    def test_greedy_decode_is_token_identical_to_the_dense_cache(
+        self, tiny_inference_model
+    ):
+        requests = self._shared_prefix_requests()
+        reports = {
+            backend: make_engine(tiny_inference_model, max_batch_size=3,
+                                 kv_backend=backend, kv_page_size=4).run(requests)
+            for backend in ("contiguous", "paged")
+        }
+        by_id = lambda report: sorted(report.completed,
+                                      key=lambda c: c.request.request_id)
+        for dense, paged in zip(by_id(reports["contiguous"]), by_id(reports["paged"])):
+            assert dense.generated_tokens == paged.generated_tokens
+
+    def test_prefix_hits_skip_prefill_and_cut_virtual_time(self, tiny_inference_model):
+        requests = self._shared_prefix_requests(prefix_len=24)
+        dense = make_engine(tiny_inference_model, max_batch_size=3,
+                            kv_backend="contiguous").run(requests)
+        paged = make_engine(tiny_inference_model, max_batch_size=3,
+                            kv_backend="paged", kv_page_size=4).run(requests)
+        assert paged.reused_tokens > 0
+        assert paged.prefill_tokens + paged.reused_tokens == dense.prefill_tokens
+        assert paged.kv_hit_rate > 0.5  # 24 of 26 prompt tokens shared
+        assert paged.elapsed_s < dense.elapsed_s  # skipped prefill = skipped tokens
+        assert dense.kv_hit_rate == 0.0 and dense.peak_pages_in_use == 0
+
+    def test_quantised_paged_decode_matches_dense_for_block_formats(
+        self, tiny_inference_model
+    ):
+        requests = self._shared_prefix_requests(count=4)
+        dense = make_engine(tiny_inference_model, max_batch_size=2,
+                            kv_backend="contiguous", kv_spec="bfp8@b32").run(requests)
+        paged = make_engine(tiny_inference_model, max_batch_size=2,
+                            kv_backend="paged", kv_page_size=4,
+                            kv_spec="bfp8@b32").run(requests)
+        for d, p in zip(sorted(dense.completed, key=lambda c: c.request.request_id),
+                        sorted(paged.completed, key=lambda c: c.request.request_id)):
+            assert d.generated_tokens == p.generated_tokens
+
+    def test_page_size_at_least_max_seq_len_reproduces_dense_rows(
+        self, tiny_inference_model
+    ):
+        """One page per slot = no full pages to share = the dense schedule."""
+        workload = WorkloadConfig(num_requests=10, arrival_rate=150.0,
+                                  prompt_tokens=(3, 9), new_tokens=(2, 6), seed=4)
+        requests = generate_requests(tiny_inference_model.config.vocab_size, workload)
+        seq = tiny_inference_model.config.max_seq_len
+        dense = make_engine(tiny_inference_model, max_batch_size=3,
+                            kv_backend="contiguous").run(requests)
+        paged = make_engine(tiny_inference_model, max_batch_size=3,
+                            kv_backend="paged", kv_page_size=seq).run(requests)
+        paging_keys = ("peak_pages_in_use", "kv_peak_memory_mib")
+        dense_summary = {k: v for k, v in dense.summary().items() if k not in paging_keys}
+        paged_summary = {k: v for k, v in paged.summary().items() if k not in paging_keys}
+        assert paged_summary == dense_summary
+
+    def test_free_block_accounting_blocks_head_of_line_until_pages_free(
+        self, tiny_inference_model
+    ):
+        # 8 pages of 4 = 32 token positions; each request projects 12 tokens
+        # (3 pages), so only two fit concurrently despite 4 slots
+        engine = make_engine(tiny_inference_model, max_batch_size=4,
+                             kv_backend="paged", kv_page_size=4, num_kv_blocks=8,
+                             max_seq_len=16)
+        for i in range(5):
+            engine.submit(Request(request_id=i,
+                                  prompt_tokens=tuple(range(1 + i, 9 + i)),
+                                  max_new_tokens=4))
+        while engine.has_work:
+            engine.step()
+            assert engine.cache.pages_in_use <= 8
+            assert engine.num_active <= 2
+        assert len(engine.report().completed) == 5
+
+    def test_prompt_beyond_positional_window_rejected_at_submit(
+        self, tiny_inference_model
+    ):
+        engine = make_engine(tiny_inference_model, max_seq_len=8)
+        with pytest.raises(ValueError, match="positional window"):
+            engine.submit(Request(request_id=0, prompt_tokens=tuple(range(1, 11)),
+                                  max_new_tokens=1))
+
+    def test_paged_run_is_deterministic_under_virtual_clock(self, tiny_inference_model):
+        workload = WorkloadConfig(num_requests=12, arrival_rate=200.0,
+                                  prompt_tokens=(3, 9), new_tokens=(2, 6),
+                                  temperature=0.7, seed=11)
+        summaries = []
+        for _ in range(2):
+            requests = generate_requests(tiny_inference_model.config.vocab_size, workload)
+            report = make_engine(tiny_inference_model, max_batch_size=3,
+                                 kv_backend="paged", kv_page_size=4).run(requests)
+            summaries.append((report.summary(),
+                              [(c.request.request_id, c.generated_tokens,
+                                c.first_token_time, c.finish_time)
+                               for c in report.completed]))
+        assert summaries[0] == summaries[1]
+
+    def test_report_carries_the_paging_surface(self, tiny_inference_model):
+        requests = self._shared_prefix_requests(count=3)
+        report = make_engine(tiny_inference_model, max_batch_size=3,
+                             kv_backend="paged", kv_page_size=4).run(requests)
+        assert report.kv_backend == "paged" and report.kv_page_size == 4
+        assert report.peak_pages_in_use > 0
+        assert report.kv_peak_memory_bits > 0
+        summary = report.summary()
+        assert set(("kv_hit_rate", "peak_pages_in_use", "kv_peak_memory_mib")) <= \
+            set(summary)
+
+
 class TestWorkloadValidation:
     def test_negative_temperature_rejected(self):
         with pytest.raises(ValueError, match="temperature"):

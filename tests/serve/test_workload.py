@@ -1,0 +1,123 @@
+"""Shared-prefix and multi-turn trace generators (the prefix-reuse workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.workload import (
+    MultiTurnConfig,
+    SharedPrefixConfig,
+    WorkloadConfig,
+    generate_multi_turn_requests,
+    generate_requests,
+    generate_shared_prefix_requests,
+    generate_trace,
+)
+
+VOCAB = 64
+
+
+class TestSharedPrefixTrace:
+    _CONFIG = SharedPrefixConfig(num_requests=40, arrival_rate=50.0, num_prefixes=3,
+                                 prefix_tokens=12, unique_tokens=(2, 6),
+                                 new_tokens=(2, 5), shared_fraction=0.8, seed=5)
+
+    def test_shared_fraction_of_prompts_draw_few_prefixes(self):
+        requests = generate_shared_prefix_requests(VOCAB, self._CONFIG)
+        assert len(requests) == 40
+        prefixes = {}
+        for request in requests:
+            prefixes.setdefault(request.prompt_tokens[:12], []).append(request)
+        shared = [group for group in prefixes.values() if len(group) > 1]
+        shared_requests = sum(len(group) for group in shared)
+        # ~80% of 40 requests land on the 3 shared prefixes
+        assert len(shared) <= 3
+        assert 0.6 * 40 <= shared_requests <= 0.95 * 40
+
+    def test_prompt_shape_and_per_request_seeds(self):
+        requests = generate_shared_prefix_requests(VOCAB, self._CONFIG)
+        for request in requests:
+            assert 12 + 2 <= len(request.prompt_tokens) <= 12 + 6
+            assert all(0 <= t < VOCAB for t in request.prompt_tokens)
+        assert len({r.seed for r in requests}) == len(requests)
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_trace_is_deterministic(self):
+        first = generate_shared_prefix_requests(VOCAB, self._CONFIG)
+        second = generate_shared_prefix_requests(VOCAB, self._CONFIG)
+        assert first == second
+
+    def test_zero_shared_fraction_gives_private_prefixes(self):
+        config = SharedPrefixConfig(num_requests=16, shared_fraction=0.0,
+                                    prefix_tokens=8, seed=1)
+        requests = generate_shared_prefix_requests(256, config)
+        assert len({r.prompt_tokens[:8] for r in requests}) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shared_fraction"):
+            SharedPrefixConfig(shared_fraction=1.5)
+        with pytest.raises(ValueError, match="num_prefixes"):
+            SharedPrefixConfig(num_prefixes=0)
+        with pytest.raises(ValueError, match="prefix_tokens"):
+            SharedPrefixConfig(prefix_tokens=0)
+        with pytest.raises(ValueError, match="unique_tokens"):
+            SharedPrefixConfig(unique_tokens=(5, 2))
+        with pytest.raises(ValueError, match="vocab_size"):
+            generate_shared_prefix_requests(1, SharedPrefixConfig())
+
+
+class TestMultiTurnTrace:
+    _CONFIG = MultiTurnConfig(num_conversations=5, turns=(2, 4), arrival_rate=10.0,
+                              think_time_s=0.2, system_tokens=6, user_tokens=(2, 5),
+                              new_tokens=(2, 4), seed=3)
+
+    def test_turns_extend_the_previous_prompt(self):
+        requests = generate_multi_turn_requests(VOCAB, self._CONFIG)
+        system = requests[0].prompt_tokens[:6]
+        by_prefix = {}
+        for request in requests:
+            assert request.prompt_tokens[:6] == system  # one deployment-wide system prompt
+            by_prefix.setdefault(request.prompt_tokens[:7], []).append(request)
+        # group turns by conversation via their first user token, then check nesting
+        conversations = [sorted(group, key=lambda r: len(r.prompt_tokens))
+                         for group in by_prefix.values()]
+        assert sum(len(c) for c in conversations) == len(requests)
+        for turns in conversations:
+            for earlier, later in zip(turns, turns[1:]):
+                assert later.prompt_tokens[:len(earlier.prompt_tokens)] == \
+                    earlier.prompt_tokens
+                assert later.arrival_time > earlier.arrival_time
+
+    def test_ids_are_unique_and_sorted_by_arrival(self):
+        requests = generate_multi_turn_requests(VOCAB, self._CONFIG)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_trace_is_deterministic(self):
+        assert generate_multi_turn_requests(VOCAB, self._CONFIG) == \
+            generate_multi_turn_requests(VOCAB, self._CONFIG)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_conversations"):
+            MultiTurnConfig(num_conversations=0)
+        with pytest.raises(ValueError, match="think_time_s"):
+            MultiTurnConfig(think_time_s=-1.0)
+        with pytest.raises(ValueError, match="turns"):
+            MultiTurnConfig(turns=(3, 1))
+
+
+class TestGenerateTrace:
+    def test_dispatches_on_config_type(self):
+        assert generate_trace(VOCAB, WorkloadConfig(num_requests=3)) == \
+            generate_requests(VOCAB, WorkloadConfig(num_requests=3))
+        assert generate_trace(VOCAB, SharedPrefixConfig(num_requests=3)) == \
+            generate_shared_prefix_requests(VOCAB, SharedPrefixConfig(num_requests=3))
+        assert generate_trace(VOCAB, MultiTurnConfig(num_conversations=2)) == \
+            generate_multi_turn_requests(VOCAB, MultiTurnConfig(num_conversations=2))
+
+    def test_unknown_config_type_rejected(self):
+        with pytest.raises(TypeError, match="unsupported workload"):
+            generate_trace(VOCAB, object())
