@@ -1,0 +1,120 @@
+"""Overload behaviour of the async gateway (the load-shedding acceptance bar).
+
+An open-loop client keeps sending at the offered rate no matter how far the
+server falls behind, so an unprotected engine would queue without bound past
+its capacity.  This suite throttles a tiny random-weight model to a *known*
+service rate (a fixed real sleep per ``forward_step``), replays the same
+open-loop trace at rates straddling that capacity through the real HTTP
+front door, and asserts the properties shedding exists to buy:
+
+- below capacity nothing is shed and everything completes;
+- far past the saturation knee the admission gate sheds (429s appear)
+  instead of queueing, and goodput holds within 20 % of the pre-knee peak;
+- every rate's drain audit reports zero leaked KV pages.
+
+The sleep-throttled model makes the knee machine-independent: capacity is
+set by the injected service time, not by how fast this box does matmuls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.analysis.reporting import ExperimentResult
+from repro.gateway.bench import gateway_sweep
+from repro.gateway.driver import GatewayConfig
+from repro.llm.config import ModelConfig
+from repro.llm.inference import InferenceModel
+from repro.llm.transformer import TransformerLM
+from repro.serve.engine import EngineConfig
+from repro.serve.workload import WorkloadConfig
+
+from conftest import emit
+
+import pytest
+
+STEP_SLEEP_S = 0.004
+#: ~1 prefill + a couple of shared decode steps per request at batch 2 puts
+#: capacity in the low tens of requests/s; the grid straddles it widely.
+RATES = (5.0, 15.0, 400.0)
+WORKLOAD = WorkloadConfig(num_requests=14, arrival_rate=5.0,
+                          prompt_tokens=(4, 8), new_tokens=(3, 6), seed=0)
+GOODPUT_FLOOR = 0.8   # post-knee goodput must hold within 20 % of the peak
+
+
+class ThrottledModel:
+    """Delegate that adds a fixed real service time to every forward step."""
+
+    def __init__(self, model, step_sleep_s: float):
+        self._model = model
+        self._step_sleep_s = step_sleep_s
+        self.config = model.config
+
+    def forward_step(self, tokens, cache, rows):
+        time.sleep(self._step_sleep_s)
+        return self._model.forward_step(tokens, cache, rows)
+
+
+@pytest.fixture(scope="module")
+def throttled_model():
+    config = ModelConfig(name="gateway-bench", vocab_size=64, d_model=32,
+                         n_heads=2, n_layers=2, d_ff=64, max_seq_len=48,
+                         arch="llama", seed=0)
+    model = InferenceModel(config, TransformerLM(config).state_dict())
+    return ThrottledModel(model, STEP_SLEEP_S)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(throttled_model):
+    return asyncio.run(gateway_sweep(
+        throttled_model,
+        rates=RATES,
+        workload=WORKLOAD,
+        engine_config=EngineConfig(max_batch_size=2, kv_page_size=4),
+        gateway_config=GatewayConfig(max_queue_depth=2, shed_policy="reject",
+                                     drain_timeout_s=10.0),
+    ))
+
+
+def test_below_capacity_nothing_is_shed(sweep_rows):
+    calm = sweep_rows[0]
+    assert calm["shed"] == 0
+    assert calm["completed"] == WORKLOAD.num_requests
+    assert calm["errors"] == 0
+
+
+def test_overload_sheds_instead_of_queueing_and_goodput_holds(sweep_rows):
+    overload = sweep_rows[-1]
+    assert overload["shed"] > 0                      # 429s, not unbounded queueing
+    assert overload["shed_rate"] > 0.2               # a real slice of the offered load
+    assert overload["errors"] == 0
+    peak = max(row["goodput_rps"] for row in sweep_rows[:-1])
+    assert overload["goodput_rps"] >= GOODPUT_FLOOR * peak, (
+        f"goodput collapsed past the knee: {overload['goodput_rps']:.1f} rps "
+        f"vs pre-knee peak {peak:.1f} rps"
+    )
+
+
+def test_no_kv_pages_leak_at_any_rate(sweep_rows):
+    # gateway_sweep raises on a non-zero drain audit; the column is the receipt
+    assert [row["kv_leaked_pages"] for row in sweep_rows] == [0, 0, 0]
+
+
+def test_emit_saturation_table(sweep_rows):
+    emit(ExperimentResult(
+        experiment_id="Gateway-Saturation",
+        title="Open-loop saturation sweep of a sleep-throttled gateway",
+        rows=sweep_rows,
+        columns=["arrival_rate", "requests", "completed", "shed", "shed_rate",
+                 "goodput_rps", "ttft_p50_ms", "ttft_p95_ms", "kv_leaked_pages"],
+        notes=(
+            "Each forward step is throttled by a fixed "
+            f"{STEP_SLEEP_S * 1e3:.0f} ms sleep, so engine capacity is known and "
+            "machine-independent.  Past the knee the admission gate sheds the "
+            "excess offered load (shed_rate climbs) while goodput holds near the "
+            "pre-knee peak; every rate drains with a clean KV page audit."
+        ),
+        metadata={"rates": list(RATES), "step_sleep_s": STEP_SLEEP_S,
+                  "num_requests": WORKLOAD.num_requests},
+    ))

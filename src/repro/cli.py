@@ -12,6 +12,8 @@ Python for a first look at the library::
     python -m repro simulate --strategy "BBFP(4,2)" --seq-len 1024
     python -m repro serve-bench --fast         # continuous-batching serve benchmark
     python -m repro cluster-bench --fast       # multi-replica fleet benchmark
+    python -m repro gateway --fast --port 8100 # HTTP streaming front door (SIGTERM drains)
+    python -m repro gateway-bench --fast       # open-loop saturation sweep over HTTP
 
 ``run`` delegates to the parallel cached pipeline (:mod:`repro.pipeline`,
 argument handling shared with :mod:`repro.experiments.runner`); the other
@@ -207,6 +209,72 @@ def _cmd_cluster_bench(args) -> int:
     return 0
 
 
+def _parse_shed_policy(name: str) -> str:
+    """CLI type for ``--shed-policy``: validated admission policy name."""
+    from repro.gateway.shedding import SHED_POLICIES
+
+    if name not in SHED_POLICIES:
+        raise argparse.ArgumentTypeError(
+            f"unknown shedding policy {name!r}; expected one of "
+            f"{', '.join(SHED_POLICIES)}")
+    return name
+
+
+def _cmd_gateway(args) -> int:
+    import asyncio
+
+    from repro.experiments.common import is_fast_mode
+    from repro.gateway.bench import default_gateway_config, gateway_model_name
+    from repro.gateway.driver import Gateway
+    from repro.gateway.server import serve_gateway
+    from repro.llm.zoo import default_corpus, load_inference_model
+    from repro.serve.bench import default_engine_config
+    from repro.serve.engine import ServeEngine, WallClock
+
+    import dataclasses
+
+    fast = is_fast_mode(args.fast or None)
+    model_name = gateway_model_name(fast)
+    model = load_inference_model(model_name, corpus=default_corpus(fast=fast))
+    engine_config = default_engine_config(fast)
+    engine_overrides = {}
+    if args.kv_backend is not None:
+        engine_overrides["kv_backend"] = args.kv_backend
+    if args.kv_page_size is not None:
+        engine_overrides["kv_page_size"] = args.kv_page_size
+    if engine_overrides:
+        engine_config = dataclasses.replace(engine_config, **engine_overrides)
+    gateway_config = default_gateway_config(fast, args.shed_policy)
+    if args.max_queue_depth is not None:
+        gateway_config = dataclasses.replace(gateway_config,
+                                             max_queue_depth=args.max_queue_depth)
+    if args.timeout_s is not None:
+        gateway_config = dataclasses.replace(gateway_config,
+                                             default_timeout_s=args.timeout_s)
+    engine = ServeEngine(model, engine_config, clock=WallClock())
+    gateway = Gateway(engine, gateway_config)
+    print(f"serving {model_name} ({engine_config.kv_backend} KV backend, "
+          f"shed policy {gateway_config.shed_policy}); SIGTERM drains gracefully")
+    asyncio.run(serve_gateway(gateway, host=args.host, port=args.port))
+    return 0
+
+
+def _cmd_gateway_bench(args) -> int:
+    from repro.analysis.reporting import save_result
+    from repro.gateway.bench import run as gateway_bench_run
+
+    result = gateway_bench_run(fast=args.fast or None, rates=args.rates,
+                               num_requests=args.num_requests,
+                               shed_policy=args.shed_policy,
+                               cancel_every=args.cancel_every,
+                               timeout_s=args.timeout_s,
+                               max_queue_depth=args.max_queue_depth)
+    print(result.to_text())
+    if args.output_dir:
+        save_result(result, args.output_dir)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -296,6 +364,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--output-dir", default=None,
                            help="also save the result as JSON + text under this directory")
     p_cluster.set_defaults(func=_cmd_cluster_bench)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="serve one engine over HTTP (SSE streaming, cancellation, load shedding)")
+    p_gateway.add_argument("--fast", action="store_true",
+                           help="small zoo model and CI-sized engine")
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--port", type=int, default=8100,
+                           help="TCP port to listen on (0 = ephemeral)")
+    p_gateway.add_argument("--shed-policy", type=_parse_shed_policy, default="reject",
+                           help="admission policy: reject, drop_oldest or deadline")
+    p_gateway.add_argument("--max-queue-depth", type=int, default=None,
+                           help="bounded engine queue beyond which requests shed")
+    p_gateway.add_argument("--timeout-s", type=float, default=None,
+                           help="default per-request deadline in seconds")
+    p_gateway.add_argument("--kv-backend", choices=("paged", "contiguous"), default=None,
+                           help="KV cache layout for the served engine")
+    p_gateway.add_argument("--kv-page-size", type=_parse_page_size, default=None,
+                           help="tokens per KV page under the paged backend")
+    p_gateway.set_defaults(func=_cmd_gateway)
+
+    p_gwbench = sub.add_parser(
+        "gateway-bench",
+        help="open-loop HTTP saturation sweep (goodput knee, shed rate, cancel reclaim)")
+    p_gwbench.add_argument("--fast", action="store_true",
+                           help="small zoo model, short traces, four offered rates")
+    p_gwbench.add_argument("--rates", nargs="+", type=float, default=None,
+                           help="offered loads to sweep in requests per second")
+    p_gwbench.add_argument("--num-requests", type=int, default=None,
+                           help="requests replayed per offered rate")
+    p_gwbench.add_argument("--shed-policy", type=_parse_shed_policy, default=None,
+                           help="admission policy under overload")
+    p_gwbench.add_argument("--cancel-every", type=int, default=None,
+                           help="cancel every N-th request mid-stream (0 = never; "
+                                "default: every 4th)")
+    p_gwbench.add_argument("--timeout-s", type=float, default=None,
+                           help="per-request deadline attached by the load generator")
+    p_gwbench.add_argument("--max-queue-depth", type=int, default=None,
+                           help="bounded engine queue beyond which requests shed")
+    p_gwbench.add_argument("--output-dir", default=None,
+                           help="also save the result as JSON + text under this directory")
+    p_gwbench.set_defaults(func=_cmd_gateway_bench)
     return parser
 
 

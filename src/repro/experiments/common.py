@@ -121,4 +121,8 @@ def experiment_model_specs(name, fast=None) -> tuple:
         from repro.cluster.bench import cluster_model_name
 
         return (cluster_model_name(fast),)
+    if name == "gateway_bench":
+        from repro.gateway.bench import gateway_model_name
+
+        return (gateway_model_name(fast),)
     return ()

@@ -36,6 +36,7 @@ from repro.experiments import (
     table5_nonlinear_eff,
 )
 from repro.cluster import bench as cluster_bench_driver
+from repro.gateway import bench as gateway_bench_driver
 from repro.serve import bench as serve_bench_driver
 
 __all__ = ["EXPERIMENTS", "experiment_descriptions", "run_all", "print_catalog", "main"]
@@ -66,6 +67,7 @@ EXPERIMENTS = {
     "ext_mixed_precision": extensions.mixed_precision_extension,
     "serve_bench": serve_bench_driver.run,
     "cluster_bench": cluster_bench_driver.run,
+    "gateway_bench": gateway_bench_driver.run,
 }
 
 

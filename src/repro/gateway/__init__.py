@@ -1,0 +1,81 @@
+"""Gateway layer: the asyncio streaming front door over one serve engine.
+
+:mod:`repro.serve` gives the engine; this package makes it *servable* —
+an HTTP surface with per-token streaming, cancellation that reclaims KV
+pages immediately, admission control that sheds load instead of queueing
+without bound, and an open-loop load generator that measures where the
+knee is:
+
+* :mod:`repro.gateway.session` — the per-request state machine
+  (``QUEUED → PREFILL → DECODE → DONE/CANCELLED/SHED/TIMEOUT``) bridging
+  engine callbacks to awaiting HTTP handlers through asyncio queues;
+* :mod:`repro.gateway.shedding` — the admission gate: ``reject`` (bounded
+  queue, 429), ``drop_oldest`` (sliding window) and ``deadline``-aware
+  policies, judged against the engine's live load signals;
+* :mod:`repro.gateway.driver` — the :class:`Gateway` facade and the
+  cooperative pump that steps the synchronous engine between event-loop
+  awaits (no threads, no engine call ever races a step);
+* :mod:`repro.gateway.server` — the stdlib HTTP/1.1 server:
+  ``POST /v1/generate`` (JSON or SSE streaming), ``POST /v1/cancel/<id>``,
+  ``GET /healthz``, ``GET /stats``, graceful drain on SIGTERM;
+* :mod:`repro.gateway.loadgen` — open-loop Poisson replay of
+  :mod:`repro.serve.workload` traces with an arrival-rate sweep and
+  saturation-knee detection — and the ``gateway_bench`` experiment driver
+  (:mod:`repro.gateway.bench`) asserting zero leaked KV pages at drain.
+
+See ``docs/gateway.md`` for the wire format and benchmark methodology.
+"""
+
+from repro.gateway.driver import Gateway, GatewayConfig, GatewayDraining
+from repro.gateway.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    RequestOutcome,
+    find_saturation_knee,
+    run_loadgen,
+    sweep_arrival_rates,
+)
+from repro.gateway.server import GatewayServer, serve_gateway
+from repro.gateway.session import (
+    CANCELLED,
+    DECODE,
+    DONE,
+    PREFILL,
+    QUEUED,
+    SHED,
+    TERMINAL_STATES,
+    TIMEOUT,
+    Session,
+    SessionError,
+    terminal_state_for,
+)
+from repro.gateway.shedding import SHED_POLICIES, AdmissionGate, Decision, ShedConfig
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "GatewayDraining",
+    "GatewayServer",
+    "serve_gateway",
+    "Session",
+    "SessionError",
+    "terminal_state_for",
+    "QUEUED",
+    "PREFILL",
+    "DECODE",
+    "DONE",
+    "CANCELLED",
+    "SHED",
+    "TIMEOUT",
+    "TERMINAL_STATES",
+    "AdmissionGate",
+    "Decision",
+    "ShedConfig",
+    "SHED_POLICIES",
+    "LoadGenConfig",
+    "LoadReport",
+    "RequestOutcome",
+    "run_loadgen",
+    "sweep_arrival_rates",
+    "find_saturation_knee",
+]

@@ -1,0 +1,282 @@
+"""Asyncio HTTP/1.1 front door over a :class:`~repro.gateway.driver.Gateway`.
+
+Pure stdlib (``asyncio.start_server`` + hand-rolled HTTP parsing — no web
+framework dependency), one connection per request, every response carries
+``Connection: close`` so bodies are delimited by EOF and the wire protocol
+stays trivially debuggable with ``curl``.
+
+Endpoints
+---------
+
+``POST /v1/generate``
+    Body: ``{"prompt_tokens": [...], "max_new_tokens": 16, "temperature":
+    0.0, "top_k": 0, "seed": 0, "stop_token": null, "timeout_s": null,
+    "stream": false}``.  Non-streaming: one JSON document with the generated
+    tokens and finish metadata.  With ``"stream": true`` the response is
+    Server-Sent Events (``text/event-stream``): one ``accepted`` event
+    carrying the request id (so the client can cancel mid-stream), one
+    ``token`` event per sampled token as the engine produces it, and a final
+    ``end`` event with the terminal state.  Shed requests get HTTP 429 with
+    a ``Retry-After`` header; during drain every generate gets 503.
+
+``POST /v1/cancel/<id>``
+    Cancels a queued or active request.  The engine releases the request's
+    KV pages *synchronously before the response is written* (everything runs
+    on one event loop), so a 200 here means the memory is already back.
+
+``GET /healthz``
+    ``200 {"status": "ok"}`` normally, ``503 {"status": "draining"}`` once
+    shutdown began — the load-balancer probe shape.
+
+``GET /stats``
+    Live load signals: queue depth, active requests, projected KV load vs
+    budget, pages in use, prefix hit rate, and the shed/cancel counters.
+
+Streaming backpressure is per-connection: the handler ``await``s
+``writer.drain()`` after every event, so a slow client throttles only its
+own socket buffer while the engine keeps stepping for everyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro.gateway.driver import Gateway, GatewayDraining
+from repro.gateway.session import SHED
+
+__all__ = ["GatewayServer", "serve_gateway"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _response(status: int, reason: str, body: bytes, content_type: str,
+              extra_headers=()) -> bytes:
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    lines.extend(extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, reason: str, payload: dict, extra_headers=()) -> bytes:
+    body = json.dumps(payload, default=float).encode("utf-8")
+    return _response(status, reason, body, "application/json", extra_headers)
+
+
+def _sse_event(event: str, payload: dict) -> bytes:
+    data = json.dumps(payload, default=float)
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")
+
+
+class _BadRequest(ValueError):
+    """Maps to HTTP 400."""
+
+
+class GatewayServer:
+    """Bind a :class:`Gateway` to a TCP port (see module docstring)."""
+
+    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0):
+        self.gateway = gateway
+        self.host = host
+        self.port = port            # 0 = ephemeral; real port filled in by start()
+        self._server = None
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start accepting connections and the gateway pump."""
+        self.gateway.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> dict:
+        """Graceful stop: close the listener, drain the gateway, report stats."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        return await self.gateway.drain()
+
+    # ------------------------------------------------------------ HTTP plumbing
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers, body = await self._read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError, ConnectionError) as err:
+                writer.write(_json_response(400, "Bad Request", {"error": str(err)}))
+                return
+            await self._route(method, path, headers, body, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass                    # client went away mid-response: their call
+        finally:
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _BadRequest("request head too large") from None
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _BadRequest("request head too large")
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _route(self, method, path, headers, body, writer) -> None:
+        if method == "GET" and path == "/healthz":
+            if self.gateway.draining:
+                writer.write(_json_response(503, "Service Unavailable",
+                                            {"status": "draining"}))
+            else:
+                writer.write(_json_response(200, "OK", {"status": "ok"}))
+        elif method == "GET" and path == "/stats":
+            writer.write(_json_response(200, "OK", self.gateway.stats()))
+        elif method == "POST" and path == "/v1/generate":
+            await self._generate(body, writer)
+        elif method == "POST" and path.startswith("/v1/cancel/"):
+            self._cancel(path, writer)
+        else:
+            writer.write(_json_response(404, "Not Found",
+                                        {"error": f"no route for {method} {path}"}))
+
+    # --------------------------------------------------------------- handlers
+    @staticmethod
+    def _parse_generate(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise _BadRequest(f"body is not valid JSON: {err}") from None
+        if not isinstance(payload, dict) or "prompt_tokens" not in payload:
+            raise _BadRequest('body must be a JSON object with "prompt_tokens"')
+        known = {"prompt_tokens", "max_new_tokens", "temperature", "top_k",
+                 "seed", "stop_token", "timeout_s", "stream"}
+        unknown = set(payload) - known
+        if unknown:
+            raise _BadRequest(f"unknown fields: {sorted(unknown)}")
+        return payload
+
+    async def _generate(self, body: bytes, writer) -> None:
+        try:
+            payload = self._parse_generate(body)
+            stream = bool(payload.pop("stream", False))
+            session = self.gateway.submit(**payload)
+        except _BadRequest as err:
+            writer.write(_json_response(400, "Bad Request", {"error": str(err)}))
+            return
+        except GatewayDraining as err:
+            writer.write(_json_response(503, "Service Unavailable",
+                                        {"error": str(err)}))
+            return
+        except (TypeError, ValueError) as err:
+            writer.write(_json_response(400, "Bad Request", {"error": str(err)}))
+            return
+        if session.state == SHED:
+            writer.write(_json_response(
+                429, "Too Many Requests",
+                {"error": "shed", "request_id": session.request_id,
+                 "reason": session.shed_reason},
+                extra_headers=("Retry-After: 1",)))
+            return
+        if stream:
+            await self._stream_session(session, writer)
+            return
+        record = await session.wait()
+        if session.state == SHED:
+            # displaced later by a drop_oldest/deadline newcomer, not at the gate
+            writer.write(_json_response(
+                429, "Too Many Requests",
+                {"error": "shed", "request_id": session.request_id,
+                 "reason": session.shed_reason or "displaced by admission policy"},
+                extra_headers=("Retry-After: 1",)))
+            return
+        writer.write(_json_response(200, "OK", {
+            **session.to_dict(),
+            "prompt_tokens": list(record.request.prompt_tokens),
+        }))
+
+    async def _stream_session(self, session, writer) -> None:
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n").encode("ascii")
+        writer.write(head)
+        writer.write(_sse_event("accepted", {"request_id": session.request_id}))
+        await writer.drain()
+        index = 0
+        async for event in session.events():
+            if event[0] == "token":
+                _, token, t = event
+                writer.write(_sse_event("token",
+                                        {"index": index, "token": token, "t": t}))
+                index += 1
+            else:
+                _, state, _record = event
+                writer.write(_sse_event("end", {**session.to_dict(),
+                                                "state": state}))
+            await writer.drain()
+
+    def _cancel(self, path: str, writer) -> None:
+        suffix = path[len("/v1/cancel/"):]
+        try:
+            request_id = int(suffix)
+        except ValueError:
+            writer.write(_json_response(400, "Bad Request",
+                                        {"error": f"bad request id {suffix!r}"}))
+            return
+        cancelled = self.gateway.cancel(request_id)
+        writer.write(_json_response(200, "OK",
+                                    {"request_id": request_id,
+                                     "cancelled": cancelled}))
+
+
+async def serve_gateway(gateway: Gateway, host: str = "127.0.0.1", port: int = 8100,
+                        ready=None, stop_signals=(signal.SIGTERM, signal.SIGINT),
+                        announce=print) -> dict:
+    """Run a gateway server until SIGTERM/SIGINT; returns the final stats.
+
+    The CLI entry point: binds, announces ``gateway listening on host:port``
+    (parseable by process supervisors and the loadgen), installs signal
+    handlers that trigger the graceful drain, and blocks until shutdown
+    completes.  ``ready`` (an :class:`asyncio.Event`) is set once the socket
+    is bound — the in-process bench path uses it instead of parsing stdout.
+    """
+    server = GatewayServer(gateway, host=host, port=port)
+    await server.start()
+    if announce is not None:
+        announce(f"gateway listening on {server.host}:{server.port}")
+    if ready is not None:
+        ready.set()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in stop_signals:
+        loop.add_signal_handler(sig, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        for sig in stop_signals:
+            loop.remove_signal_handler(sig)
+    stats = await server.shutdown()
+    if announce is not None:
+        announce("gateway drained: " + json.dumps(stats, default=float))
+    return stats

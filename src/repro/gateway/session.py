@@ -1,0 +1,187 @@
+"""Per-request session state machine of the gateway.
+
+Every request the front door accepts becomes one :class:`Session` — the
+bridge between the synchronous engine world (the pump calls into the engine,
+the engine fires ``on_admit``/``on_token`` callbacks) and the asynchronous
+HTTP world (a handler coroutine awaiting tokens to stream).  A session moves
+through a fixed state machine::
+
+    QUEUED ──► PREFILL ──► DECODE ──► DONE
+      │           │           │
+      │           │           ├────► CANCELLED / TIMEOUT
+      │           └─────────► CANCELLED / TIMEOUT
+      ├──► SHED               (admission gate refused or dropped it)
+      └──► CANCELLED / TIMEOUT
+
+Transitions are validated: an illegal move (e.g. a token arriving for a shed
+session) raises :class:`SessionError` instead of silently corrupting state —
+the bug class a streaming server cannot debug from its output alone.  The
+full transition history is recorded with clock timestamps, so tests and the
+``/stats`` endpoint can reconstruct where time went.
+
+Tokens flow through a per-session :class:`asyncio.Queue`: the engine pump
+pushes ``("token", token, t)`` events as they are sampled (between event-loop
+awaits) and a single terminal ``("end", state, record)`` event; the HTTP
+handler drains the queue with :meth:`Session.events` or awaits the terminal
+record with :meth:`Session.wait`.  The queue is bounded only by the
+request's ``max_new_tokens``, so a slow streaming client can never hold more
+than one answer's worth of tokens in gateway memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["Session", "SessionError",
+           "QUEUED", "PREFILL", "DECODE", "DONE", "CANCELLED", "SHED", "TIMEOUT",
+           "TERMINAL_STATES", "terminal_state_for"]
+
+QUEUED = "QUEUED"
+PREFILL = "PREFILL"
+DECODE = "DECODE"
+DONE = "DONE"
+CANCELLED = "CANCELLED"
+SHED = "SHED"
+TIMEOUT = "TIMEOUT"
+
+#: States a session can never leave.
+TERMINAL_STATES = frozenset({DONE, CANCELLED, SHED, TIMEOUT})
+
+#: Legal moves of the state machine; anything else is a :class:`SessionError`.
+_TRANSITIONS = {
+    QUEUED: frozenset({PREFILL, CANCELLED, SHED, TIMEOUT}),
+    PREFILL: frozenset({DECODE, CANCELLED, TIMEOUT}),
+    DECODE: frozenset({DONE, CANCELLED, TIMEOUT}),
+    DONE: frozenset(),
+    CANCELLED: frozenset(),
+    SHED: frozenset(),
+    TIMEOUT: frozenset(),
+}
+
+#: Engine ``finish_reason`` -> terminal session state.
+_STATE_BY_REASON = {
+    "length": DONE,
+    "stop_token": DONE,
+    "cancelled": CANCELLED,
+    "timeout": TIMEOUT,
+}
+
+
+class SessionError(RuntimeError):
+    """An illegal state transition or event on a gateway session."""
+
+
+def terminal_state_for(finish_reason: str) -> str:
+    """Map an engine finish reason to the session's terminal state."""
+    try:
+        return _STATE_BY_REASON[finish_reason]
+    except KeyError:
+        raise SessionError(f"unknown engine finish reason {finish_reason!r}") from None
+
+
+class Session:
+    """One request's life inside the gateway (see module docstring).
+
+    ``request`` is the :class:`~repro.serve.engine.Request` the gateway built
+    (its ``request_id`` is the public handle clients cancel by, its
+    ``deadline`` the absolute engine-clock cutoff).  The session starts in
+    ``QUEUED``; the engine pump advances it via :meth:`mark_admitted` /
+    :meth:`push_token` / :meth:`finish`.
+    """
+
+    def __init__(self, request, created_at: float = 0.0):
+        self.request = request
+        self.request_id = request.request_id
+        self.created_at = created_at
+        self.state = QUEUED
+        self.history = [(QUEUED, created_at)]
+        self.tokens = []
+        self.record = None          # CompletedRequest once terminal
+        self.shed_reason = ""       # set by the gateway when the gate refuses
+        self.first_token_at = None
+        self.finished_at = None
+        self._events = asyncio.Queue()
+        self._done = asyncio.Event()
+
+    def __repr__(self) -> str:
+        return (f"Session(id={self.request_id}, state={self.state}, "
+                f"tokens={len(self.tokens)})")
+
+    # ------------------------------------------------------------ transitions
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state: str, at: float = None) -> None:
+        """Move to ``new_state``; raises :class:`SessionError` on illegal moves."""
+        if new_state not in _TRANSITIONS:
+            raise SessionError(f"unknown session state {new_state!r}")
+        if new_state not in _TRANSITIONS[self.state]:
+            raise SessionError(
+                f"session {self.request_id}: illegal transition "
+                f"{self.state} -> {new_state}"
+            )
+        self.state = new_state
+        self.history.append((new_state, at))
+
+    # --------------------------------------------------------- engine events
+    def mark_admitted(self, now: float) -> None:
+        """The engine granted a slot: prefill starts this step."""
+        self.transition(PREFILL, now)
+
+    def push_token(self, token: int, now: float) -> None:
+        """One sampled token from the engine (first token ends prefill)."""
+        if self.is_terminal:
+            raise SessionError(
+                f"session {self.request_id}: token after terminal state {self.state}"
+            )
+        if self.state == PREFILL:
+            self.first_token_at = now
+            self.transition(DECODE, now)
+        elif self.state != DECODE:
+            raise SessionError(
+                f"session {self.request_id}: token while {self.state} "
+                f"(never admitted?)"
+            )
+        self.tokens.append(int(token))
+        self._events.put_nowait(("token", int(token), now))
+
+    def finish(self, state: str, record=None, at: float = None) -> None:
+        """Enter a terminal state and wake every waiter exactly once."""
+        if state not in TERMINAL_STATES:
+            raise SessionError(f"finish() requires a terminal state, got {state!r}")
+        self.transition(state, at)
+        self.record = record
+        self.finished_at = at
+        self._events.put_nowait(("end", state, record))
+        self._done.set()
+
+    # ------------------------------------------------------------- consumers
+    async def wait(self):
+        """Await the terminal record (non-streaming handlers)."""
+        await self._done.wait()
+        return self.record
+
+    async def events(self):
+        """Async iterator over ``("token", token, t)`` events, then ``("end", ...)``.
+
+        Yields exactly one terminal event last; iteration ends after it.
+        """
+        while True:
+            event = await self._events.get()
+            yield event
+            if event[0] == "end":
+                return
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``/stats`` and non-streaming response shape)."""
+        return {
+            "request_id": self.request_id,
+            "state": self.state,
+            "tokens": list(self.tokens),
+            "num_tokens": len(self.tokens),
+            "created_at": self.created_at,
+            "first_token_at": self.first_token_at,
+            "finished_at": self.finished_at,
+            "finish_reason": self.record.finish_reason if self.record else None,
+        }

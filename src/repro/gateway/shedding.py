@@ -1,0 +1,136 @@
+"""Admission control: bounded queues and load shedding for the gateway.
+
+An open-loop client population does not slow down when the engine falls
+behind — requests keep arriving at the offered rate and the queue grows
+without bound, taking every latency percentile with it.  The
+:class:`AdmissionGate` is the gateway's defence: each incoming request is
+judged against the engine's *current* load signals (``queue_depth`` and
+``projected_load`` — the projected KV-token footprint of everything queued
+and active, the same signal the cluster router balances on) and either
+admitted, refused, or admitted at the cost of shedding queued victims.
+
+Three policies, selected by :attr:`ShedConfig.policy`:
+
+``reject``
+    The classic bounded queue: when the queue is full or the projected load
+    exceeds ``load_factor x token_budget``, the *newcomer* is refused
+    (HTTP 429).  Oldest work is never abandoned, so admitted requests always
+    finish — predictable, but a burst of stale work can crowd out fresh
+    traffic.
+
+``drop_oldest``
+    Admit the newcomer and shed the *oldest queued* request instead.  The
+    queue becomes a sliding window over the freshest traffic — the right
+    shape when clients retry anyway and a stale answer is worth less than a
+    fresh one.
+
+``deadline``
+    Deadline-aware: first shed queued requests whose deadline has already
+    passed (they would be timed out unserved anyway — shedding them early
+    returns capacity *now*); if none are expired, admit the newcomer only by
+    displacing a queued request with a *looser* deadline than its own,
+    otherwise refuse it.  Requests without deadlines are treated as loosest.
+
+Decisions are pure data (:class:`Decision`): the gate never mutates the
+engine, the :class:`~repro.gateway.driver.Gateway` applies the verdict
+(cancelling victims, marking sessions ``SHED``).  That keeps every policy
+unit-testable against a stub engine with three attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShedConfig", "Decision", "AdmissionGate", "SHED_POLICIES"]
+
+#: The registered admission policies (the CLI choices).
+SHED_POLICIES = ("reject", "drop_oldest", "deadline")
+
+
+@dataclass(frozen=True)
+class ShedConfig:
+    """Shape of the admission gate.
+
+    ``max_queue_depth`` bounds the engine's waiting line; ``load_factor``
+    scales the engine token budget into the projected-load ceiling (1.0 =
+    shed as soon as queued+active projected KV tokens exceed what the cache
+    can hold at once; higher values queue deeper before shedding).
+    """
+
+    max_queue_depth: int = 32
+    policy: str = "reject"
+    load_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shedding policy {self.policy!r}; expected one of "
+                f"{', '.join(SHED_POLICIES)}"
+            )
+        if not self.load_factor > 0:
+            raise ValueError("load_factor must be > 0")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The gate's verdict on one incoming request.
+
+    ``victims`` are queued request ids to shed *before* submitting the
+    newcomer (only ever non-empty when ``admit`` is true under
+    ``drop_oldest``/``deadline``); ``reason`` is a human-readable refusal
+    explanation carried into the 429 response body.
+    """
+
+    admit: bool
+    victims: tuple = ()
+    reason: str = ""
+
+
+class AdmissionGate:
+    """Stateless policy object deciding admit/shed per request (see module doc)."""
+
+    def __init__(self, config: ShedConfig = None):
+        self.config = config or ShedConfig()
+
+    def _overloaded(self, engine, request) -> str:
+        """The active overload condition, or '' when there is headroom."""
+        if engine.queue_depth >= self.config.max_queue_depth:
+            return (f"queue depth {engine.queue_depth} at the limit "
+                    f"({self.config.max_queue_depth})")
+        ceiling = self.config.load_factor * engine.token_budget
+        projected = engine.projected_load + request.projected_tokens
+        if projected > ceiling:
+            return (f"projected KV load {projected} tokens would exceed the "
+                    f"shed ceiling ({ceiling:.0f} = {self.config.load_factor:g} "
+                    f"x {engine.token_budget}-token budget)")
+        return ""
+
+    def decide(self, engine, request, now: float) -> Decision:
+        """Judge ``request`` against the engine's current load."""
+        overload = self._overloaded(engine, request)
+        if not overload:
+            return Decision(admit=True)
+        policy = self.config.policy
+        if policy == "reject":
+            return Decision(admit=False, reason=overload)
+        queued = engine.queued_requests()
+        if policy == "drop_oldest":
+            if not queued:
+                # overload comes entirely from active work: nothing to drop
+                return Decision(admit=False, reason=overload)
+            return Decision(admit=True, victims=(queued[0].request_id,),
+                            reason=overload)
+        # deadline policy: expired victims first, then displace looser deadlines
+        expired = tuple(q.request_id for q in queued
+                        if q.deadline is not None and q.deadline < now)
+        if expired:
+            return Decision(admit=True, victims=expired, reason=overload)
+        if request.deadline is not None and queued:
+            # a request without a deadline is infinitely loose
+            loosest = max(queued, key=lambda q: (q.deadline is None, q.deadline or 0.0))
+            if loosest.deadline is None or request.deadline < loosest.deadline:
+                return Decision(admit=True, victims=(loosest.request_id,),
+                                reason=overload)
+        return Decision(admit=False, reason=overload)

@@ -44,7 +44,7 @@ from repro.llm.sampling import sample_token
 from repro.serve.kv_cache import KVCache, PagedKVCache
 
 __all__ = ["Request", "CompletedRequest", "EngineConfig", "ServeEngine", "ServeReport",
-           "WallClock", "VirtualClock"]
+           "WallClock", "VirtualClock", "OK_FINISH_REASONS"]
 
 
 # --------------------------------------------------------------------- clocks
@@ -94,7 +94,10 @@ class Request:
     bounds the continuation; ``arrival_time`` is the submission instant on
     the engine clock (0 = available immediately).  Sampling parameters
     mirror :class:`~repro.llm.generation.GenerationConfig`; ``stop_token``
-    optionally terminates generation early when sampled.
+    optionally terminates generation early when sampled.  ``deadline`` is an
+    absolute engine-clock instant: a request still queued past it is timed
+    out without ever touching the cache, and a decoding request is finished
+    with reason ``"timeout"`` at the first step boundary past it.
     """
 
     request_id: int
@@ -105,6 +108,7 @@ class Request:
     top_k: int = 0
     seed: int = 0
     stop_token: int = None
+    deadline: float = None
 
     def __post_init__(self):
         object.__setattr__(self, "prompt_tokens",
@@ -115,6 +119,8 @@ class Request:
             raise ValueError("max_new_tokens must be >= 1")
         if self.temperature < 0 or self.top_k < 0:
             raise ValueError("temperature and top_k must be >= 0")
+        if self.deadline is not None and not np.isfinite(self.deadline):
+            raise ValueError("deadline must be a finite clock instant (or None)")
 
     @property
     def projected_tokens(self) -> int:
@@ -122,17 +128,34 @@ class Request:
         return len(self.prompt_tokens) + self.max_new_tokens
 
 
+#: Finish reasons of requests that produced their full answer — the records
+#: latency percentiles and goodput are computed over.
+OK_FINISH_REASONS = ("length", "stop_token")
+
+
 @dataclass(frozen=True)
 class CompletedRequest:
-    """A finished request with its tokens and per-request latency metrics."""
+    """A finished request with its tokens and per-request latency metrics.
+
+    ``finish_reason`` is ``"length"`` or ``"stop_token"`` for requests that
+    ran to completion, ``"cancelled"`` for explicit :meth:`ServeEngine.cancel`
+    victims and ``"timeout"`` for deadline expiries.  Requests terminated
+    while still queued never held a slot: their ``admitted_time`` and
+    ``first_token_time`` are ``None``.
+    """
 
     request: Request
     generated_tokens: tuple
-    finish_reason: str  # "length" or "stop_token"
+    finish_reason: str
     arrival_time: float
     admitted_time: float
     first_token_time: float
     finish_time: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request ran to completion (not cancelled or timed out)."""
+        return self.finish_reason in OK_FINISH_REASONS
 
     @property
     def tokens(self) -> np.ndarray:
@@ -141,6 +164,8 @@ class CompletedRequest:
 
     @property
     def time_to_first_token_s(self) -> float:
+        if self.first_token_time is None:
+            return None
         return self.first_token_time - self.arrival_time
 
     @property
@@ -223,7 +248,14 @@ class EngineConfig:
 
 @dataclass
 class ServeReport:
-    """Outcome of an engine run: completed requests plus aggregate counters."""
+    """Outcome of an engine run: terminal request records plus aggregate counters.
+
+    ``completed`` holds every terminal record — requests that ran to their
+    stop condition *and* cancelled/timed-out ones (distinguished by
+    ``finish_reason``); latency percentiles and the ``requests`` count cover
+    only the former, so a run without cancellations reports exactly what it
+    always did.
+    """
 
     completed: list
     elapsed_s: float
@@ -237,6 +269,8 @@ class ServeReport:
     kv_page_size: int = None
     peak_pages_in_use: int = 0
     kv_peak_memory_bits: float = 0.0
+    cancelled: int = 0
+    timed_out: int = 0
 
     @property
     def kv_hit_rate(self) -> float:
@@ -251,28 +285,43 @@ class ServeReport:
     def summary(self) -> dict:
         """Aggregate latency/throughput metrics (the serve-bench row shape)."""
         elapsed = max(self.elapsed_s, 1e-12)
+        ok = [c for c in self.completed if c.ok]
         return {
-            "requests": len(self.completed),
+            "requests": len(ok),
             "elapsed_s": self.elapsed_s,
             "prefill_tokens": self.prefill_tokens,
             "decode_tokens": self.decode_tokens,
             "decode_tokens_per_s": self.decode_tokens / elapsed,
             "total_tokens_per_s": (self.prefill_tokens + self.decode_tokens) / elapsed,
-            **percentile_summary((c.time_to_first_token_s for c in self.completed),
+            **percentile_summary((c.time_to_first_token_s for c in ok),
                                  "ttft", scale=1e3, unit="ms"),
-            **percentile_summary((c.latency_s for c in self.completed),
+            **percentile_summary((c.latency_s for c in ok),
                                  "latency", scale=1e3, unit="ms"),
             "peak_active": self.peak_active,
             "kv_hit_rate": self.kv_hit_rate,
             "peak_pages_in_use": self.peak_pages_in_use,
             "kv_peak_memory_mib": self.kv_peak_memory_bits / 8.0 / 2**20,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
         }
 
 
 class ServeEngine:
-    """Continuous-batching scheduler over one model and one KV cache."""
+    """Continuous-batching scheduler over one model and one KV cache.
 
-    def __init__(self, model: InferenceModel, config: EngineConfig = None, clock=None):
+    Beyond :meth:`run` (drive-to-drain, the benchmark loop) the engine can be
+    driven externally one :meth:`step` at a time — the cluster simulator and
+    the :mod:`repro.gateway` event loop both do — via ``next_event_time`` /
+    ``queue_depth`` / ``projected_load``, and supports online control:
+    :meth:`cancel` removes a queued or active request and releases its KV
+    pages immediately, per-request deadlines are enforced at admission and at
+    every decode step boundary, and the optional ``on_admit(request_id,
+    now)`` / ``on_token(request_id, token, now)`` callbacks let a streaming
+    front door observe admissions and sampled tokens as they happen.
+    """
+
+    def __init__(self, model: InferenceModel, config: EngineConfig = None, clock=None,
+                 on_admit=None, on_token=None):
         self.model = model
         self.config = config or EngineConfig()
         max_seq_len = (self.config.max_seq_len if self.config.max_seq_len is not None
@@ -289,20 +338,31 @@ class ServeEngine:
         self.token_budget = (self.config.token_budget
                              if self.config.token_budget is not None
                              else self.config.max_batch_size * self.cache.max_seq_len)
+        self.on_admit = on_admit
+        self.on_token = on_token
         self._queue = []  # heap of (arrival_time, submit_seq, Request)
         self._submit_seq = 0
         self._active = {}  # slot -> _ActiveRequest
         self._free_slots = sorted(range(self.config.max_batch_size), reverse=True)
         self._completed = []
+        self._seen_ids = set()
         self._steps = 0
         self._prefill_tokens = 0
         self._decode_tokens = 0
         self._reused_tokens = 0
         self._peak_active = 0
+        self._cancelled = 0
+        self._timed_out = 0
 
     # ------------------------------------------------------------ submission
     def submit(self, request: Request) -> None:
         """Queue a request (validated against the model and cache limits)."""
+        if request.request_id in self._seen_ids:
+            raise ValueError(
+                f"duplicate request id {request.request_id}: ids key the engine's "
+                f"queue, cancellation and completion records, so every request "
+                f"submitted to one engine must carry a distinct id"
+            )
         prompt = np.asarray(request.prompt_tokens)
         if prompt.min() < 0 or prompt.max() >= self.model.config.vocab_size:
             raise ValueError("prompt contains token ids outside the model vocabulary")
@@ -327,6 +387,7 @@ class ServeEngine:
             )
         heapq.heappush(self._queue, (request.arrival_time, self._submit_seq, request))
         self._submit_seq += 1
+        self._seen_ids.add(request.request_id)
 
     @property
     def has_work(self) -> bool:
@@ -341,6 +402,15 @@ class ServeEngine:
     def num_active(self) -> int:
         """Requests currently holding a cache slot (prefilled, decoding)."""
         return len(self._active)
+
+    def queued_requests(self) -> list:
+        """Waiting requests in admission order (the shedding policies' view)."""
+        return [request for _, _, request in sorted(self._queue)]
+
+    @property
+    def active_request_ids(self) -> frozenset:
+        """Ids of the requests currently holding a cache slot."""
+        return frozenset(state.request.request_id for state in self._active.values())
 
     @property
     def active_projected_tokens(self) -> int:
@@ -381,6 +451,70 @@ class ServeEngine:
             return max(self.clock.now(), self._queue[0][0])
         return float("inf")
 
+    # ---------------------------------------------------------- cancellation
+    def cancel(self, request_id: int) -> CompletedRequest:
+        """Remove a queued or active request and reclaim its KV pages now.
+
+        Queued requests are dropped before ever touching the cache; active
+        ones release their slot's pages immediately — private pages return to
+        the free list, pages adopted from the radix index drop back to being
+        index-owned (refcount 1, evictable) — without indexing the partial
+        generation for reuse, since nobody asked to keep it.  Returns the
+        terminal :class:`CompletedRequest` record (``finish_reason
+        "cancelled"``); raises :class:`KeyError` for ids this engine has never
+        seen or has already finished.
+        """
+        for index, (_arrival, _seq, request) in enumerate(self._queue):
+            if request.request_id == request_id:
+                del self._queue[index]
+                heapq.heapify(self._queue)
+                self._cancelled += 1
+                return self._record_queued_termination(request, "cancelled")
+        for state in self._active.values():
+            if state.request.request_id == request_id:
+                state.finish_reason = "cancelled"
+                self._cancelled += 1
+                return self._release(state, index_pages=False)
+        raise KeyError(
+            f"request id {request_id} is not queued or active on this engine "
+            f"(never submitted, or already finished)"
+        )
+
+    def _record_queued_termination(self, request: Request, reason: str) -> CompletedRequest:
+        """Terminal record for a request that never held a slot (no KV to free)."""
+        done = CompletedRequest(
+            request=request,
+            generated_tokens=(),
+            finish_reason=reason,
+            arrival_time=request.arrival_time,
+            admitted_time=None,
+            first_token_time=None,
+            finish_time=self.clock.now(),
+        )
+        self._completed.append(done)
+        return done
+
+    def _expire_queued(self, now: float) -> list:
+        """Time out every queued request whose deadline has passed.
+
+        Swept at the top of each step so an expired request neither blocks
+        the head of the line nor wastes prefill compute on an answer nobody
+        is waiting for.
+        """
+        expired = [entry for entry in self._queue
+                   if entry[2].deadline is not None and entry[2].deadline < now]
+        if not expired:
+            return []
+        expired_ids = {entry[2].request_id for entry in expired}
+        self._queue = [entry for entry in self._queue
+                       if entry[2].request_id not in expired_ids]
+        heapq.heapify(self._queue)
+        records = []
+        for _arrival, _seq, request in sorted(expired):
+            self._timed_out += 1
+            records.append(self._record_queued_termination(request, "timeout"))
+        return records
+
     def _kv_capacity_ok(self, request: Request) -> bool:
         """Free-block admission check (always true for the contiguous backend).
 
@@ -402,12 +536,18 @@ class ServeEngine:
         return cost + outstanding <= self.cache.available_blocks
 
     # -------------------------------------------------------------- stepping
+    def _emit_token(self, state: _ActiveRequest) -> None:
+        if self.on_token is not None:
+            self.on_token(state.request.request_id, state.generated[-1],
+                          self.clock.now())
+
     def step(self) -> list:
-        """One scheduling iteration; returns the requests completed by it."""
+        """One scheduling iteration; returns the requests it terminated."""
         completed_now = []
         if not self._active and self._queue:
             # idle engine: fast-forward to the next arrival instead of spinning
             self.clock.wait_until(self._queue[0][0])
+        completed_now.extend(self._expire_queued(self.clock.now()))
 
         # admission + prefill, in strict arrival order; the clock is re-read
         # per admission so a request arriving while an earlier prefill ran is
@@ -417,6 +557,11 @@ class ServeEngine:
             arrival, _seq, request = self._queue[0]
             if arrival > now:
                 break
+            if request.deadline is not None and request.deadline < now:
+                heapq.heappop(self._queue)
+                self._timed_out += 1
+                completed_now.append(self._record_queued_termination(request, "timeout"))
+                continue
             if self.active_projected_tokens + request.projected_tokens > self.token_budget:
                 break  # head-of-line blocks until budget frees up: no starvation
             if not self._kv_capacity_ok(request):
@@ -425,6 +570,8 @@ class ServeEngine:
             slot = self._free_slots.pop()
             state = _ActiveRequest(request, slot, admitted_time=now)
             self._active[slot] = state
+            if self.on_admit is not None:
+                self.on_admit(request.request_id, now)
             prompt = np.array(request.prompt_tokens, dtype=np.int64)
             # adopt the longest cached prefix (paged backend) and prefill the rest
             reused = self.cache.begin_request(slot, request.prompt_tokens)
@@ -438,8 +585,9 @@ class ServeEngine:
             self.clock.on_tokens(suffix.size)
             state.sample(logits[0, -1])
             state.first_token_time = self.clock.now()
+            self._emit_token(state)
             if state.finish_reason is not None:
-                completed_now.append(self._retire(state))
+                completed_now.append(self._release(state))
         self._peak_active = max(self._peak_active, len(self._active))
 
         # batched decode: one new token for every active request
@@ -454,12 +602,26 @@ class ServeEngine:
             for index, slot in enumerate(slots):
                 state = self._active[slot]
                 state.sample(logits[index, -1])
+                self._emit_token(state)
+                deadline = state.request.deadline
+                if (state.finish_reason is None and deadline is not None
+                        and deadline < finish_time):
+                    state.finish_reason = "timeout"
+                    self._timed_out += 1
                 if state.finish_reason is not None:
-                    completed_now.append(self._retire(state, finish_time))
+                    completed_now.append(self._release(state, finish_time))
         self._steps += 1
         return completed_now
 
-    def _retire(self, state: _ActiveRequest, finish_time: float = None) -> CompletedRequest:
+    def _release(self, state: _ActiveRequest, finish_time: float = None,
+                 index_pages: bool = True) -> CompletedRequest:
+        """Retire an active request: build its record, free its slot and pages.
+
+        ``index_pages`` keeps the sequence's full pages in the radix index for
+        prefix reuse (normal completion and deadline timeouts — their K/V is
+        valid); cancellation passes ``False`` so the pages are reclaimed
+        outright instead of being cached on the cancelled requester's behalf.
+        """
         done = CompletedRequest(
             request=state.request,
             generated_tokens=tuple(state.generated),
@@ -470,8 +632,11 @@ class ServeEngine:
             finish_time=finish_time if finish_time is not None else self.clock.now(),
         )
         del self._active[state.slot]
-        self.cache.retire_request(
-            state.slot, state.request.prompt_tokens + tuple(state.generated))
+        if index_pages:
+            self.cache.retire_request(
+                state.slot, state.request.prompt_tokens + tuple(state.generated))
+        else:
+            self.cache.reset(rows=[state.slot])
         self._free_slots.append(state.slot)
         self._free_slots.sort(reverse=True)
         self._completed.append(done)
@@ -505,4 +670,45 @@ class ServeEngine:
             kv_page_size=self.cache.page_size,
             peak_pages_in_use=self.cache.peak_pages_in_use,
             kv_peak_memory_bits=self.cache.peak_memory_bits(),
+            cancelled=self._cancelled,
+            timed_out=self._timed_out,
         )
+
+    # ----------------------------------------------------------------- audit
+    def audit_kv_pages(self) -> dict:
+        """Account for every allocated KV page; the leak detector.
+
+        Under the paged backend each allocated block's reference count must
+        equal the number of active block tables holding it plus one if the
+        radix index owns a node for it — anything else is a leak (a cancel or
+        retire that dropped references incorrectly).  The contiguous backend
+        has no pages; its equivalent invariant is that only active slots hold
+        cached positions.  Returns ``{"leaked": [...], "pages_in_use": n,
+        "index_pages": m, "active_pages": k}`` where ``leaked`` is empty iff
+        the audit passes.
+        """
+        if self.cache.page_size is None:
+            active_rows = {state.slot for state in self._active.values()}
+            leaked = [int(row) for row in range(self.cache.batch_size)
+                      if row not in active_rows and self.cache.lengths[row] != 0]
+            return {"leaked": leaked, "pages_in_use": 0, "index_pages": 0,
+                    "active_pages": 0}
+        expected = {}
+        active_pages = set()
+        for state in self._active.values():
+            for block in self.cache._tables[state.slot]:
+                expected[block] = expected.get(block, 0) + 1
+                active_pages.add(block)
+        for block in self.cache.index.owned_blocks():
+            expected[block] = expected.get(block, 0) + 1
+        pool = self.cache.pool
+        leaked = sorted(
+            block for block in set(pool.allocated_blocks()) | set(expected)
+            if pool.refcount(block) != expected.get(block, 0)
+        )
+        return {
+            "leaked": [int(b) for b in leaked],
+            "pages_in_use": pool.pages_in_use,
+            "index_pages": len(self.cache.index),
+            "active_pages": len(active_pages),
+        }

@@ -116,6 +116,15 @@ class BlockPool:
     def refcount(self, block: int) -> int:
         return int(self._refcounts[block])
 
+    def allocated_blocks(self) -> list:
+        """Ids of every currently allocated page (refcount > 0), ascending.
+
+        The audit surface: together with per-holder expectations (block
+        tables, radix nodes) this lets a test or a shutdown check prove that
+        no page leaked — see :meth:`repro.serve.engine.ServeEngine.audit_kv_pages`.
+        """
+        return [int(block) for block in np.flatnonzero(self._refcounts > 0)]
+
     def retain(self, block: int) -> int:
         """Add one reference to an allocated page (share it); returns the id."""
         if self._refcounts[block] < 1:
@@ -241,6 +250,10 @@ class RadixIndex:
         return inserted
 
     # -------------------------------------------------------------- eviction
+    def owned_blocks(self) -> list:
+        """Block ids the index holds a reference on (one per tree node)."""
+        return [node.block for node in self._walk()]
+
     def evictable_blocks(self) -> int:
         """Pages held only by the index (refcount 1) — reclaimable supply."""
         return sum(1 for node in self._walk()

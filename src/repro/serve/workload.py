@@ -34,7 +34,7 @@ from repro.serve.engine import Request
 
 __all__ = ["WorkloadConfig", "SharedPrefixConfig", "MultiTurnConfig",
            "generate_requests", "generate_shared_prefix_requests",
-           "generate_multi_turn_requests", "generate_trace"]
+           "generate_multi_turn_requests", "generate_trace", "validate_arrival_rate"]
 
 
 @dataclass(frozen=True)
@@ -57,8 +57,7 @@ class WorkloadConfig:
     def __post_init__(self):
         if self.num_requests < 1:
             raise ValueError("num_requests must be >= 1")
-        if self.arrival_rate < 0:
-            raise ValueError("arrival_rate must be >= 0")
+        validate_arrival_rate(self.arrival_rate)
         if self.temperature < 0:
             raise ValueError("temperature must be >= 0 (0 = greedy decoding)")
         if self.top_k < 0:
@@ -102,6 +101,23 @@ def generate_requests(vocab_size: int, config: WorkloadConfig = None) -> list:
     return requests
 
 
+def validate_arrival_rate(rate, positive: bool = False) -> None:
+    """Reject unusable arrival rates at config time, before any trace math.
+
+    A negative, NaN or infinite rate would otherwise slip into the
+    exponential-gap draw (``1 / arrival_rate``) and come back out as NaN
+    arrival times or a silent all-at-once burst.  ``positive=True`` is the
+    open-loop contract (the gateway load generator): inter-arrival gaps must
+    be real, so ``0`` — the closed-loop burst convention — is rejected too.
+    """
+    if not np.isfinite(rate) or rate < 0 or (positive and rate == 0):
+        bound = "> 0" if positive else ">= 0 (0 = closed-loop burst)"
+        raise ValueError(
+            f"arrival_rate must be a finite offered load {bound} in requests/s, "
+            f"got {rate!r}"
+        )
+
+
 def _validate_range(name: str, bounds) -> None:
     lo, hi = bounds
     if lo < 1 or hi < lo:
@@ -140,8 +156,7 @@ class SharedPrefixConfig:
     def __post_init__(self):
         if self.num_requests < 1:
             raise ValueError("num_requests must be >= 1")
-        if self.arrival_rate < 0:
-            raise ValueError("arrival_rate must be >= 0")
+        validate_arrival_rate(self.arrival_rate)
         if self.num_prefixes < 1:
             raise ValueError("num_prefixes must be >= 1")
         if self.prefix_tokens < 1:
@@ -222,8 +237,7 @@ class MultiTurnConfig:
     def __post_init__(self):
         if self.num_conversations < 1:
             raise ValueError("num_conversations must be >= 1")
-        if self.arrival_rate < 0:
-            raise ValueError("arrival_rate must be >= 0")
+        validate_arrival_rate(self.arrival_rate)
         if self.think_time_s < 0:
             raise ValueError("think_time_s must be >= 0")
         if self.system_tokens < 1:

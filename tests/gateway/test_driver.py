@@ -1,0 +1,234 @@
+"""The Gateway facade: pump, admission, cancellation, drain and stats."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.gateway.driver import Gateway, GatewayConfig, GatewayDraining
+from repro.gateway.session import CANCELLED, DONE, SHED
+from repro.serve.engine import EngineConfig, ServeEngine, WallClock
+
+
+def make_gateway(model, *, gateway=None, **engine_kwargs):
+    engine_kwargs.setdefault("max_batch_size", 2)
+    engine_kwargs.setdefault("kv_page_size", 4)
+    engine = ServeEngine(model, EngineConfig(**engine_kwargs), clock=WallClock())
+    return Gateway(engine, gateway or GatewayConfig(drain_timeout_s=5.0))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="default_timeout_s"):
+            GatewayConfig(default_timeout_s=0.0)
+        with pytest.raises(ValueError, match="drain_timeout_s"):
+            GatewayConfig(drain_timeout_s=-1.0)
+        with pytest.raises(ValueError, match="idle_poll_s"):
+            GatewayConfig(idle_poll_s=0.0)
+
+    def test_shed_config_mirrors_the_gateway_shape(self):
+        config = GatewayConfig(max_queue_depth=7, shed_policy="drop_oldest",
+                               load_factor=1.5)
+        shed = config.shed_config()
+        assert (shed.max_queue_depth, shed.policy, shed.load_factor) == \
+            (7, "drop_oldest", 1.5)
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done_and_streams_tokens(self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            session = gateway.submit((1, 2, 3), max_new_tokens=5)
+            record = await asyncio.wait_for(session.wait(), timeout=10)
+            stats = await gateway.drain()
+            return session, record, stats
+
+        session, record, stats = asyncio.run(scenario())
+        assert session.state == DONE
+        assert record.finish_reason == "length"
+        assert tuple(session.tokens) == record.generated_tokens
+        assert len(session.tokens) == 5
+        assert stats["completed"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_concurrent_sessions_all_finish(self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model, max_batch_size=2)
+            gateway.start()
+            sessions = [gateway.submit((1 + i, 2 + i), max_new_tokens=3)
+                        for i in range(5)]
+            await asyncio.wait_for(
+                asyncio.gather(*(s.wait() for s in sessions)), timeout=20)
+            stats = await gateway.drain()
+            return sessions, stats
+
+        sessions, stats = asyncio.run(scenario())
+        assert all(s.state == DONE for s in sessions)
+        assert stats["completed"] == 5
+        assert stats["kv_leaked_pages"] == 0
+
+    def test_cancel_mid_decode_releases_pages_before_returning(
+            self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            session = gateway.submit(tuple(range(1, 9)), max_new_tokens=40)
+            # wait for the first streamed token: the request is mid-decode
+            event = await asyncio.wait_for(session.events().__anext__(), timeout=10)
+            assert event[0] == "token"
+            cancelled = gateway.cancel(session.request_id)
+            audit = gateway.engine.audit_kv_pages()   # synchronous: already clean
+            active_after = gateway.engine.num_active
+            stats = await gateway.drain()
+            return session, cancelled, audit, active_after, stats
+
+        session, cancelled, audit, active_after, stats = asyncio.run(scenario())
+        assert cancelled is True
+        assert session.state == CANCELLED
+        assert audit["leaked"] == [] and active_after == 0
+        assert stats["cancelled"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_cancel_is_idempotent_and_false_for_unknown_ids(self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            session = gateway.submit((1, 2), max_new_tokens=2)
+            await asyncio.wait_for(session.wait(), timeout=10)
+            results = (gateway.cancel(session.request_id), gateway.cancel(999))
+            await gateway.drain()
+            return results
+
+        assert asyncio.run(scenario()) == (False, False)
+
+    def test_duplicate_engine_ids_cannot_happen_but_engine_guard_is_live(
+            self, tiny_inference_model):
+        # the gateway allocates monotonically increasing ids; the engine-level
+        # duplicate guard still protects direct engine users sharing the engine
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            session = gateway.submit((1, 2), max_new_tokens=2)
+            with pytest.raises(ValueError, match="duplicate request id"):
+                gateway.engine.submit(session.request)
+            await asyncio.wait_for(session.wait(), timeout=10)
+            await gateway.drain()
+
+        asyncio.run(scenario())
+
+
+class TestSheddingThroughTheGateway:
+    def test_queue_bound_sheds_newcomers_with_reason(self, tiny_inference_model):
+        async def scenario():
+            config = GatewayConfig(max_queue_depth=2, shed_policy="reject",
+                                   drain_timeout_s=5.0)
+            gateway = make_gateway(tiny_inference_model, gateway=config,
+                                   max_batch_size=1)
+            # pump not started: the queue cannot drain while we overfill it
+            admitted = [gateway.submit((1, 2), max_new_tokens=2) for _ in range(2)]
+            shed = gateway.submit((3, 4), max_new_tokens=2)
+            gateway.start()
+            await asyncio.wait_for(
+                asyncio.gather(*(s.wait() for s in admitted)), timeout=10)
+            stats = await gateway.drain()
+            return shed, stats
+
+        shed, stats = asyncio.run(scenario())
+        assert shed.state == SHED
+        assert "queue depth" in shed.shed_reason
+        assert stats["shed"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_drop_oldest_displaces_the_queued_victim(self, tiny_inference_model):
+        async def scenario():
+            config = GatewayConfig(max_queue_depth=1, shed_policy="drop_oldest",
+                                   drain_timeout_s=5.0)
+            gateway = make_gateway(tiny_inference_model, gateway=config,
+                                   max_batch_size=1)
+            gateway.start()
+            first = gateway.submit(tuple(range(1, 9)), max_new_tokens=40)
+            event = await asyncio.wait_for(first.events().__anext__(), timeout=10)
+            assert event[0] == "token"      # first holds the only slot, decoding
+            victim = gateway.submit((3, 4), max_new_tokens=2)    # queued
+            newcomer = gateway.submit((5, 6), max_new_tokens=2)  # displaces victim
+            await asyncio.wait_for(
+                asyncio.gather(first.wait(), newcomer.wait()), timeout=10)
+            stats = await gateway.drain()
+            return first, victim, newcomer, stats
+
+        first, victim, newcomer, stats = asyncio.run(scenario())
+        assert victim.state == SHED
+        assert first.state == DONE and newcomer.state == DONE
+        assert stats["shed"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_queued_requests_are_visible_before_the_pump_runs(
+            self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model, max_batch_size=1)
+            gateway.submit((1, 2), max_new_tokens=2)
+            depth = gateway.engine.queue_depth
+            gateway.start()
+            stats_live = gateway.stats()
+            await gateway.drain()
+            return depth, stats_live
+
+        depth, stats_live = asyncio.run(scenario())
+        assert depth == 1
+        assert stats_live["submitted"] == 1
+        assert "kv_audit" not in stats_live   # audit only on request
+
+
+class TestDrain:
+    def test_draining_gateway_refuses_new_work(self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            drain_task = asyncio.ensure_future(gateway.drain())
+            await asyncio.sleep(0)
+            with pytest.raises(GatewayDraining):
+                gateway.submit((1, 2), max_new_tokens=2)
+            return await drain_task
+
+        stats = asyncio.run(scenario())
+        assert stats["draining"] is True
+        assert stats["kv_leaked_pages"] == 0
+
+    def test_drain_cancels_stragglers_and_audits_clean(self, tiny_inference_model):
+        async def scenario():
+            config = GatewayConfig(drain_timeout_s=0.0)   # no grace: cancel now
+            gateway = make_gateway(tiny_inference_model, gateway=config)
+            gateway.start()
+            session = gateway.submit(tuple(range(1, 9)), max_new_tokens=40)
+            event = await asyncio.wait_for(session.events().__anext__(), timeout=10)
+            assert event[0] == "token"
+            stats = await gateway.drain()
+            return session, stats
+
+        session, stats = asyncio.run(scenario())
+        assert session.state == CANCELLED
+        assert stats["kv_leaked_pages"] == 0
+        assert stats["num_active"] == 0
+
+    def test_per_request_timeout_times_out_on_the_engine(self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            session = gateway.submit((1, 2, 3, 4), max_new_tokens=60,
+                                     timeout_s=0.005)
+            record = await asyncio.wait_for(session.wait(), timeout=20)
+            stats = await gateway.drain()
+            return session, record, stats
+
+        session, record, stats = asyncio.run(scenario())
+        assert session.state == "TIMEOUT"
+        assert record.finish_reason == "timeout"
+        assert stats["timed_out"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_bad_timeout_rejected(self, tiny_inference_model):
+        async def scenario():
+            gateway = make_gateway(tiny_inference_model)
+            gateway.start()
+            with pytest.raises(ValueError, match="timeout_s"):
+                gateway.submit((1, 2), timeout_s=-1.0)
+            await gateway.drain()
+
+        asyncio.run(scenario())

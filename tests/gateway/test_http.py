@@ -1,0 +1,332 @@
+"""The HTTP front door over real loopback sockets: routes, SSE, identity."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro.gateway.driver import Gateway, GatewayConfig
+from repro.gateway.loadgen import _post, _read_http_head, _sse_events
+from repro.gateway.server import GatewayServer, serve_gateway
+from repro.serve.engine import EngineConfig, ServeEngine, WallClock
+from repro.serve.workload import WorkloadConfig, generate_trace
+
+
+def make_server(model, gateway_config=None, **engine_kwargs):
+    engine_kwargs.setdefault("max_batch_size", 2)
+    engine_kwargs.setdefault("kv_page_size", 4)
+    engine = ServeEngine(model, EngineConfig(**engine_kwargs), clock=WallClock())
+    gateway = Gateway(engine, gateway_config or GatewayConfig(drain_timeout_s=5.0))
+    return GatewayServer(gateway, port=0)
+
+
+async def get(host, port, path):
+    """Minimal GET; returns (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+        await writer.drain()
+        status, headers = await _read_http_head(reader)
+        raw = await reader.read()
+        length = headers.get("content-length")
+        if length is not None:
+            raw = raw[:int(length)]
+        return status, json.loads(raw.decode()) if raw else {}
+    finally:
+        writer.close()
+
+
+async def post_raw(host, port, path, body: bytes, content_type="application/json"):
+    """POST arbitrary bytes; returns (status, headers, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+                      f"Content-Type: {content_type}\r\n"
+                      f"Content-Length: {len(body)}\r\n"
+                      f"Connection: close\r\n\r\n").encode() + body)
+        await writer.drain()
+        status, headers = await _read_http_head(reader)
+        raw = await reader.read()
+        length = headers.get("content-length")
+        if length is not None:
+            raw = raw[:int(length)]
+        return status, headers, json.loads(raw.decode()) if raw else {}
+    finally:
+        writer.close()
+
+
+async def stream_generate(host, port, payload):
+    """POST /v1/generate with stream=true; returns the raw SSE event list."""
+    body = json.dumps({**payload, "stream": True}).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((f"POST /v1/generate HTTP/1.1\r\nHost: {host}\r\n"
+                      f"Content-Type: application/json\r\n"
+                      f"Content-Length: {len(body)}\r\n"
+                      f"Connection: close\r\n\r\n").encode() + body)
+        await writer.drain()
+        status, _headers = await _read_http_head(reader)
+        assert status == 200, status
+        return [event async for event in _sse_events(reader)]
+    finally:
+        writer.close()
+
+
+class TestRoutes:
+    def test_healthz_stats_and_unknown_routes(self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            health = await get(server.host, server.port, "/healthz")
+            stats = await get(server.host, server.port, "/stats")
+            missing = await get(server.host, server.port, "/nope")
+            await server.shutdown()
+            return health, stats, missing
+
+        health, stats, missing = asyncio.run(scenario())
+        assert health == (200, {"status": "ok"})
+        assert stats[0] == 200
+        for key in ("queue_depth", "num_active", "projected_load", "token_budget",
+                    "kv_pages_in_use", "kv_hit_rate", "submitted", "shed"):
+            assert key in stats[1]
+        assert missing[0] == 404
+
+    def test_non_streaming_generate_returns_tokens_and_prompt(
+            self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            status, _headers, body = await post_raw(
+                server.host, server.port, "/v1/generate",
+                json.dumps({"prompt_tokens": [1, 2, 3], "max_new_tokens": 4}).encode())
+            await server.shutdown()
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        assert body["state"] == "DONE" and body["finish_reason"] == "length"
+        assert body["num_tokens"] == 4 and len(body["tokens"]) == 4
+        assert body["prompt_tokens"] == [1, 2, 3]
+
+    def test_malformed_requests_get_400(self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            host, port = server.host, server.port
+            results = [
+                await post_raw(host, port, "/v1/generate", b"not json"),
+                await post_raw(host, port, "/v1/generate", b"[1, 2]"),
+                await post_raw(host, port, "/v1/generate",
+                               json.dumps({"prompt_tokens": [1], "wat": 1}).encode()),
+                await post_raw(host, port, "/v1/generate",
+                               json.dumps({"prompt_tokens": [10**9]}).encode()),
+                await post_raw(host, port, "/v1/cancel/banana", b""),
+            ]
+            await server.shutdown()
+            return results
+
+        for status, _headers, body in asyncio.run(scenario()):
+            assert status == 400
+            assert "error" in body
+
+    def test_cancel_endpoint_is_idempotent_over_http(self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            status, unknown = await _post(server.host, server.port,
+                                          "/v1/cancel/42", None)
+            await server.shutdown()
+            return status, unknown
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        assert body == {"request_id": 42, "cancelled": False}
+
+
+class TestStreaming:
+    def test_sse_wire_format_and_cancellation_handle(self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            events = await stream_generate(server.host, server.port,
+                                           {"prompt_tokens": [2, 4, 6],
+                                            "max_new_tokens": 3})
+            await server.shutdown()
+            return events
+
+        events = asyncio.run(scenario())
+        names = [name for name, _ in events]
+        assert names == ["accepted", "token", "token", "token", "end"]
+        assert events[0][1] == {"request_id": 0}   # the mid-stream cancel handle
+        for index, (_, payload) in enumerate(events[1:-1]):
+            assert payload["index"] == index and isinstance(payload["token"], int)
+        end = events[-1][1]
+        assert end["state"] == "DONE" and end["finish_reason"] == "length"
+        assert [p["token"] for _, p in events[1:-1]] == end["tokens"]
+
+    def test_mid_stream_cancel_ends_the_stream_with_cancelled(
+            self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            host, port = server.host, server.port
+            body = json.dumps({"prompt_tokens": list(range(1, 9)),
+                               "max_new_tokens": 40, "stream": True}).encode()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write((f"POST /v1/generate HTTP/1.1\r\nHost: {host}\r\n"
+                          f"Content-Length: {len(body)}\r\n"
+                          f"Connection: close\r\n\r\n").encode() + body)
+            await writer.drain()
+            await _read_http_head(reader)
+            events = []
+            handle = None
+            async for name, payload in _sse_events(reader):
+                events.append((name, payload))
+                if name == "accepted":
+                    handle = payload["request_id"]
+                elif name == "token" and len(events) == 2:  # first token: cancel now
+                    await _post(host, port, f"/v1/cancel/{handle}", None)
+                elif name == "end":
+                    break
+            writer.close()
+            audit = server.gateway.engine.audit_kv_pages()
+            stats = await server.shutdown()
+            return events, audit, stats
+
+        events, audit, stats = asyncio.run(scenario())
+        assert events[-1][0] == "end"
+        assert events[-1][1]["state"] == "CANCELLED"
+        assert len(events) < 2 + 40   # genuinely cut short
+        assert audit["leaked"] == []
+        assert stats["cancelled"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_streamed_tokens_are_byte_identical_to_offline_engine(
+            self, tiny_inference_model):
+        """Acceptance: the gateway serves exactly what the offline engine computes."""
+        workload = WorkloadConfig(num_requests=8, arrival_rate=0.0,
+                                  prompt_tokens=(3, 10), new_tokens=(2, 6),
+                                  temperature=0.7, top_k=8, seed=11)
+        trace = generate_trace(tiny_inference_model.config.vocab_size, workload)
+        offline_engine = ServeEngine(
+            tiny_inference_model,
+            EngineConfig(max_batch_size=2, kv_page_size=4), clock=WallClock())
+        offline = {c.request.request_id: c.generated_tokens
+                   for c in offline_engine.run(trace).completed}
+
+        async def scenario():
+            server = make_server(tiny_inference_model, max_batch_size=2)
+            await server.start()
+            streams = await asyncio.gather(*(
+                stream_generate(server.host, server.port, {
+                    "prompt_tokens": list(request.prompt_tokens),
+                    "max_new_tokens": request.max_new_tokens,
+                    "temperature": request.temperature,
+                    "top_k": request.top_k,
+                    "seed": request.seed,
+                }) for request in trace))
+            stats = await server.shutdown()
+            return streams, stats
+
+        streams, stats = asyncio.run(scenario())
+        assert stats["kv_leaked_pages"] == 0
+        for request, events in zip(trace, streams):
+            streamed = tuple(payload["token"] for name, payload in events
+                             if name == "token")
+            assert streamed == offline[request.request_id], (
+                f"request {request.request_id}: gateway stream diverged from the "
+                f"offline engine replay"
+            )
+
+
+class TestSheddingOverHttp:
+    def test_overload_gets_429_with_retry_after(self, tiny_inference_model):
+        async def scenario():
+            config = GatewayConfig(max_queue_depth=1, shed_policy="reject",
+                                   drain_timeout_s=5.0)
+            server = make_server(tiny_inference_model, gateway_config=config,
+                                 max_batch_size=1)
+            await server.start()
+            host, port = server.host, server.port
+            # hold the only slot with a long stream, then overfill the queue
+            long_task = asyncio.ensure_future(stream_generate(
+                host, port, {"prompt_tokens": list(range(1, 9)),
+                             "max_new_tokens": 40}))
+            while server.gateway.engine.num_active == 0:
+                await asyncio.sleep(0.001)
+            queued_task = asyncio.ensure_future(post_raw(
+                host, port, "/v1/generate",
+                json.dumps({"prompt_tokens": [1, 2], "max_new_tokens": 2}).encode()))
+            while server.gateway.engine.queue_depth == 0:
+                await asyncio.sleep(0.001)
+            status, headers, body = await post_raw(
+                host, port, "/v1/generate",
+                json.dumps({"prompt_tokens": [3, 4], "max_new_tokens": 2}).encode())
+            await long_task
+            queued_status, _, _ = await queued_task
+            stats = await server.shutdown()
+            return status, headers, body, queued_status, stats
+
+        status, headers, body, queued_status, stats = asyncio.run(scenario())
+        assert status == 429
+        assert headers.get("retry-after") == "1"
+        assert body["error"] == "shed" and "queue depth" in body["reason"]
+        assert queued_status == 200        # the queued request still completed
+        assert stats["shed"] == 1 and stats["kv_leaked_pages"] == 0
+
+    def test_draining_server_rejects_generates_and_fails_healthz(
+            self, tiny_inference_model):
+        async def scenario():
+            server = make_server(tiny_inference_model)
+            await server.start()
+            host, port = server.host, server.port
+            server.gateway.draining = True   # simulate mid-drain
+            health = await get(host, port, "/healthz")
+            status, _headers, body = await post_raw(
+                host, port, "/v1/generate",
+                json.dumps({"prompt_tokens": [1, 2]}).encode())
+            server.gateway.draining = False
+            await server.shutdown()
+            return health, status, body
+
+        health, status, body = asyncio.run(scenario())
+        assert health == (503, {"status": "draining"})
+        assert status == 503
+        assert "draining" in body["error"]
+
+
+class TestGracefulShutdown:
+    def test_serve_gateway_drains_on_signal(self, tiny_inference_model):
+        engine = ServeEngine(tiny_inference_model,
+                             EngineConfig(max_batch_size=2, kv_page_size=4),
+                             clock=WallClock())
+        gateway = Gateway(engine, GatewayConfig(drain_timeout_s=5.0))
+        announcements = []
+
+        async def scenario():
+            ready = asyncio.Event()
+            serve_task = asyncio.ensure_future(serve_gateway(
+                gateway, port=0, ready=ready, stop_signals=(signal.SIGUSR1,),
+                announce=announcements.append))
+            await asyncio.wait_for(ready.wait(), timeout=5)
+            host, port = announcements[0].rsplit(" ", 1)[1].split(":")
+            status, _headers, body = await post_raw(
+                host, int(port), "/v1/generate",
+                json.dumps({"prompt_tokens": [1, 2, 3], "max_new_tokens": 3}).encode())
+            os.kill(os.getpid(), signal.SIGUSR1)
+            stats = await asyncio.wait_for(serve_task, timeout=10)
+            return status, body, stats, int(port)
+
+        status, body, stats, port = asyncio.run(scenario())
+        assert status == 200 and body["state"] == "DONE"
+        assert stats["draining"] is True
+        assert stats["completed"] == 1
+        assert stats["kv_leaked_pages"] == 0
+        assert announcements[0].startswith("gateway listening on ")
+        assert announcements[-1].startswith("gateway drained: ")
+        # new connections are refused once the listener is closed
+        with pytest.raises(OSError):
+            asyncio.run(get("127.0.0.1", port, "/healthz"))

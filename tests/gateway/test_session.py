@@ -1,0 +1,126 @@
+"""The per-request state machine: legal transitions, events, terminal mapping."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.gateway.session import (
+    CANCELLED,
+    DECODE,
+    DONE,
+    PREFILL,
+    QUEUED,
+    SHED,
+    TERMINAL_STATES,
+    TIMEOUT,
+    Session,
+    SessionError,
+    terminal_state_for,
+)
+from repro.serve.engine import Request
+
+
+def make_session(**kwargs):
+    request = Request(request_id=kwargs.pop("request_id", 0),
+                      prompt_tokens=(1, 2, 3), max_new_tokens=4)
+    return Session(request, **kwargs)
+
+
+class TestTransitions:
+    def test_happy_path_queued_prefill_decode_done(self):
+        session = make_session(created_at=1.0)
+        assert session.state == QUEUED and not session.is_terminal
+        session.mark_admitted(2.0)
+        assert session.state == PREFILL
+        session.push_token(7, 3.0)
+        assert session.state == DECODE and session.first_token_at == 3.0
+        session.push_token(9, 4.0)
+        session.finish(DONE, record="rec", at=5.0)
+        assert session.is_terminal and session.record == "rec"
+        assert [s for s, _ in session.history] == [QUEUED, PREFILL, DECODE, DONE]
+
+    def test_queued_can_shed_cancel_or_timeout(self):
+        for terminal in (SHED, CANCELLED, TIMEOUT):
+            session = make_session()
+            session.finish(terminal, at=1.0)
+            assert session.state == terminal
+
+    def test_token_after_terminal_state_raises(self):
+        session = make_session()
+        session.finish(CANCELLED, at=1.0)
+        with pytest.raises(SessionError, match="after terminal"):
+            session.push_token(3, 2.0)
+
+    def test_token_without_admission_raises(self):
+        with pytest.raises(SessionError, match="never admitted"):
+            make_session().push_token(3, 1.0)
+
+    def test_done_requires_reaching_decode(self):
+        session = make_session()
+        with pytest.raises(SessionError, match="illegal transition"):
+            session.finish(DONE, at=1.0)
+
+    def test_finish_rejects_non_terminal_states(self):
+        with pytest.raises(SessionError, match="terminal state"):
+            make_session().finish(DECODE, at=1.0)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(SessionError, match="unknown session state"):
+            make_session().transition("LIMBO", 0.0)
+
+    def test_double_finish_raises(self):
+        session = make_session()
+        session.finish(SHED, at=1.0)
+        with pytest.raises(SessionError, match="illegal transition"):
+            session.finish(CANCELLED, at=2.0)
+
+
+class TestReasonMapping:
+    def test_engine_reasons_map_to_terminal_states(self):
+        assert terminal_state_for("length") == DONE
+        assert terminal_state_for("stop_token") == DONE
+        assert terminal_state_for("cancelled") == CANCELLED
+        assert terminal_state_for("timeout") == TIMEOUT
+
+    def test_unknown_reason_raises(self):
+        with pytest.raises(SessionError, match="unknown engine finish reason"):
+            terminal_state_for("exploded")
+
+    def test_terminal_states_are_closed(self):
+        assert TERMINAL_STATES == {DONE, CANCELLED, SHED, TIMEOUT}
+
+
+class TestEvents:
+    def test_events_stream_tokens_then_exactly_one_end(self):
+        async def scenario():
+            session = make_session()
+            session.mark_admitted(0.0)
+            session.push_token(5, 1.0)
+            session.push_token(6, 2.0)
+            session.finish(DONE, record="rec", at=3.0)
+            return [event async for event in session.events()]
+
+        events = asyncio.run(scenario())
+        assert events == [("token", 5, 1.0), ("token", 6, 2.0), ("end", DONE, "rec")]
+
+    def test_wait_returns_the_terminal_record(self):
+        async def scenario():
+            session = make_session()
+            waiter = asyncio.ensure_future(session.wait())
+            await asyncio.sleep(0)
+            session.finish(SHED, record=None, at=1.0)
+            return await waiter
+
+        assert asyncio.run(scenario()) is None
+
+    def test_to_dict_is_json_ready(self):
+        session = make_session()
+        session.mark_admitted(0.5)
+        session.push_token(3, 1.0)
+        view = session.to_dict()
+        assert view["request_id"] == 0
+        assert view["state"] == DECODE
+        assert view["tokens"] == [3]
+        assert view["finish_reason"] is None

@@ -1,0 +1,119 @@
+"""Admission-gate policies judged against a three-attribute stub engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.gateway.shedding import SHED_POLICIES, AdmissionGate, Decision, ShedConfig
+from repro.serve.engine import Request
+
+
+@dataclass
+class StubEngine:
+    """The load-signal surface the gate reads; nothing else."""
+
+    queue_depth: int = 0
+    projected_load: int = 0
+    token_budget: int = 100
+    queued: list = field(default_factory=list)
+
+    def queued_requests(self):
+        return list(self.queued)
+
+
+def request(rid=0, deadline=None, tokens=10):
+    return Request(request_id=rid, prompt_tokens=tuple(range(1, tokens - 3)),
+                   max_new_tokens=4, deadline=deadline)
+
+
+def gate(policy="reject", depth=4, load_factor=2.0):
+    return AdmissionGate(ShedConfig(max_queue_depth=depth, policy=policy,
+                                    load_factor=load_factor))
+
+
+class TestConfig:
+    def test_policies_are_registered(self):
+        assert SHED_POLICIES == ("reject", "drop_oldest", "deadline")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            ShedConfig(max_queue_depth=0)
+        with pytest.raises(ValueError, match="unknown shedding policy"):
+            ShedConfig(policy="yolo")
+        with pytest.raises(ValueError, match="load_factor"):
+            ShedConfig(load_factor=0.0)
+
+
+class TestOverloadSignals:
+    def test_headroom_admits_without_victims(self):
+        decision = gate().decide(StubEngine(), request(), now=0.0)
+        assert decision == Decision(admit=True)
+
+    def test_full_queue_triggers_the_gate(self):
+        decision = gate(depth=2).decide(StubEngine(queue_depth=2), request(), 0.0)
+        assert not decision.admit
+        assert "queue depth 2" in decision.reason
+
+    def test_projected_load_ceiling_triggers_the_gate(self):
+        engine = StubEngine(projected_load=195, token_budget=100)
+        decision = gate(load_factor=2.0).decide(engine, request(tokens=10), 0.0)
+        assert not decision.admit
+        assert "shed ceiling" in decision.reason
+
+
+class TestDropOldest:
+    def test_sheds_the_oldest_queued_request(self):
+        engine = StubEngine(queue_depth=2,
+                            queued=[request(rid=11), request(rid=12)])
+        decision = gate("drop_oldest", depth=2).decide(engine, request(rid=13), 0.0)
+        assert decision.admit
+        assert decision.victims == (11,)
+
+    def test_refuses_when_overload_is_all_active_work(self):
+        engine = StubEngine(projected_load=500, token_budget=100, queued=[])
+        decision = gate("drop_oldest").decide(engine, request(), 0.0)
+        assert not decision.admit and decision.victims == ()
+
+
+class TestDeadlineAware:
+    def test_expired_queued_requests_are_shed_first(self):
+        engine = StubEngine(queue_depth=3, queued=[
+            request(rid=1, deadline=0.5), request(rid=2), request(rid=3, deadline=0.9)])
+        decision = gate("deadline", depth=3).decide(engine, request(rid=4), now=1.0)
+        assert decision.admit
+        assert set(decision.victims) == {1, 3}
+
+    def test_tighter_newcomer_displaces_the_loosest_deadline(self):
+        engine = StubEngine(queue_depth=2, queued=[
+            request(rid=1, deadline=5.0), request(rid=2, deadline=9.0)])
+        decision = gate("deadline", depth=2).decide(
+            engine, request(rid=3, deadline=2.0), now=0.0)
+        assert decision.admit and decision.victims == (2,)
+
+    def test_no_deadline_queued_request_is_loosest(self):
+        engine = StubEngine(queue_depth=2, queued=[
+            request(rid=1, deadline=5.0), request(rid=2)])
+        decision = gate("deadline", depth=2).decide(
+            engine, request(rid=3, deadline=2.0), now=0.0)
+        assert decision.admit and decision.victims == (2,)
+
+    def test_looser_newcomer_is_refused(self):
+        engine = StubEngine(queue_depth=2, queued=[
+            request(rid=1, deadline=2.0), request(rid=2, deadline=3.0)])
+        decision = gate("deadline", depth=2).decide(
+            engine, request(rid=3, deadline=9.0), now=0.0)
+        assert not decision.admit
+
+    def test_newcomer_without_deadline_never_displaces(self):
+        engine = StubEngine(queue_depth=2, queued=[
+            request(rid=1, deadline=2.0), request(rid=2)])
+        decision = gate("deadline", depth=2).decide(engine, request(rid=3), now=0.0)
+        assert not decision.admit
+
+    def test_gate_never_mutates_the_engine(self):
+        engine = StubEngine(queue_depth=2, queued=[request(rid=1, deadline=0.1)])
+        before = list(engine.queued)
+        gate("deadline", depth=2).decide(engine, request(rid=2), now=1.0)
+        assert engine.queued == before

@@ -13,6 +13,7 @@ from repro.serve.workload import (
     generate_requests,
     generate_shared_prefix_requests,
     generate_trace,
+    validate_arrival_rate,
 )
 
 VOCAB = 64
@@ -121,3 +122,28 @@ class TestGenerateTrace:
     def test_unknown_config_type_rejected(self):
         with pytest.raises(TypeError, match="unsupported workload"):
             generate_trace(VOCAB, object())
+
+
+class TestArrivalRateValidation:
+    def test_negative_rate_rejected_everywhere(self):
+        for make in (lambda r: WorkloadConfig(arrival_rate=r),
+                     lambda r: SharedPrefixConfig(arrival_rate=r),
+                     lambda r: MultiTurnConfig(arrival_rate=r)):
+            with pytest.raises(ValueError, match="arrival_rate must be a finite"):
+                make(-1.0)
+
+    def test_non_finite_rate_rejected_with_useful_message(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError, match="requests/s"):
+                WorkloadConfig(arrival_rate=bad)
+
+    def test_zero_stays_the_closed_loop_burst_convention(self):
+        requests = generate_requests(VOCAB, WorkloadConfig(num_requests=4,
+                                                           arrival_rate=0.0))
+        assert all(r.arrival_time == 0.0 for r in requests)
+
+    def test_positive_mode_rejects_zero(self):
+        validate_arrival_rate(8.0, positive=True)   # fine
+        validate_arrival_rate(0.0)                  # closed-loop burst: fine
+        with pytest.raises(ValueError, match="> 0"):
+            validate_arrival_rate(0.0, positive=True)
