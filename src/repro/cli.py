@@ -12,6 +12,7 @@ Python for a first look at the library::
     python -m repro simulate --strategy "BBFP(4,2)" --seq-len 1024
     python -m repro serve-bench --fast         # continuous-batching serve benchmark
     python -m repro cluster-bench --fast       # multi-replica fleet benchmark
+    python -m repro chaos-bench --fast         # fault injection + recovery sweep
     python -m repro gateway --fast --port 8100 # HTTP streaming front door (SIGTERM drains)
     python -m repro gateway-bench --fast       # open-loop saturation sweep over HTTP
 
@@ -209,6 +210,35 @@ def _cmd_cluster_bench(args) -> int:
     return 0
 
 
+def _parse_chaos_profile(name: str) -> str:
+    """CLI type for ``--profiles``: validated chaos-profile name."""
+    from repro.cluster import get_profile
+
+    return get_profile(name).name  # raises UnknownProfileError (usage error) if bad
+
+
+def _parse_retries(text: str) -> int:
+    """CLI type for ``--max-retries``: a retry budget >= 0 (0 = no-retry baseline)."""
+    retries = int(text)
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"max retries must be >= 0, got {retries}")
+    return retries
+
+
+def _cmd_chaos_bench(args) -> int:
+    from repro.analysis.reporting import save_result
+    from repro.cluster.chaos_bench import run as chaos_bench_run
+
+    result = chaos_bench_run(fast=args.fast or None, profiles=args.profiles,
+                             policies=args.policies, replica_counts=args.replicas,
+                             num_requests=args.num_requests,
+                             max_retries=args.max_retries, seed=args.seed)
+    print(result.to_text())
+    if args.output_dir:
+        save_result(result, args.output_dir)
+    return 0
+
+
 def _parse_shed_policy(name: str) -> str:
     """CLI type for ``--shed-policy``: validated admission policy name."""
     from repro.gateway.shedding import SHED_POLICIES
@@ -364,6 +394,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--output-dir", default=None,
                            help="also save the result as JSON + text under this directory")
     p_cluster.set_defaults(func=_cmd_cluster_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos-bench",
+        help="fleet chaos benchmark (crash/slow/partition faults, retry-with-reroute, "
+             "recovery and zero-loss audits)")
+    p_chaos.add_argument("--fast", action="store_true",
+                         help="small zoo model, none+crash profiles, small fleets")
+    p_chaos.add_argument("--profiles", nargs="+", default=None, type=_parse_chaos_profile,
+                         help="chaos profiles to sweep: none crash slow partition mixed")
+    p_chaos.add_argument("--policies", nargs="+", default=None, type=_parse_policy,
+                         help="routing policies to compare under identical faults")
+    p_chaos.add_argument("--replicas", nargs="+", default=None, type=_parse_replica_count,
+                         help="fleet sizes to sweep, e.g. 2 4 8")
+    p_chaos.add_argument("--num-requests", type=int, default=None,
+                         help="length of the synthetic request trace")
+    p_chaos.add_argument("--max-retries", type=_parse_retries, default=2,
+                         help="reroute budget per crash-orphaned request "
+                              "(0 = no-retry baseline, orphans are reported lost)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seed for the fault schedules (and routing RNG)")
+    p_chaos.add_argument("--output-dir", default=None,
+                         help="also save the result as JSON + text under this directory")
+    p_chaos.set_defaults(func=_cmd_chaos_bench)
 
     p_gateway = sub.add_parser(
         "gateway",

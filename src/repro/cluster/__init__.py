@@ -19,13 +19,28 @@ package is the fleet layer a deployment serving heavy traffic needs:
   :class:`ClusterReport` (goodput, SLO attainment, load imbalance,
   per-replica breakdowns);
 * :mod:`repro.cluster.bench` — the ``cluster_bench`` experiment sweeping
-  policy x fleet size x KV format over one replayed Poisson trace.
+  policy x fleet size x KV format over one replayed Poisson trace;
+* :mod:`repro.cluster.chaos` — deterministic fault injection
+  (:class:`FaultSchedule` of crash / slow / partition events drawn from
+  named :class:`ChaosProfile` registries) with retry-with-reroute in the
+  simulation and the ``chaos_bench`` recovery sweep.
 
-See ``docs/cluster.md`` for the architecture and benchmark interpretation.
+See ``docs/cluster.md`` for the architecture and benchmark interpretation,
+and ``docs/chaos.md`` for the fault model and its invariants.
 """
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
 from repro.cluster.bench import cluster_bench
+from repro.cluster.chaos import (
+    CHAOS_PROFILES,
+    ChaosProfile,
+    FaultEvent,
+    FaultSchedule,
+    UnknownProfileError,
+    get_profile,
+    list_profiles,
+)
+from repro.cluster.chaos_bench import chaos_bench
 from repro.cluster.replica import Replica, ReplicaConfig, decode_time_per_token
 from repro.cluster.router import (
     RoutingPolicy,
@@ -59,4 +74,12 @@ __all__ = [
     "ClusterReport",
     "homogeneous_fleet",
     "cluster_bench",
+    "FaultEvent",
+    "FaultSchedule",
+    "ChaosProfile",
+    "UnknownProfileError",
+    "CHAOS_PROFILES",
+    "get_profile",
+    "list_profiles",
+    "chaos_bench",
 ]

@@ -11,6 +11,12 @@ consecutive decisions.  The autoscaler never touches replicas itself; the
 simulation owns the fleet and implements "down" as *drain then retire*
 (stop routing to the victim, let it finish its admitted work), so scale-down
 can never drop an in-flight request.
+
+Under chaos (:mod:`repro.cluster.chaos`) the autoscaler is also the fleet's
+repair loop: a replica crash can push the routable count under
+``min_replicas``, and :meth:`Autoscaler.decide` replaces that capacity
+immediately — the below-minimum check bypasses the cooldown, because a
+cooldown that blocks crash recovery would turn one fault into an outage.
 """
 
 from __future__ import annotations
@@ -88,6 +94,11 @@ class Autoscaler:
         act on it.
         """
         config = self.config
+        if num_replicas < config.min_replicas:
+            # Crashed below the floor: replace capacity immediately — a
+            # cooldown must never leave the fleet under its minimum.
+            self._last_action_time = now
+            return "up"
         if (self._last_action_time is not None
                 and now - self._last_action_time < config.cooldown_s):
             return None

@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the fleet simulator.
+
+Chaos engineering asks "what breaks first at scale?" the same way the rest
+of this repo asks "how fast?": with seeded, replayable experiments.  This
+module supplies the fault model:
+
+* :class:`FaultEvent` — one fault on the shared virtual timeline.  Three
+  kinds are modelled:
+
+  - ``"crash"`` — the replica dies at ``time_s``: every KV page it held is
+    lost, every queued or decoding request is orphaned, and the replica
+    never returns.  The simulation retries orphans on surviving replicas
+    (bounded by :attr:`~repro.cluster.simulation.ClusterConfig.max_retries`,
+    re-prefilling from scratch since the KV chain died with the machine) or
+    reports them lost — never silently.
+  - ``"slow"`` — a degraded replica: for ``duration_s`` the replica's
+    roofline clock runs ``factor`` times slower (a thermal throttle, a
+    noisy neighbour, a failing DIMM).  Admitted work still finishes,
+    just late.
+  - ``"partition"`` — the router loses the replica for ``duration_s``:
+    no new requests are routed to it, but work already on the replica keeps
+    running (the classic gray failure, distinct from a crash).
+
+* :class:`FaultSchedule` — an ordered, serialisable collection of events.
+  :meth:`FaultSchedule.generate` draws one deterministically from a
+  :class:`ChaosProfile` and a seed; :meth:`~FaultSchedule.to_dict` /
+  :meth:`~FaultSchedule.from_dict` round-trip through JSON so a chaos run
+  can be replayed bit-for-bit from its saved benchmark metadata.
+
+* :class:`ChaosProfile` — the shape of a chaos experiment (how many
+  crashes / slowdowns / partitions, how severe, in which fraction of the
+  run).  Named profiles (``"none"``, ``"crash"``, ``"slow"``,
+  ``"partition"``, ``"mixed"``) live in a registry resolved by
+  :func:`get_profile` with the same did-you-mean ergonomics as the routing
+  and quantiser registries.
+
+The invariant the whole layer is audited against: every submitted request
+ends in **exactly one** terminal state (completed, retried-then-completed,
+or explicitly reported lost), and every surviving replica passes a clean
+:meth:`~repro.serve.engine.ServeEngine.audit_kv_pages` after every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "ChaosProfile",
+    "UnknownProfileError",
+    "CHAOS_PROFILES",
+    "get_profile",
+    "list_profiles",
+]
+
+#: The fault kinds the simulator can inject.
+FAULT_KINDS = ("crash", "slow", "partition")
+
+#: Deterministic processing order of fault kinds that share an instant.
+_KIND_ORDER = {kind: index for index, kind in enumerate(FAULT_KINDS)}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault on the virtual timeline.
+
+    ``time_s`` is the injection instant on the shared fleet clock;
+    ``replica_id`` targets a replica by id (events aimed at a replica that
+    no longer exists — already crashed, or retired — are recorded as
+    not applied).  ``duration_s`` bounds ``slow``/``partition`` windows;
+    ``factor`` is the ``slow`` clock multiplier (4.0 = four times slower).
+    """
+
+    time_s: float
+    kind: str
+    replica_id: int
+    duration_s: float = None
+    factor: float = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not np.isfinite(self.time_s) or self.time_s < 0:
+            raise ValueError("time_s must be a finite instant >= 0")
+        if self.replica_id < 0:
+            raise ValueError("replica_id must be >= 0")
+        if self.kind == "crash":
+            if self.duration_s is not None or self.factor is not None:
+                raise ValueError("a crash is permanent: duration_s/factor do not apply")
+        else:
+            if self.duration_s is None or self.duration_s <= 0:
+                raise ValueError(f"a {self.kind} fault needs duration_s > 0")
+        if self.kind == "slow" and (self.factor is None or self.factor <= 0):
+            raise ValueError("a slow fault needs factor > 0")
+        if self.kind == "partition" and self.factor is not None:
+            raise ValueError("factor does not apply to partitions")
+
+    def to_dict(self) -> dict:
+        return {"time_s": self.time_s, "kind": self.kind,
+                "replica_id": self.replica_id, "duration_s": self.duration_s,
+                "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEvent":
+        return cls(**{f.name: payload.get(f.name) for f in fields(cls)})
+
+
+class FaultSchedule:
+    """An ordered, replayable set of :class:`FaultEvent` entries.
+
+    Events are kept sorted by ``(time_s, kind, replica_id)`` so two
+    schedules built from the same events compare (and replay) identically
+    whatever order they were listed in.  The schedule is immutable.
+    """
+
+    def __init__(self, events=()):
+        events = tuple(events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"FaultSchedule holds FaultEvent entries, got {event!r}")
+        self.events = tuple(sorted(
+            events, key=lambda e: (e.time_s, _KIND_ORDER[e.kind], e.replica_id)))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable dump; the replay format saved by ``chaos_bench``."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSchedule":
+        return cls(FaultEvent.from_dict(entry) for entry in payload["events"])
+
+    @classmethod
+    def generate(cls, profile, num_replicas: int, horizon_s: float,
+                 seed: int = 0) -> "FaultSchedule":
+        """Draw a schedule deterministically from a profile and a seed.
+
+        ``horizon_s`` anchors the profile's fractional windows to real
+        (virtual) seconds — typically the expected busy period of the run.
+        Crash targets are drawn without replacement and capped at
+        ``num_replicas - 1``, so an initial fleet is never fully crashed by
+        a generated schedule (hand-built schedules may still do that; the
+        simulation then reports the stranded requests as lost rather than
+        hanging).  Same arguments, same schedule — bit for bit.
+        """
+        profile = get_profile(profile)
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if not np.isfinite(horizon_s) or horizon_s <= 0:
+            raise ValueError("horizon_s must be positive and finite")
+        rng = np.random.default_rng(seed)
+
+        def instant() -> float:
+            return float(rng.uniform(profile.window_start, profile.window_end) * horizon_s)
+
+        events = []
+        crashes = min(profile.crashes, num_replicas - 1)
+        for replica_id in rng.permutation(num_replicas)[:crashes]:
+            events.append(FaultEvent(time_s=instant(), kind="crash",
+                                     replica_id=int(replica_id)))
+        for _ in range(profile.slowdowns):
+            events.append(FaultEvent(
+                time_s=instant(), kind="slow",
+                replica_id=int(rng.integers(num_replicas)),
+                duration_s=profile.slow_window * horizon_s,
+                factor=profile.slow_factor))
+        for _ in range(profile.partitions):
+            events.append(FaultEvent(
+                time_s=instant(), kind="partition",
+                replica_id=int(rng.integers(num_replicas)),
+                duration_s=profile.partition_window * horizon_s))
+        return cls(events)
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """The shape of one chaos experiment.
+
+    ``crashes`` / ``slowdowns`` / ``partitions`` count the events to draw;
+    ``slow_factor`` is the degraded clock multiplier; ``slow_window`` and
+    ``partition_window`` size those faults' durations as fractions of the
+    schedule horizon; events are injected between ``window_start`` and
+    ``window_end`` (fractions of the horizon), keeping faults inside the
+    busy period rather than after the trace has drained.
+    """
+
+    name: str = "custom"
+    crashes: int = 0
+    slowdowns: int = 0
+    partitions: int = 0
+    slow_factor: float = 4.0
+    slow_window: float = 0.3
+    partition_window: float = 0.3
+    window_start: float = 0.15
+    window_end: float = 0.7
+
+    def __post_init__(self):
+        if min(self.crashes, self.slowdowns, self.partitions) < 0:
+            raise ValueError("fault counts must be >= 0")
+        if self.slow_factor <= 0:
+            raise ValueError("slow_factor must be positive")
+        if not 0.0 < self.slow_window <= 1.0 or not 0.0 < self.partition_window <= 1.0:
+            raise ValueError("fault windows must be fractions in (0, 1]")
+        if not 0.0 <= self.window_start < self.window_end <= 1.0:
+            raise ValueError("need 0 <= window_start < window_end <= 1")
+
+    @property
+    def num_faults(self) -> int:
+        return self.crashes + self.slowdowns + self.partitions
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosProfile":
+        return cls(**{f.name: payload[f.name] for f in fields(cls) if f.name in payload})
+
+
+#: Named chaos profiles the benchmark sweeps (``"none"`` is the fault-free
+#: baseline every other profile's goodput is compared against).
+CHAOS_PROFILES = {
+    "none": ChaosProfile(name="none"),
+    "crash": ChaosProfile(name="crash", crashes=1),
+    "slow": ChaosProfile(name="slow", slowdowns=1),
+    "partition": ChaosProfile(name="partition", partitions=1),
+    "mixed": ChaosProfile(name="mixed", crashes=1, slowdowns=1, partitions=1),
+}
+
+
+class UnknownProfileError(ValueError, argparse.ArgumentTypeError):
+    """Raised for a chaos-profile name the registry does not know.
+
+    Doubles as an :class:`argparse.ArgumentTypeError` so a bad
+    ``--profiles`` flag becomes a clean usage error, did-you-mean included
+    — the same shape as :class:`repro.cluster.router.UnknownPolicyError`.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        message = f"unknown chaos profile {name!r}"
+        matches = difflib.get_close_matches(str(name).lower(), list(CHAOS_PROFILES),
+                                            n=1, cutoff=0.5)
+        if matches:
+            message += f" (did you mean {matches[0]!r}?)"
+        super().__init__(message)
+
+
+def get_profile(name) -> ChaosProfile:
+    """Resolve a profile name (case/separator-insensitive) or pass an instance through."""
+    if isinstance(name, ChaosProfile):
+        return name
+    key = str(name).strip().lower().replace("-", "_").replace(" ", "_")
+    profile = CHAOS_PROFILES.get(key)
+    if profile is None:
+        raise UnknownProfileError(name)
+    return profile
+
+
+def list_profiles() -> tuple:
+    """Registered chaos-profile names, in registration order."""
+    return tuple(CHAOS_PROFILES)

@@ -16,6 +16,7 @@ just with different memory accounting.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.accelerator.roofline import RooflineModel, matmul_arithmetic_intensity
@@ -135,10 +136,14 @@ class Replica:
         self.engine = ServeEngine(model, self.config.engine_config(), clock=self.clock)
         self.draining = False
         self.retired = False
+        self.crashed = False
+        self.crash_time = None
+        self.speed_factor = 1.0
+        self._partitions = []
 
     # -------------------------------------------------------- engine facade
-    def submit(self, request) -> None:
-        self.engine.submit(request)
+    def submit(self, request, not_before: float = None) -> None:
+        self.engine.submit(request, not_before=not_before)
 
     def step(self) -> list:
         return self.engine.step()
@@ -182,6 +187,52 @@ class Replica:
     def now(self) -> float:
         return self.clock.now()
 
+    # -------------------------------------------------------------- faults
+    def crash(self, time_s: float = None) -> list:
+        """Kill the replica and return its orphaned in-flight requests.
+
+        Everything the replica held dies with it: active decode slots,
+        queued admissions, and every KV page — there is nothing to audit
+        because the machine is gone, which is exactly why orphans must
+        re-prefill from token zero wherever they are retried.  Returns the
+        orphans in deterministic order (active slots first, then the queue
+        in admission order).  A crashed replica must never be stepped or
+        submitted to again.
+        """
+        if self.crashed:
+            return []
+        self.crashed = True
+        self.crash_time = self.now if time_s is None else float(time_s)
+        return self.engine.inflight_requests()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the roofline clock by a multiplier.
+
+        ``factor`` scales seconds-per-token: 4.0 makes the replica four
+        times slower, 1.0 restores nominal speed.  Work already admitted
+        keeps running — just on a slower clock — so a slow replica drags
+        latency without orphaning anything.
+        """
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.speed_factor = float(factor)
+        self.clock.time_per_token = self.time_per_token * self.speed_factor
+
+    def partition(self, start: float, end: float) -> None:
+        """Make the replica unreachable from the router over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("partition interval must have end > start")
+        self._partitions.append((float(start), float(end)))
+
+    def reachable(self, at: float) -> bool:
+        """Whether the router can reach this replica at instant ``at``."""
+        return not any(start <= at < end for start, end in self._partitions)
+
+    def partition_end_after(self, at: float) -> float:
+        """Earliest instant the replica heals if partitioned at ``at`` (else inf)."""
+        ends = [end for start, end in self._partitions if start <= at < end]
+        return min(ends) if ends else math.inf
+
     @property
     def kv_spec(self) -> str:
         return self.engine.cache.kv_spec
@@ -214,6 +265,7 @@ class Replica:
             "prefix_hit_rate": report.kv_hit_rate,
             "peak_pages_in_use": report.peak_pages_in_use,
             "kv_peak_memory_mib": report.kv_peak_memory_bits / 8.0 / 2**20,
-            "status": ("retired" if self.retired
+            "status": ("crashed" if self.crashed
+                       else "retired" if self.retired
                        else "draining" if self.draining else "active"),
         }

@@ -22,6 +22,15 @@ The built-in policies span the classic load-balancing trade-offs:
   holds the longest prefix of the prompt (falling back to a stable prefix
   hash while caches are cold), so shared system prompts land where their
   pages already live, at the price of load blindness.
+
+Policies never see an unroutable replica.  The simulation builds the
+candidate list before every ``choose`` call, excluding draining replicas
+and — under chaos (:mod:`repro.cluster.chaos`) — crashed and currently
+partitioned ones, and it re-presents crash-orphaned requests to the policy
+as fresh arrivals (retry-with-reroute).  A policy therefore needs no fault
+awareness of its own: ``prefix_affinity`` simply measures a cold cache on
+whatever replica the retry lands on, because the orphan's KV chain died
+with the crashed machine.
 """
 
 from __future__ import annotations

@@ -3,7 +3,8 @@
 The simulation steps every replica on a shared virtual timeline: each
 replica's :class:`~repro.serve.engine.VirtualClock` is its own busy-time
 axis, and the event loop always advances whichever pending event is earliest
-— the next trace arrival, or the lagging replica's next engine step
+— the next fault from the :class:`~repro.cluster.chaos.FaultSchedule`, the
+next trace arrival, or the lagging replica's next engine step
 (:attr:`~repro.serve.engine.ServeEngine.next_event_time`).  Dispatching an
 arrival therefore happens only once every busy replica has simulated past
 the arrival instant, so routing policies observe the fleet load *as of the
@@ -16,16 +17,43 @@ scale-up clones the first replica template at the current instant, scale-down
 drains the least-loaded replica (no new routing, admitted work finishes)
 and retires it once empty.  The report aggregates fleet goodput, SLO
 attainment, load imbalance and per-replica breakdowns.
+
+Chaos (:mod:`repro.cluster.chaos`) rides the same timeline.  A fault event
+beats an arrival or an engine step at the same instant, and within an
+instant faults apply in schedule order, so chaos runs replay exactly like
+fault-free ones.  The fault semantics:
+
+* **crash** — the replica is removed from the fleet; its KV pages are gone
+  and its in-flight requests are orphaned.  Each orphan is retried through
+  the router on the surviving fleet (keeping its original ``arrival_time``,
+  so queueing-during-recovery shows up in its latency and the re-prefill is
+  priced again on the new replica) until
+  :attr:`ClusterConfig.max_retries` is exhausted, after which it is
+  *explicitly* recorded as lost — never silently dropped.
+* **slow** — the replica's roofline clock is degraded by a factor for a
+  window; admitted work finishes late rather than being orphaned.
+* **partition** — the router cannot reach the replica for a window: it gets
+  no new requests but keeps decoding what it has.  If *every* replica is
+  unreachable, the arrival is deferred to the earliest heal instant instead
+  of being dropped.
+
+Two invariants are enforced at the end of every :meth:`ClusterSimulation.run`
+(violations raise, they are not merely reported): every submitted request
+reaches exactly one terminal state — completed or explicitly lost — and
+every surviving replica passes a clean
+:meth:`~repro.serve.engine.ServeEngine.audit_kv_pages`.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.stats import load_imbalance, percentile_summary
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.chaos import FaultSchedule
 from repro.cluster.replica import Replica, ReplicaConfig
 from repro.cluster.router import get_policy
 
@@ -72,7 +100,12 @@ class ClusterConfig:
 
     ``replicas`` is the starting fleet (heterogeneous configs welcome); the
     autoscaler, when present, clones ``replicas[0]`` for every scale-up.
-    ``seed`` feeds the routing policy's RNG.
+    ``seed`` feeds the routing policy's RNG.  ``faults`` is an optional
+    :class:`~repro.cluster.chaos.FaultSchedule` (any iterable of
+    :class:`~repro.cluster.chaos.FaultEvent` is accepted and normalised);
+    ``max_retries`` bounds how many times a crash-orphaned request is
+    rerouted before it is explicitly reported lost — 0 is the no-retry
+    baseline where every orphan is lost.
     """
 
     replicas: tuple
@@ -80,16 +113,29 @@ class ClusterConfig:
     slo: SLOConfig = field(default_factory=SLOConfig)
     autoscaler: AutoscalerConfig = None
     seed: int = 0
+    faults: FaultSchedule = None
+    max_retries: int = 2
 
     def __post_init__(self):
         object.__setattr__(self, "replicas", tuple(self.replicas))
         if not self.replicas:
             raise ValueError("a cluster needs at least one replica")
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            object.__setattr__(self, "faults", FaultSchedule(self.faults))
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
 
 
 @dataclass
 class ClusterReport:
-    """Outcome of one fleet run: completions, per-replica rows, scale events."""
+    """Outcome of one fleet run: completions, per-replica rows, scale events.
+
+    Chaos runs additionally carry the fault log (``fault_events``, each entry
+    noting whether it applied and — for crashes — how many requests it
+    orphaned and how long recovery took), the explicit loss ledger
+    (``lost``), retry counters, and the fleet-wide KV-page leak count from
+    auditing every surviving replica.
+    """
 
     policy: str
     completed: list  # (replica_id, CompletedRequest)
@@ -98,16 +144,27 @@ class ClusterReport:
     slo: SLOConfig
     replicas: list  # per-replica breakdown dicts (Replica.describe())
     scale_events: list  # {"time_s", "action", "replica_id"}
+    fault_events: list = field(default_factory=list)  # chaos log, schedule order
+    lost: list = field(default_factory=list)  # {"request_id","reason","time_s","retries"}
+    requests_orphaned: int = 0
+    requests_retried: int = 0
+    retries_total: int = 0
+    kv_leaked_pages: int = 0
 
     def summary(self) -> dict:
         """The fleet-level row: goodput, SLO attainment, imbalance, latencies.
 
         ``replicas`` counts every replica that ever existed (autoscaled runs
         include scaled-up and retired ones — ``scale_ups``/``scale_downs``
-        say how the fleet got there), and ``load_imbalance`` compares total
-        decode tokens across that same set, so a late-started replica
-        legitimately shows as under-loaded.  For fixed fleets both match the
-        configured size and the instantaneous balance.
+        say how the fleet got there; chaos runs include crashed ones), and
+        ``load_imbalance`` compares total decode tokens across that same
+        set, so a late-started replica legitimately shows as under-loaded.
+        For fixed fleets both match the configured size and the
+        instantaneous balance.  The fault-aware columns keep the loss
+        ledger visible: ``requests_lost`` is the count of *explicitly*
+        reported losses (always 0 outside chaos), and ``max_recovery_s``
+        is the slowest crash's time-to-terminal over everything it
+        orphaned (0.0 when nothing crashed).
         """
         done = [c for _, c in self.completed]
         attained = [c for c in done if self.slo.attained(c)]
@@ -139,6 +196,14 @@ class ClusterReport:
                                  "latency", scale=1e3, unit="ms"),
             "scale_ups": sum(1 for e in self.scale_events if e["action"] == "up"),
             "scale_downs": sum(1 for e in self.scale_events if e["action"] == "down"),
+            "faults_injected": sum(1 for e in self.fault_events if e.get("applied")),
+            "requests_orphaned": self.requests_orphaned,
+            "requests_retried": self.requests_retried,
+            "retries_total": self.retries_total,
+            "requests_lost": len(self.lost),
+            "max_recovery_s": max((e.get("recovery_s", 0.0)
+                                   for e in self.fault_events), default=0.0),
+            "kv_leaked_pages": self.kv_leaked_pages,
         }
 
     def to_dict(self) -> dict:
@@ -163,6 +228,8 @@ class ClusterReport:
             ],
             "replicas": list(self.replicas),
             "scale_events": list(self.scale_events),
+            "fault_events": list(self.fault_events),
+            "lost": list(self.lost),
             "summary": self.summary(),
         }
 
@@ -177,56 +244,199 @@ class ClusterSimulation:
         self.replicas = [Replica(index, model, replica_config)
                          for index, replica_config in enumerate(config.replicas)]
         self.retired = []
+        self.crashed = []
         self.autoscaler = (Autoscaler(config.autoscaler, ttft_slo_s=config.slo.ttft_s)
                            if config.autoscaler is not None else None)
         self.scale_events = []
         self.completed = []
         self._next_replica_id = len(self.replicas)
         self._steps = 0
+        # chaos bookkeeping
+        self._arrivals = []  # heap of (time_s, seq, attempt, Request)
+        self._arrival_seq = 0
+        self._faults = deque()
+        self._fault_log = []
+        self._lost = []
+        self._attempts = {}  # request_id -> retries consumed so far
+        self._orphaned = 0
+        self._retries_total = 0
+        self._watches = []  # open crash-recovery windows
+        self._expected_ids = []
 
     # ------------------------------------------------------------ event loop
     def run(self, requests, max_steps: int = None) -> ClusterReport:
-        """Replay ``requests`` (any order) through the fleet; returns the report."""
-        arrivals = deque(sorted(requests,
-                                key=lambda r: (r.arrival_time, r.request_id)))
-        while arrivals or self._has_work():
+        """Replay ``requests`` (any order) through the fleet; returns the report.
+
+        Raises ``RuntimeError`` if the run violates a chaos invariant:
+        a submitted request that reached no (or more than one) terminal
+        state, or a surviving replica whose page audit shows a leak.
+        """
+        for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
+            self._expected_ids.append(request.request_id)
+            self._push_arrival(request.arrival_time, request, attempt=0)
+        self._schedule_faults()
+        while self._arrivals or self._faults or self._has_work():
             if max_steps is not None and self._steps >= max_steps:
                 raise RuntimeError(
                     f"cluster did not drain within {max_steps} steps "
-                    f"({len(arrivals)} arrivals pending)"
+                    f"({len(self._arrivals)} arrivals pending)"
                 )
-            self._advance(arrivals)
+            self._advance()
+        self._verify_run()
         return self.report()
+
+    def _schedule_faults(self) -> None:
+        """Expand the fault schedule into timeline points (once per run).
+
+        Each ``slow`` fault contributes its start and its restore point; the
+        points are processed in ``(time, expansion-order)`` order so ties
+        resolve identically on every replay.
+        """
+        if not self.config.faults:
+            return
+        points = []
+        for index, event in enumerate(self.config.faults):
+            points.append((event.time_s, 2 * index, event.kind, event))
+            if event.kind == "slow":
+                points.append((event.time_s + event.duration_s,
+                               2 * index + 1, "slow_end", event))
+        self._faults = deque(sorted(points, key=lambda p: (p[0], p[1])))
 
     def _has_work(self) -> bool:
         return any(replica.has_work for replica in self.replicas)
 
-    def _advance(self, arrivals) -> None:
-        """Process the earliest pending event: one arrival or one engine step."""
-        next_arrival = arrivals[0].arrival_time if arrivals else math.inf
+    def _push_arrival(self, time_s: float, request, attempt: int) -> None:
+        heapq.heappush(self._arrivals, (time_s, self._arrival_seq, attempt, request))
+        self._arrival_seq += 1
+
+    def _advance(self) -> None:
+        """Process the earliest pending event: a fault, an arrival or a step.
+
+        A fault beats an arrival or an engine step at the same instant
+        (the crash happens *before* the router would have placed the
+        request there); an arrival still beats a step at the same instant,
+        preserving the fault-free interleaving exactly.
+        """
+        next_arrival = self._arrivals[0][0] if self._arrivals else math.inf
+        next_fault = self._faults[0][0] if self._faults else math.inf
         busy = [replica for replica in self.replicas if replica.has_work]
-        if busy:
-            replica = min(busy, key=lambda r: (r.next_event_time, r.replica_id))
-            if next_arrival <= replica.next_event_time:
-                self._dispatch(arrivals.popleft())
-            else:
-                self._step(replica)
+        lagging = (min(busy, key=lambda r: (r.next_event_time, r.replica_id))
+                   if busy else None)
+        horizon = lagging.next_event_time if busy else math.inf
+        if next_fault <= next_arrival and next_fault <= horizon:
+            self._apply_fault(self._faults.popleft())
+        elif next_arrival <= horizon:
+            self._dispatch(heapq.heappop(self._arrivals))
         else:
-            self._dispatch(arrivals.popleft())
+            self._step(lagging)
         self._retire_drained()
 
     def _step(self, replica: Replica) -> None:
         for done in replica.step():
             self.completed.append((replica.replica_id, done))
+            self._note_terminal(done.request.request_id, done.finish_time)
             if self.autoscaler is not None:
                 self.autoscaler.observe(done)
         self._steps += 1
 
-    def _dispatch(self, request) -> None:
+    def _dispatch(self, entry) -> None:
+        time_s, _seq, attempt, request = entry
         if self.autoscaler is not None:
-            self._autoscale(request.arrival_time)
-        candidates = [replica for replica in self.replicas if not replica.draining]
-        self.policy.choose(request, candidates).submit(request)
+            self._autoscale(time_s)
+        candidates = [replica for replica in self.replicas
+                      if not replica.draining and replica.reachable(time_s)]
+        if not candidates:
+            wake = min((replica.partition_end_after(time_s)
+                        for replica in self.replicas if not replica.draining),
+                       default=math.inf)
+            if math.isfinite(wake):
+                # every routable replica is partitioned: hold the request at
+                # the router and retry at the earliest heal instant
+                self._push_arrival(wake, request, attempt)
+                return
+            fallback = [replica for replica in self.replicas
+                        if replica.draining and replica.reachable(time_s)]
+            if not fallback:
+                self._lose(request, attempt, time_s, "no_replicas")
+                return
+            candidates = fallback  # a draining replica beats losing the request
+        # the delivery instant floors admission: a rerouted orphan or a
+        # deferred arrival must not be admitted before the router had it
+        self.policy.choose(request, candidates).submit(request, not_before=time_s)
+
+    # ----------------------------------------------------------------- chaos
+    def _apply_fault(self, point) -> None:
+        time_s, _order, action, event = point
+        replica = next((r for r in self.replicas if r.replica_id == event.replica_id),
+                       None)
+        if action == "slow_end":
+            if replica is not None:
+                replica.set_slowdown(1.0)
+            return
+        log = {"time_s": time_s, "kind": event.kind,
+               "replica_id": event.replica_id, "applied": replica is not None}
+        if event.duration_s is not None:
+            log["duration_s"] = event.duration_s
+        if replica is None:
+            # the target already crashed or retired — record the no-op so
+            # the fault log still mirrors the schedule one-for-one
+            self._fault_log.append(log)
+            return
+        if action == "crash":
+            orphans = replica.crash(time_s)
+            self.replicas.remove(replica)
+            self.crashed.append(replica)
+            log["orphaned"] = len(orphans)
+            log["recovery_s"] = 0.0
+            watch = {"pending": set(), "time_s": time_s, "log": log}
+            for request in orphans:
+                self._orphaned += 1
+                attempt = self._attempts.get(request.request_id, 0)
+                if attempt < self.config.max_retries:
+                    self._attempts[request.request_id] = attempt + 1
+                    self._retries_total += 1
+                    watch["pending"].add(request.request_id)
+                    self._push_arrival(time_s, request, attempt + 1)
+                else:
+                    self._lose(request, attempt, time_s, "retries_exhausted")
+            if watch["pending"]:
+                self._watches.append(watch)
+        elif action == "slow":
+            replica.set_slowdown(event.factor)
+            log["factor"] = event.factor
+        elif action == "partition":
+            replica.partition(time_s, time_s + event.duration_s)
+        self._fault_log.append(log)
+
+    def _lose(self, request, attempt: int, time_s: float, reason: str) -> None:
+        """Record an explicit loss — the only way a request leaves unfinished."""
+        self._lost.append({"request_id": request.request_id, "reason": reason,
+                           "time_s": time_s, "retries": attempt})
+        self._note_terminal(request.request_id, time_s)
+
+    def _note_terminal(self, request_id, time_s: float) -> None:
+        """Close crash-recovery windows: a watched orphan reached a terminal state."""
+        for watch in self._watches:
+            if request_id in watch["pending"]:
+                watch["pending"].discard(request_id)
+                watch["log"]["recovery_s"] = max(watch["log"]["recovery_s"],
+                                                 time_s - watch["time_s"])
+
+    def _verify_run(self) -> None:
+        """Enforce the chaos invariants; raise rather than report quietly."""
+        terminal = sorted([c.request.request_id for _, c in self.completed]
+                          + [entry["request_id"] for entry in self._lost])
+        if terminal != sorted(self._expected_ids):
+            raise RuntimeError(
+                "conservation violation: submitted requests and terminal states "
+                f"disagree ({len(self._expected_ids)} submitted, "
+                f"{len(self.completed)} completed, {len(self._lost)} lost)")
+        for replica in self.replicas + self.retired:
+            audit = replica.engine.audit_kv_pages()
+            if audit["leaked"]:
+                raise RuntimeError(
+                    f"replica {replica.replica_id} leaked KV pages after the "
+                    f"run: {audit['leaked']}")
 
     # ------------------------------------------------------------- autoscale
     def _routable(self) -> list:
@@ -262,14 +472,33 @@ class ClusterSimulation:
 
     # ------------------------------------------------------------- reporting
     def report(self) -> ClusterReport:
-        fleet = sorted(self.replicas + self.retired, key=lambda r: r.replica_id)
+        fleet = sorted(self.replicas + self.retired + self.crashed,
+                       key=lambda r: r.replica_id)
         elapsed = max((replica.now for replica in fleet), default=0.0)
+        rows = []
+        leaked = 0
+        for replica in fleet:
+            row = replica.describe()
+            if replica.crashed:
+                # the pages died with the machine; there is nothing to audit
+                row["kv_leaked_pages"] = None
+            else:
+                audit = replica.engine.audit_kv_pages()
+                row["kv_leaked_pages"] = len(audit["leaked"])
+                leaked += len(audit["leaked"])
+            rows.append(row)
         return ClusterReport(
             policy=self.policy.name,
             completed=list(self.completed),
             elapsed_s=elapsed,
             steps=self._steps,
             slo=self.config.slo,
-            replicas=[replica.describe() for replica in fleet],
+            replicas=rows,
             scale_events=list(self.scale_events),
+            fault_events=list(self._fault_log),
+            lost=list(self._lost),
+            requests_orphaned=self._orphaned,
+            requests_retried=len(self._attempts),
+            retries_total=self._retries_total,
+            kv_leaked_pages=leaked,
         )

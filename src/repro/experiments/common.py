@@ -121,6 +121,10 @@ def experiment_model_specs(name, fast=None) -> tuple:
         from repro.cluster.bench import cluster_model_name
 
         return (cluster_model_name(fast),)
+    if name == "chaos_bench":
+        from repro.cluster.bench import cluster_model_name
+
+        return (cluster_model_name(fast),)
     if name == "gateway_bench":
         from repro.gateway.bench import gateway_model_name
 

@@ -36,6 +36,9 @@ from repro.experiments import (
     table5_nonlinear_eff,
 )
 from repro.cluster import bench as cluster_bench_driver
+# imported by submodule path: the package re-exports the chaos_bench
+# *function*, which shadows the module attribute of the same name
+from repro.cluster.chaos_bench import run as chaos_bench_run
 from repro.gateway import bench as gateway_bench_driver
 from repro.serve import bench as serve_bench_driver
 
@@ -67,6 +70,7 @@ EXPERIMENTS = {
     "ext_mixed_precision": extensions.mixed_precision_extension,
     "serve_bench": serve_bench_driver.run,
     "cluster_bench": cluster_bench_driver.run,
+    "chaos_bench": chaos_bench_run,
     "gateway_bench": gateway_bench_driver.run,
 }
 

@@ -355,8 +355,17 @@ class ServeEngine:
         self._timed_out = 0
 
     # ------------------------------------------------------------ submission
-    def submit(self, request: Request) -> None:
-        """Queue a request (validated against the model and cache limits)."""
+    def submit(self, request: Request, not_before: float = None) -> None:
+        """Queue a request (validated against the model and cache limits).
+
+        ``not_before`` optionally floors the admission instant below which
+        the request may not be scheduled, without touching the request's own
+        ``arrival_time`` (which keeps anchoring its latency).  A cluster uses
+        this for deliveries that physically happen after the arrival — a
+        crash-orphaned request rerouted at the crash instant, or an arrival
+        held at the router until a network partition heals — so a request can
+        never be admitted before the router could have delivered it.
+        """
         if request.request_id in self._seen_ids:
             raise ValueError(
                 f"duplicate request id {request.request_id}: ids key the engine's "
@@ -385,7 +394,9 @@ class ServeEngine:
                 f"({request.projected_tokens}) exceed the engine token budget "
                 f"({self.token_budget})"
             )
-        heapq.heappush(self._queue, (request.arrival_time, self._submit_seq, request))
+        available = (request.arrival_time if not_before is None
+                     else max(request.arrival_time, float(not_before)))
+        heapq.heappush(self._queue, (available, self._submit_seq, request))
         self._submit_seq += 1
         self._seen_ids.add(request.request_id)
 
@@ -411,6 +422,20 @@ class ServeEngine:
     def active_request_ids(self) -> frozenset:
         """Ids of the requests currently holding a cache slot."""
         return frozenset(state.request.request_id for state in self._active.values())
+
+    def active_requests(self) -> list:
+        """Requests currently holding a cache slot, in slot order."""
+        return [self._active[slot].request for slot in sorted(self._active)]
+
+    def inflight_requests(self) -> list:
+        """Every request submitted but not yet terminal: active, then queued.
+
+        The crash-recovery hook: when a replica dies, this is exactly the
+        set of requests the fleet must retry elsewhere or report lost —
+        returned in deterministic order (decode slots, then the waiting
+        line in admission order) so chaos runs replay bit-for-bit.
+        """
+        return self.active_requests() + self.queued_requests()
 
     @property
     def active_projected_tokens(self) -> int:

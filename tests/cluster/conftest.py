@@ -1,0 +1,97 @@
+"""Shared deterministic fleet-building fixtures for ``tests/cluster/``.
+
+PRs 4-6 each grew private trace/fleet helpers inside individual test modules
+and the copies drifted (different trace shapes, arrival rates and fleet
+defaults).  This conftest is now the single source of truth: every module
+builds traces through :func:`fleet_trace`, simulations through
+:func:`make_fleet`, and driver-level sweeps over :data:`BENCH_WORKLOAD` —
+same tiny model (``tiny_inference_model`` from the root conftest), same
+shapes, everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    SLOConfig,
+    homogeneous_fleet,
+)
+from repro.serve.workload import WorkloadConfig, generate_requests
+
+#: Canonical small trace shape every simulation-level cluster test draws from.
+TRACE_SHAPE = {"prompt_tokens": (3, 8), "new_tokens": (2, 6)}
+
+#: Canonical small workload for driver-level (cluster_bench / chaos_bench)
+#: sweeps: short prompts, a few decode tokens, fixed seed.
+BENCH_WORKLOAD = WorkloadConfig(num_requests=10, prompt_tokens=(3, 8),
+                                new_tokens=(2, 5), seed=0)
+
+#: A burst arrival rate that saturates even the micro models these tests
+#: serve: everything lands within a few virtual microseconds, so queues form
+#: and faults strike replicas that actually hold work.
+BURST_ARRIVAL_RATE = 5e7
+
+
+@pytest.fixture
+def bench_workload():
+    """The canonical driver-sweep workload (one object, shared by value)."""
+    return BENCH_WORKLOAD
+
+
+@pytest.fixture
+def fleet_trace(tiny_inference_model):
+    """Factory for deterministic traces sized to the tiny model's vocabulary.
+
+    ``fleet_trace(num_requests=..., arrival_rate=..., seed=..., **shape)``
+    returns a request list; shape overrides (``prompt_tokens`` /
+    ``new_tokens`` / ``temperature`` ...) replace the canonical
+    :data:`TRACE_SHAPE` entries.
+    """
+    def factory(num_requests: int = 12, arrival_rate: float = 50_000.0,
+                seed: int = 0, **overrides):
+        shape = {**TRACE_SHAPE, **overrides}
+        return generate_requests(
+            tiny_inference_model.config.vocab_size,
+            WorkloadConfig(num_requests=num_requests, arrival_rate=arrival_rate,
+                           seed=seed, **shape))
+    return factory
+
+
+@pytest.fixture
+def burst_trace(fleet_trace):
+    """A :func:`fleet_trace` at :data:`BURST_ARRIVAL_RATE` — the chaos-test
+    staple: the whole trace lands while the fleet is busy, so queues form and
+    injected faults strike replicas that actually hold work."""
+    def factory(num_requests: int = 16, seed: int = 0, **overrides):
+        return fleet_trace(num_requests=num_requests,
+                           arrival_rate=BURST_ARRIVAL_RATE, seed=seed, **overrides)
+    return factory
+
+
+@pytest.fixture
+def make_fleet(tiny_inference_model):
+    """Factory for a :class:`ClusterSimulation` over the shared tiny model.
+
+    ``make_fleet(3, policy=..., max_batch_size=...)`` builds a homogeneous
+    fleet (extra keywords go to :class:`ReplicaConfig`); pass an explicit
+    ``replicas=`` tuple for heterogeneous fleets.  ``slo`` / ``autoscaler`` /
+    ``seed`` / ``faults`` / ``max_retries`` forward to
+    :class:`ClusterConfig`.
+    """
+    def factory(num_replicas: int = 2, *, replicas=None, policy: str = "round_robin",
+                slo: SLOConfig = None, autoscaler=None, seed: int = 0,
+                faults=None, max_retries: int = 2, **replica_kwargs):
+        if replicas is None:
+            replicas = homogeneous_fleet(num_replicas, **replica_kwargs)
+        elif replica_kwargs:
+            raise TypeError("pass either an explicit replicas tuple or "
+                            "ReplicaConfig keywords, not both")
+        config = ClusterConfig(replicas=tuple(replicas), policy=policy,
+                               slo=slo if slo is not None else SLOConfig(),
+                               autoscaler=autoscaler, seed=seed,
+                               faults=faults, max_retries=max_retries)
+        return ClusterSimulation(tiny_inference_model, config)
+    return factory

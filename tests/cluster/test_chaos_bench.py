@@ -1,0 +1,191 @@
+"""The chaos_bench driver: rows, shared schedules, pipeline and CLI wiring.
+
+Sweeps run over the canonical ``bench_workload`` fixture from the shared
+``tests/cluster/conftest.py`` fleet builder, like ``test_cluster_bench``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.chaos_bench import chaos_bench, fault_horizon
+from repro.cluster.replica import ReplicaConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_COLUMNS = ("chaos_profile", "policy", "replicas", "requests", "goodput_rps",
+            "slo_attainment", "faults_injected", "requests_orphaned",
+            "requests_retried", "requests_lost", "max_recovery_s",
+            "kv_leaked_pages", "decode_tokens_per_s", "ttft_p95_ms",
+            "latency_p95_ms", "goodput_recovered")
+
+
+class TestFaultHorizon:
+    def test_service_bound_horizon_shrinks_with_fleet_size(self, tiny_model_config,
+                                                           bench_workload):
+        import dataclasses
+
+        burst = dataclasses.replace(bench_workload, arrival_rate=0.0)
+        one = fault_horizon(tiny_model_config, ReplicaConfig(), burst, 1)
+        four = fault_horizon(tiny_model_config, ReplicaConfig(), burst, 4)
+        assert 0 < four < one
+        assert four == pytest.approx(one / 4)
+        with pytest.raises(ValueError, match="num_replicas"):
+            fault_horizon(tiny_model_config, ReplicaConfig(), burst, 0)
+
+    def test_a_sparse_trace_is_anchored_to_its_arrival_span(self, tiny_model_config,
+                                                            bench_workload):
+        # at 8 req/s the 10-request span (1.25s) dwarfs the service time and
+        # the horizon must cover it whatever the fleet size
+        span = bench_workload.num_requests / bench_workload.arrival_rate
+        for count in (1, 4):
+            assert fault_horizon(tiny_model_config, ReplicaConfig(),
+                                 bench_workload, count) == pytest.approx(span)
+
+
+class TestChaosBenchRows:
+    def _rows(self, model, workload, **kwargs):
+        kwargs.setdefault("profiles", ("none", "crash"))
+        kwargs.setdefault("policies", ("round_robin", "least_loaded"))
+        kwargs.setdefault("replica_counts", (2,))
+        return chaos_bench(model, workload=workload,
+                           replica=ReplicaConfig(max_batch_size=2), **kwargs)
+
+    def test_rows_cover_the_sweep_with_all_columns(self, tiny_inference_model,
+                                                   bench_workload):
+        rows = self._rows(tiny_inference_model, bench_workload)
+        assert {(row["chaos_profile"], row["policy"], row["replicas"])
+                for row in rows} == {
+            (profile, policy, 2)
+            for profile in ("none", "crash")
+            for policy in ("round_robin", "least_loaded")
+        }
+        for row in rows:
+            assert set(_COLUMNS) <= set(row)
+            assert row["requests"] == 10
+            assert np.isfinite(row["goodput_rps"])
+
+    def test_the_fault_free_baseline_anchors_goodput_recovered(
+            self, tiny_inference_model, bench_workload):
+        rows = self._rows(tiny_inference_model, bench_workload)
+        for row in rows:
+            if row["chaos_profile"] == "none":
+                assert row["faults_injected"] == 0
+                assert row["goodput_recovered"] == pytest.approx(1.0)
+            else:
+                assert row["faults_injected"] >= 1
+                assert 0.0 <= row["goodput_recovered"] <= 1.5
+
+    def test_retries_keep_the_crash_rows_lossless(self, tiny_inference_model,
+                                                  bench_workload):
+        rows = self._rows(tiny_inference_model, bench_workload)
+        crash_rows = [r for r in rows if r["chaos_profile"] == "crash"]
+        assert crash_rows
+        for row in crash_rows:
+            assert row["requests_orphaned"] > 0
+            assert row["requests_lost"] == 0
+            assert row["kv_leaked_pages"] == 0
+            assert row["max_recovery_s"] > 0.0
+
+    def test_the_no_retry_baseline_measurably_loses_requests(
+            self, tiny_inference_model, bench_workload):
+        rows = self._rows(tiny_inference_model, bench_workload,
+                          profiles=("crash",), policies=("least_loaded",),
+                          max_retries=0)
+        (row,) = rows
+        assert row["requests_lost"] == row["requests_orphaned"] > 0
+        assert row["requests_retried"] == 0
+
+    def test_policies_are_compared_under_the_same_schedule(
+            self, tiny_inference_model, bench_workload):
+        schedules = {}
+        self._rows(tiny_inference_model, bench_workload, replica_counts=(2, 4),
+                   schedules=schedules)
+        # one schedule per (profile, fleet size), shared across both policies
+        assert sorted(schedules) == ["crashx2", "crashx4", "nonex2", "nonex4"]
+        assert schedules["nonex2"] == {"events": []}
+        assert len(schedules["crashx4"]["events"]) == 1
+
+    def test_rows_are_deterministic(self, tiny_inference_model, bench_workload):
+        kwargs = dict(profiles=("crash",), policies=("least_loaded",), seed=3)
+        assert self._rows(tiny_inference_model, bench_workload, **kwargs) == \
+            self._rows(tiny_inference_model, bench_workload, **kwargs)
+
+    def test_unknown_profile_is_rejected_with_a_suggestion(
+            self, tiny_inference_model, bench_workload):
+        from repro.cluster.chaos import UnknownProfileError
+
+        with pytest.raises(UnknownProfileError, match="did you mean"):
+            self._rows(tiny_inference_model, bench_workload, profiles=("crsh",))
+
+
+class TestPipelineIntegration:
+    def test_chaos_bench_runs_under_the_cached_pipeline(self, tmp_path):
+        """`repro run chaos_bench` works: cached, manifest-tracked, resumable."""
+        from repro.pipeline.run import run_experiments
+
+        output_dir = tmp_path / "results"
+        results = run_experiments(["chaos_bench"], fast=True,
+                                  output_dir=str(output_dir), jobs=1, verbose=False)
+        result = results["chaos_bench"]
+        for column in ("chaos_profile", "policy", "replicas", "requests_lost",
+                       "kv_leaked_pages", "goodput_recovered"):
+            assert column in result.columns
+            assert all(column in row for row in result.rows)
+        assert all(row["requests_lost"] == 0 for row in result.rows)
+        assert all(row["kv_leaked_pages"] == 0 for row in result.rows)
+        assert result.metadata["schedules"], "replay schedules must be saved"
+        assert (output_dir / "chaos-bench.json").exists()
+        assert (output_dir / "manifest.json").exists()
+        # second invocation must be served from the content-addressed cache
+        second = run_experiments(["chaos_bench"], fast=True,
+                                 output_dir=str(tmp_path / "results2"), jobs=1,
+                                 verbose=False)
+        assert second["chaos_bench"].rows == result.rows
+
+    def test_model_dependency_is_declared_for_the_scheduler(self):
+        from repro.experiments.common import experiment_model_specs
+
+        assert experiment_model_specs("chaos_bench", fast=True) == ("Llama-1B",)
+        assert experiment_model_specs("chaos_bench", fast=False) == ("Llama-7B",)
+
+    def test_driver_is_registered_in_the_catalog(self):
+        from repro.experiments.runner import EXPERIMENTS, experiment_descriptions
+
+        assert "chaos_bench" in EXPERIMENTS
+        assert experiment_descriptions()["chaos_bench"]
+
+
+class TestCLISmoke:
+    def _run_repro(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_FAST"] = "1"
+        return subprocess.run([sys.executable, "-m", "repro", *args],
+                              capture_output=True, text=True, timeout=300,
+                              cwd=REPO_ROOT, env=env)
+
+    def test_chaos_bench_fast_subprocess(self, tmp_path):
+        result = self._run_repro("chaos-bench", "--fast", "--num-requests", "8",
+                                 "--profiles", "none", "crash",
+                                 "--policies", "least-loaded",
+                                 "--replicas", "2",
+                                 "--output-dir", str(tmp_path / "out"))
+        assert result.returncode == 0, result.stderr
+        assert "Chaos-Bench" in result.stdout
+        assert "chaos_profile" in result.stdout
+        assert "requests_lost" in result.stdout
+        assert (tmp_path / "out" / "chaos-bench.json").exists()
+
+    def test_unknown_profile_is_a_clean_usage_error(self):
+        result = self._run_repro("chaos-bench", "--fast", "--profiles", "crsh")
+        assert result.returncode != 0
+        assert "unknown chaos profile" in result.stderr
+        assert "crash" in result.stderr  # the did-you-mean suggestion
+        assert "Traceback" not in result.stderr

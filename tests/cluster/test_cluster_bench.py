@@ -1,4 +1,8 @@
-"""The cluster_bench driver: rows, derived load/SLO, pipeline and CLI wiring."""
+"""The cluster_bench driver: rows, derived load/SLO, pipeline and CLI wiring.
+
+Sweeps run over the canonical ``bench_workload`` fixture from the shared
+``tests/cluster/conftest.py`` fleet builder.
+"""
 
 from __future__ import annotations
 
@@ -16,41 +20,40 @@ from repro.cluster.bench import (
     saturating_arrival_rate,
 )
 from repro.cluster.replica import ReplicaConfig
-from repro.serve.workload import WorkloadConfig
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-_WORKLOAD = WorkloadConfig(num_requests=10, prompt_tokens=(3, 8), new_tokens=(2, 5), seed=0)
-
 
 class TestDerivedLoadAndSLO:
-    def test_arrival_rate_scales_with_utilization(self, tiny_model_config):
-        one = saturating_arrival_rate(tiny_model_config, ReplicaConfig(), _WORKLOAD,
+    def test_arrival_rate_scales_with_utilization(self, tiny_model_config, bench_workload):
+        one = saturating_arrival_rate(tiny_model_config, ReplicaConfig(), bench_workload,
                                       utilization=1.0)
-        three = saturating_arrival_rate(tiny_model_config, ReplicaConfig(), _WORKLOAD,
+        three = saturating_arrival_rate(tiny_model_config, ReplicaConfig(), bench_workload,
                                         utilization=3.0)
         assert three == pytest.approx(3 * one)
         with pytest.raises(ValueError):
-            saturating_arrival_rate(tiny_model_config, ReplicaConfig(), _WORKLOAD,
+            saturating_arrival_rate(tiny_model_config, ReplicaConfig(), bench_workload,
                                     utilization=0)
 
-    def test_slo_tracks_the_roofline_service_time(self, tiny_model_config):
-        slo = derived_slo(tiny_model_config, ReplicaConfig(), _WORKLOAD, slo_slack=4.0)
+    def test_slo_tracks_the_roofline_service_time(self, tiny_model_config, bench_workload):
+        slo = derived_slo(tiny_model_config, ReplicaConfig(), bench_workload, slo_slack=4.0)
         assert 0 < slo.ttft_s < slo.latency_s
-        tighter = derived_slo(tiny_model_config, ReplicaConfig(), _WORKLOAD, slo_slack=2.0)
+        tighter = derived_slo(tiny_model_config, ReplicaConfig(), bench_workload,
+                              slo_slack=2.0)
         assert tighter.ttft_s == pytest.approx(slo.ttft_s / 2)
         with pytest.raises(ValueError):
-            derived_slo(tiny_model_config, ReplicaConfig(), _WORKLOAD, slo_slack=0)
+            derived_slo(tiny_model_config, ReplicaConfig(), bench_workload, slo_slack=0)
 
 
 class TestClusterBenchRows:
-    def test_rows_cover_the_sweep_with_all_metrics(self, tiny_inference_model):
+    def test_rows_cover_the_sweep_with_all_metrics(self, tiny_inference_model,
+                                                   bench_workload):
         rows = cluster_bench(
             tiny_inference_model,
             policies=("round_robin", "least_loaded"),
             replica_counts=(1, 2),
             kv_specs=(None, "int8"),
-            workload=_WORKLOAD,
+            workload=bench_workload,
             replica=ReplicaConfig(max_batch_size=2),
         )
         assert len(rows) == 8
@@ -68,13 +71,14 @@ class TestClusterBenchRows:
                         "ttft_p50_ms", "ttft_p95_ms", "latency_p50_ms", "latency_p95_ms"):
                 assert np.isfinite(row[key]), key
 
-    def test_single_replica_is_overloaded_and_fleets_recover(self, tiny_inference_model):
+    def test_single_replica_is_overloaded_and_fleets_recover(self, tiny_inference_model,
+                                                             bench_workload):
         rows = cluster_bench(
             tiny_inference_model,
             policies=("least_loaded",),
             replica_counts=(1, 4),
             kv_specs=(None,),
-            workload=_WORKLOAD,
+            workload=bench_workload,
             replica=ReplicaConfig(max_batch_size=2),
             utilization=3.0,
         )
@@ -83,17 +87,18 @@ class TestClusterBenchRows:
         assert single["ttft_p95_ms"] > fleet["ttft_p95_ms"]
         assert fleet["decode_tokens_per_s"] > single["decode_tokens_per_s"]
 
-    def test_rows_are_deterministic(self, tiny_inference_model):
+    def test_rows_are_deterministic(self, tiny_inference_model, bench_workload):
         kwargs = dict(policies=("power_of_two",), replica_counts=(2,),
-                      kv_specs=("int8",), workload=_WORKLOAD,
+                      kv_specs=("int8",), workload=bench_workload,
                       replica=ReplicaConfig(max_batch_size=2), seed=5)
         assert cluster_bench(tiny_inference_model, **kwargs) == \
             cluster_bench(tiny_inference_model, **kwargs)
 
-    def test_explicit_arrival_rate_overrides_the_derivation(self, tiny_inference_model):
+    def test_explicit_arrival_rate_overrides_the_derivation(self, tiny_inference_model,
+                                                            bench_workload):
         rows = cluster_bench(tiny_inference_model, policies=("round_robin",),
                              replica_counts=(1,), kv_specs=(None,),
-                             workload=_WORKLOAD, arrival_rate=1e6)
+                             workload=bench_workload, arrival_rate=1e6)
         assert rows[0]["requests"] == 10
 
 

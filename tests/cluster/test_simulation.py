@@ -1,4 +1,9 @@
-"""The fleet co-simulation: conservation, determinism, scaling, autoscaling."""
+"""The fleet co-simulation: conservation, determinism, scaling, autoscaling.
+
+Traces and fleets come from the shared ``tests/cluster/conftest.py``
+fixtures (``fleet_trace`` / ``make_fleet``) — one deterministic builder for
+every module in this package.
+"""
 
 from __future__ import annotations
 
@@ -7,62 +12,36 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.cluster import (
-    AutoscalerConfig,
-    ClusterConfig,
-    ClusterSimulation,
-    ReplicaConfig,
-    SLOConfig,
-    homogeneous_fleet,
-)
-from repro.serve.engine import Request
-from repro.serve.workload import WorkloadConfig, generate_requests
-
-
-def trace(vocab_size, num_requests=12, arrival_rate=50_000.0, seed=0):
-    return generate_requests(vocab_size, WorkloadConfig(
-        num_requests=num_requests, arrival_rate=arrival_rate,
-        prompt_tokens=(3, 8), new_tokens=(2, 6), seed=seed))
+from repro.cluster import AutoscalerConfig, ReplicaConfig, SLOConfig
 
 
 class TestConservation:
-    def test_every_request_completes_exactly_once(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size)
-        simulation = ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=homogeneous_fleet(3, max_batch_size=2),
-                          policy="round_robin"))
-        report = simulation.run(requests)
+    def test_every_request_completes_exactly_once(self, fleet_trace, make_fleet):
+        requests = fleet_trace()
+        report = make_fleet(3, max_batch_size=2).run(requests)
         completed_ids = sorted(c.request.request_id for _, c in report.completed)
         assert completed_ids == [r.request_id for r in requests]
         assert report.summary()["requests"] == len(requests)
 
-    def test_per_replica_token_counts_add_up(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size)
-        report = ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=homogeneous_fleet(2), policy="least_loaded"),
-        ).run(requests)
+    def test_per_replica_token_counts_add_up(self, fleet_trace, make_fleet):
+        requests = fleet_trace()
+        report = make_fleet(2, policy="least_loaded").run(requests)
         assert sum(r["prefill_tokens"] for r in report.replicas) == \
             sum(len(c.request.prompt_tokens) for _, c in report.completed)
         assert sum(r["decode_tokens"] for r in report.replicas) >= \
             sum(len(c.generated_tokens) for _, c in report.completed) - len(requests)
 
-    def test_empty_trace_yields_an_empty_report(self, tiny_inference_model):
-        report = ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=homogeneous_fleet(2))).run([])
+    def test_empty_trace_yields_an_empty_report(self, make_fleet):
+        report = make_fleet(2).run([])
         summary = report.summary()
         assert summary["requests"] == 0 and summary["elapsed_s"] == 0.0
         assert np.isnan(summary["slo_attainment"])
         assert summary["load_imbalance"] == 1.0
 
-    def test_max_steps_guard(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size, num_requests=8)
-        simulation = ClusterSimulation(
-            tiny_inference_model, ClusterConfig(replicas=homogeneous_fleet(1)))
+    def test_max_steps_guard(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=8)
         with pytest.raises(RuntimeError, match="did not drain"):
-            simulation.run(requests, max_steps=2)
+            make_fleet(1).run(requests, max_steps=2)
 
 
 class TestDeterminism:
@@ -70,146 +49,111 @@ class TestDeterminism:
                                         "join_shortest_queue", "power_of_two",
                                         "prefix_affinity"])
     def test_same_seed_and_trace_reproduce_the_report_exactly(
-            self, tiny_inference_model, policy):
-        requests = trace(tiny_inference_model.config.vocab_size, seed=3)
-        dumps = []
-        for _ in range(2):
-            simulation = ClusterSimulation(
-                tiny_inference_model,
-                ClusterConfig(replicas=homogeneous_fleet(3, max_batch_size=2),
-                              policy=policy,
-                              slo=SLOConfig(ttft_s=1e-4, latency_s=1e-3),
-                              seed=11))
-            dumps.append(simulation.run(requests).to_dict())
+            self, fleet_trace, make_fleet, policy):
+        requests = fleet_trace(seed=3)
+        dumps = [make_fleet(3, max_batch_size=2, policy=policy,
+                            slo=SLOConfig(ttft_s=1e-4, latency_s=1e-3),
+                            seed=11).run(requests).to_dict()
+                 for _ in range(2)]
         assert dumps[0] == dumps[1]
 
-    def test_sampled_decoding_is_reproducible_too(self, tiny_inference_model):
-        requests = generate_requests(tiny_inference_model.config.vocab_size,
-                                     WorkloadConfig(num_requests=8, arrival_rate=10_000.0,
-                                                    prompt_tokens=(3, 6), new_tokens=(2, 5),
-                                                    temperature=0.9, top_k=12, seed=5))
-        dumps = [ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=homogeneous_fleet(2), policy="power_of_two", seed=2),
-        ).run(requests).to_dict() for _ in range(2)]
+    def test_sampled_decoding_is_reproducible_too(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=8, arrival_rate=10_000.0,
+                               prompt_tokens=(3, 6), new_tokens=(2, 5),
+                               temperature=0.9, top_k=12, seed=5)
+        dumps = [make_fleet(2, policy="power_of_two", seed=2).run(requests).to_dict()
+                 for _ in range(2)]
         assert dumps[0] == dumps[1]
 
 
 class TestFleetBehaviour:
-    def test_more_replicas_drain_a_saturating_burst_faster(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size,
-                         num_requests=16, arrival_rate=0.0)
-        elapsed = {}
-        for count in (1, 4):
-            report = ClusterSimulation(
-                tiny_inference_model,
-                ClusterConfig(replicas=homogeneous_fleet(count, max_batch_size=2),
-                              policy="least_loaded")).run(requests)
-            elapsed[count] = report.summary()["elapsed_s"]
+    def test_more_replicas_drain_a_saturating_burst_faster(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=16, arrival_rate=0.0)
+        elapsed = {
+            count: make_fleet(count, max_batch_size=2, policy="least_loaded")
+            .run(requests).summary()["elapsed_s"]
+            for count in (1, 4)
+        }
         assert elapsed[4] < elapsed[1] / 2
 
-    def test_heterogeneous_fleet_faster_replica_serves_more(self, tiny_inference_model):
+    def test_heterogeneous_fleet_faster_replica_serves_more(self, fleet_trace, make_fleet):
         # int4 weights + KV make replica 1 ~4x faster on the roofline clock;
         # least_loaded drains it faster, so it ends up with more of the work
         fleet = (ReplicaConfig(max_batch_size=2),
                  ReplicaConfig(max_batch_size=2, weight_spec="int4", kv_spec="int4"))
-        requests = trace(tiny_inference_model.config.vocab_size,
-                         num_requests=24, arrival_rate=0.0)
-        report = ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=fleet, policy="least_loaded")).run(requests)
+        requests = fleet_trace(num_requests=24, arrival_rate=0.0)
+        report = make_fleet(replicas=fleet, policy="least_loaded").run(requests)
         by_id = {r["replica_id"]: r for r in report.replicas}
         assert by_id[1]["time_per_token_s"] < by_id[0]["time_per_token_s"]
         assert by_id[1]["decode_tokens"] > by_id[0]["decode_tokens"]
 
-    def test_slo_attainment_degrades_under_overload(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size,
-                         num_requests=16, arrival_rate=0.0)
+    def test_slo_attainment_degrades_under_overload(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=16, arrival_rate=0.0)
         slo = SLOConfig(ttft_s=1e-4)
-        attainment = {}
-        for count in (1, 4):
-            report = ClusterSimulation(
-                tiny_inference_model,
-                ClusterConfig(replicas=homogeneous_fleet(count, max_batch_size=2),
-                              policy="least_loaded", slo=slo)).run(requests)
-            attainment[count] = report.summary()["slo_attainment"]
+        attainment = {
+            count: make_fleet(count, max_batch_size=2, policy="least_loaded",
+                              slo=slo).run(requests).summary()["slo_attainment"]
+            for count in (1, 4)
+        }
         assert attainment[4] >= attainment[1]
         assert 0.0 <= attainment[1] <= 1.0
 
-    def test_imbalance_is_bounded_by_the_fleet_size(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size, num_requests=16)
-        report = ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=homogeneous_fleet(4), policy="round_robin"),
-        ).run(requests)
+    def test_imbalance_is_bounded_by_the_fleet_size(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=16)
+        report = make_fleet(4).run(requests)
         assert 1.0 <= report.summary()["load_imbalance"] <= 4.0
 
-    def test_report_round_trips_through_json(self, tiny_inference_model):
+    def test_report_round_trips_through_json(self, fleet_trace, make_fleet):
         import json
 
-        requests = trace(tiny_inference_model.config.vocab_size, num_requests=6)
-        report = ClusterSimulation(
-            tiny_inference_model,
-            ClusterConfig(replicas=homogeneous_fleet(2))).run(requests)
+        requests = fleet_trace(num_requests=6)
+        report = make_fleet(2).run(requests)
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["summary"]["requests"] == 6
         assert len(payload["replicas"]) == 2
 
 
 class TestAutoscaling:
-    def test_burst_scales_the_fleet_up(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size,
-                         num_requests=20, arrival_rate=0.0)
-        config = ClusterConfig(
-            replicas=homogeneous_fleet(1, max_batch_size=2),
-            policy="least_loaded",
+    def test_burst_scales_the_fleet_up(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=20, arrival_rate=0.0)
+        report = make_fleet(
+            1, max_batch_size=2, policy="least_loaded",
             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=4,
-                                        target_queue_per_replica=2.0))
-        report = ClusterSimulation(tiny_inference_model, config).run(requests)
+                                        target_queue_per_replica=2.0)).run(requests)
         summary = report.summary()
         assert summary["scale_ups"] >= 1
         assert len(report.replicas) > 1
         assert summary["requests"] == 20  # nothing lost while scaling
         assert all(e["action"] in ("up", "down") for e in report.scale_events)
 
-    def test_scale_up_respects_max_replicas(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size,
-                         num_requests=24, arrival_rate=0.0)
-        config = ClusterConfig(
-            replicas=homogeneous_fleet(1, max_batch_size=2),
-            policy="least_loaded",
+    def test_scale_up_respects_max_replicas(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=24, arrival_rate=0.0)
+        report = make_fleet(
+            1, max_batch_size=2, policy="least_loaded",
             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=2,
-                                        target_queue_per_replica=1.0))
-        report = ClusterSimulation(tiny_inference_model, config).run(requests)
+                                        target_queue_per_replica=1.0)).run(requests)
         assert len(report.replicas) <= 2
 
-    def test_scale_down_drains_without_dropping_requests(self, tiny_inference_model):
+    def test_scale_down_drains_without_dropping_requests(self, fleet_trace, make_fleet):
         # a sparse tail after a burst: the fleet scales up, then drains down
-        vocab = tiny_inference_model.config.vocab_size
-        burst = trace(vocab, num_requests=16, arrival_rate=0.0)
+        burst = fleet_trace(num_requests=16, arrival_rate=0.0)
         tail = [dataclasses.replace(r, request_id=100 + i, arrival_time=0.01 + i * 0.01)
-                for i, r in enumerate(trace(vocab, num_requests=4, seed=9))]
-        config = ClusterConfig(
-            replicas=homogeneous_fleet(1, max_batch_size=2),
-            policy="least_loaded",
+                for i, r in enumerate(fleet_trace(num_requests=4, seed=9))]
+        report = make_fleet(
+            1, max_batch_size=2, policy="least_loaded",
             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=3,
-                                        target_queue_per_replica=2.0))
-        report = ClusterSimulation(tiny_inference_model, config).run(burst + tail)
+                                        target_queue_per_replica=2.0)).run(burst + tail)
         summary = report.summary()
         assert summary["requests"] == 20
         assert summary["scale_downs"] >= 1
         retired = [r for r in report.replicas if r["status"] == "retired"]
         assert retired, "a drained replica should have been retired"
 
-    def test_autoscaled_report_is_deterministic(self, tiny_inference_model):
-        requests = trace(tiny_inference_model.config.vocab_size,
-                         num_requests=16, arrival_rate=0.0)
-        config = ClusterConfig(
-            replicas=homogeneous_fleet(1, max_batch_size=2),
-            policy="power_of_two",
+    def test_autoscaled_report_is_deterministic(self, fleet_trace, make_fleet):
+        requests = fleet_trace(num_requests=16, arrival_rate=0.0)
+        dumps = [make_fleet(
+            1, max_batch_size=2, policy="power_of_two",
             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=4,
                                         target_queue_per_replica=2.0),
-            seed=4)
-        dumps = [ClusterSimulation(tiny_inference_model, config).run(requests).to_dict()
-                 for _ in range(2)]
+            seed=4).run(requests).to_dict() for _ in range(2)]
         assert dumps[0] == dumps[1]
