@@ -15,6 +15,8 @@ Python for a first look at the library::
     python -m repro chaos-bench --fast         # fault injection + recovery sweep
     python -m repro gateway --fast --port 8100 # HTTP streaming front door (SIGTERM drains)
     python -m repro gateway-bench --fast       # open-loop saturation sweep over HTTP
+    python -m repro chaos-bench --fast --trace-out /tmp/chaos.trace.json
+    python -m repro obs-report /tmp/chaos.trace.json  # summarise an exported trace
 
 ``run`` delegates to the parallel cached pipeline (:mod:`repro.pipeline`,
 argument handling shared with :mod:`repro.experiments.runner`); the other
@@ -232,10 +234,24 @@ def _cmd_chaos_bench(args) -> int:
     result = chaos_bench_run(fast=args.fast or None, profiles=args.profiles,
                              policies=args.policies, replica_counts=args.replicas,
                              num_requests=args.num_requests,
-                             max_retries=args.max_retries, seed=args.seed)
+                             max_retries=args.max_retries, seed=args.seed,
+                             trace_path=args.trace_out)
     print(result.to_text())
     if args.output_dir:
         save_result(result, args.output_dir)
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    import json
+
+    from repro.obs.report import render_report
+
+    try:
+        print(render_report(args.path))
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"repro obs-report: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -416,7 +432,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed for the fault schedules (and routing RNG)")
     p_chaos.add_argument("--output-dir", default=None,
                          help="also save the result as JSON + text under this directory")
+    p_chaos.add_argument("--trace-out", default=None,
+                         help="also export a Chrome trace-event JSON of one crash run "
+                              "(open in Perfetto, or summarise with 'repro obs-report')")
     p_chaos.set_defaults(func=_cmd_chaos_bench)
+
+    p_obs = sub.add_parser(
+        "obs-report",
+        help="summarise an exported observability artefact (Chrome trace JSON "
+             "from --trace-out, or a profiler hot-spot snapshot)")
+    p_obs.add_argument("path", help="path to the trace/profile JSON file")
+    p_obs.set_defaults(func=_cmd_obs_report)
 
     p_gateway = sub.add_parser(
         "gateway",

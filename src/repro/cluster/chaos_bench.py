@@ -23,8 +23,10 @@ pipeline, ``repro run chaos_bench --fast``) and reachable directly as
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from repro.analysis.reporting import ExperimentResult
+from repro.cluster.autoscaler import AutoscalerConfig
 from repro.cluster.bench import (
     _mean_tokens,
     cluster_model_name,
@@ -36,10 +38,11 @@ from repro.cluster.bench import (
 from repro.cluster.chaos import FaultSchedule, get_profile, list_profiles
 from repro.cluster.replica import ReplicaConfig, decode_time_per_token
 from repro.cluster.simulation import ClusterConfig, ClusterSimulation
+from repro.obs import Observability
 from repro.serve.workload import WorkloadConfig, generate_trace
 
 __all__ = ["DEFAULT_PROFILES", "DEFAULT_POLICIES", "DEFAULT_REPLICA_COUNTS",
-           "fault_horizon", "chaos_bench", "run"]
+           "fault_horizon", "chaos_bench", "export_chaos_trace", "run"]
 
 #: Chaos profiles swept by default (full mode sweeps the whole registry);
 #: ``"none"`` anchors the ``goodput_recovered`` column.
@@ -139,8 +142,53 @@ def chaos_bench(model, profiles=DEFAULT_PROFILES, policies=DEFAULT_POLICIES,
     return rows
 
 
+def export_chaos_trace(model, path=None, workload=None,
+                       replica: Optional[ReplicaConfig] = None,
+                       num_replicas: int = 2, policy: str = "least_loaded",
+                       max_retries: int = 2, seed: int = 0,
+                       utilization: float = 3.0, slo_slack: float = 4.0) -> tuple:
+    """One fully-observed crash run; optionally write its Chrome trace JSON.
+
+    Replays the same saturating-trace construction as :func:`chaos_bench`
+    through a single fleet under the ``crash`` profile, with a full
+    :class:`~repro.obs.Observability` bundle attached and an autoscaler
+    pinned at ``min_replicas=num_replicas`` — so the crash repair shows up
+    as explicit ``scale:up`` events.  The export puts the router's instants
+    (faults, reroutes, scale decisions) and every replica's per-request
+    spans on one shared virtual timeline that Perfetto loads directly.
+
+    Returns ``(report, obs)``; when ``path`` is given the trace-event JSON
+    is also written there (the ``repro chaos-bench --trace-out`` artifact,
+    readable by ``repro obs-report``).
+    """
+    workload = workload or WorkloadConfig()
+    template = replica or ReplicaConfig()
+    baseline = dataclasses.replace(template, kv_spec=None, weight_spec=None)
+    arrival_rate = saturating_arrival_rate(model.config, baseline, workload,
+                                           utilization=utilization)
+    workload = dataclasses.replace(workload, arrival_rate=arrival_rate)
+    slo = derived_slo(model.config, baseline, workload, slo_slack=slo_slack)
+    requests = generate_trace(model.config.vocab_size, workload)
+    horizon = fault_horizon(model.config, baseline, workload, num_replicas)
+    schedule = FaultSchedule.generate(get_profile("crash"), num_replicas,
+                                      horizon, seed=seed)
+    obs = Observability.enabled()
+    fleet = tuple(template for _ in range(num_replicas))
+    autoscaler = AutoscalerConfig(min_replicas=num_replicas,
+                                  max_replicas=num_replicas + 2)
+    simulation = ClusterSimulation(
+        model, ClusterConfig(replicas=fleet, policy=policy, slo=slo, seed=seed,
+                             faults=schedule, max_retries=max_retries,
+                             autoscaler=autoscaler), obs=obs)
+    report = simulation.run(requests)
+    if path is not None:
+        obs.tracer.write(path)
+    return report, obs
+
+
 def run(fast=None, profiles=None, policies=None, replica_counts=None,
-        num_requests=None, max_retries: int = 2, seed: int = 0) -> ExperimentResult:
+        num_requests=None, max_retries: int = 2, seed: int = 0,
+        trace_path=None) -> ExperimentResult:
     """Fleet chaos recovery: crash/slow/partition faults x routing policy x fleet size.
 
     The registered ``chaos_bench`` experiment driver (the pipeline calls it
@@ -175,6 +223,13 @@ def run(fast=None, profiles=None, policies=None, replica_counts=None,
                        replica_counts=tuple(replica_counts), workload=workload,
                        replica=template, max_retries=max_retries, seed=seed,
                        schedules=schedules)
+    extra_metadata = {}
+    if trace_path is not None:
+        export_chaos_trace(model, trace_path, workload=workload, replica=template,
+                           num_replicas=min(replica_counts),
+                           policy=tuple(policies)[0],
+                           max_retries=max_retries, seed=seed)
+        extra_metadata["trace_path"] = str(trace_path)
     return ExperimentResult(
         experiment_id="Chaos-Bench",
         title=f"Fleet chaos recovery of {model_name}: fault profile x policy x fleet size",
@@ -208,5 +263,6 @@ def run(fast=None, profiles=None, policies=None, replica_counts=None,
             "schedules": schedules,
             "profile_shapes": {get_profile(p).name: get_profile(p).to_dict()
                                for p in profiles},
+            **extra_metadata,
         },
     )

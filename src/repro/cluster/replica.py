@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.accelerator.roofline import RooflineModel, matmul_arithmetic_intensity
 from repro.accelerator.workloads import decoder_workload
 from repro.hardware.technology import TSMC28_LIKE
 from repro.llm.inference import InferenceModel, QuantizationScheme
+from repro.obs import Observability
 from repro.serve.engine import EngineConfig, ServeEngine, VirtualClock
 
 __all__ = ["ReplicaConfig", "Replica", "decode_time_per_token"]
@@ -49,14 +51,14 @@ class ReplicaConfig:
     token is priced at.
     """
 
-    kv_spec: str = None
-    weight_spec: str = None
+    kv_spec: Optional[str] = None
+    weight_spec: Optional[str] = None
     max_batch_size: int = 4
-    token_budget: int = None
-    max_seq_len: int = None
+    token_budget: Optional[int] = None
+    max_seq_len: Optional[int] = None
     kv_backend: str = "paged"
     kv_page_size: int = 16
-    num_kv_blocks: int = None
+    num_kv_blocks: Optional[int] = None
     pe_rows: int = 32
     pe_cols: int = 32
     dram_gbytes_per_s: float = 25.6
@@ -89,7 +91,7 @@ def _storage_bits(spec) -> float:
     return float(get_quantizer(spec).bits_per_element())
 
 
-def decode_time_per_token(model_config, config: ReplicaConfig = None) -> float:
+def decode_time_per_token(model_config, config: Optional[ReplicaConfig] = None) -> float:
     """Roofline seconds one decode token costs on a replica's hardware.
 
     Builds the decode-phase operator list of one decoder layer stack
@@ -122,7 +124,8 @@ class Replica:
     """One engine of a cluster, stepped externally on its own virtual clock."""
 
     def __init__(self, replica_id: int, model: InferenceModel,
-                 config: ReplicaConfig = None, start_time: float = 0.0):
+                 config: Optional[ReplicaConfig] = None, start_time: float = 0.0,
+                 obs: Optional[Observability] = None):
         self.replica_id = int(replica_id)
         self.config = config or ReplicaConfig()
         if self.config.weight_spec is not None:
@@ -133,7 +136,11 @@ class Replica:
         self.clock = VirtualClock(time_per_token=self.time_per_token)
         self.clock.wait_until(start_time)
         self.start_time = float(start_time)
-        self.engine = ServeEngine(model, self.config.engine_config(), clock=self.clock)
+        self.obs = obs
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.name_track(obs.track, f"replica {self.replica_id}")
+        self.engine = ServeEngine(model, self.config.engine_config(),
+                                  clock=self.clock, obs=obs)
         self.draining = False
         self.retired = False
         self.crashed = False
@@ -142,7 +149,7 @@ class Replica:
         self._partitions = []
 
     # -------------------------------------------------------- engine facade
-    def submit(self, request, not_before: float = None) -> None:
+    def submit(self, request, not_before: Optional[float] = None) -> None:
         self.engine.submit(request, not_before=not_before)
 
     def step(self) -> list:
@@ -188,7 +195,7 @@ class Replica:
         return self.clock.now()
 
     # -------------------------------------------------------------- faults
-    def crash(self, time_s: float = None) -> list:
+    def crash(self, time_s: Optional[float] = None) -> list:
         """Kill the replica and return its orphaned in-flight requests.
 
         Everything the replica held dies with it: active decode slots,

@@ -50,12 +50,14 @@ import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.stats import load_imbalance, percentile_summary
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
 from repro.cluster.chaos import FaultSchedule
 from repro.cluster.replica import Replica, ReplicaConfig
 from repro.cluster.router import get_policy
+from repro.obs import Observability, invariant_violation
 
 __all__ = ["SLOConfig", "ClusterConfig", "ClusterSimulation", "ClusterReport",
            "homogeneous_fleet"]
@@ -70,8 +72,8 @@ class SLOConfig:
     fleet goodput counts only attaining requests.
     """
 
-    ttft_s: float = None
-    latency_s: float = None
+    ttft_s: Optional[float] = None
+    latency_s: Optional[float] = None
 
     def __post_init__(self):
         if self.ttft_s is not None and self.ttft_s <= 0:
@@ -111,9 +113,9 @@ class ClusterConfig:
     replicas: tuple
     policy: str = "round_robin"
     slo: SLOConfig = field(default_factory=SLOConfig)
-    autoscaler: AutoscalerConfig = None
+    autoscaler: Optional[AutoscalerConfig] = None
     seed: int = 0
-    faults: FaultSchedule = None
+    faults: Optional[FaultSchedule] = None
     max_retries: int = 2
 
     def __post_init__(self):
@@ -237,11 +239,47 @@ class ClusterReport:
 class ClusterSimulation:
     """Drive one fleet over one request trace, deterministically."""
 
-    def __init__(self, model, config: ClusterConfig):
+    #: Trace track 0 is the router/fleet timeline; replica ``r`` gets track
+    #: ``r + 1`` (see :meth:`_replica_obs`), so one export shows the router's
+    #: instants above every replica's request spans.
+    ROUTER_TRACK = 0
+
+    def __init__(self, model, config: ClusterConfig,
+                 obs: Optional[Observability] = None):
         self.model = model
         self.config = config
         self.policy = get_policy(config.policy, seed=config.seed)
-        self.replicas = [Replica(index, model, replica_config)
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._tracer = self.obs.tracer
+        self._recorder = self.obs.recorder
+        if self._tracer is not None:
+            self._tracer.name_track(self.ROUTER_TRACK, "router")
+        registry = self.obs.registry
+        labels = self.obs.labels
+        self._m_dispatched = registry.counter(
+            "cluster_dispatches_total", "Arrivals routed to a replica", labels)
+        self._m_rerouted = registry.counter(
+            "cluster_reroutes_total",
+            "Crash-orphaned requests pushed back through the router", labels)
+        self._m_deferred = registry.counter(
+            "cluster_deferred_arrivals_total",
+            "Arrivals held at the router until a partition heals", labels)
+        self._m_lost = registry.counter(
+            "cluster_requests_lost_total", "Explicitly recorded losses", labels)
+        self._m_faults = {
+            kind: registry.counter("cluster_faults_total",
+                                   "Injected faults that applied",
+                                   dict(labels, kind=kind))
+            for kind in ("crash", "slow", "partition")
+        }
+        self._m_scale = {
+            action: registry.counter("cluster_scale_events_total",
+                                     "Autoscaler decisions",
+                                     dict(labels, action=action))
+            for action in ("up", "down")
+        }
+        self.replicas = [Replica(index, model, replica_config,
+                                 obs=self._replica_obs(index))
                          for index, replica_config in enumerate(config.replicas)]
         self.retired = []
         self.crashed = []
@@ -263,8 +301,23 @@ class ClusterSimulation:
         self._watches = []  # open crash-recovery windows
         self._expected_ids = []
 
+    def _replica_obs(self, replica_id: int) -> Optional[Observability]:
+        """Per-replica view of the shared bundle (or ``None`` when disabled).
+
+        Every replica shares the registry (series split by the ``replica``
+        label), the tracer (own track: replica id + 1, so track 0 stays the
+        router's) and the flight recorder.
+        """
+        if not self.obs.is_enabled:
+            return None
+        return self.obs.for_track(replica_id + 1, replica=f"r{replica_id}")
+
+    def _record(self, time_s: float, kind: str, **fields) -> None:
+        if self._recorder is not None:
+            self._recorder.record(time_s, kind, **fields)
+
     # ------------------------------------------------------------ event loop
-    def run(self, requests, max_steps: int = None) -> ClusterReport:
+    def run(self, requests, max_steps: Optional[int] = None) -> ClusterReport:
         """Replay ``requests`` (any order) through the fleet; returns the report.
 
         Raises ``RuntimeError`` if the run violates a chaos invariant:
@@ -353,6 +406,13 @@ class ClusterSimulation:
                 # every routable replica is partitioned: hold the request at
                 # the router and retry at the earliest heal instant
                 self._push_arrival(wake, request, attempt)
+                self._m_deferred.inc()
+                self._record(time_s, "deferred",
+                             request_id=request.request_id, until=wake)
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "deferred", time_s, self.ROUTER_TRACK,
+                        args={"request_id": request.request_id, "until": wake})
                 return
             fallback = [replica for replica in self.replicas
                         if replica.draining and replica.reachable(time_s)]
@@ -362,7 +422,21 @@ class ClusterSimulation:
             candidates = fallback  # a draining replica beats losing the request
         # the delivery instant floors admission: a rerouted orphan or a
         # deferred arrival must not be admitted before the router had it
-        self.policy.choose(request, candidates).submit(request, not_before=time_s)
+        target = self.policy.choose(request, candidates)
+        target.submit(request, not_before=time_s)
+        self._m_dispatched.inc()
+        if attempt > 0:
+            self._m_rerouted.inc()
+            self._record(time_s, "reroute", request_id=request.request_id,
+                         attempt=attempt, replica_id=target.replica_id)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "reroute", time_s, self.ROUTER_TRACK,
+                    args={"request_id": request.request_id, "attempt": attempt,
+                          "replica_id": target.replica_id})
+        else:
+            self._record(time_s, "dispatch", request_id=request.request_id,
+                         replica_id=target.replica_id)
 
     # ----------------------------------------------------------------- chaos
     def _apply_fault(self, point) -> None:
@@ -382,6 +456,11 @@ class ClusterSimulation:
             # the fault log still mirrors the schedule one-for-one
             self._fault_log.append(log)
             return
+        self._m_faults[event.kind].inc()
+        self._record(time_s, f"fault:{event.kind}", replica_id=event.replica_id)
+        if self._tracer is not None:
+            self._tracer.instant(f"fault:{event.kind}", time_s, self.ROUTER_TRACK,
+                                 args={"replica_id": event.replica_id})
         if action == "crash":
             orphans = replica.crash(time_s)
             self.replicas.remove(replica)
@@ -413,6 +492,12 @@ class ClusterSimulation:
         self._lost.append({"request_id": request.request_id, "reason": reason,
                            "time_s": time_s, "retries": attempt})
         self._note_terminal(request.request_id, time_s)
+        self._m_lost.inc()
+        self._record(time_s, "lost", request_id=request.request_id, reason=reason)
+        if self._tracer is not None:
+            self._tracer.instant("lost", time_s, self.ROUTER_TRACK,
+                                 args={"request_id": request.request_id,
+                                       "reason": reason})
 
     def _note_terminal(self, request_id, time_s: float) -> None:
         """Close crash-recovery windows: a watched orphan reached a terminal state."""
@@ -423,20 +508,28 @@ class ClusterSimulation:
                                                  time_s - watch["time_s"])
 
     def _verify_run(self) -> None:
-        """Enforce the chaos invariants; raise rather than report quietly."""
+        """Enforce the chaos invariants; raise rather than report quietly.
+
+        When a flight recorder is attached, the raised
+        :class:`~repro.obs.recorder.InvariantViolation` (a ``RuntimeError``
+        subclass, so existing handlers keep working) automatically carries
+        the recorder's recent-event window — the forensic context of how the
+        run got into the bad state.
+        """
         terminal = sorted([c.request.request_id for _, c in self.completed]
                           + [entry["request_id"] for entry in self._lost])
         if terminal != sorted(self._expected_ids):
-            raise RuntimeError(
+            raise invariant_violation(
                 "conservation violation: submitted requests and terminal states "
                 f"disagree ({len(self._expected_ids)} submitted, "
-                f"{len(self.completed)} completed, {len(self._lost)} lost)")
+                f"{len(self.completed)} completed, {len(self._lost)} lost)",
+                self._recorder)
         for replica in self.replicas + self.retired:
             audit = replica.engine.audit_kv_pages()
             if audit["leaked"]:
-                raise RuntimeError(
+                raise invariant_violation(
                     f"replica {replica.replica_id} leaked KV pages after the "
-                    f"run: {audit['leaked']}")
+                    f"run: {audit['leaked']}", self._recorder)
 
     # ------------------------------------------------------------- autoscale
     def _routable(self) -> list:
@@ -451,11 +544,13 @@ class ClusterSimulation:
         )
         if action == "up":
             replica = Replica(self._next_replica_id, self.model,
-                              self.config.replicas[0], start_time=now)
+                              self.config.replicas[0], start_time=now,
+                              obs=self._replica_obs(self._next_replica_id))
             self._next_replica_id += 1
             self.replicas.append(replica)
             self.scale_events.append(
                 {"time_s": now, "action": "up", "replica_id": replica.replica_id})
+            self._note_scale_event(now, "up", replica.replica_id)
         elif action == "down":
             # drain the least-loaded routable replica: admitted work finishes,
             # nothing new is routed to it, retired once empty
@@ -463,6 +558,14 @@ class ClusterSimulation:
             victim.draining = True
             self.scale_events.append(
                 {"time_s": now, "action": "down", "replica_id": victim.replica_id})
+            self._note_scale_event(now, "down", victim.replica_id)
+
+    def _note_scale_event(self, now: float, action: str, replica_id: int) -> None:
+        self._m_scale[action].inc()
+        self._record(now, f"scale:{action}", replica_id=replica_id)
+        if self._tracer is not None:
+            self._tracer.instant(f"scale:{action}", now, self.ROUTER_TRACK,
+                                 args={"replica_id": replica_id})
 
     def _retire_drained(self) -> None:
         for replica in [r for r in self.replicas if r.draining and not r.has_work]:

@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.gateway import session as session_states
 from repro.gateway.session import Session, terminal_state_for
 from repro.gateway.shedding import AdmissionGate, ShedConfig
+from repro.obs import Observability
 from repro.serve.engine import Request
 
 __all__ = ["GatewayConfig", "Gateway", "GatewayDraining"]
@@ -56,7 +58,7 @@ class GatewayConfig:
     max_queue_depth: int = 32
     shed_policy: str = "reject"
     load_factor: float = 2.0
-    default_timeout_s: float = None
+    default_timeout_s: Optional[float] = None
     drain_timeout_s: float = 10.0
     idle_poll_s: float = 0.02
 
@@ -76,7 +78,8 @@ class GatewayConfig:
 class Gateway:
     """Async facade over one :class:`~repro.serve.engine.ServeEngine`."""
 
-    def __init__(self, engine, config: GatewayConfig = None):
+    def __init__(self, engine, config: Optional[GatewayConfig] = None,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.config = config or GatewayConfig()
         self.gate = AdmissionGate(self.config.shed_config())
@@ -88,8 +91,40 @@ class Gateway:
         self._stopped = False
         self.counters = {"submitted": 0, "completed": 0, "shed": 0,
                          "cancelled": 0, "timed_out": 0}
+        # default to the engine's bundle so one registry carries both the
+        # gateway_* counters and the engine_* series (one /metrics scrape)
+        self.obs = obs if obs is not None else engine.obs
+        self._tracer = self.obs.tracer
+        registry = self.obs.registry
+        labels = self.obs.labels
+        self._m_counters = {
+            key: registry.counter(f"gateway_{key}_total", help_text, labels)
+            for key, help_text in (
+                ("submitted", "Sessions opened (admitted or shed)"),
+                ("completed", "Sessions that finished generation"),
+                ("shed", "Sessions refused or displaced by the admission gate"),
+                ("cancelled", "Sessions cancelled by the client or at drain"),
+                ("timed_out", "Sessions that hit their deadline"),
+            )
+        }
         engine.on_admit = self._on_admit
         engine.on_token = self._on_token
+
+    def _count(self, key: str) -> None:
+        self.counters[key] += 1
+        self._m_counters[key].inc()
+
+    def _trace_session(self, session: Session, at: float) -> None:
+        """One ``session`` span per terminal session, open→terminal.
+
+        Emitted once at finish time from timestamps the session already
+        carries; the engine separately traces the queued/prefill/decode
+        breakdown of admitted requests on the same track.
+        """
+        if self._tracer is not None:
+            self._tracer.complete(
+                "session", min(session.created_at, at), at, self.obs.track,
+                args={"request_id": session.request_id, "state": session.state})
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -158,11 +193,12 @@ class Gateway:
             self.engine.submit(request)     # may raise ValueError: nothing changed yet
         self._next_id += 1
         self.sessions[request.request_id] = session
-        self.counters["submitted"] += 1
+        self._count("submitted")
         if not decision.admit:
-            self.counters["shed"] += 1
+            self._count("shed")
             session.finish(session_states.SHED, at=now)
             session.shed_reason = decision.reason
+            self._trace_session(session, now)
             return session
         for victim_id in decision.victims:
             self._shed_queued(victim_id, now)
@@ -173,9 +209,10 @@ class Gateway:
         """Drop an admission-gate victim from the engine queue (state SHED)."""
         record = self.engine.cancel(request_id)
         session = self.sessions.get(request_id)
-        self.counters["shed"] += 1
+        self._count("shed")
         if session is not None and not session.is_terminal:
             session.finish(session_states.SHED, record, at=now)
+            self._trace_session(session, now)
 
     def cancel(self, request_id: int) -> bool:
         """Client-requested cancel; KV pages are released before this returns.
@@ -188,8 +225,10 @@ class Gateway:
         if session is None or session.is_terminal:
             return False
         record = self.engine.cancel(request_id)
-        self.counters["cancelled"] += 1
-        session.finish(session_states.CANCELLED, record, at=self.engine.clock.now())
+        self._count("cancelled")
+        now = self.engine.clock.now()
+        session.finish(session_states.CANCELLED, record, at=now)
+        self._trace_session(session, now)
         return True
 
     # ------------------------------------------------------- engine callbacks
@@ -211,12 +250,13 @@ class Gateway:
                 continue    # cancelled/shed through the gateway: already final
             state = terminal_state_for(record.finish_reason)
             if state == session_states.DONE:
-                self.counters["completed"] += 1
+                self._count("completed")
             elif state == session_states.TIMEOUT:
-                self.counters["timed_out"] += 1
+                self._count("timed_out")
             elif state == session_states.CANCELLED:
-                self.counters["cancelled"] += 1
+                self._count("cancelled")
             session.finish(state, record, at=record.finish_time)
+            self._trace_session(session, record.finish_time)
 
     # ------------------------------------------------------------------ pump
     async def pump(self) -> None:
@@ -267,6 +307,8 @@ class Gateway:
             "token_budget": engine.token_budget,
             "kv_pages_in_use": engine.cache.pages_in_use,
             "kv_hit_rate": engine.kv_hit_rate,
+            "reused_tokens": engine.reused_tokens,
+            "peak_pages_in_use": engine.peak_pages_in_use,
             "sessions": len(self.sessions),
             **self.counters,
         }

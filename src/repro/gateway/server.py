@@ -32,9 +32,21 @@ Endpoints
     Live load signals: queue depth, active requests, projected KV load vs
     budget, pages in use, prefix hit rate, and the shed/cancel counters.
 
+``GET /metrics``
+    Prometheus text exposition (format 0.0.4) of the gateway's metrics
+    registry.  Because the gateway shares its registry with the engine, one
+    scrape covers both the ``gateway_*`` session counters and the
+    ``engine_*`` token/latency series.  Empty (but valid) output when the
+    gateway was built without an enabled :class:`~repro.obs.Observability`.
+
 Streaming backpressure is per-connection: the handler ``await``s
 ``writer.drain()`` after every event, so a slow client throttles only its
 own socket buffer while the engine keeps stepping for everyone else.
+
+Pass ``access_log`` (any ``str -> None`` callable, e.g. ``print`` or
+``logger.info``) to get one structured JSON line per handled request:
+``{"event": "http_access", "method": ..., "path": ..., "status": ...,
+"duration_ms": ...}``.
 """
 
 from __future__ import annotations
@@ -42,6 +54,8 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import time
+from typing import Callable, Optional
 
 from repro.gateway.driver import Gateway, GatewayDraining
 from repro.gateway.session import SHED
@@ -79,10 +93,12 @@ class _BadRequest(ValueError):
 class GatewayServer:
     """Bind a :class:`Gateway` to a TCP port (see module docstring)."""
 
-    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0,
+                 access_log: Optional[Callable[[str], None]] = None):
         self.gateway = gateway
         self.host = host
         self.port = port            # 0 = ephemeral; real port filled in by start()
+        self.access_log = access_log
         self._server = None
 
     # -------------------------------------------------------------- lifecycle
@@ -103,13 +119,16 @@ class GatewayServer:
     # ------------------------------------------------------------ HTTP plumbing
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        method, path, status = "-", "-", 0
         try:
             try:
                 method, path, headers, body = await self._read_request(reader)
             except (_BadRequest, asyncio.IncompleteReadError, ConnectionError) as err:
                 writer.write(_json_response(400, "Bad Request", {"error": str(err)}))
+                status = 400
                 return
-            await self._route(method, path, headers, body, writer)
+            status = await self._route(method, path, headers, body, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass                    # client went away mid-response: their call
         finally:
@@ -118,6 +137,16 @@ class GatewayServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
             writer.close()
+            self._log_access(method, path, status, time.perf_counter() - started)
+
+    def _log_access(self, method: str, path: str, status: int,
+                    duration_s: float) -> None:
+        if self.access_log is None:
+            return
+        self.access_log(json.dumps(
+            {"event": "http_access", "method": method, "path": path,
+             "status": status, "duration_ms": round(duration_s * 1e3, 3)},
+            sort_keys=True))
 
     async def _read_request(self, reader: asyncio.StreamReader):
         try:
@@ -143,22 +172,29 @@ class GatewayServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
-    async def _route(self, method, path, headers, body, writer) -> None:
+    async def _route(self, method, path, headers, body, writer) -> int:
         if method == "GET" and path == "/healthz":
             if self.gateway.draining:
                 writer.write(_json_response(503, "Service Unavailable",
                                             {"status": "draining"}))
-            else:
-                writer.write(_json_response(200, "OK", {"status": "ok"}))
-        elif method == "GET" and path == "/stats":
+                return 503
+            writer.write(_json_response(200, "OK", {"status": "ok"}))
+            return 200
+        if method == "GET" and path == "/stats":
             writer.write(_json_response(200, "OK", self.gateway.stats()))
-        elif method == "POST" and path == "/v1/generate":
-            await self._generate(body, writer)
-        elif method == "POST" and path.startswith("/v1/cancel/"):
-            self._cancel(path, writer)
-        else:
-            writer.write(_json_response(404, "Not Found",
-                                        {"error": f"no route for {method} {path}"}))
+            return 200
+        if method == "GET" and path == "/metrics":
+            body_bytes = self.gateway.obs.registry.to_prometheus().encode("utf-8")
+            writer.write(_response(200, "OK", body_bytes,
+                                   "text/plain; version=0.0.4; charset=utf-8"))
+            return 200
+        if method == "POST" and path == "/v1/generate":
+            return await self._generate(body, writer)
+        if method == "POST" and path.startswith("/v1/cancel/"):
+            return self._cancel(path, writer)
+        writer.write(_json_response(404, "Not Found",
+                                    {"error": f"no route for {method} {path}"}))
+        return 404
 
     # --------------------------------------------------------------- handlers
     @staticmethod
@@ -176,31 +212,31 @@ class GatewayServer:
             raise _BadRequest(f"unknown fields: {sorted(unknown)}")
         return payload
 
-    async def _generate(self, body: bytes, writer) -> None:
+    async def _generate(self, body: bytes, writer) -> int:
         try:
             payload = self._parse_generate(body)
             stream = bool(payload.pop("stream", False))
             session = self.gateway.submit(**payload)
         except _BadRequest as err:
             writer.write(_json_response(400, "Bad Request", {"error": str(err)}))
-            return
+            return 400
         except GatewayDraining as err:
             writer.write(_json_response(503, "Service Unavailable",
                                         {"error": str(err)}))
-            return
+            return 503
         except (TypeError, ValueError) as err:
             writer.write(_json_response(400, "Bad Request", {"error": str(err)}))
-            return
+            return 400
         if session.state == SHED:
             writer.write(_json_response(
                 429, "Too Many Requests",
                 {"error": "shed", "request_id": session.request_id,
                  "reason": session.shed_reason},
                 extra_headers=("Retry-After: 1",)))
-            return
+            return 429
         if stream:
             await self._stream_session(session, writer)
-            return
+            return 200
         record = await session.wait()
         if session.state == SHED:
             # displaced later by a drop_oldest/deadline newcomer, not at the gate
@@ -209,11 +245,12 @@ class GatewayServer:
                 {"error": "shed", "request_id": session.request_id,
                  "reason": session.shed_reason or "displaced by admission policy"},
                 extra_headers=("Retry-After: 1",)))
-            return
+            return 429
         writer.write(_json_response(200, "OK", {
             **session.to_dict(),
             "prompt_tokens": list(record.request.prompt_tokens),
         }))
+        return 200
 
     async def _stream_session(self, session, writer) -> None:
         head = ("HTTP/1.1 200 OK\r\n"
@@ -236,23 +273,24 @@ class GatewayServer:
                                                 "state": state}))
             await writer.drain()
 
-    def _cancel(self, path: str, writer) -> None:
+    def _cancel(self, path: str, writer) -> int:
         suffix = path[len("/v1/cancel/"):]
         try:
             request_id = int(suffix)
         except ValueError:
             writer.write(_json_response(400, "Bad Request",
                                         {"error": f"bad request id {suffix!r}"}))
-            return
+            return 400
         cancelled = self.gateway.cancel(request_id)
         writer.write(_json_response(200, "OK",
                                     {"request_id": request_id,
                                      "cancelled": cancelled}))
+        return 200
 
 
 async def serve_gateway(gateway: Gateway, host: str = "127.0.0.1", port: int = 8100,
                         ready=None, stop_signals=(signal.SIGTERM, signal.SIGINT),
-                        announce=print) -> dict:
+                        announce=print, access_log=None) -> dict:
     """Run a gateway server until SIGTERM/SIGINT; returns the final stats.
 
     The CLI entry point: binds, announces ``gateway listening on host:port``
@@ -261,7 +299,7 @@ async def serve_gateway(gateway: Gateway, host: str = "127.0.0.1", port: int = 8
     completes.  ``ready`` (an :class:`asyncio.Event`) is set once the socket
     is bound — the in-process bench path uses it instead of parsing stdout.
     """
-    server = GatewayServer(gateway, host=host, port=port)
+    server = GatewayServer(gateway, host=host, port=port, access_log=access_log)
     await server.start()
     if announce is not None:
         announce(f"gateway listening on {server.host}:{server.port}")

@@ -1,0 +1,312 @@
+"""In-process metrics: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds every series the stack emits.  The design
+constraint — inherited from the overhead budget that sank the first attempt
+at this layer — is *pay-for-what-you-use*:
+
+* hot-path updates are plain attribute arithmetic on pre-looked-up metric
+  objects (``counter.inc(n)`` is one addition; nothing is formatted, hashed
+  or locked per update — callers resolve their metrics once at setup, never
+  per token);
+* histograms bucket on insert (one ``bisect`` into a precomputed boundary
+  tuple) and defer *all* aggregation — means, rendering, cumulative bucket
+  sums — to :meth:`MetricsRegistry.snapshot` / :meth:`to_prometheus` time;
+* a disabled registry is the :data:`NULL_REGISTRY` null object: every method
+  returns a shared no-op metric whose ``inc``/``set``/``observe`` do nothing,
+  so library code can instrument unconditionally and still cost near zero
+  when observability is off.
+
+Snapshots are deterministic: series are emitted sorted by ``(name, labels)``
+regardless of registration order, and every stored value is derived from
+caller-provided numbers (no wall-clock reads happen in this module), so two
+identical virtual-clock runs produce byte-identical ``snapshot()`` dicts.
+
+:meth:`MetricsRegistry.to_prometheus` renders the text exposition format
+version 0.0.4 (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value``
+lines, histogram ``_bucket``/``_sum``/``_count`` expansion with cumulative
+``le`` buckets) — what a Prometheus server scrapes off the gateway's
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetric", "NullRegistry", "NULL_REGISTRY",
+           "DEFAULT_LATENCY_BUCKETS"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram boundaries for latency-like observations in seconds:
+#: sub-millisecond to minutes, roughly logarithmic, fixed so histograms from
+#: different runs are always mergeable/comparable bucket-for-bucket.
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                           0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(labels) -> tuple:
+    """Normalise a labels mapping into a sorted, hashable key."""
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+class Counter:
+    """Monotonically increasing count (tokens processed, requests finished)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge for ±deltas")
+        self.value += n
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, pages in use)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def dec(self, n=1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket distribution (latencies); cumulative sums deferred to read.
+
+    ``buckets`` are the upper bounds of the finite buckets; one overflow
+    bucket (``+Inf``) is implicit.  ``observe`` is one bisect plus three
+    increments — no allocation, no percentile math until snapshot time.
+    """
+
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "", labels: tuple = (),
+                 buckets=DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last (read-time)."""
+        total = 0
+        out = []
+        for bound, count in zip(self.buckets + (float("inf"),), self.counts):
+            total += count
+            out.append((bound, total))
+        return out
+
+
+class NullMetric:
+    """No-op stand-in for every metric type; the disabled hot path."""
+
+    __slots__ = ()
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_METRIC = NullMetric()
+
+
+class NullRegistry:
+    """A disabled registry: every lookup returns the shared no-op metric.
+
+    Lets call sites keep one code path — resolve metrics at setup, update
+    unconditionally — while a disabled configuration costs one empty method
+    call per update and produces empty snapshots/expositions.
+    """
+
+    def counter(self, name, help="", labels=None) -> NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name, help="", labels=None) -> NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name, help="", labels=None, buckets=None) -> NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+class MetricsRegistry:
+    """Registry of named metric series, keyed on ``(name, sorted labels)``.
+
+    Lookups are memoized: asking for the same (name, labels) twice returns
+    the same object, so modules sharing a registry accumulate into shared
+    series (the cluster gives every replica the same registry with a
+    ``replica`` label).  Re-registering a name as a different metric type is
+    an error — a typo that would otherwise silently split a series.
+    """
+
+    def __init__(self):
+        self._metrics = {}   # (name, labels) -> metric
+        self._types = {}     # name -> class
+        self._help = {}      # name -> help text
+
+    def _get(self, cls, name, help, labels, **kwargs):
+        _check_name(name)
+        key = (name, _check_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if self._types[name] is not cls:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a "
+                    f"{self._types[name].__name__}, not a {cls.__name__}")
+            return metric
+        if name in self._types and self._types[name] is not cls:
+            raise ValueError(
+                f"metric {name!r} is already registered as a "
+                f"{self._types[name].__name__}, not a {cls.__name__}")
+        metric = cls(name, help=help, labels=key[1], **kwargs)
+        self._metrics[key] = metric
+        self._types[name] = cls
+        if help:
+            self._help.setdefault(name, help)
+        return metric
+
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels=None,
+                  buckets=DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> dict:
+        """Deterministic plain-dict dump of every series (sorted, JSON-ready).
+
+        Keys are ``name`` or ``name{k=v,...}`` with labels sorted; histogram
+        values expand to ``{"buckets": [[le, cumulative], ...], "sum",
+        "count"}``.  Independent of registration order, so two identical
+        runs produce byte-identical JSON.
+        """
+        out = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            key = name
+            if labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            if isinstance(metric, Histogram):
+                out[key] = {
+                    "buckets": [["+Inf" if bound == float("inf") else bound, total]
+                                for bound, total in metric.cumulative()],
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+            else:
+                out[key] = metric.value
+        return out
+
+    # ------------------------------------------------------------ exposition
+    @staticmethod
+    def _label_str(labels, extra=()) -> str:
+        items = list(labels) + list(extra)
+        if not items:
+            return ""
+        def escape(value):
+            return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+                    .replace("\n", "\\n"))
+        body = ",".join(f'{k}="{escape(v)}"' for k, v in items)
+        return "{" + body + "}"
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if value == float("inf"):
+            return "+Inf"
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return repr(value) if isinstance(value, float) else str(value)
+
+    def to_prometheus(self) -> str:
+        """Text exposition format 0.0.4 (the ``GET /metrics`` body)."""
+        type_names = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+        by_name = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append(metric)
+        lines = []
+        for name in sorted(by_name):
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {type_names[self._types[name]]}")
+            for metric in by_name[name]:
+                if isinstance(metric, Histogram):
+                    for bound, total in metric.cumulative():
+                        label_str = self._label_str(
+                            metric.labels, extra=[("le", self._fmt(bound))])
+                        lines.append(f"{name}_bucket{label_str} {total}")
+                    label_str = self._label_str(metric.labels)
+                    lines.append(f"{name}_sum{label_str} {self._fmt(metric.sum)}")
+                    lines.append(f"{name}_count{label_str} {metric.count}")
+                else:
+                    label_str = self._label_str(metric.labels)
+                    lines.append(f"{name}{label_str} {self._fmt(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")

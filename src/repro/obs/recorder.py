@@ -1,0 +1,105 @@
+"""Bounded flight recorder: the last N events before something went wrong.
+
+A :class:`FlightRecorder` is a fixed-capacity ring of recent structured
+events (dispatches, faults, retirements, scale decisions...).  Recording is
+one ``deque.append`` of a dict — cheap enough to leave on during chaos
+stress runs — and the ring bounds memory no matter how long the run.
+
+Its purpose is forensic: when chaos invariant enforcement or the KV-page
+audit raises, the raiser wraps the error in :class:`InvariantViolation`
+(:func:`invariant_violation`), which *automatically* attaches the
+recorder's contents — the exception carries the full ring in
+``.flight_recorder``, its message ends with the last few events, and
+:meth:`InvariantViolation.write_dump` saves the complete ring as JSON for
+offline analysis.  A conservation bug is thus reported with the event
+context that produced it, not just the final tally.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from repro.core.ioutils import atomic_write_text
+
+__all__ = ["FlightRecorder", "InvariantViolation", "invariant_violation"]
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of recent ``{"t", "kind", ...}`` events."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._events = deque(maxlen=self.capacity)
+        self._recorded = 0
+
+    def record(self, t: float, kind: str, **fields) -> None:
+        """Append one event; oldest events fall off past ``capacity``."""
+        event = {"t": float(t), "kind": str(kind)}
+        event.update(fields)
+        self._events.append(event)
+        self._recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (≥ ``len``; the ring keeps the newest)."""
+        return self._recorded
+
+    def events(self) -> list:
+        """Oldest-to-newest copy of the retained window."""
+        return [dict(event) for event in self._events]
+
+    def last(self, n: int) -> list:
+        """The ``n`` most recent events, oldest first."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        window = list(self._events)
+        return [dict(event) for event in window[len(window) - min(n, len(window)):]]
+
+    def to_json(self) -> str:
+        return json.dumps({"capacity": self.capacity, "recorded": self._recorded,
+                           "events": self.events()}, default=float)
+
+    def write(self, path) -> None:
+        """Atomically dump the retained window as JSON."""
+        atomic_write_text(path, self.to_json())
+
+
+class InvariantViolation(RuntimeError):
+    """A run-enforced invariant failed; carries the flight-recorder window.
+
+    ``flight_recorder`` is the recorder's retained event list at raise time
+    (empty when the run had no recorder).  The message is the underlying
+    violation followed by a short tail of recent events, so the context
+    travels with the traceback even when nobody inspects the attribute.
+    """
+
+    def __init__(self, message: str, flight_recorder=None):
+        self.flight_recorder = list(flight_recorder or [])
+        if self.flight_recorder:
+            tail = self.flight_recorder[-5:]
+            rendered = "; ".join(
+                f"[{event['t']:.6f}] {event['kind']}"
+                + ("".join(f" {k}={v}" for k, v in event.items()
+                           if k not in ("t", "kind")))
+                for event in tail)
+            message = (f"{message}\nflight recorder "
+                       f"({len(self.flight_recorder)} events retained, "
+                       f"last {len(tail)}): {rendered}")
+        super().__init__(message)
+
+    def write_dump(self, path) -> None:
+        """Save the attached window as JSON (offline forensics)."""
+        atomic_write_text(path, json.dumps({"events": self.flight_recorder},
+                                           default=float))
+
+
+def invariant_violation(message: str, recorder: FlightRecorder = None) -> InvariantViolation:
+    """Build an :class:`InvariantViolation` with the recorder auto-attached."""
+    return InvariantViolation(
+        message, flight_recorder=recorder.events() if recorder is not None else None)

@@ -35,12 +35,16 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.core.stats import percentile_summary
 from repro.llm.inference import InferenceModel
 from repro.llm.sampling import sample_token
+from repro.obs import Observability
+from repro.obs.profiler import (ADMISSION, DECODE_FORWARD, PREFILL_FORWARD,
+                                RELEASE, SAMPLING)
 from repro.serve.kv_cache import KVCache, PagedKVCache
 
 __all__ = ["Request", "CompletedRequest", "EngineConfig", "ServeEngine", "ServeReport",
@@ -107,8 +111,8 @@ class Request:
     temperature: float = 0.0
     top_k: int = 0
     seed: int = 0
-    stop_token: int = None
-    deadline: float = None
+    stop_token: Optional[int] = None
+    deadline: Optional[float] = None
 
     def __post_init__(self):
         object.__setattr__(self, "prompt_tokens",
@@ -148,8 +152,8 @@ class CompletedRequest:
     generated_tokens: tuple
     finish_reason: str
     arrival_time: float
-    admitted_time: float
-    first_token_time: float
+    admitted_time: Optional[float]
+    first_token_time: Optional[float]
     finish_time: float
 
     @property
@@ -163,7 +167,7 @@ class CompletedRequest:
         return np.array(self.request.prompt_tokens + self.generated_tokens, dtype=np.int64)
 
     @property
-    def time_to_first_token_s(self) -> float:
+    def time_to_first_token_s(self) -> Optional[float]:
         if self.first_token_time is None:
             return None
         return self.first_token_time - self.arrival_time
@@ -224,12 +228,12 @@ class EngineConfig:
     """
 
     max_batch_size: int = 8
-    token_budget: int = None
-    kv_spec: str = None
-    max_seq_len: int = None
+    token_budget: Optional[int] = None
+    kv_spec: Optional[str] = None
+    max_seq_len: Optional[int] = None
     kv_backend: str = "paged"
     kv_page_size: int = 16
-    num_kv_blocks: int = None
+    num_kv_blocks: Optional[int] = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -266,7 +270,7 @@ class ServeReport:
     peak_active: int = 0
     reused_tokens: int = 0
     kv_backend: str = "contiguous"
-    kv_page_size: int = None
+    kv_page_size: Optional[int] = None
     peak_pages_in_use: int = 0
     kv_peak_memory_bits: float = 0.0
     cancelled: int = 0
@@ -320,8 +324,9 @@ class ServeEngine:
     front door observe admissions and sampled tokens as they happen.
     """
 
-    def __init__(self, model: InferenceModel, config: EngineConfig = None, clock=None,
-                 on_admit=None, on_token=None):
+    def __init__(self, model: InferenceModel, config: Optional[EngineConfig] = None,
+                 clock=None, on_admit=None, on_token=None,
+                 obs: Optional[Observability] = None):
         self.model = model
         self.config = config or EngineConfig()
         max_seq_len = (self.config.max_seq_len if self.config.max_seq_len is not None
@@ -353,9 +358,47 @@ class ServeEngine:
         self._peak_active = 0
         self._cancelled = 0
         self._timed_out = 0
+        # observability: metrics are resolved ONCE here and updated by plain
+        # attribute arithmetic; with a disabled bundle every self._m_* is the
+        # shared no-op metric and tracer/profiler are None (one `is not None`
+        # test per hot-path use) — the pay-for-what-you-use contract.
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._tracer = self.obs.tracer
+        self._profiler = self.obs.profiler
+        self.cache.profiler = self._profiler
+        self._pool = getattr(self.cache, "pool", None)
+        registry = self.obs.registry
+        labels = self.obs.labels
+        self._m_prefill = registry.counter(
+            "engine_prefill_tokens_total", "Prompt tokens actually prefilled", labels)
+        self._m_decode = registry.counter(
+            "engine_decode_tokens_total", "Tokens generated by batched decode", labels)
+        self._m_reused = registry.counter(
+            "engine_reused_tokens_total",
+            "Prompt tokens adopted from cached prefixes", labels)
+        self._m_steps = registry.counter(
+            "engine_steps_total", "Scheduler iterations", labels)
+        self._m_queue_depth = registry.gauge(
+            "engine_queue_depth", "Requests waiting for admission", labels)
+        self._m_active = registry.gauge(
+            "engine_active_requests", "Requests holding a cache slot", labels)
+        self._m_kv_pages = registry.gauge(
+            "engine_kv_pages_in_use", "Allocated KV pages (paged backend)", labels)
+        self._m_ttft = registry.histogram(
+            "engine_ttft_seconds", "Arrival to first sampled token", labels)
+        self._m_latency = registry.histogram(
+            "engine_request_latency_seconds",
+            "Arrival to terminal record, completed requests", labels)
+        self._m_finished = {
+            reason: registry.counter(
+                "engine_requests_finished_total",
+                "Terminal request records by finish reason",
+                dict(labels, reason=reason))
+            for reason in OK_FINISH_REASONS + ("cancelled", "timeout")
+        }
 
     # ------------------------------------------------------------ submission
-    def submit(self, request: Request, not_before: float = None) -> None:
+    def submit(self, request: Request, not_before: Optional[float] = None) -> None:
         """Queue a request (validated against the model and cache limits).
 
         ``not_before`` optionally floors the admission instant below which
@@ -461,6 +504,16 @@ class ServeEngine:
         return self._reused_tokens / seen if seen else 0.0
 
     @property
+    def reused_tokens(self) -> int:
+        """Prompt tokens adopted from cached prefixes so far."""
+        return self._reused_tokens
+
+    @property
+    def peak_pages_in_use(self) -> int:
+        """High-water mark of allocated KV pages (0 under ``contiguous``)."""
+        return self.cache.peak_pages_in_use
+
+    @property
     def next_event_time(self) -> float:
         """Engine-clock instant the next :meth:`step` would act at.
 
@@ -517,6 +570,9 @@ class ServeEngine:
             finish_time=self.clock.now(),
         )
         self._completed.append(done)
+        self._m_finished[reason].inc()
+        if self._tracer is not None:
+            self._trace_terminal(done)
         return done
 
     def _expire_queued(self, now: float) -> list:
@@ -569,6 +625,7 @@ class ServeEngine:
     def step(self) -> list:
         """One scheduling iteration; returns the requests it terminated."""
         completed_now = []
+        prof = self._profiler
         if not self._active and self._queue:
             # idle engine: fast-forward to the next arrival instead of spinning
             self.clock.wait_until(self._queue[0][0])
@@ -578,19 +635,26 @@ class ServeEngine:
         # per admission so a request arriving while an earlier prefill ran is
         # admitted this step and timestamps reflect the real admission instant
         while self._queue and self._free_slots:
+            if prof is not None:
+                _t0 = time.perf_counter()
             now = self.clock.now()
             arrival, _seq, request = self._queue[0]
             if arrival > now:
+                if prof is not None:
+                    prof.add(ADMISSION, time.perf_counter() - _t0)
                 break
             if request.deadline is not None and request.deadline < now:
                 heapq.heappop(self._queue)
                 self._timed_out += 1
                 completed_now.append(self._record_queued_termination(request, "timeout"))
+                if prof is not None:
+                    prof.add(ADMISSION, time.perf_counter() - _t0)
                 continue
-            if self.active_projected_tokens + request.projected_tokens > self.token_budget:
-                break  # head-of-line blocks until budget frees up: no starvation
-            if not self._kv_capacity_ok(request):
-                break  # head-of-line blocks until pages retire or become evictable
+            if (self.active_projected_tokens + request.projected_tokens > self.token_budget
+                    or not self._kv_capacity_ok(request)):
+                if prof is not None:
+                    prof.add(ADMISSION, time.perf_counter() - _t0)
+                break  # head-of-line blocks until budget/pages free up: no starvation
             heapq.heappop(self._queue)
             slot = self._free_slots.pop()
             state = _ActiveRequest(request, slot, admitted_time=now)
@@ -601,33 +665,52 @@ class ServeEngine:
             # adopt the longest cached prefix (paged backend) and prefill the rest
             reused = self.cache.begin_request(slot, request.prompt_tokens)
             suffix = prompt[reused:]
+            if prof is not None:
+                _t1 = time.perf_counter()
+                prof.add(ADMISSION, _t1 - _t0)
             logits = self.model.forward_step(suffix[None, :], self.cache, rows=[slot])
             # the prompt's K/V is complete: index its full pages now so
             # same-prefix requests admitted this very step already hit
             self.cache.commit_prefix(slot, request.prompt_tokens)
+            if prof is not None:
+                _t2 = time.perf_counter()
+                prof.add(PREFILL_FORWARD, _t2 - _t1)
             self._prefill_tokens += suffix.size
             self._reused_tokens += reused
+            self._m_prefill.inc(suffix.size)
+            self._m_reused.inc(reused)
             self.clock.on_tokens(suffix.size)
             state.sample(logits[0, -1])
             state.first_token_time = self.clock.now()
             self._emit_token(state)
+            if prof is not None:
+                prof.add(SAMPLING, time.perf_counter() - _t2)
             if state.finish_reason is not None:
                 completed_now.append(self._release(state))
         self._peak_active = max(self._peak_active, len(self._active))
 
         # batched decode: one new token for every active request
         if self._active:
+            if prof is not None:
+                _t0 = time.perf_counter()
             slots = sorted(self._active)
             last_tokens = np.array([[self._active[s].last_token] for s in slots],
                                    dtype=np.int64)
             logits = self.model.forward_step(last_tokens, self.cache, rows=slots)
+            if prof is not None:
+                prof.add(DECODE_FORWARD, time.perf_counter() - _t0)
             self._decode_tokens += len(slots)
+            self._m_decode.inc(len(slots))
             self.clock.on_tokens(len(slots))
             finish_time = self.clock.now()
             for index, slot in enumerate(slots):
                 state = self._active[slot]
+                if prof is not None:
+                    _t1 = time.perf_counter()
                 state.sample(logits[index, -1])
                 self._emit_token(state)
+                if prof is not None:
+                    prof.add(SAMPLING, time.perf_counter() - _t1)
                 deadline = state.request.deadline
                 if (state.finish_reason is None and deadline is not None
                         and deadline < finish_time):
@@ -636,9 +719,14 @@ class ServeEngine:
                 if state.finish_reason is not None:
                     completed_now.append(self._release(state, finish_time))
         self._steps += 1
+        self._m_steps.inc()
+        self._m_queue_depth.set(len(self._queue))
+        self._m_active.set(len(self._active))
+        if self._pool is not None:
+            self._m_kv_pages.set(self._pool.pages_in_use)
         return completed_now
 
-    def _release(self, state: _ActiveRequest, finish_time: float = None,
+    def _release(self, state: _ActiveRequest, finish_time: Optional[float] = None,
                  index_pages: bool = True) -> CompletedRequest:
         """Retire an active request: build its record, free its slot and pages.
 
@@ -647,6 +735,9 @@ class ServeEngine:
         valid); cancellation passes ``False`` so the pages are reclaimed
         outright instead of being cached on the cancelled requester's behalf.
         """
+        prof = self._profiler
+        if prof is not None:
+            _t0 = time.perf_counter()
         done = CompletedRequest(
             request=state.request,
             generated_tokens=tuple(state.generated),
@@ -665,10 +756,46 @@ class ServeEngine:
         self._free_slots.append(state.slot)
         self._free_slots.sort(reverse=True)
         self._completed.append(done)
+        if prof is not None:
+            prof.add(RELEASE, time.perf_counter() - _t0)
+        self._m_finished[done.finish_reason].inc()
+        if done.first_token_time is not None:
+            self._m_ttft.observe(done.first_token_time - done.arrival_time)
+        if done.ok:
+            self._m_latency.observe(done.latency_s)
+        if self._tracer is not None:
+            self._trace_terminal(done)
         return done
 
+    def _trace_terminal(self, done: CompletedRequest) -> None:
+        """Emit one terminal record's lifecycle spans (queued → prefill → decode).
+
+        Runs once per request, entirely from timestamps the engine already
+        tracks for its latency report — tracing adds nothing per token.
+        """
+        tracer = self._tracer
+        track = self.obs.track
+        rid = done.request.request_id
+        if done.admitted_time is None:
+            # never held a slot: one queued span ending at the terminal
+            # instant (which may precede a future nominal arrival — a
+            # cancel of a not-yet-due request — hence the clamp)
+            start = min(done.arrival_time, done.finish_time)
+            tracer.complete("queued", start, done.finish_time, track,
+                            args={"request_id": rid,
+                                  "finish_reason": done.finish_reason})
+            return
+        tracer.complete("queued", done.arrival_time, done.admitted_time, track,
+                        args={"request_id": rid})
+        tracer.complete("prefill", done.admitted_time, done.first_token_time,
+                        track, args={"request_id": rid})
+        tracer.complete("decode", done.first_token_time, done.finish_time, track,
+                        args={"request_id": rid,
+                              "finish_reason": done.finish_reason,
+                              "tokens": len(done.generated_tokens)})
+
     # ------------------------------------------------------------------- run
-    def run(self, requests=None, max_steps: int = None) -> ServeReport:
+    def run(self, requests=None, max_steps: Optional[int] = None) -> ServeReport:
         """Drive the engine until the queue drains; returns the report."""
         for request in requests or ():
             self.submit(request)

@@ -31,9 +31,12 @@ and the memory saving of a KV format are both measurable.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.llm.config import ModelConfig
+from repro.obs.profiler import PAGE_GATHER, QUANT_APPEND
 from repro.serve.paging import BlockPool, PoolExhaustedError, RadixIndex
 
 __all__ = ["KVCache", "PagedKVCache"]
@@ -46,6 +49,11 @@ UNQUANTIZED_KV_BITS = 16.0
 
 class _KVCacheBase:
     """Shared quantiser plumbing and costing of both cache layouts."""
+
+    #: Optional :class:`~repro.obs.profiler.PhaseProfiler` attached by the
+    #: owning engine; ``None`` (the class default) costs one attribute test
+    #: at each instrumented site.
+    profiler = None
 
     def __init__(self, config: ModelConfig, batch_size: int, max_seq_len: int = None,
                  kv_spec=None):
@@ -348,12 +356,18 @@ class PagedKVCache(_KVCacheBase):
                 f"append of {n_new} position(s) overflows the cache capacity "
                 f"{self.max_seq_len}"
             )
+        prof = self.profiler
         for index, row in enumerate(rows):
             row = int(row)
             start = int(starts[index])
             self._ensure_capacity(row, start + n_new)
             self._ensure_writable(row, start, n_new)
-            k_row, v_row = self._quantize_row(k_new[index], v_new[index])
+            if prof is not None:
+                _t0 = time.perf_counter()
+                k_row, v_row = self._quantize_row(k_new[index], v_new[index])
+                prof.add(QUANT_APPEND, time.perf_counter() - _t0)
+            else:
+                k_row, v_row = self._quantize_row(k_new[index], v_new[index])
             table = self._tables[row]
             offset = 0
             while offset < n_new:
@@ -375,6 +389,9 @@ class PagedKVCache(_KVCacheBase):
         zeros; like the dense cache's stale tail they are masked by the
         caller's causal mask.
         """
+        prof = self.profiler
+        if prof is not None:
+            _t0 = time.perf_counter()
         rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
         config = self.config
         shape = (len(rows), config.n_heads, context_len, config.head_dim)
@@ -394,6 +411,8 @@ class PagedKVCache(_KVCacheBase):
                 config.n_heads, -1, config.head_dim)[:, :take]
             v_out[index, :, :take] = v_pages.transpose(1, 0, 2, 3).reshape(
                 config.n_heads, -1, config.head_dim)[:, :take]
+        if prof is not None:
+            prof.add(PAGE_GATHER, time.perf_counter() - _t0)
         return k_out, v_out
 
     def advance(self, rows, n_new: int) -> None:

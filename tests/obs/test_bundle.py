@@ -1,0 +1,51 @@
+"""The Observability bundle: enabled/disabled wiring and per-track views."""
+
+from __future__ import annotations
+
+from repro.obs import (NULL_REGISTRY, FlightRecorder, MetricsRegistry,
+                       Observability, PhaseProfiler, SpanTracer)
+
+
+def test_disabled_bundle_is_inert_but_safe_to_instrument():
+    obs = Observability.disabled()
+    assert obs.registry is NULL_REGISTRY
+    assert obs.tracer is None
+    assert obs.profiler is None
+    assert obs.recorder is None
+    assert not obs.is_enabled
+    # setup code resolves metrics unconditionally; updates are no-ops
+    obs.registry.counter("tokens_total").inc(100)
+    assert obs.registry.snapshot() == {}
+
+
+def test_enabled_bundle_has_all_instruments():
+    obs = Observability.enabled()
+    assert isinstance(obs.registry, MetricsRegistry)
+    assert isinstance(obs.tracer, SpanTracer)
+    assert isinstance(obs.profiler, PhaseProfiler)
+    assert isinstance(obs.recorder, FlightRecorder)
+    assert obs.is_enabled
+
+
+def test_enabled_extras_are_individually_optional():
+    obs = Observability.enabled(trace=False, profile=False, record=False)
+    assert obs.tracer is None and obs.profiler is None and obs.recorder is None
+    assert obs.is_enabled    # the live registry alone makes it enabled
+
+
+def test_for_track_shares_instruments_but_not_identity():
+    fleet = Observability.enabled(labels={"cluster": "a"})
+    replica = fleet.for_track(3, replica="r2")
+    assert replica.registry is fleet.registry
+    assert replica.tracer is fleet.tracer
+    assert replica.profiler is fleet.profiler
+    assert replica.recorder is fleet.recorder
+    assert replica.track == 3
+    assert replica.labels == {"cluster": "a", "replica": "r2"}
+    assert fleet.labels == {"cluster": "a"}     # parent labels untouched
+    assert fleet.track == 0
+
+
+def test_for_track_coerces_label_values_to_strings():
+    obs = Observability.enabled().for_track(1, replica=0)
+    assert obs.labels == {"replica": "0"}

@@ -1,0 +1,150 @@
+"""Metrics registry: series identity, snapshots, and Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
+                               Histogram, MetricsRegistry, NULL_REGISTRY,
+                               NullMetric)
+
+
+class TestMetricTypes:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 12
+
+    def test_histogram_buckets_on_insert_cumulative_on_read(self):
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.cumulative() == [(0.1, 1), (1.0, 3), (10.0, 4),
+                                     (float("inf"), 5)]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+
+    def test_histogram_boundary_value_goes_to_its_le_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)   # le="1.0" is an inclusive upper bound
+        assert hist.cumulative()[0] == (1.0, 1)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_lookups_are_memoized_per_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", "help", {"replica": "r0"})
+        b = registry.counter("requests_total", "help", {"replica": "r0"})
+        c = registry.counter("requests_total", "help", {"replica": "r1"})
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_type_conflict_is_an_error_not_a_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("latency")
+        with pytest.raises(ValueError, match="already registered as a Counter"):
+            registry.gauge("latency")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("latency", labels={"replica": "r0"})
+
+    def test_invalid_names_and_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_name", labels={"bad-label": "x"})
+
+    def test_snapshot_is_sorted_and_registration_order_independent(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name, labels in order:
+                registry.counter(name, labels=labels).inc()
+            return json.dumps(registry.snapshot())
+
+        order = [("b_total", None), ("a_total", {"replica": "r1"}),
+                 ("a_total", {"replica": "r0"})]
+        assert build(order) == build(list(reversed(order)))
+
+    def test_snapshot_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("ttft", buckets=(0.5, 1.0)).observe(0.7)
+        snap = registry.snapshot()
+        assert snap["ttft"] == {"buckets": [[0.5, 0], [1.0, 1], ["+Inf", 1]],
+                                "sum": 0.7, "count": 1}
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests seen",
+                         {"replica": "r0"}).inc(3)
+        registry.gauge("queue_depth", "Waiting requests").set(2)
+        text = registry.to_prometheus()
+        assert "# HELP requests_total Requests seen\n" in text
+        assert "# TYPE requests_total counter\n" in text
+        assert 'requests_total{replica="r0"} 3\n' in text
+        assert "# TYPE queue_depth gauge\n" in text
+        assert "queue_depth 2\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_expands_to_bucket_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", "Latency",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = registry.to_prometheus()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "latency_seconds_sum 0.55" in text
+        assert "latency_seconds_count 2" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"path": 'a"b\\c\nd'}).inc()
+        line = [l for l in registry.to_prometheus().splitlines()
+                if l.startswith("c_total{")][0]
+        assert line == 'c_total{path="a\\"b\\\\c\\nd"} 1'
+
+    def test_empty_registry_renders_empty_document(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestNullRegistry:
+    def test_every_lookup_is_the_shared_noop(self):
+        metric = NULL_REGISTRY.counter("anything")
+        assert metric is NULL_REGISTRY.gauge("other")
+        assert metric is NULL_REGISTRY.histogram("third")
+        assert isinstance(metric, NullMetric)
+        # the whole point: updates are free and nothing is recorded
+        metric.inc()
+        metric.set(5)
+        metric.observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.to_prometheus() == ""
+
+
+def test_default_latency_buckets_cover_sub_ms_to_minutes():
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)

@@ -1,0 +1,79 @@
+"""Flight recorder and the invariant-violation forensics path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (FlightRecorder, InvariantViolation,
+                                invariant_violation)
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.record(float(index), "dispatch", request_id=index)
+        assert len(recorder) == 3
+        assert recorder.recorded == 5
+        assert [event["request_id"] for event in recorder.events()] == [2, 3, 4]
+
+    def test_last_n_oldest_first(self):
+        recorder = FlightRecorder()
+        for index in range(4):
+            recorder.record(float(index), "step")
+        assert [e["t"] for e in recorder.last(2)] == [2.0, 3.0]
+        assert len(recorder.last(100)) == 4
+        with pytest.raises(ValueError):
+            recorder.last(-1)
+
+    def test_events_are_copies(self):
+        recorder = FlightRecorder()
+        recorder.record(0.0, "fault", kind_detail="crash")
+        recorder.events()[0]["kind_detail"] = "mutated"
+        assert recorder.events()[0]["kind_detail"] == "crash"
+
+    def test_write_dumps_loadable_json(self, tmp_path):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record(1.0, "reroute", attempt=1)
+        path = tmp_path / "recorder.json"
+        recorder.write(path)
+        doc = json.loads(path.read_text())
+        assert doc["capacity"] == 2
+        assert doc["events"][0]["kind"] == "reroute"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestInvariantViolation:
+    def test_is_a_runtime_error_so_existing_handlers_keep_working(self):
+        assert issubclass(InvariantViolation, RuntimeError)
+
+    def test_message_carries_the_recorder_tail(self):
+        recorder = FlightRecorder()
+        for index in range(8):
+            recorder.record(float(index), "dispatch", request_id=index)
+        error = invariant_violation("conservation failed: 1 request unaccounted",
+                                    recorder)
+        message = str(error)
+        assert message.startswith("conservation failed")
+        assert "8 events retained, last 5" in message
+        assert "dispatch request_id=7" in message
+        assert len(error.flight_recorder) == 8
+
+    def test_without_recorder_message_is_clean(self):
+        error = invariant_violation("kv pages leaked")
+        assert str(error) == "kv pages leaked"
+        assert error.flight_recorder == []
+
+    def test_write_dump(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(0.5, "fault:crash", replica_id=1)
+        error = invariant_violation("boom", recorder)
+        path = tmp_path / "dump.json"
+        error.write_dump(path)
+        events = json.loads(path.read_text())["events"]
+        assert events == [{"t": 0.5, "kind": "fault:crash", "replica_id": 1}]

@@ -1,0 +1,106 @@
+"""Span tracer: event ordering, JSON export, and the schema validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (TRACE_PID, SpanTracer, TraceSchemaError,
+                               validate_trace)
+
+
+def _sample_tracer() -> SpanTracer:
+    tracer = SpanTracer()
+    tracer.name_track(0, "router")
+    tracer.name_track(1, "replica 0")
+    tracer.complete("queued", 0.0, 0.001, track=1, args={"request_id": 0})
+    tracer.complete("decode", 0.001, 0.004, track=1)
+    tracer.instant("fault:crash", 0.002, track=0, args={"replica_id": 1})
+    return tracer
+
+
+class TestSpanTracer:
+    def test_events_put_metadata_first_then_sorted_by_ts(self):
+        events = _sample_tracer().events()
+        assert [e["ph"] for e in events] == ["M", "M", "X", "X", "i"]
+        assert events[0]["args"] == {"name": "router"}
+        body = events[2:]
+        assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+        assert all("_seq" not in e for e in events)
+
+    def test_timestamps_are_integer_microseconds(self):
+        events = _sample_tracer().events()
+        span = events[2]
+        assert span == {"name": "queued", "ph": "X", "ts": 0, "dur": 1000,
+                        "pid": TRACE_PID, "tid": 1, "args": {"request_id": 0}}
+
+    def test_equal_ts_events_keep_emit_order(self):
+        tracer = SpanTracer()
+        tracer.instant("first", 1.0)
+        tracer.instant("second", 1.0)
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["first", "second"]
+
+    def test_backwards_span_raises(self):
+        with pytest.raises(ValueError, match="ends .* before it starts"):
+            SpanTracer().complete("bad", 2.0, 1.0)
+
+    def test_to_json_round_trips_and_validates(self):
+        doc = json.loads(_sample_tracer().to_json())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        stats = validate_trace(doc)
+        assert stats["events"] == 5
+        assert stats["tracks"][(1, 1)] == {"spans": 2, "instants": 0,
+                                           "first_ts": 0, "last_ts": 4000}
+        assert stats["names"]["decode"] == {"count": 1, "total_us": 3000}
+
+    def test_write_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _sample_tracer().write(path)
+        assert validate_trace(json.loads(path.read_text()))["events"] == 5
+
+
+class TestValidateTrace:
+    def test_rejects_document_without_trace_events(self):
+        with pytest.raises(TraceSchemaError, match="traceEvents"):
+            validate_trace({"foo": []})
+
+    def test_rejects_non_list(self):
+        with pytest.raises(TraceSchemaError, match="must be a list"):
+            validate_trace("nope")
+
+    def test_rejects_missing_required_keys(self):
+        with pytest.raises(TraceSchemaError, match="missing 'tid'"):
+            validate_trace([{"name": "x", "ph": "i", "pid": 1, "ts": 0}])
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TraceSchemaError, match="unknown phase"):
+            validate_trace([{"name": "x", "ph": "B", "pid": 1, "tid": 0,
+                             "ts": 0}])
+
+    def test_rejects_float_timestamps(self):
+        with pytest.raises(TraceSchemaError, match="integer 'ts'"):
+            validate_trace([{"name": "x", "ph": "i", "pid": 1, "tid": 0,
+                             "ts": 0.5}])
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(TraceSchemaError, match="non-negative integer 'dur'"):
+            validate_trace([{"name": "x", "ph": "X", "pid": 1, "tid": 0,
+                             "ts": 0, "dur": -1}])
+
+    def test_rejects_per_track_ts_regression(self):
+        events = [
+            {"name": "a", "ph": "i", "pid": 1, "tid": 0, "ts": 10},
+            {"name": "b", "ph": "i", "pid": 1, "tid": 0, "ts": 5},
+        ]
+        with pytest.raises(TraceSchemaError, match="monotonicity"):
+            validate_trace(events)
+
+    def test_separate_tracks_have_independent_timelines(self):
+        events = [
+            {"name": "a", "ph": "i", "pid": 1, "tid": 0, "ts": 10},
+            {"name": "b", "ph": "i", "pid": 1, "tid": 1, "ts": 5},
+        ]
+        stats = validate_trace(events)
+        assert set(stats["tracks"]) == {(1, 0), (1, 1)}

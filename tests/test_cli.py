@@ -148,3 +148,29 @@ class TestRunCommand:
             par = json.loads((tmp_path / "par" / f"{name}.json").read_text())
             ser = json.loads((tmp_path / "ser" / f"{name}.json").read_text())
             assert par == ser
+
+
+class TestObsReport:
+    def test_renders_a_trace_export(self, capsys, tmp_path):
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        tracer.name_track(0, "router")
+        tracer.complete("decode", 0.010, 0.014, track=0)
+        path = tmp_path / "trace.json"
+        tracer.write(path)
+        assert main(["obs-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "router" in out and "decode" in out
+
+    def test_missing_file_is_a_clean_usage_error(self, capsys, tmp_path):
+        assert main(["obs-report", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro obs-report: error:")
+
+    def test_unrecognised_document_is_a_clean_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text('{"rows": []}')
+        assert main(["obs-report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not a trace export" in err

@@ -1,0 +1,53 @@
+"""Repository hygiene: no bytecode artefacts tracked or left to shadow code.
+
+A reverted change once left a stale ``src/repro/obs/__pycache__`` behind:
+the package directory was deleted but its compiled bytecode survived, so
+``import repro.obs`` kept resolving against code that no longer existed in
+the tree.  These checks make that failure mode a test failure instead of a
+debugging session — nothing under version control may be bytecode, and any
+``.pyc`` on disk under ``src/`` must correspond to a source file that still
+exists next to it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def _tracked_files():
+    out = subprocess.run(["git", "ls-files"], cwd=REPO_ROOT, check=True,
+                         capture_output=True, text=True).stdout
+    return [line for line in out.splitlines() if line]
+
+
+def test_no_bytecode_is_tracked():
+    offenders = [path for path in _tracked_files()
+                 if "__pycache__" in path or path.endswith(".pyc")]
+    assert offenders == [], f"bytecode artefacts under version control: {offenders}"
+
+
+def test_gitignore_covers_pycache():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__" in gitignore
+
+
+def test_no_orphaned_bytecode_under_src():
+    """Every ``.pyc`` under ``src/`` must have a live source module.
+
+    CPython names cache files ``<module>.<tag>.pyc`` inside ``__pycache__``;
+    the module is orphaned when ``<module>.py`` no longer exists in the
+    parent package — exactly the state a partial delete or revert leaves.
+    """
+    orphans = []
+    for pyc in SRC.rglob("*.pyc"):
+        if pyc.parent.name != "__pycache__":
+            orphans.append(str(pyc))    # legacy-layout bytecode: never legitimate
+            continue
+        module = pyc.name.split(".")[0]
+        if not (pyc.parent.parent / f"{module}.py").exists():
+            orphans.append(str(pyc))
+    assert orphans == [], f"orphaned bytecode shadowing deleted modules: {orphans}"
